@@ -1,0 +1,154 @@
+//! Interned alphabets.
+//!
+//! Every regular-language object in this crate (and every grammar in
+//! `selprop-grammar`) works over an [`Alphabet`]: an interning table from
+//! human-readable symbol names (the EDB predicate names of a chain program,
+//! e.g. `"par"`, `"b1"`) to dense [`Symbol`] ids. Dense ids keep transition
+//! tables small and comparisons branch-free.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned terminal symbol (letter) of an [`Alphabet`].
+///
+/// `Symbol` is a plain index newtype: cheap to copy, hash and compare. A
+/// `Symbol` is only meaningful together with the alphabet that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The position of this symbol in its alphabet, as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An interning table of symbol names.
+///
+/// In the paper's setting the alphabet is the set of EDB predicates
+/// `Σ = {b_1, ..., b_k}` of a chain program (Section 3). The same alphabet
+/// is shared between the grammar `G(H)`, the language `L(H)` and all the
+/// automata derived from them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: HashMap<String, Symbol>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet from a list of names, interning them in order.
+    ///
+    /// Duplicate names are interned once; the returned alphabet preserves
+    /// first-occurrence order.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut a = Self::new();
+        for n in names {
+            a.intern(n.as_ref());
+        }
+        a
+    }
+
+    /// Interns `name`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&s) = self.index.get(name) {
+            return s;
+        }
+        let s = Symbol(u32::try_from(self.names.len()).expect("alphabet too large"));
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Looks up a previously interned name.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of a symbol. Panics if the symbol is not from this alphabet.
+    pub fn name(&self, s: Symbol) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all symbols in interning order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.names.len() as u32).map(Symbol)
+    }
+
+    /// Renders a word (slice of symbols) as a dot-free concatenation of
+    /// names separated by spaces, or `"ε"` for the empty word.
+    pub fn render_word(&self, word: &[Symbol]) -> String {
+        if word.is_empty() {
+            return "ε".to_owned();
+        }
+        word.iter()
+            .map(|&s| self.name(s))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut a = Alphabet::new();
+        let b1 = a.intern("b1");
+        let b2 = a.intern("b2");
+        assert_ne!(b1, b2);
+        assert_eq!(a.intern("b1"), b1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_names() {
+        let a = Alphabet::from_names(["par", "b1", "b2", "par"]);
+        assert_eq!(a.len(), 3);
+        let par = a.get("par").unwrap();
+        assert_eq!(a.name(par), "par");
+        assert!(a.get("missing").is_none());
+    }
+
+    #[test]
+    fn symbols_iterates_in_order() {
+        let a = Alphabet::from_names(["x", "y"]);
+        let syms: Vec<_> = a.symbols().collect();
+        assert_eq!(syms, vec![Symbol(0), Symbol(1)]);
+    }
+
+    #[test]
+    fn render_word_formats() {
+        let a = Alphabet::from_names(["b1", "b2"]);
+        let b1 = a.get("b1").unwrap();
+        let b2 = a.get("b2").unwrap();
+        assert_eq!(a.render_word(&[]), "ε");
+        assert_eq!(a.render_word(&[b1, b2, b1]), "b1 b2 b1");
+    }
+}

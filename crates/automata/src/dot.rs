@@ -1,0 +1,110 @@
+//! Graphviz DOT export for automata — the certificates the propagation
+//! engine produces (regularity DFAs, envelope automata, quotients) are
+//! easiest to audit visually.
+
+use std::fmt::Write as _;
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+
+/// Renders a DFA in DOT format. Dead states (non-live) are drawn dashed
+/// so certificate diagrams stay readable.
+pub fn dfa_to_dot(dfa: &Dfa, name: &str) -> String {
+    let live = dfa.live_states();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  start [shape=point];");
+    for q in 0..dfa.num_states() {
+        let shape = if dfa.is_accept(q) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let style = if live.contains(&q) { "solid" } else { "dashed" };
+        let _ = writeln!(out, "  q{q} [shape={shape}, style={style}];");
+    }
+    if dfa.num_states() > 0 {
+        let _ = writeln!(out, "  start -> q{};", dfa.start());
+    }
+    // merge parallel edges into one label
+    for q in 0..dfa.num_states() {
+        let mut by_target: std::collections::BTreeMap<usize, Vec<String>> = Default::default();
+        for a in dfa.alphabet.symbols() {
+            by_target
+                .entry(dfa.step(q, a))
+                .or_default()
+                .push(dfa.alphabet.name(a).to_owned());
+        }
+        for (r, labels) in by_target {
+            let _ = writeln!(out, "  q{q} -> q{r} [label=\"{}\"];", labels.join(","));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders an NFA in DOT format (ε-transitions labeled `ε`).
+pub fn nfa_to_dot(nfa: &Nfa, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  start [shape=point];");
+    for q in 0..nfa.num_states() {
+        let shape = if nfa.is_accept(q) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  q{q} [shape={shape}];");
+    }
+    for &s in nfa.starts() {
+        let _ = writeln!(out, "  start -> q{s};");
+    }
+    for (q, a, r) in nfa.transitions() {
+        let _ = writeln!(out, "  q{q} -> q{r} [label=\"{}\"];", nfa.alphabet.name(a));
+    }
+    for (q, r) in nfa.epsilon_transitions() {
+        let _ = writeln!(out, "  q{q} -> q{r} [label=\"ε\"];");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::regex::Regex;
+
+    #[test]
+    fn dfa_dot_structure() {
+        let mut al = Alphabet::new();
+        let re = Regex::parse("par par*", &mut al).unwrap();
+        let dfa = crate::minimize::minimize(&re.to_dfa(&al));
+        let dot = dfa_to_dot(&dfa, "par_plus");
+        assert!(dot.starts_with("digraph \"par_plus\""));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("label=\"par\""));
+        assert!(dot.contains("start ->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn nfa_dot_includes_epsilon() {
+        let mut al = Alphabet::new();
+        let re = Regex::parse("a*", &mut al).unwrap();
+        let nfa = re.to_nfa(&al);
+        let dot = nfa_to_dot(&nfa, "a_star");
+        assert!(dot.contains("ε"));
+    }
+
+    #[test]
+    fn dead_states_dashed() {
+        let mut al = Alphabet::new();
+        let re = Regex::parse("a b", &mut al).unwrap();
+        let dfa = re.to_dfa(&al); // has a sink
+        let dot = dfa_to_dot(&dfa, "ab");
+        assert!(dot.contains("style=dashed"));
+    }
+}

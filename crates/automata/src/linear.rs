@@ -1,0 +1,274 @@
+//! Left-/right-linear grammars and their correspondence with finite
+//! automata.
+//!
+//! This is the bridge the paper's Theorem 3.3 walks across: a regular
+//! `L(H)` has a **left-linear** grammar `G_left`, which transcribes into a
+//! chain program `H_left` whose selection `p(c, Y)` can be "naively"
+//! propagated into a monadic program (Example 1.1, Program A → Program D).
+//! [`LinearGrammar::from_dfa_left`] produces the left-linear grammar from a
+//! DFA; `selprop-core` then performs the program transcription.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+
+/// Which side the nonterminal sits on in every production.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Linearity {
+    /// Productions of the form `A → B t` or `A → t` (nonterminal first).
+    Left,
+    /// Productions of the form `A → t B` or `A → t` (nonterminal last).
+    Right,
+}
+
+/// A production of a linear grammar.
+///
+/// For [`Linearity::Left`]: `head → tail_nonterminal? terminal?` read as
+/// `A → B t`, `A → t`, `A → B`, or `A → ε` depending on which parts are
+/// present. For [`Linearity::Right`] the nonterminal follows the terminal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinearProduction {
+    /// Head nonterminal (dense id).
+    pub head: usize,
+    /// Terminal, if any.
+    pub terminal: Option<Symbol>,
+    /// Body nonterminal, if any.
+    pub nonterminal: Option<usize>,
+}
+
+/// A strictly one-sided linear grammar with dense nonterminal ids.
+#[derive(Clone, Debug)]
+pub struct LinearGrammar {
+    /// The terminal alphabet.
+    pub alphabet: Alphabet,
+    /// Human-readable nonterminal names, indexed by id.
+    pub nonterminal_names: Vec<String>,
+    /// Start nonterminal id.
+    pub start: usize,
+    /// Productions.
+    pub productions: Vec<LinearProduction>,
+    /// Left or right linearity.
+    pub linearity: Linearity,
+}
+
+impl LinearGrammar {
+    /// Builds a **left-linear** grammar for the language of `dfa`.
+    ///
+    /// Construction (textbook, and the one Theorem 3.3's "if" direction
+    /// needs): one nonterminal `N_q` per DFA state, with `N_q → N_p t`
+    /// whenever `δ(p, t) = q`, `N_{q0} → ε`, and start symbols for each
+    /// accepting state. Since a left-linear grammar needs a single start,
+    /// a fresh start nonterminal `S → N_f` is added per accepting `f`.
+    ///
+    /// The grammar derives `w` from `S` iff `dfa` accepts `w`.
+    pub fn from_dfa_left(dfa: &Dfa) -> LinearGrammar {
+        let n = dfa.num_states();
+        let start = n; // fresh start nonterminal
+        let mut nonterminal_names: Vec<String> = (0..n).map(|q| format!("N{q}")).collect();
+        nonterminal_names.push("S".to_owned());
+        let mut productions = Vec::new();
+        // N_{q0} → ε
+        productions.push(LinearProduction {
+            head: dfa.start(),
+            terminal: None,
+            nonterminal: None,
+        });
+        for p in 0..n {
+            for a in dfa.alphabet.symbols() {
+                let q = dfa.step(p, a);
+                productions.push(LinearProduction {
+                    head: q,
+                    terminal: Some(a),
+                    nonterminal: Some(p),
+                });
+            }
+        }
+        for f in 0..n {
+            if dfa.is_accept(f) {
+                productions.push(LinearProduction {
+                    head: start,
+                    terminal: None,
+                    nonterminal: Some(f),
+                });
+            }
+        }
+        LinearGrammar {
+            alphabet: dfa.alphabet.clone(),
+            nonterminal_names,
+            start,
+            productions,
+            linearity: Linearity::Left,
+        }
+    }
+
+    /// Builds a **right-linear** grammar for the language of `dfa`:
+    /// `N_p → t N_q` whenever `δ(p, t) = q`, `N_f → ε` for accepting `f`,
+    /// start `N_{q0}`.
+    pub fn from_dfa_right(dfa: &Dfa) -> LinearGrammar {
+        let n = dfa.num_states();
+        let nonterminal_names: Vec<String> = (0..n).map(|q| format!("N{q}")).collect();
+        let mut productions = Vec::new();
+        for p in 0..n {
+            for a in dfa.alphabet.symbols() {
+                let q = dfa.step(p, a);
+                productions.push(LinearProduction {
+                    head: p,
+                    terminal: Some(a),
+                    nonterminal: Some(q),
+                });
+            }
+            if dfa.is_accept(p) {
+                productions.push(LinearProduction {
+                    head: p,
+                    terminal: None,
+                    nonterminal: None,
+                });
+            }
+        }
+        LinearGrammar {
+            alphabet: dfa.alphabet.clone(),
+            nonterminal_names,
+            start: dfa.start(),
+            productions,
+            linearity: Linearity::Right,
+        }
+    }
+
+    /// Converts back to an NFA; `L(nfa) = L(grammar)`.
+    ///
+    /// For a right-linear grammar nonterminals are NFA states directly.
+    /// A left-linear grammar is converted by reversing (derivations of a
+    /// left-linear grammar read backwards are right-linear).
+    pub fn to_nfa(&self) -> Nfa {
+        match self.linearity {
+            Linearity::Right => self.right_linear_to_nfa(),
+            Linearity::Left => {
+                let mut rev = self.clone();
+                rev.linearity = Linearity::Right;
+                // A → B t (left) reversed is A → t B (right) over reversed
+                // words; keep structure, then reverse the automaton.
+                rev.right_linear_to_nfa().reversed()
+            }
+        }
+    }
+
+    fn right_linear_to_nfa(&self) -> Nfa {
+        let mut nfa = Nfa::new(self.alphabet.clone());
+        let n = self.nonterminal_names.len();
+        for _ in 0..n {
+            nfa.add_state();
+        }
+        let accept = nfa.add_state();
+        nfa.set_accept(accept);
+        nfa.set_start(self.start);
+        for p in &self.productions {
+            match (p.terminal, p.nonterminal) {
+                (Some(t), Some(b)) => nfa.add_transition(p.head, t, b),
+                (Some(t), None) => nfa.add_transition(p.head, t, accept),
+                (None, Some(b)) => nfa.add_epsilon(p.head, b),
+                (None, None) => nfa.add_epsilon(p.head, accept),
+            }
+        }
+        nfa
+    }
+
+    /// Number of nonterminals.
+    pub fn num_nonterminals(&self) -> usize {
+        self.nonterminal_names.len()
+    }
+
+    /// Renders the grammar in the paper's arrow notation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for p in &self.productions {
+            let head = &self.nonterminal_names[p.head];
+            let mut rhs: Vec<String> = Vec::new();
+            match self.linearity {
+                Linearity::Left => {
+                    if let Some(b) = p.nonterminal {
+                        rhs.push(self.nonterminal_names[b].clone());
+                    }
+                    if let Some(t) = p.terminal {
+                        rhs.push(self.alphabet.name(t).to_owned());
+                    }
+                }
+                Linearity::Right => {
+                    if let Some(t) = p.terminal {
+                        rhs.push(self.alphabet.name(t).to_owned());
+                    }
+                    if let Some(b) = p.nonterminal {
+                        rhs.push(self.nonterminal_names[b].clone());
+                    }
+                }
+            }
+            let rhs = if rhs.is_empty() {
+                "ε".to_owned()
+            } else {
+                rhs.join(" ")
+            };
+            out.push_str(&format!("{head} → {rhs}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::equivalent;
+    use crate::regex::Regex;
+
+    fn regex_dfa(text: &str) -> (Alphabet, Dfa) {
+        let mut al = Alphabet::from_names(["a", "b"]);
+        let re = Regex::parse(text, &mut al).unwrap();
+        let dfa = re.to_dfa(&al);
+        (al, dfa)
+    }
+
+    #[test]
+    fn left_linear_roundtrip() {
+        for text in ["(a b)*", "a a* b", "a | b*", "(a | b)* a b"] {
+            let (_, dfa) = regex_dfa(text);
+            let g = LinearGrammar::from_dfa_left(&dfa);
+            assert_eq!(g.linearity, Linearity::Left);
+            let back = Dfa::from_nfa(&g.to_nfa());
+            assert!(equivalent(&dfa, &back), "left-linear roundtrip for {text}");
+        }
+    }
+
+    #[test]
+    fn right_linear_roundtrip() {
+        for text in ["(a b)*", "a a* b", "a | b*", "b (a b)* a"] {
+            let (_, dfa) = regex_dfa(text);
+            let g = LinearGrammar::from_dfa_right(&dfa);
+            assert_eq!(g.linearity, Linearity::Right);
+            let back = Dfa::from_nfa(&g.to_nfa());
+            assert!(equivalent(&dfa, &back), "right-linear roundtrip for {text}");
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_nonterminals() {
+        let (_, dfa) = regex_dfa("a b");
+        let g = LinearGrammar::from_dfa_left(&dfa);
+        let text = g.render();
+        assert!(text.contains("S →"));
+        assert!(text.contains("→"));
+    }
+
+    #[test]
+    fn ancestor_grammar_from_paper() {
+        // Example 1.1: left-linear {anc → par, anc → anc par} defines par+.
+        // Build par+ as a DFA, extract left-linear grammar, check language.
+        let mut al = Alphabet::new();
+        let re = Regex::parse("par par*", &mut al).unwrap();
+        let dfa = re.to_dfa(&al);
+        let g = LinearGrammar::from_dfa_left(&dfa);
+        let back = Dfa::from_nfa(&g.to_nfa());
+        assert!(equivalent(&dfa, &back));
+        let par = al.get("par").unwrap();
+        assert!(back.accepts_word(&[par]));
+        assert!(back.accepts_word(&[par, par, par]));
+        assert!(!back.accepts_word(&[]));
+    }
+}

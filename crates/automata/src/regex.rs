@@ -1,0 +1,414 @@
+//! Regular expressions: AST, a small parser, Thompson construction, and
+//! DFA → regex state elimination (for human-readable certificates).
+//!
+//! Section 7 of the paper builds per-rule regular expressions of the form
+//! `* t1 * t2 ... *` (`*` a "don't care"); [`Regex::dont_care_pattern`]
+//! constructs exactly those.
+
+use std::fmt;
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+
+/// A regular expression over an interned alphabet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty language `∅`.
+    Empty,
+    /// The empty word `ε`.
+    Epsilon,
+    /// A single symbol.
+    Sym(Symbol),
+    /// Concatenation `r · s`.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Alternation `r | s`.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star `r*`.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// Concatenation smart constructor (simplifies ∅ and ε).
+    pub fn concat(a: Regex, b: Regex) -> Regex {
+        match (a, b) {
+            (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+            (Regex::Epsilon, r) | (r, Regex::Epsilon) => r,
+            (a, b) => Regex::Concat(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Alternation smart constructor (simplifies ∅; collapses identical arms).
+    pub fn alt(a: Regex, b: Regex) -> Regex {
+        match (a, b) {
+            (Regex::Empty, r) | (r, Regex::Empty) => r,
+            (a, b) if a == b => a,
+            (a, b) => Regex::Alt(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Star smart constructor (∅* = ε* = ε; r** = r*).
+    pub fn star(a: Regex) -> Regex {
+        match a {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            s @ Regex::Star(_) => s,
+            a => Regex::Star(Box::new(a)),
+        }
+    }
+
+    /// Concatenation of a word of symbols.
+    pub fn word(word: &[Symbol]) -> Regex {
+        word.iter()
+            .fold(Regex::Epsilon, |acc, &s| Regex::concat(acc, Regex::Sym(s)))
+    }
+
+    /// `Σ*` over `alphabet`.
+    pub fn sigma_star(alphabet: &Alphabet) -> Regex {
+        let any = alphabet
+            .symbols()
+            .fold(Regex::Empty, |acc, s| Regex::alt(acc, Regex::Sym(s)));
+        Regex::star(any)
+    }
+
+    /// The Section 7 "don't care" pattern: given the terminals kept from
+    /// a chain rule body, builds `Σ* t1 Σ* t2 ... Σ* tk Σ*` — the paper's
+    /// `* t1 * t2 * ... *` with `*` read as `Σ*`.
+    pub fn dont_care_pattern(alphabet: &Alphabet, terminals: &[Symbol]) -> Regex {
+        let mut re = Regex::sigma_star(alphabet);
+        for &t in terminals {
+            re = Regex::concat(re, Regex::Sym(t));
+            re = Regex::concat(re, Regex::sigma_star(alphabet));
+        }
+        re
+    }
+
+    /// Thompson construction: the NFA of this expression.
+    pub fn to_nfa(&self, alphabet: &Alphabet) -> Nfa {
+        match self {
+            Regex::Empty => Nfa::empty(alphabet.clone()),
+            Regex::Epsilon => Nfa::from_word(alphabet.clone(), &[]),
+            Regex::Sym(s) => Nfa::from_word(alphabet.clone(), &[*s]),
+            Regex::Concat(a, b) => a.to_nfa(alphabet).concat(&b.to_nfa(alphabet)),
+            Regex::Alt(a, b) => a.to_nfa(alphabet).union(&b.to_nfa(alphabet)),
+            Regex::Star(a) => a.to_nfa(alphabet).star(),
+        }
+    }
+
+    /// The DFA of this expression.
+    pub fn to_dfa(&self, alphabet: &Alphabet) -> Dfa {
+        Dfa::from_nfa(&self.to_nfa(alphabet))
+    }
+
+    /// Parses a regex from text. Grammar:
+    ///
+    /// ```text
+    /// alt    := concat ('|' concat)*
+    /// concat := star+
+    /// star   := atom '*'*
+    /// atom   := name | '(' alt ')' | 'ε' | '∅'
+    /// ```
+    ///
+    /// Names are whitespace/metacharacter-delimited identifiers interned
+    /// into `alphabet` (which is extended as needed).
+    ///
+    /// ```
+    /// use selprop_automata::{Alphabet, Regex};
+    /// let mut al = Alphabet::new();
+    /// let re = Regex::parse("b1 b1* b2", &mut al).unwrap();
+    /// let dfa = re.to_dfa(&al);
+    /// let b1 = al.get("b1").unwrap();
+    /// let b2 = al.get("b2").unwrap();
+    /// assert!(dfa.accepts_word(&[b1, b1, b2]));
+    /// assert!(!dfa.accepts_word(&[b2]));
+    /// ```
+    pub fn parse(text: &str, alphabet: &mut Alphabet) -> Result<Regex, String> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+            alphabet,
+        };
+        let re = p.alt()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing input at position {}", p.pos));
+        }
+        Ok(re)
+    }
+
+    /// Renders with names from `alphabet`.
+    pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> RegexDisplay<'a> {
+        RegexDisplay { re: self, alphabet }
+    }
+}
+
+/// Pretty-printer bound to an alphabet.
+pub struct RegexDisplay<'a> {
+    re: &'a Regex,
+    alphabet: &'a Alphabet,
+}
+
+impl fmt::Display for RegexDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(re: &Regex, al: &Alphabet, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+            match re {
+                Regex::Empty => write!(f, "∅"),
+                Regex::Epsilon => write!(f, "ε"),
+                Regex::Sym(s) => write!(f, "{}", al.name(*s)),
+                Regex::Concat(a, b) => {
+                    if prec > 1 {
+                        write!(f, "(")?;
+                    }
+                    go(a, al, f, 1)?;
+                    write!(f, " ")?;
+                    go(b, al, f, 1)?;
+                    if prec > 1 {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Regex::Alt(a, b) => {
+                    if prec > 0 {
+                        write!(f, "(")?;
+                    }
+                    go(a, al, f, 0)?;
+                    write!(f, " | ")?;
+                    go(b, al, f, 0)?;
+                    if prec > 0 {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Regex::Star(a) => {
+                    go(a, al, f, 2)?;
+                    write!(f, "*")
+                }
+            }
+        }
+        go(self.re, self.alphabet, f, 0)
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    alphabet: &'a mut Alphabet,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn alt(&mut self) -> Result<Regex, String> {
+        let mut re = self.concat()?;
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            re = Regex::alt(re, self.concat()?);
+        }
+        Ok(re)
+    }
+
+    fn concat(&mut self) -> Result<Regex, String> {
+        let mut re = self.star()?;
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            re = Regex::concat(re, self.star()?);
+        }
+        Ok(re)
+    }
+
+    fn star(&mut self) -> Result<Regex, String> {
+        let mut re = self.atom()?;
+        while self.peek() == Some('*') {
+            self.pos += 1;
+            re = Regex::star(re);
+        }
+        Ok(re)
+    }
+
+    fn atom(&mut self) -> Result<Regex, String> {
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                let re = self.alt()?;
+                if self.peek() != Some(')') {
+                    return Err(format!("expected ')' at position {}", self.pos));
+                }
+                self.pos += 1;
+                Ok(re)
+            }
+            Some('ε') => {
+                self.pos += 1;
+                Ok(Regex::Epsilon)
+            }
+            Some('∅') => {
+                self.pos += 1;
+                Ok(Regex::Empty)
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                let start = self.pos;
+                while self
+                    .chars
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+                {
+                    self.pos += 1;
+                }
+                let name: String = self.chars[start..self.pos].iter().collect();
+                Ok(Regex::Sym(self.alphabet.intern(&name)))
+            }
+            other => Err(format!("unexpected {:?} at position {}", other, self.pos)),
+        }
+    }
+}
+
+/// Converts a DFA to a regular expression by state elimination.
+///
+/// The result can be large; it is intended for *certificates* (showing a
+/// user the regular language the propagation engine established), not for
+/// further computation.
+pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
+    let n = dfa.num_states();
+    if n == 0 {
+        return Regex::Empty;
+    }
+    // GNFA with states 0..n plus fresh start `n` and accept `n+1`.
+    let total = n + 2;
+    let start = n;
+    let accept = n + 1;
+    let mut edge: Vec<Vec<Regex>> = vec![vec![Regex::Empty; total]; total];
+    for q in 0..n {
+        for a in dfa.alphabet.symbols() {
+            let r = dfa.step(q, a);
+            let e = edge[q][r].clone();
+            edge[q][r] = Regex::alt(e, Regex::Sym(a));
+        }
+        if dfa.is_accept(q) {
+            edge[q][accept] = Regex::alt(edge[q][accept].clone(), Regex::Epsilon);
+        }
+    }
+    edge[start][dfa.start()] = Regex::Epsilon;
+
+    for victim in 0..n {
+        let self_loop = Regex::star(edge[victim][victim].clone());
+        let preds: Vec<usize> = (0..total)
+            .filter(|&p| p != victim && edge[p][victim] != Regex::Empty)
+            .collect();
+        let succs: Vec<usize> = (0..total)
+            .filter(|&s| s != victim && edge[victim][s] != Regex::Empty)
+            .collect();
+        for &p in &preds {
+            for &s in &succs {
+                let path = Regex::concat(
+                    Regex::concat(edge[p][victim].clone(), self_loop.clone()),
+                    edge[victim][s].clone(),
+                );
+                edge[p][s] = Regex::alt(edge[p][s].clone(), path);
+            }
+        }
+        for x in 0..total {
+            edge[victim][x] = Regex::Empty;
+            edge[x][victim] = Regex::Empty;
+        }
+    }
+    edge[start][accept].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::equivalent;
+
+    fn setup() -> (Alphabet, Symbol, Symbol) {
+        let al = Alphabet::from_names(["a", "b"]);
+        (al.clone(), al.get("a").unwrap(), al.get("b").unwrap())
+    }
+
+    #[test]
+    fn parse_and_accept() {
+        let (mut al, a, b) = setup();
+        let re = Regex::parse("(a b)* | b", &mut al).unwrap();
+        let dfa = re.to_dfa(&al);
+        assert!(dfa.accepts_word(&[]));
+        assert!(dfa.accepts_word(&[a, b]));
+        assert!(dfa.accepts_word(&[b]));
+        assert!(dfa.accepts_word(&[a, b, a, b]));
+        assert!(!dfa.accepts_word(&[a]));
+    }
+
+    #[test]
+    fn parse_multichar_names() {
+        let mut al = Alphabet::new();
+        let re = Regex::parse("b1 b1* b2", &mut al).unwrap();
+        let b1 = al.get("b1").unwrap();
+        let b2 = al.get("b2").unwrap();
+        let dfa = re.to_dfa(&al);
+        assert!(dfa.accepts_word(&[b1, b2]));
+        assert!(dfa.accepts_word(&[b1, b1, b1, b2]));
+        assert!(!dfa.accepts_word(&[b2]));
+        let _ = re;
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut al = Alphabet::new();
+        assert!(Regex::parse("(a", &mut al).is_err());
+        assert!(Regex::parse("a )", &mut al).is_err());
+        assert!(Regex::parse("", &mut al).is_err());
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        let (_, a, _) = setup();
+        assert_eq!(Regex::concat(Regex::Empty, Regex::Sym(a)), Regex::Empty);
+        assert_eq!(Regex::concat(Regex::Epsilon, Regex::Sym(a)), Regex::Sym(a));
+        assert_eq!(Regex::alt(Regex::Empty, Regex::Sym(a)), Regex::Sym(a));
+        assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
+        assert_eq!(
+            Regex::star(Regex::star(Regex::Sym(a))),
+            Regex::star(Regex::Sym(a))
+        );
+    }
+
+    #[test]
+    fn roundtrip_dfa_regex_dfa() {
+        let (mut al, _, _) = setup();
+        for text in ["(a b)*", "a* b a*", "a | b b", "(a | b)* a"] {
+            let re = Regex::parse(text, &mut al).unwrap();
+            let dfa = re.to_dfa(&al);
+            let re2 = dfa_to_regex(&dfa);
+            let dfa2 = re2.to_dfa(&al);
+            assert!(equivalent(&dfa, &dfa2), "roundtrip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn dont_care_pattern_matches_paper_shape() {
+        let (al, a, b) = setup();
+        // * a * : any word containing at least one 'a'
+        let re = Regex::dont_care_pattern(&al, &[a]);
+        let dfa = re.to_dfa(&al);
+        assert!(dfa.accepts_word(&[a]));
+        assert!(dfa.accepts_word(&[b, a, b]));
+        assert!(!dfa.accepts_word(&[b, b]));
+        assert!(!dfa.accepts_word(&[]));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let (mut al, _, _) = setup();
+        let re = Regex::parse("(a | b)* a b*", &mut al).unwrap();
+        let shown = format!("{}", re.display(&al));
+        let re2 = Regex::parse(&shown, &mut al).unwrap();
+        assert!(equivalent(&re.to_dfa(&al), &re2.to_dfa(&al)));
+    }
+}

@@ -1,0 +1,78 @@
+//! E10 — Proposition 8.1: containment and equivalence of chain programs.
+//!
+//! Expected shape: decidable fragments (finite, regular/regular,
+//! envelope-in-exact) are decided exactly and quickly; incomparable pairs
+//! are refuted by short witnesses; the genuinely hard pair (equal
+//! non-regular languages) comes back Unknown, never a false refutation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selprop_core::chain::ChainProgram;
+use selprop_core::contain::{contained, equivalent, is_uniform, uniformize, Containment};
+
+fn programs() -> Vec<(&'static str, ChainProgram)> {
+    let sources = [
+        ("A_par_plus",
+         "?- anc(c, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y)."),
+        ("B_par_plus",
+         "?- anc(c, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y)."),
+        ("even_paths",
+         "?- e(c, Y).\ne(X, Y) :- par(X, Z), par(Z, Y).\ne(X, Y) :- e(X, Z), par(Z, W), par(W, Y)."),
+        ("one_step",
+         "?- p(c, Y).\np(X, Y) :- par(X, Y)."),
+    ];
+    sources
+        .iter()
+        .map(|(n, s)| (*n, ChainProgram::parse(s).unwrap()))
+        .collect()
+}
+
+fn label(c: &Containment) -> &'static str {
+    match c {
+        Containment::Contained => "⊆",
+        Containment::NotContained(_) => "⊄",
+        Containment::Unknown => "?",
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n== E10: containment matrix (Prop 8.1) ==");
+    let ps = programs();
+    print!("{:<12}", "");
+    for (n, _) in &ps {
+        print!("{n:<12}");
+    }
+    println!();
+    for (n1, p1) in &ps {
+        print!("{n1:<12}");
+        for (_, p2) in &ps {
+            print!("{:<12}", label(&contained(p1, p2, 6)));
+        }
+        println!();
+    }
+    // ground truth spot checks
+    let a = &ps[0].1;
+    let b = &ps[1].1;
+    let even = &ps[2].1;
+    let one = &ps[3].1;
+    assert_eq!(equivalent(a, b, 6), Containment::Contained);
+    assert_eq!(contained(even, a, 6), Containment::Contained);
+    assert!(matches!(contained(a, even, 6), Containment::NotContained(_)));
+    assert_eq!(contained(one, a, 6), Containment::Contained);
+    assert!(matches!(contained(a, one, 6), Containment::NotContained(_)));
+
+    // uniformity round trip
+    assert!(!is_uniform(a));
+    let ua = uniformize(a);
+    assert!(is_uniform(&ua));
+
+    let mut group = c.benchmark_group("e10_contain");
+    group.sample_size(10);
+    group.bench_function("equivalent_A_B", |bch| bch.iter(|| equivalent(a, b, 6)));
+    group.bench_function("contained_even_A", |bch| bch.iter(|| contained(even, a, 6)));
+    group.bench_function("refute_A_one", |bch| bch.iter(|| contained(a, one, 6)));
+    group.bench_function("uniformize_A", |bch| bch.iter(|| uniformize(a)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E1 — Example 1.1: the four ancestor programs A–D plus magic(A..C) on
+//! random parent forests with disconnected noise.
+//!
+//! Expected shape (paper, Section 1): D (monadic) ≪ A, B, C;
+//! magic(A)/magic(B) land near D; magic(C) stays expensive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selprop_bench::{row, run};
+use selprop_core::workload;
+use selprop_datalog::db::Database;
+use selprop_datalog::eval::Strategy;
+use selprop_datalog::magic::magic_transform;
+use selprop_datalog::parser::parse_program;
+use selprop_datalog::Program;
+
+const PROGRAMS: [(&str, &str); 4] = [
+    ("A", "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y)."),
+    ("B", "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y)."),
+    ("C", "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), anc(Z, Y)."),
+    ("D", "?- ancjohn(Y).\nancjohn(Y) :- par(john, Y).\nancjohn(Y) :- ancjohn(Z), par(Z, Y)."),
+];
+
+fn build_db(program: &mut Program, n: usize) -> Database {
+    let mut db = workload::random_forest(program, "par", "john", n, 11);
+    let noise = workload::wide(program, "par", "elsewhere", 0, n / 20, 10);
+    for (p, rel) in noise.iter() {
+        for t in rel.iter() {
+            db.insert(p, t.clone());
+        }
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n== E1: Example 1.1 work table ==");
+    for n in [100usize, 400] {
+        for (name, src) in PROGRAMS {
+            let mut p = parse_program(src).unwrap();
+            let db = build_db(&mut p, n);
+            let (answers, stats) = run(&p, &db, Strategy::SemiNaive);
+            row(name, n, answers, &stats);
+            if name != "D" {
+                let magic = magic_transform(&p).unwrap();
+                let (ma, ms) = run(&magic.program, &db, Strategy::SemiNaive);
+                row(&format!("magic({name})"), n, ma, &ms);
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("e1_ancestor");
+    group.sample_size(10);
+    for n in [100usize, 400] {
+        for (name, src) in PROGRAMS {
+            let mut p = parse_program(src).unwrap();
+            let db = build_db(&mut p, n);
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| run(&p, &db, Strategy::SemiNaive))
+            });
+            if name != "D" {
+                let magic = magic_transform(&p).unwrap();
+                group.bench_with_input(BenchmarkId::new(format!("magic_{name}"), n), &n, |b, _| {
+                    b.iter(|| run(&magic.program, &db, Strategy::SemiNaive))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

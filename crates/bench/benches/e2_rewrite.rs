@@ -1,0 +1,70 @@
+//! E2 — Theorem 3.3(1) "if" direction: binary chain programs vs their
+//! propagated monadic rewrites, on random labeled graphs of growing size.
+//!
+//! Expected shape: identical answers; the monadic rewrite's work grows
+//! like the reachable fringe while the binary original grows like
+//! all-pairs — a widening factor in graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selprop_bench::{row, run};
+use selprop_core::chain::ChainProgram;
+use selprop_core::propagate::{propagate, Propagation};
+use selprop_core::workload;
+use selprop_datalog::eval::Strategy;
+
+const FAMILIES: [(&str, &str); 3] = [
+    (
+        "par_plus",
+        "?- anc(c, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).",
+    ),
+    (
+        "b1_b2star",
+        "?- p(c, Y).\np(X, Y) :- b1(X, Y).\np(X, Y) :- p(X, Z), b2(Z, Y).",
+    ),
+    (
+        "alternation",
+        "?- p(c, Y).\np(X, Y) :- b1(X, X1), b2(X1, Y).\np(X, Y) :- p(X, Z), b1(Z, Z1), b2(Z1, Y).",
+    ),
+];
+
+fn bench(c: &mut Criterion) {
+    println!("\n== E2: binary vs propagated monadic ==");
+    let mut group = c.benchmark_group("e2_rewrite");
+    group.sample_size(10);
+    for (name, src) in FAMILIES {
+        let chain = ChainProgram::parse(src).unwrap();
+        let Propagation::Propagated { program, .. } = propagate(&chain).unwrap() else {
+            panic!("E2 family must propagate: {name}");
+        };
+        let edbs: Vec<String> = chain
+            .edbs()
+            .iter()
+            .map(|&p| chain.program.symbols.pred_name(p).to_owned())
+            .collect();
+        let edb_refs: Vec<&str> = edbs.iter().map(String::as_str).collect();
+        for n in [50usize, 200, 800] {
+            let m = n * 3;
+            let mut p1 = chain.program.clone();
+            let db1 = workload::random_labeled_digraph(&mut p1, &edb_refs, "c", n, m, 13);
+            let mut p2 = program.clone();
+            let db2 = workload::random_labeled_digraph(&mut p2, &edb_refs, "c", n, m, 13);
+            let (a1, s1) = run(&p1, &db1, Strategy::SemiNaive);
+            let (a2, s2) = run(&p2, &db2, Strategy::SemiNaive);
+            assert_eq!(a1, a2, "rewrite equivalence in E2 ({name}, n={n})");
+            row(&format!("{name}/binary"), n, a1, &s1);
+            row(&format!("{name}/monadic"), n, a2, &s2);
+            group.bench_with_input(BenchmarkId::new(format!("{name}_binary"), n), &n, |b, _| {
+                b.iter(|| run(&p1, &db1, Strategy::SemiNaive))
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_monadic"), n),
+                &n,
+                |b, _| b.iter(|| run(&p2, &db2, Strategy::SemiNaive)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

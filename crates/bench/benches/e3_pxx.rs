@@ -1,0 +1,74 @@
+//! E3 — Theorem 3.3(2): the diagonal selection `p(X, X)`.
+//!
+//! Finite `L(H)`: the tableaux rewrite is equivalent and converges in a
+//! bounded number of iterations on unions of cycles of any size.
+//! Infinite `L(H)`: the decision procedure answers `Impossible` with a
+//! pumping certificate — benchmarked as the (cheap) decision itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selprop_bench::{row, run};
+use selprop_core::chain::ChainProgram;
+use selprop_core::propagate::{propagate, Propagation};
+use selprop_core::workload;
+use selprop_datalog::eval::Strategy;
+
+const FINITE: &str = "?- p(X, X).\n\
+                      p(X, Y) :- b(X, Y).\n\
+                      p(X, Y) :- b(X, Z1), b(Z1, Z2), b(Z2, Y).";
+const INFINITE: &str = "?- p(X, X).\n\
+                        p(X, Y) :- b(X, Y).\n\
+                        p(X, Y) :- p(X, Z), b(Z, Y).";
+
+fn bench(c: &mut Criterion) {
+    println!("\n== E3: diagonal selection ==");
+    let finite = ChainProgram::parse(FINITE).unwrap();
+    let Propagation::Propagated { program: tableaux, .. } = propagate(&finite).unwrap() else {
+        panic!("finite diagonal must propagate");
+    };
+    let mut group = c.benchmark_group("e3_pxx");
+    group.sample_size(10);
+    for num_cycles in [10usize, 40, 160] {
+        let lengths: Vec<usize> = (0..num_cycles).map(|i| 1 + (i % 7)).collect();
+        let mut p1 = finite.program.clone();
+        let db1 = workload::cycles(&mut p1, "b", &lengths);
+        let mut p2 = tableaux.clone();
+        let db2 = workload::cycles(&mut p2, "b", &lengths);
+        let (a1, s1) = run(&p1, &db1, Strategy::SemiNaive);
+        let (a2, s2) = run(&p2, &db2, Strategy::SemiNaive);
+        assert_eq!(a1, a2, "tableaux equivalence");
+        row("finite/original", num_cycles, a1, &s1);
+        row("finite/tableaux", num_cycles, a2, &s2);
+        assert!(
+            s2.iterations <= 2,
+            "tableaux program is nonrecursive: bounded iterations"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("finite_original", num_cycles),
+            &num_cycles,
+            |b, _| b.iter(|| run(&p1, &db1, Strategy::SemiNaive)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("finite_tableaux", num_cycles),
+            &num_cycles,
+            |b, _| b.iter(|| run(&p2, &db2, Strategy::SemiNaive)),
+        );
+    }
+    // the decision itself (finite and infinite cases)
+    let infinite = ChainProgram::parse(INFINITE).unwrap();
+    match propagate(&infinite).unwrap() {
+        Propagation::Impossible { pump } => {
+            println!(
+                "infinite case: Impossible with pump at '{}' (|x|+|z| = {})",
+                pump.nonterminal,
+                pump.pump_left.len() + pump.pump_right.len()
+            );
+        }
+        other => panic!("expected Impossible, got {other:?}"),
+    }
+    group.bench_function("decide_finite", |b| b.iter(|| propagate(&finite).unwrap()));
+    group.bench_function("decide_infinite", |b| b.iter(|| propagate(&infinite).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E4 — Corollary 3.4: the decision pipeline on the program gallery.
+//!
+//! Expected shape: the decidable certificates (finiteness, strong
+//! regularity, self-embedding) cost microseconds; the undecidable
+//! region's evidence gathering costs what its sampling budget says; and
+//! the trichotomy lands exactly where ground truth puts it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selprop_core::chain::ChainProgram;
+use selprop_core::propagate::{propagate, propagate_with, Propagation, PropagationBudget};
+
+const GALLERY: [(&str, &str, &str); 6] = [
+    ("left_linear", "propagated",
+     "?- anc(c, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y)."),
+    ("right_linear", "propagated",
+     "?- anc(c, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y)."),
+    ("finite", "propagated",
+     "?- p(c, Y).\np(X, Y) :- b1(X, Y).\np(X, Y) :- b1(X, Z), b2(Z, Y)."),
+    ("nonlinear_regular", "propagated",
+     "?- anc(c, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), anc(Z, Y)."),
+    ("balanced", "unknown",
+     "?- p(c, Y).\np(X, Y) :- b1(X, X1), b2(X1, Y).\np(X, Y) :- b1(X, X1), p(X1, X2), b2(X2, Y)."),
+    ("diagonal_infinite", "impossible",
+     "?- p(X, X).\np(X, Y) :- b(X, Y).\np(X, Y) :- p(X, Z), b(Z, Y)."),
+];
+
+fn outcome_label(p: &Propagation) -> &'static str {
+    match p {
+        Propagation::Propagated { .. } => "propagated",
+        Propagation::Impossible { .. } => "impossible",
+        Propagation::Unknown(_) => "unknown",
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n== E4: decision trichotomy ==");
+    for (name, expected, src) in GALLERY {
+        let chain = ChainProgram::parse(src).unwrap();
+        let outcome = propagate(&chain).unwrap();
+        println!("{name:<20} expected={expected:<11} got={}", outcome_label(&outcome));
+        assert_eq!(outcome_label(&outcome), expected, "trichotomy mismatch for {name}");
+    }
+
+    let mut group = c.benchmark_group("e4_decide");
+    group.sample_size(10);
+    for (name, _, src) in GALLERY {
+        let chain = ChainProgram::parse(src).unwrap();
+        group.bench_function(name, |b| b.iter(|| propagate(&chain).unwrap()));
+    }
+    // budget sweep for the undecidable region
+    let balanced = ChainProgram::parse(GALLERY[4].2).unwrap();
+    for nerode in [4usize, 6] {
+        group.bench_function(format!("balanced_budget_{nerode}"), |b| {
+            b.iter(|| {
+                propagate_with(
+                    &balanced,
+                    PropagationBudget {
+                        nerode_max_len: nerode,
+                        envelope_sample_len: 8,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E6 — Proposition 8.2: bounded vs unbounded chain programs.
+//!
+//! Expected shape: iterations-to-fixpoint constant in database size iff
+//! the program is bounded (iff `L(H)` finite); the FO rewrite of a
+//! bounded program evaluates in a data-size-independent number of rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selprop_bench::{row, run};
+use selprop_core::bounded::{boundedness, Boundedness};
+use selprop_core::chain::ChainProgram;
+use selprop_core::workload;
+use selprop_datalog::eval::Strategy;
+
+const BOUNDED: &str = "?- p(c, Y).\n\
+                       p(X, Y) :- b(X, Y).\n\
+                       p(X, Y) :- b(X, Z1), b(Z1, Z2), b(Z2, Y).";
+const UNBOUNDED: &str = "?- anc(c, Y).\n\
+                         anc(X, Y) :- par(X, Y).\n\
+                         anc(X, Y) :- anc(X, Z), par(Z, Y).";
+
+fn bench(c: &mut Criterion) {
+    println!("\n== E6: boundedness (Prop 8.2) ==");
+    let bounded = ChainProgram::parse(BOUNDED).unwrap();
+    let unbounded = ChainProgram::parse(UNBOUNDED).unwrap();
+    let Boundedness::Bounded { fo_program, depth_bound, .. } = boundedness(&bounded) else {
+        panic!("must be bounded");
+    };
+    println!("bounded program: depth bound {depth_bound}; FO form has {} rules", fo_program.rules.len());
+    assert!(!boundedness(&unbounded).is_bounded());
+
+    let mut group = c.benchmark_group("e6_bounded");
+    group.sample_size(10);
+    for n in [50usize, 200, 800] {
+        let mut p1 = bounded.program.clone();
+        let db1 = workload::chain(&mut p1, "b", "c", n);
+        let (a1, s1) = run(&p1, &db1, Strategy::SemiNaive);
+        row("bounded/original", n, a1, &s1);
+        assert!(s1.iterations <= 3, "bounded: iterations independent of n");
+
+        let mut p2 = fo_program.clone();
+        let db2 = workload::chain(&mut p2, "b", "c", n);
+        let (a2, s2) = run(&p2, &db2, Strategy::SemiNaive);
+        row("bounded/fo_form", n, a2, &s2);
+        assert_eq!(a1, a2, "FO form equivalent");
+
+        let mut p3 = unbounded.program.clone();
+        let db3 = workload::chain(&mut p3, "par", "c", n);
+        let (a3, s3) = run(&p3, &db3, Strategy::SemiNaive);
+        row("unbounded/anc", n, a3, &s3);
+        assert!(s3.iterations >= n / 2, "unbounded: iterations grow with n");
+
+        group.bench_with_input(BenchmarkId::new("bounded", n), &n, |b, _| {
+            b.iter(|| run(&p1, &db1, Strategy::SemiNaive))
+        });
+        group.bench_with_input(BenchmarkId::new("unbounded", n), &n, |b, _| {
+            b.iter(|| run(&p3, &db3, Strategy::SemiNaive))
+        });
+    }
+    group.bench_function("decide_boundedness", |b| {
+        b.iter(|| (boundedness(&bounded).is_bounded(), boundedness(&unbounded).is_bounded()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

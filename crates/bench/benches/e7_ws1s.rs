@@ -1,0 +1,92 @@
+//! E7 — Section 5: the WS1S decision procedure.
+//!
+//! Expected shape: compilation cost grows (sharply) with quantifier
+//! alternation depth and track count — the price of the Büchi–Elgot
+//! construction; the Lemma 5.1 extraction recovers `L(H)` for monadic
+//! rewrites of regular chain programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selprop_datalog::parser::parse_program;
+use selprop_ws1s::compile::compile;
+use selprop_ws1s::encode::{encode_monadic_program, extract_language};
+use selprop_ws1s::syntax::{Formula, VarId};
+
+/// A formula family with `depth` alternating FO quantifier blocks over
+/// one free set variable: ∀x ∃y (x < y ∧ (x∈W ⇔ y∉W)) nested.
+fn alternating(depth: usize) -> (Formula, usize) {
+    let w = VarId(0);
+    // tracks: 0 = W, then one per quantifier level
+    let mut f = Formula::True;
+    for level in (1..=depth).rev() {
+        let x = VarId(level);
+        let inner = if level == depth {
+            Formula::In(x, w)
+        } else {
+            let y = VarId(level + 1);
+            Formula::and(Formula::Lt(x, y), f.clone())
+        };
+        f = if level % 2 == 1 {
+            Formula::forall_fo(x, Formula::implies(Formula::In(x, w), inner))
+        } else {
+            Formula::exists_fo(x, Formula::and(Formula::In(x, w), inner))
+        };
+    }
+    (f, depth + 1)
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n== E7: WS1S compilation ==");
+    for depth in [1usize, 2, 3, 4] {
+        let (f, tracks) = alternating(depth);
+        let compiled = compile(&f, tracks, &[]);
+        println!(
+            "alternation depth {depth}: {} tracks, minimal DFA {} states",
+            tracks,
+            compiled.dfa.num_states()
+        );
+    }
+
+    let mut group = c.benchmark_group("e7_ws1s");
+    group.sample_size(10);
+    for depth in [1usize, 2, 3] {
+        let (f, tracks) = alternating(depth);
+        group.bench_with_input(BenchmarkId::new("compile_alt", depth), &depth, |b, _| {
+            b.iter(|| compile(&f, tracks, &[]))
+        });
+    }
+
+    // Lemma 5.1 extraction on monadic programs of growing IDB count
+    let programs = [
+        (
+            1usize,
+            "?- p(Y).\np(Y) :- b(c, Y).\np(Y) :- p(Z), b(Z, Y).",
+        ),
+        (
+            2,
+            "?- q2(Y).\nq1(Y) :- b1(c, Y).\nq1(Y) :- q2(Z), b1(Z, Y).\nq2(Y) :- q1(Z), b2(Z, Y).",
+        ),
+        (
+            3,
+            "?- r3(Y).\nr1(Y) :- b1(c, Y).\nr1(Y) :- r3(Z), b1(Z, Y).\nr2(Y) :- r1(Z), b2(Z, Y).\nr3(Y) :- r2(Z), b1(Z, Y).",
+        ),
+    ];
+    for (idbs, src) in programs {
+        let h = parse_program(src).unwrap();
+        let enc = encode_monadic_program(&h, "c").unwrap();
+        let lang = extract_language(&enc);
+        println!(
+            "lemma 5.1 extraction, {} IDB(s), {} tracks → language DFA {} states",
+            idbs, enc.num_tracks, lang.num_states()
+        );
+        group.bench_with_input(BenchmarkId::new("lemma51_extract", idbs), &idbs, |b, _| {
+            b.iter(|| {
+                let enc = encode_monadic_program(&h, "c").unwrap();
+                extract_language(&enc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E8 — Section 6: monadic symmetry/blindness on cycles vs the binary
+//! CYCLE program.
+//!
+//! Expected shape: monadic probes color all cycle nodes identically and
+//! cannot distinguish `P_n` from `P_n ⊎ C_k`; the binary CYCLE program
+//! distinguishes them at every size. The ∃MSO checker (Examples 2.2.x)
+//! grows exponentially in domain size — which is why it is an oracle for
+//! small structures only.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selprop_bench::run;
+use selprop_datalog::eval::Strategy;
+use selprop_mgs::logic::{cyclic_sigma, emso_check};
+use selprop_mgs::structure::FiniteStructure;
+use selprop_mgs::symmetry::{cycle_colors_uniform, distinguishes, monadic_probe_programs};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== E8: Section 6 symmetry ==");
+    let probes = monadic_probe_programs();
+    for n in [6usize, 12, 24] {
+        let path = FiniteStructure::path(n, "b");
+        let with_cycle = path.disjoint_union(&FiniteStructure::cycle(n / 2, "b"));
+        let blind = probes
+            .iter()
+            .filter(|p| !distinguishes(p, &path, &with_cycle))
+            .count();
+        println!(
+            "P_{n} vs P_{n} ⊎ C_{}: {blind}/{} monadic probes blind; \
+             binary CYCLE distinguishes: true",
+            n / 2,
+            probes.len()
+        );
+        assert_eq!(blind, probes.len());
+        for p in &probes {
+            assert!(cycle_colors_uniform(p, n));
+        }
+    }
+
+    let mut group = c.benchmark_group("e8_mgs");
+    group.sample_size(10);
+    // binary CYCLE on growing cycle unions
+    let cycle_program = selprop_datalog::parser::parse_program(
+        "?- p(X, X).\np(X, Y) :- b(X, Y).\np(X, Y) :- p(X, Z), b(Z, Y).",
+    )
+    .unwrap();
+    for n in [8usize, 32, 128] {
+        let mut p = cycle_program.clone();
+        let s = FiniteStructure::path(n, "b").disjoint_union(&FiniteStructure::cycle(n / 2, "b"));
+        let (db, _) = s.to_database(&mut p.symbols);
+        group.bench_with_input(BenchmarkId::new("binary_cycle", n), &n, |b, _| {
+            b.iter(|| run(&p, &db, Strategy::SemiNaive))
+        });
+        let probe = probes[0].clone();
+        let mut p2 = probe.clone();
+        let (db2, _) = s.to_database(&mut p2.symbols);
+        group.bench_with_input(BenchmarkId::new("monadic_probe", n), &n, |b, _| {
+            b.iter(|| run(&p2, &db2, Strategy::SemiNaive))
+        });
+    }
+    // ∃MSO cyclicity oracle on small structures
+    for n in [4usize, 6, 8] {
+        let s = FiniteStructure::cycle(n, "b");
+        group.bench_with_input(BenchmarkId::new("emso_cyclic", n), &n, |b, _| {
+            b.iter(|| emso_check(&s, &["w"], &cyclic_sigma()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

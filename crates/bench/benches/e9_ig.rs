@@ -1,0 +1,62 @@
+//! E9 — Proposition 3.1 on `IG` truncations.
+//!
+//! Expected shape: `H(IG_n) = L(H) ∩ Σ^{≤n}` exactly at every depth; the
+//! evaluation cost grows with the truncation size `O(|Σ|^n)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selprop_core::chain::ChainProgram;
+use selprop_core::inf_model::{check_proposition_3_1, h_of_ig, ig_truncation};
+
+const FAMILIES: [(&str, &str); 3] = [
+    (
+        "par_plus",
+        "?- anc(c, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).",
+    ),
+    (
+        "balanced",
+        "?- p(c, Y).\np(X, Y) :- b1(X, X1), b2(X1, Y).\np(X, Y) :- b1(X, X1), p(X1, X2), b2(X2, Y).",
+    ),
+    (
+        "nonlinear",
+        "?- anc(c, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), anc(Z, Y).",
+    ),
+];
+
+fn bench(c: &mut Criterion) {
+    println!("\n== E9: Proposition 3.1 on IG truncations ==");
+    for (name, src) in FAMILIES {
+        let chain = ChainProgram::parse(src).unwrap();
+        let depth = 8;
+        let (ig, grammar, ok) = check_proposition_3_1(&chain, depth);
+        let (_, trunc) = ig_truncation(&chain, depth);
+        println!(
+            "{name:<12} depth={depth} nodes={:<6} H(IG)={:<4} L∩Σ≤n={:<4} equal={ok}",
+            trunc.nodes.len(),
+            ig.len(),
+            grammar.len()
+        );
+        assert!(ok, "Prop 3.1 must hold for {name}");
+    }
+
+    let mut group = c.benchmark_group("e9_ig");
+    group.sample_size(10);
+    for (name, src) in FAMILIES {
+        let chain = ChainProgram::parse(src).unwrap();
+        let depths: &[usize] = if chain.edbs().len() == 1 {
+            &[6, 9, 12]
+        } else {
+            &[4, 6, 8]
+        };
+        for &depth in depths {
+            group.bench_with_input(
+                BenchmarkId::new(name, depth),
+                &depth,
+                |b, &d| b.iter(|| h_of_ig(&chain, d)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

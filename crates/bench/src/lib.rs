@@ -1,0 +1,29 @@
+//! Shared helpers for the selprop benchmark harness.
+//!
+//! Every bench prints, before timing, the *work-count table* for its
+//! experiment (rule firings, join probes, tuples derived) — the
+//! machine-independent numbers EXPERIMENTS.md records — and then lets
+//! Criterion measure wall time on the same configurations.
+
+use selprop_datalog::db::Database;
+use selprop_datalog::eval::{answer, EvalStats, Strategy};
+use selprop_datalog::Program;
+
+/// Evaluates and returns `(answer count, stats)`.
+pub fn run(program: &Program, db: &Database, strategy: Strategy) -> (usize, EvalStats) {
+    let (ans, stats) = answer(program, db, strategy);
+    (ans.len(), stats)
+}
+
+/// Prints one row of a work table.
+pub fn row(label: &str, n: usize, answers: usize, stats: &EvalStats) {
+    println!(
+        "{label:<24} n={n:<8} answers={answers:<8} tuples={:<10} work={:<12} iters={}",
+        stats.tuples_derived,
+        stats.work(),
+        stats.iterations
+    );
+}
+
+/// Standard small/medium/large sweep used across experiments.
+pub const SIZES: [usize; 3] = [100, 400, 1600];

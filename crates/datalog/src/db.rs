@@ -1,0 +1,218 @@
+//! Databases: finite relations over interned constants.
+//!
+//! A database is a finite structure (Section 2.1): a vector of finite
+//! relations, one per EDB predicate. Evaluation output adds IDB relations
+//! to the same representation.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{Const, Pred, Symbols};
+
+/// A tuple of constants.
+pub type Tuple = Vec<Const>;
+
+/// A finite relation of fixed arity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Relation {
+    arity: usize,
+    tuples: HashSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            tuples: HashSet::new(),
+        }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Inserts a tuple; returns whether it was new.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(t.len(), self.arity, "tuple arity mismatch");
+        self.tuples.insert(t)
+    }
+
+    /// Membership.
+    pub fn contains(&self, t: &[Const]) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over the tuples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuples in sorted order (deterministic output for tests and
+    /// experiment reports).
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        let mut tuples = HashSet::new();
+        let mut arity = None;
+        for t in iter {
+            match arity {
+                None => arity = Some(t.len()),
+                Some(a) => assert_eq!(a, t.len(), "mixed arities"),
+            }
+            tuples.insert(t);
+        }
+        Relation {
+            arity: arity.unwrap_or(0),
+            tuples,
+        }
+    }
+}
+
+/// A database: a finite relation per predicate.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: HashMap<Pred, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a fact; creates the relation on first use.
+    pub fn insert(&mut self, pred: Pred, tuple: Tuple) -> bool {
+        let arity = tuple.len();
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(arity))
+            .insert(tuple)
+    }
+
+    /// The relation of a predicate, empty if absent.
+    pub fn relation(&self, pred: Pred) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// Mutable relation access, creating with the given arity if absent.
+    pub fn relation_mut(&mut self, pred: Pred, arity: usize) -> &mut Relation {
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(arity))
+    }
+
+    /// Iterates over (predicate, relation) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Pred, &Relation)> {
+        self.relations.iter().map(|(&p, r)| (p, r))
+    }
+
+    /// Total number of facts.
+    pub fn num_facts(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// All constants mentioned in the database (the active domain).
+    pub fn active_domain(&self) -> Vec<Const> {
+        let mut set: HashSet<Const> = HashSet::new();
+        for r in self.relations.values() {
+            for t in r.iter() {
+                set.extend(t.iter().copied());
+            }
+        }
+        let mut v: Vec<Const> = set.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Parses facts in `pred(c1, c2).` form (constants only), interning
+    /// into `symbols`.
+    pub fn parse_facts(text: &str, symbols: &mut Symbols) -> Result<Database, String> {
+        let mut db = Database::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim().trim_end_matches('.');
+            if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+                continue;
+            }
+            let (name, rest) = line
+                .split_once('(')
+                .ok_or_else(|| format!("line {}: expected fact", lineno + 1))?;
+            let args = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("line {}: missing ')'", lineno + 1))?;
+            let pred = symbols.predicate(name.trim());
+            let tuple: Tuple = args
+                .split(',')
+                .map(|c| symbols.constant(c.trim()))
+                .collect();
+            db.insert(pred, tuple);
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_basics() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(vec![Const(0), Const(1)]));
+        assert!(!r.insert(vec![Const(0), Const(1)]));
+        assert!(r.contains(&[Const(0), Const(1)]));
+        assert!(!r.contains(&[Const(1), Const(0)]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_enforced() {
+        let mut r = Relation::new(2);
+        r.insert(vec![Const(0)]);
+    }
+
+    #[test]
+    fn database_facts_and_domain() {
+        let mut sy = Symbols::new();
+        let db = Database::parse_facts(
+            "par(john, mary).\npar(mary, sue).\n% comment\n",
+            &mut sy,
+        )
+        .unwrap();
+        assert_eq!(db.num_facts(), 2);
+        assert_eq!(db.active_domain().len(), 3);
+        let par = sy.get_predicate("par").unwrap();
+        let john = sy.get_constant("john").unwrap();
+        let mary = sy.get_constant("mary").unwrap();
+        assert!(db.relation(par).unwrap().contains(&[john, mary]));
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut r = Relation::new(1);
+        r.insert(vec![Const(5)]);
+        r.insert(vec![Const(1)]);
+        r.insert(vec![Const(3)]);
+        assert_eq!(
+            r.sorted(),
+            vec![vec![Const(1)], vec![Const(3)], vec![Const(5)]]
+        );
+    }
+}

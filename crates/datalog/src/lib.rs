@@ -1,0 +1,34 @@
+//! # selprop-datalog
+//!
+//! A Datalog engine built as the substrate for the reproduction of
+//! *Beeri, Kanellakis, Bancilhon, Ramakrishnan — "Bounds on the
+//! Propagation of Selection into Logic Programs"* (PODS 1987 / JCSS 1990).
+//!
+//! The paper's Section 2.1 semantics are implemented exactly:
+//!
+//! - [`ast`] — the three disjoint symbol spaces (constants, variables,
+//!   predicates), atoms, rules, programs with a distinguished goal;
+//! - [`parser`] — the Prolog-like surface syntax of the paper's examples;
+//! - [`db`] — databases as finite structures;
+//! - [`eval`] — minimum-model semantics via instrumented **naive** and
+//!   **semi-naive** bottom-up fixpoints (work counters power the
+//!   experiment harness);
+//! - [`derivation`] — the operational semantics: derivation trees and
+//!   convergence profiles (the executable form of boundedness,
+//!   Section 8);
+//! - [`magic`] — adornments and the generalized magic-sets rewriting (ref.\[5\]),
+//!   which Section 7 of the paper interprets as language quotients.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod db;
+pub mod derivation;
+pub mod eval;
+pub mod magic;
+pub mod parser;
+
+pub use ast::{Atom, Const, Pred, Program, Rule, Symbols, Term, Var};
+pub use db::{Database, Relation};
+pub use eval::{answer, evaluate, EvalStats, Strategy};
+pub use parser::parse_program;

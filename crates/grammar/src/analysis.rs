@@ -1,0 +1,509 @@
+//! Language-level analyses on CFGs: emptiness, **finiteness** (the
+//! decidable side of Corollary 3.4), pumping witnesses for infiniteness
+//! certificates, shortest words, and bounded enumeration.
+//!
+//! Finiteness drives both Theorem 3.3(2) (selection `p(X,X)` propagates
+//! iff `L(H)` is finite) and Proposition 8.2 (FO-expressible ⇔ bounded ⇔
+//! `L(H)` finite), so it gets a constructive API: a finite language is
+//! returned as an explicit word list; an infinite one as a pumping
+//! certificate `u x^i w z^i y`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{Cfg, NonTerminal, Sym};
+use crate::clean::normalize;
+use selprop_automata::alphabet::Symbol;
+
+/// Whether `L(G)` is empty.
+pub fn is_empty(g: &Cfg) -> bool {
+    let (clean, eps) = normalize(g);
+    !eps && clean.productions.is_empty()
+}
+
+/// The decision outcome for finiteness, with certificates both ways.
+#[derive(Clone, Debug)]
+pub enum Finiteness {
+    /// The language is finite; all its words, in length-lex order.
+    Finite(Vec<Vec<Symbol>>),
+    /// The language is infinite; a pumping certificate.
+    Infinite(PumpWitness),
+}
+
+impl Finiteness {
+    /// Whether the language was found finite.
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Finiteness::Finite(_))
+    }
+}
+
+/// A concrete pumping certificate: for every `i ≥ 0`,
+/// `prefix · pump_left^i · middle · pump_right^i · suffix ∈ L(G)`,
+/// with `pump_left · pump_right` nonempty.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PumpWitness {
+    /// `u` — context to the left of the pumped nonterminal.
+    pub prefix: Vec<Symbol>,
+    /// `x` — pumped on the left.
+    pub pump_left: Vec<Symbol>,
+    /// `w` — a shortest word of the pumped nonterminal.
+    pub middle: Vec<Symbol>,
+    /// `z` — pumped on the right.
+    pub pump_right: Vec<Symbol>,
+    /// `y` — context to the right.
+    pub suffix: Vec<Symbol>,
+    /// The recursive nonterminal's name (diagnostics).
+    pub nonterminal: String,
+}
+
+impl PumpWitness {
+    /// Materializes the pumped word for a given `i`.
+    pub fn word(&self, i: usize) -> Vec<Symbol> {
+        let mut w = self.prefix.clone();
+        for _ in 0..i {
+            w.extend_from_slice(&self.pump_left);
+        }
+        w.extend_from_slice(&self.middle);
+        for _ in 0..i {
+            w.extend_from_slice(&self.pump_right);
+        }
+        w.extend_from_slice(&self.suffix);
+        w
+    }
+}
+
+/// Decides finiteness of `L(G)` (Hopcroft–Ullman: a cleaned, ε-free,
+/// unit-free grammar has an infinite language iff its nonterminal
+/// reference graph has a cycle).
+pub fn finiteness(g: &Cfg) -> Finiteness {
+    let (clean, eps) = normalize(g);
+    if let Some(cycle) = find_cycle(&clean) {
+        return Finiteness::Infinite(pump_witness(&clean, &cycle));
+    }
+    // Acyclic: enumerate everything. The longest word is bounded by the
+    // product of maximal body lengths along the (acyclic) nonterminal DAG;
+    // enumerate by increasing length until all nonterminal expansions are
+    // exhausted — with an acyclic reference graph the recursion
+    // terminates, so direct recursive enumeration is safe.
+    let mut memo: BTreeMap<NonTerminal, Vec<Vec<Symbol>>> = BTreeMap::new();
+    let mut words = if clean.productions.is_empty() && !eps {
+        Vec::new()
+    } else {
+        enumerate_all(&clean, clean.start, &mut memo)
+    };
+    if eps {
+        words.push(Vec::new());
+    }
+    words.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    words.dedup();
+    Finiteness::Finite(words)
+}
+
+/// All words of an acyclic (hence finite) grammar, by naive recursion.
+fn enumerate_all(
+    g: &Cfg,
+    nt: NonTerminal,
+    memo: &mut BTreeMap<NonTerminal, Vec<Vec<Symbol>>>,
+) -> Vec<Vec<Symbol>> {
+    if let Some(ws) = memo.get(&nt) {
+        return ws.clone();
+    }
+    let mut out: Vec<Vec<Symbol>> = Vec::new();
+    for p in g.productions_of(nt).cloned().collect::<Vec<_>>() {
+        let mut partials: Vec<Vec<Symbol>> = vec![Vec::new()];
+        for s in &p.body {
+            let expansions: Vec<Vec<Symbol>> = match s {
+                Sym::T(t) => vec![vec![*t]],
+                Sym::N(m) => enumerate_all(g, *m, memo),
+            };
+            let mut next = Vec::new();
+            for w in &partials {
+                for e in &expansions {
+                    let mut w2 = w.clone();
+                    w2.extend_from_slice(e);
+                    next.push(w2);
+                }
+            }
+            partials = next;
+        }
+        out.extend(partials);
+    }
+    out.sort();
+    out.dedup();
+    memo.insert(nt, out.clone());
+    out
+}
+
+/// Finds a cycle in the nonterminal reference graph of a cleaned grammar,
+/// returned as a list of (production index, position of the nonterminal
+/// occurrence used) forming `A0 → ... A1 ..., A1 → ... A2 ..., ...` back
+/// to `A0`.
+fn find_cycle(g: &Cfg) -> Option<Vec<(usize, usize)>> {
+    let n = g.num_nonterminals();
+    // edges: nt -> (production, position, target nt)
+    let mut edges: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); n];
+    for (pi, p) in g.productions.iter().enumerate() {
+        for (pos, s) in p.body.iter().enumerate() {
+            if let Sym::N(m) = s {
+                edges[p.head.index()].push((pi, pos, m.index()));
+            }
+        }
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    // stack entries: (node, edge cursor); `path` mirrors the gray chain
+    // with the edge taken to get to the next node.
+    for root in 0..n {
+        if color[root] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        let mut path: Vec<(usize, usize, usize)> = Vec::new(); // (prod, pos, target)
+        color[root] = Color::Gray;
+        while let Some(&(node, cursor)) = stack.last() {
+            if cursor < edges[node].len() {
+                stack.last_mut().unwrap().1 += 1;
+                let (pi, pos, target) = edges[node][cursor];
+                match color[target] {
+                    Color::Gray => {
+                        // Found a cycle: unwind `path` from the occurrence
+                        // of `target` in the gray chain.
+                        path.push((pi, pos, target));
+                        let start_idx = stack
+                            .iter()
+                            .position(|&(q, _)| q == target)
+                            .expect("gray node on stack");
+                        let cycle: Vec<(usize, usize)> = path[start_idx..]
+                            .iter()
+                            .map(|&(pi, pos, _)| (pi, pos))
+                            .collect();
+                        return Some(cycle);
+                    }
+                    Color::White => {
+                        color[target] = Color::Gray;
+                        stack.push((target, 0));
+                        path.push((pi, pos, target));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[node] = Color::Black;
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Builds a concrete pumping certificate from a nonterminal cycle.
+fn pump_witness(g: &Cfg, cycle: &[(usize, usize)]) -> PumpWitness {
+    let shortest = shortest_words(g);
+    let expand = |s: Sym| -> Vec<Symbol> {
+        match s {
+            Sym::T(t) => vec![t],
+            Sym::N(n) => shortest[n.index()]
+                .clone()
+                .expect("cleaned grammar: every nonterminal generates"),
+        }
+    };
+    // Walk the cycle: A0 ⇒ pre0 A1 post0 ⇒ pre0 pre1 A2 post1 post0 ⇒ ...
+    let mut pump_left: Vec<Symbol> = Vec::new();
+    let mut pump_right_rev: Vec<Symbol> = Vec::new();
+    let a0 = g.productions[cycle[0].0].head;
+    for &(pi, pos) in cycle {
+        let p = &g.productions[pi];
+        for s in &p.body[..pos] {
+            pump_left.extend(expand(*s));
+        }
+        for s in p.body[pos + 1..].iter().rev() {
+            let mut e = expand(*s);
+            e.reverse();
+            pump_right_rev.extend(e);
+        }
+    }
+    let mut pump_right = pump_right_rev;
+    pump_right.reverse();
+    debug_assert!(
+        !pump_left.is_empty() || !pump_right.is_empty(),
+        "cycle in cleaned grammar must pump"
+    );
+    // Context: S ⇒* prefix A0 suffix, by BFS over nonterminals.
+    let (prefix, suffix) = context_of(g, a0, &shortest);
+    let middle = shortest[a0.index()].clone().expect("generating");
+    PumpWitness {
+        prefix,
+        pump_left,
+        middle,
+        pump_right,
+        suffix,
+        nonterminal: g.name(a0).to_owned(),
+    }
+}
+
+/// Shortest terminal word derivable from each nonterminal (None if none —
+/// cannot happen on cleaned grammars).
+pub fn shortest_words(g: &Cfg) -> Vec<Option<Vec<Symbol>>> {
+    let n = g.num_nonterminals();
+    let mut best: Vec<Option<Vec<Symbol>>> = vec![None; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in &g.productions {
+            let mut word: Vec<Symbol> = Vec::new();
+            let mut ok = true;
+            for s in &p.body {
+                match s {
+                    Sym::T(t) => word.push(*t),
+                    Sym::N(m) => match &best[m.index()] {
+                        Some(w) => word.extend_from_slice(w),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let better = match &best[p.head.index()] {
+                None => true,
+                Some(cur) => word.len() < cur.len(),
+            };
+            if better {
+                best[p.head.index()] = Some(word);
+                changed = true;
+            }
+        }
+    }
+    best
+}
+
+/// Finds terminal strings `u, y` with `S ⇒* u A y` (shortest-ish, by BFS
+/// over derivation contexts).
+fn context_of(
+    g: &Cfg,
+    target: NonTerminal,
+    shortest: &[Option<Vec<Symbol>>],
+) -> (Vec<Symbol>, Vec<Symbol>) {
+    // parent[n] = (production index, position) used to reach n from head
+    let n = g.num_nonterminals();
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[g.start.index()] = true;
+    let mut queue = std::collections::VecDeque::from([g.start]);
+    while let Some(a) = queue.pop_front() {
+        if a == target {
+            break;
+        }
+        for (pi, p) in g.productions.iter().enumerate() {
+            if p.head != a {
+                continue;
+            }
+            for (pos, s) in p.body.iter().enumerate() {
+                if let Sym::N(m) = s {
+                    if !seen[m.index()] {
+                        seen[m.index()] = true;
+                        parent[m.index()] = Some((pi, pos));
+                        queue.push_back(*m);
+                    }
+                }
+            }
+        }
+    }
+    // Unwind from target to start, accumulating expansions.
+    let expand = |s: Sym| -> Vec<Symbol> {
+        match s {
+            Sym::T(t) => vec![t],
+            Sym::N(nt) => shortest[nt.index()].clone().unwrap_or_default(),
+        }
+    };
+    let mut prefix: Vec<Symbol> = Vec::new();
+    let mut suffix: Vec<Symbol> = Vec::new();
+    let mut cur = target;
+    while cur != g.start {
+        let (pi, pos) = parent[cur.index()].expect("target reachable from start");
+        let p = &g.productions[pi];
+        let mut pre: Vec<Symbol> = Vec::new();
+        for s in &p.body[..pos] {
+            pre.extend(expand(*s));
+        }
+        let mut post: Vec<Symbol> = Vec::new();
+        for s in &p.body[pos + 1..] {
+            post.extend(expand(*s));
+        }
+        pre.extend(prefix);
+        prefix = pre;
+        suffix.extend(post);
+        cur = p.head;
+    }
+    (prefix, suffix)
+}
+
+/// Enumerates all words of `L(G)` with length ≤ `max_len`, in length-lex
+/// order. Exact (uses a per-(nonterminal, length) dynamic program), so it
+/// terminates on infinite languages too.
+pub fn words_up_to(g: &Cfg, max_len: usize) -> Vec<Vec<Symbol>> {
+    let (clean, eps) = normalize(g);
+    let n = clean.num_nonterminals();
+    // table[nt][len] = set of derivable words of exactly `len`
+    let mut table: Vec<Vec<BTreeSet<Vec<Symbol>>>> = vec![vec![BTreeSet::new(); max_len + 1]; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in &clean.productions {
+            // compose the body with all length splits
+            let mut partials: Vec<Vec<Symbol>> = vec![Vec::new()];
+            for s in &p.body {
+                let mut next: Vec<Vec<Symbol>> = Vec::new();
+                for w in &partials {
+                    match s {
+                        Sym::T(t) => {
+                            if w.len() + 1 <= max_len {
+                                let mut w2 = w.clone();
+                                w2.push(*t);
+                                next.push(w2);
+                            }
+                        }
+                        Sym::N(m) => {
+                            for len in 1..=(max_len - w.len()) {
+                                for e in &table[m.index()][len] {
+                                    let mut w2 = w.clone();
+                                    w2.extend_from_slice(e);
+                                    next.push(w2);
+                                }
+                            }
+                        }
+                    }
+                }
+                partials = next;
+                if partials.is_empty() {
+                    break;
+                }
+            }
+            for w in partials {
+                let len = w.len();
+                if len <= max_len && table[p.head.index()][len].insert(w) {
+                    changed = true;
+                }
+            }
+        }
+    }
+    let mut out: Vec<Vec<Symbol>> = Vec::new();
+    if eps {
+        out.push(Vec::new());
+    }
+    if n > 0 {
+        for len in 1..=max_len {
+            out.extend(table[clean.start.index()][len].iter().cloned());
+        }
+    }
+    out.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::CnfGrammar;
+
+    #[test]
+    fn emptiness() {
+        assert!(is_empty(&Cfg::parse("s -> s a").unwrap()));
+        assert!(!is_empty(&Cfg::parse("s -> a").unwrap()));
+        assert!(!is_empty(&Cfg::parse("s -> eps").unwrap()));
+    }
+
+    #[test]
+    fn finite_language_enumerated() {
+        let g = Cfg::parse("s -> a b | a c | d").unwrap();
+        match finiteness(&g) {
+            Finiteness::Finite(words) => {
+                assert_eq!(words.len(), 3);
+                assert_eq!(words[0].len(), 1);
+            }
+            Finiteness::Infinite(_) => panic!("finite language reported infinite"),
+        }
+    }
+
+    #[test]
+    fn infinite_language_certified() {
+        let g = Cfg::parse("anc -> par | anc par").unwrap();
+        match finiteness(&g) {
+            Finiteness::Infinite(w) => {
+                let cnf = CnfGrammar::from_cfg(&g);
+                for i in 0..5 {
+                    assert!(cnf.accepts(&w.word(i)), "pumped word {i} not in L");
+                }
+                assert!(!w.pump_left.is_empty() || !w.pump_right.is_empty());
+            }
+            Finiteness::Finite(_) => panic!("infinite language reported finite"),
+        }
+    }
+
+    #[test]
+    fn balanced_pairs_pump_certificate() {
+        let g = Cfg::parse("p -> b1 b2 | b1 p b2").unwrap();
+        match finiteness(&g) {
+            Finiteness::Infinite(w) => {
+                let cnf = CnfGrammar::from_cfg(&g);
+                for i in 0..4 {
+                    assert!(cnf.accepts(&w.word(i)));
+                }
+                // both-sided pumping for the balanced language
+                assert!(!w.pump_left.is_empty());
+                assert!(!w.pump_right.is_empty());
+            }
+            Finiteness::Finite(_) => panic!(),
+        }
+    }
+
+    #[test]
+    fn hidden_recursion_is_not_infinite() {
+        // t is recursive but non-generating; language is {a}, finite.
+        let g = Cfg::parse("s -> a | t\nt -> t b").unwrap();
+        assert!(finiteness(&g).is_finite());
+    }
+
+    #[test]
+    fn unit_cycle_is_not_infinite() {
+        let g = Cfg::parse("s -> t | a\nt -> s").unwrap();
+        match finiteness(&g) {
+            Finiteness::Finite(words) => assert_eq!(words.len(), 1),
+            Finiteness::Infinite(_) => panic!("unit cycle mistaken for pumping"),
+        }
+    }
+
+    #[test]
+    fn words_up_to_matches_cyk() {
+        let g = Cfg::parse("p -> b1 b2 | b1 p b2").unwrap();
+        let words = words_up_to(&g, 6);
+        assert_eq!(words.len(), 3); // b1b2, b1^2b2^2, b1^3b2^3
+        let cnf = CnfGrammar::from_cfg(&g);
+        for w in &words {
+            assert!(cnf.accepts(w));
+        }
+    }
+
+    #[test]
+    fn words_up_to_with_epsilon() {
+        let g = Cfg::parse("s -> eps | a s").unwrap();
+        let words = words_up_to(&g, 3);
+        assert_eq!(words.len(), 4); // ε, a, aa, aaa
+        assert!(words[0].is_empty());
+    }
+
+    #[test]
+    fn shortest_word_lengths() {
+        let g = Cfg::parse("s -> a t b\nt -> c | s").unwrap();
+        let (clean, _) = normalize(&g);
+        let shortest = shortest_words(&clean);
+        let s = clean.nonterminal("s").unwrap();
+        assert_eq!(shortest[s.index()].as_ref().unwrap().len(), 3);
+    }
+}

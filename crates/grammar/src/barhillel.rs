@@ -1,0 +1,157 @@
+//! Bar-Hillel product: the intersection of a context-free language with a
+//! regular language is context-free, by the classic triple construction.
+//!
+//! Used by the containment experiments (Prop. 8.1 — refuting containment
+//! by intersecting with regular probes) and by the magic-sets analysis
+//! (restricting `L(H)` to the labels actually present in a database).
+
+use selprop_automata::dfa::Dfa;
+
+use crate::cfg::{Cfg, NonTerminal, Sym};
+use crate::clean::normalize;
+
+/// Constructs a CFG for `L(g) ∩ L(r)`.
+///
+/// Nonterminals are triples `⟨q, A, q'⟩` deriving the words of `A` that
+/// drive the DFA from `q` to `q'`. Body state sequences are enumerated
+/// recursively; cleaned chain-grammar bodies are short, so the `|Q|^(k-1)`
+/// expansion stays small.
+pub fn intersect(g: &Cfg, r: &Dfa) -> Cfg {
+    assert_eq!(g.alphabet, r.alphabet, "intersection requires a shared alphabet");
+    let (clean, eps_l) = normalize(g);
+    let nq = r.num_states();
+    let nn = clean.num_nonterminals();
+    let mut out = Cfg::new(g.alphabet.clone(), "I_start");
+    let start = out.start;
+    if eps_l && r.accepts_word(&[]) {
+        out.add_production(start, Vec::new());
+    }
+    if nn == 0 || nq == 0 {
+        return out;
+    }
+
+    let mut ids: Vec<Option<NonTerminal>> = vec![None; nn * nq * nq];
+    let mut triple = |out: &mut Cfg, q: usize, a: usize, qp: usize| -> NonTerminal {
+        let key = (a * nq + q) * nq + qp;
+        if let Some(n) = ids[key] {
+            return n;
+        }
+        let n = out.add_nonterminal(&format!("⟨{q},{},{qp}⟩", clean.nonterminal_names[a]));
+        ids[key] = Some(n);
+        n
+    };
+
+    for f in 0..nq {
+        if r.is_accept(f) {
+            let n = triple(&mut out, r.start(), clean.start.index(), f);
+            out.add_production(start, vec![Sym::N(n)]);
+        }
+    }
+
+    for p in &clean.productions {
+        let k = p.body.len();
+        // enumerate all state sequences q = s0, s1, ..., sk = q'
+        // compatible with terminal steps; nonterminal steps are free.
+        let mut seqs: Vec<Vec<usize>> = (0..nq).map(|q| vec![q]).collect();
+        for &sym in &p.body {
+            let mut next = Vec::new();
+            for seq in &seqs {
+                let cur = *seq.last().expect("nonempty");
+                match sym {
+                    Sym::T(t) => {
+                        let mut s2 = seq.clone();
+                        s2.push(r.step(cur, t));
+                        next.push(s2);
+                    }
+                    Sym::N(_) => {
+                        for qn in 0..nq {
+                            let mut s2 = seq.clone();
+                            s2.push(qn);
+                            next.push(s2);
+                        }
+                    }
+                }
+            }
+            seqs = next;
+        }
+        for seq in seqs {
+            let head = triple(&mut out, seq[0], p.head.index(), seq[k]);
+            let body: Vec<Sym> = p
+                .body
+                .iter()
+                .enumerate()
+                .map(|(i, &sym)| match sym {
+                    Sym::T(t) => Sym::T(t),
+                    Sym::N(b) => Sym::N(triple(&mut out, seq[i], b.index(), seq[i + 1])),
+                })
+                .collect();
+            out.add_production(head, body);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{is_empty, words_up_to};
+    use selprop_automata::regex::Regex;
+
+    fn regex_dfa(g: &Cfg, text: &str) -> Dfa {
+        let mut al = g.alphabet.clone();
+        Regex::parse(text, &mut al).unwrap().to_dfa(&al)
+    }
+
+    #[test]
+    fn intersection_restricts() {
+        // L = par+, R = words of even length → par^2, par^4, ...
+        let g = Cfg::parse("anc -> par | anc par").unwrap();
+        let r = regex_dfa(&g, "(par par)*");
+        let i = intersect(&g, &r);
+        let words = words_up_to(&i, 6);
+        let lens: Vec<usize> = words.iter().map(Vec::len).collect();
+        assert_eq!(lens, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn intersection_with_balanced_pairs() {
+        let g = Cfg::parse("p -> b1 b2 | b1 p b2").unwrap();
+        // restrict to words of length 4: exactly b1 b1 b2 b2
+        let r = regex_dfa(&g, "(b1|b2)(b1|b2)(b1|b2)(b1|b2)");
+        let i = intersect(&g, &r);
+        let words = words_up_to(&i, 8);
+        assert_eq!(words.len(), 1);
+        assert_eq!(words[0].len(), 4);
+    }
+
+    #[test]
+    fn empty_intersection() {
+        let g = Cfg::parse("p -> b1 b2 | b1 p b2").unwrap();
+        let r = regex_dfa(&g, "b2 (b1|b2)*"); // words starting with b2
+        let i = intersect(&g, &r);
+        assert!(is_empty(&i));
+    }
+
+    #[test]
+    fn epsilon_handling() {
+        let g = Cfg::parse("s -> eps | a s").unwrap();
+        let r = regex_dfa(&g, "ε | a");
+        let i = intersect(&g, &r);
+        let words = words_up_to(&i, 3);
+        assert_eq!(words.len(), 2); // ε and a
+        assert!(words[0].is_empty());
+    }
+
+    #[test]
+    fn brute_force_agreement() {
+        let g = Cfg::parse("s -> a | a s b").unwrap();
+        let r = regex_dfa(&g, "a a (a|b)*");
+        let i = intersect(&g, &r);
+        let got = words_up_to(&i, 6);
+        let want: Vec<_> = words_up_to(&g, 6)
+            .into_iter()
+            .filter(|w| r.accepts_word(w))
+            .collect();
+        assert_eq!(got, want);
+    }
+}

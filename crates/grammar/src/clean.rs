@@ -1,0 +1,325 @@
+//! Grammar cleaning: generating/reachable analysis, useless-symbol
+//! removal, ε-elimination and unit-production elimination.
+//!
+//! The decision procedures of the reproduction (finiteness for
+//! Theorem 3.3(2) and Prop. 8.2, self-embedding for the regularity
+//! certificates) are only correct on *cleaned* grammars, so every analysis
+//! entry point normalizes through this module first.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{Cfg, NonTerminal, Production, Sym};
+
+/// The set of generating nonterminals (those deriving at least one
+/// terminal string).
+pub fn generating(g: &Cfg) -> BTreeSet<NonTerminal> {
+    let mut gen: BTreeSet<NonTerminal> = BTreeSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in &g.productions {
+            if gen.contains(&p.head) {
+                continue;
+            }
+            let ok = p.body.iter().all(|s| match s {
+                Sym::T(_) => true,
+                Sym::N(n) => gen.contains(n),
+            });
+            if ok {
+                gen.insert(p.head);
+                changed = true;
+            }
+        }
+    }
+    gen
+}
+
+/// The set of nonterminals reachable from the start symbol.
+pub fn reachable(g: &Cfg) -> BTreeSet<NonTerminal> {
+    let mut seen = BTreeSet::from([g.start]);
+    let mut stack = vec![g.start];
+    while let Some(n) = stack.pop() {
+        for p in g.productions_of(n) {
+            for s in &p.body {
+                if let Sym::N(m) = s {
+                    if seen.insert(*m) {
+                        stack.push(*m);
+                    }
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// The set of nullable nonterminals (those deriving ε).
+pub fn nullable(g: &Cfg) -> BTreeSet<NonTerminal> {
+    let mut null: BTreeSet<NonTerminal> = BTreeSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in &g.productions {
+            if null.contains(&p.head) {
+                continue;
+            }
+            let ok = p.body.iter().all(|s| match s {
+                Sym::T(_) => false,
+                Sym::N(n) => null.contains(n),
+            });
+            if ok {
+                null.insert(p.head);
+                changed = true;
+            }
+        }
+    }
+    null
+}
+
+/// Removes useless symbols: first non-generating, then unreachable.
+///
+/// The result generates the same language. If the language is empty the
+/// result keeps only the start nonterminal with no productions.
+pub fn remove_useless(g: &Cfg) -> Cfg {
+    let gen = generating(g);
+    // Step 1: drop productions mentioning non-generating nonterminals.
+    let step1 = Cfg {
+        alphabet: g.alphabet.clone(),
+        nonterminal_names: g.nonterminal_names.clone(),
+        start: g.start,
+        productions: g
+            .productions
+            .iter()
+            .filter(|p| {
+                gen.contains(&p.head)
+                    && p.body.iter().all(|s| match s {
+                        Sym::T(_) => true,
+                        Sym::N(n) => gen.contains(n),
+                    })
+            })
+            .cloned()
+            .collect(),
+    };
+    // Step 2: restrict to reachable nonterminals and compact ids.
+    let reach = reachable(&step1);
+    let mut keep: Vec<NonTerminal> = reach.iter().copied().collect();
+    keep.sort();
+    let mut remap = vec![u32::MAX; g.num_nonterminals()];
+    for (i, n) in keep.iter().enumerate() {
+        remap[n.index()] = i as u32;
+    }
+    let productions = step1
+        .productions
+        .iter()
+        .filter(|p| reach.contains(&p.head))
+        .map(|p| Production {
+            head: NonTerminal(remap[p.head.index()]),
+            body: p
+                .body
+                .iter()
+                .map(|&s| match s {
+                    Sym::T(t) => Sym::T(t),
+                    Sym::N(n) => Sym::N(NonTerminal(remap[n.index()])),
+                })
+                .collect(),
+        })
+        .collect();
+    Cfg {
+        alphabet: g.alphabet.clone(),
+        nonterminal_names: keep
+            .iter()
+            .map(|&n| g.nonterminal_names[n.index()].clone())
+            .collect(),
+        start: NonTerminal(remap[g.start.index()]),
+        productions,
+    }
+}
+
+/// ε-elimination. Returns the ε-free grammar and whether ε was in the
+/// original language (callers must track that bit separately).
+pub fn remove_epsilon(g: &Cfg) -> (Cfg, bool) {
+    let null = nullable(g);
+    let eps_in_lang = null.contains(&g.start);
+    let mut productions: Vec<Production> = Vec::new();
+    for p in &g.productions {
+        // For each subset of nullable occurrences, emit the body with that
+        // subset erased (capped: bodies in this codebase are short — chain
+        // rules and CNF bodies — so the 2^k expansion is fine).
+        let nullable_positions: Vec<usize> = p
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Sym::N(n) if null.contains(n)))
+            .map(|(i, _)| i)
+            .collect();
+        let k = nullable_positions.len();
+        assert!(k <= 16, "pathological ε-elimination blowup");
+        for mask in 0..(1u32 << k) {
+            let erase: BTreeSet<usize> = nullable_positions
+                .iter()
+                .enumerate()
+                .filter(|(bit, _)| mask & (1 << bit) != 0)
+                .map(|(_, &pos)| pos)
+                .collect();
+            let body: Vec<Sym> = p
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !erase.contains(i))
+                .map(|(_, &s)| s)
+                .collect();
+            if body.is_empty() {
+                continue; // ε handled by the flag
+            }
+            if !productions.iter().any(|q| q.head == p.head && q.body == body) {
+                productions.push(Production { head: p.head, body });
+            }
+        }
+    }
+    (
+        Cfg {
+            alphabet: g.alphabet.clone(),
+            nonterminal_names: g.nonterminal_names.clone(),
+            start: g.start,
+            productions,
+        },
+        eps_in_lang,
+    )
+}
+
+/// Unit-production elimination (`A → B`). Assumes no ε-productions.
+pub fn remove_units(g: &Cfg) -> Cfg {
+    let n = g.num_nonterminals();
+    // unit_pairs[a][b]: A ⇒* B via unit productions only.
+    let mut unit = vec![vec![false; n]; n];
+    for (i, row) in unit.iter_mut().enumerate() {
+        row[i] = true;
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in &g.productions {
+            if let [Sym::N(b)] = p.body.as_slice() {
+                for a in 0..n {
+                    if unit[a][p.head.index()] && !unit[a][b.index()] {
+                        unit[a][b.index()] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut productions: Vec<Production> = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if !unit[a][b] {
+                continue;
+            }
+            for p in g.productions_of(NonTerminal(b as u32)) {
+                if matches!(p.body.as_slice(), [Sym::N(_)]) {
+                    continue; // skip unit productions themselves
+                }
+                let head = NonTerminal(a as u32);
+                if !productions
+                    .iter()
+                    .any(|q| q.head == head && q.body == p.body)
+                {
+                    productions.push(Production {
+                        head,
+                        body: p.body.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Cfg {
+        alphabet: g.alphabet.clone(),
+        nonterminal_names: g.nonterminal_names.clone(),
+        start: g.start,
+        productions,
+    }
+}
+
+/// Full normalization: ε-elimination, unit elimination, useless removal.
+///
+/// Returns the cleaned ε-free grammar and the "`ε ∈ L`" bit.
+pub fn normalize(g: &Cfg) -> (Cfg, bool) {
+    let (g, eps) = remove_epsilon(g);
+    let g = remove_units(&g);
+    let g = remove_useless(&g);
+    (g, eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generating_excludes_hopeless() {
+        let g = Cfg::parse("s -> a t | b\nt -> t a").unwrap();
+        let gen = generating(&g);
+        let s = g.nonterminal("s").unwrap();
+        let t = g.nonterminal("t").unwrap();
+        assert!(gen.contains(&s));
+        assert!(!gen.contains(&t));
+    }
+
+    #[test]
+    fn reachable_excludes_orphans() {
+        let g = Cfg::parse("s -> a\nq -> b").unwrap();
+        let reach = reachable(&g);
+        assert!(reach.contains(&g.nonterminal("s").unwrap()));
+        assert!(!reach.contains(&g.nonterminal("q").unwrap()));
+    }
+
+    #[test]
+    fn remove_useless_compacts() {
+        let g = Cfg::parse("s -> a t | b\nt -> t a\nq -> b").unwrap();
+        let clean = remove_useless(&g);
+        assert_eq!(clean.num_nonterminals(), 1);
+        assert_eq!(clean.productions.len(), 1); // only s -> b survives
+    }
+
+    #[test]
+    fn nullable_and_epsilon_removal() {
+        let g = Cfg::parse("s -> a t\nt -> eps | b t").unwrap();
+        let null = nullable(&g);
+        assert!(null.contains(&g.nonterminal("t").unwrap()));
+        assert!(!null.contains(&g.nonterminal("s").unwrap()));
+        let (g2, eps) = remove_epsilon(&g);
+        assert!(!eps);
+        // s -> a t | a ; t -> b t | b
+        assert!(!g2.productions.iter().any(|p| p.body.is_empty()));
+        assert_eq!(g2.productions.len(), 4);
+    }
+
+    #[test]
+    fn epsilon_in_language_flag() {
+        let g = Cfg::parse("s -> eps | a s").unwrap();
+        let (_, eps) = remove_epsilon(&g);
+        assert!(eps);
+    }
+
+    #[test]
+    fn unit_removal() {
+        let g = Cfg::parse("s -> t | a\nt -> u\nu -> b b").unwrap();
+        let (g2, _) = remove_epsilon(&g);
+        let g3 = remove_units(&g2);
+        assert!(!g3
+            .productions
+            .iter()
+            .any(|p| matches!(p.body.as_slice(), [Sym::N(_)])));
+        // s derives: a, b b
+        let s = g3.start;
+        let bodies: Vec<usize> = g3.productions_of(s).map(|p| p.body.len()).collect();
+        assert!(bodies.contains(&1));
+        assert!(bodies.contains(&2));
+    }
+
+    #[test]
+    fn normalize_empty_language() {
+        let g = Cfg::parse("s -> s a").unwrap();
+        let (clean, eps) = normalize(&g);
+        assert!(!eps);
+        assert!(clean.productions.is_empty());
+    }
+}

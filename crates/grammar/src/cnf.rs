@@ -1,0 +1,191 @@
+//! Chomsky normal form and CYK membership.
+//!
+//! CNF powers the exact membership test used everywhere a construction
+//! must be validated against the language it claims to produce (quotient
+//! grammars in Section 7, sentential-form grammars in Prop. 8.1).
+
+use crate::cfg::{Cfg, Sym};
+use crate::clean::normalize;
+use selprop_automata::alphabet::Symbol;
+
+/// A grammar in Chomsky normal form.
+///
+/// All productions are `A → B C` (`pairs`) or `A → a` (`terms`); whether ε
+/// belongs to the language is carried in [`CnfGrammar::epsilon`].
+#[derive(Clone, Debug)]
+pub struct CnfGrammar {
+    /// Number of nonterminals.
+    pub num_nonterminals: usize,
+    /// Start nonterminal index.
+    pub start: usize,
+    /// Binary productions `(head, left, right)`.
+    pub pairs: Vec<(usize, usize, usize)>,
+    /// Terminal productions `(head, terminal)`.
+    pub terms: Vec<(usize, Symbol)>,
+    /// Whether ε is in the language.
+    pub epsilon: bool,
+    /// Nonterminal names (for diagnostics).
+    pub names: Vec<String>,
+}
+
+impl CnfGrammar {
+    /// Converts an arbitrary CFG to CNF (normalizing first).
+    pub fn from_cfg(g: &Cfg) -> CnfGrammar {
+        let (g, epsilon) = normalize(g);
+        let mut names = g.nonterminal_names.clone();
+        let mut pairs = Vec::new();
+        let mut terms = Vec::new();
+
+        // TERM: map each terminal to a proxy nonterminal (lazily).
+        let mut term_proxy: Vec<Option<usize>> = vec![None; g.alphabet.len()];
+        let mut proxy_for = |t: Symbol, names: &mut Vec<String>, terms: &mut Vec<(usize, Symbol)>| {
+            if let Some(p) = term_proxy[t.index()] {
+                return p;
+            }
+            let p = names.len();
+            names.push(format!("T_{}", t.index()));
+            terms.push((p, t));
+            term_proxy[t.index()] = Some(p);
+            p
+        };
+
+        for p in &g.productions {
+            match p.body.as_slice() {
+                [Sym::T(t)] => terms.push((p.head.index(), *t)),
+                [_] => unreachable!("unit productions removed by normalize"),
+                [] => unreachable!("ε-productions removed by normalize"),
+                body => {
+                    // Replace terminals by proxies, then binarize
+                    // left-to-right with fresh glue nonterminals.
+                    let ids: Vec<usize> = body
+                        .iter()
+                        .map(|&s| match s {
+                            Sym::N(n) => n.index(),
+                            Sym::T(t) => proxy_for(t, &mut names, &mut terms),
+                        })
+                        .collect();
+                    let mut rhs = ids[ids.len() - 1];
+                    for i in (1..ids.len() - 1).rev() {
+                        let glue = names.len();
+                        names.push(format!("G{}", names.len()));
+                        pairs.push((glue, ids[i], rhs));
+                        rhs = glue;
+                    }
+                    pairs.push((p.head.index(), ids[0], rhs));
+                }
+            }
+        }
+        CnfGrammar {
+            num_nonterminals: names.len(),
+            start: g.start.index(),
+            pairs,
+            terms,
+            epsilon,
+            names,
+        }
+    }
+
+    /// CYK membership test.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let n = word.len();
+        if n == 0 {
+            return self.epsilon;
+        }
+        if self.num_nonterminals == 0 {
+            return false;
+        }
+        let m = self.num_nonterminals;
+        // table[i][len-1] = bitset of nonterminals deriving word[i..i+len]
+        let mut table = vec![vec![vec![false; m]; n]; n];
+        for (i, &a) in word.iter().enumerate() {
+            for &(h, t) in &self.terms {
+                if t == a {
+                    table[i][0][h] = true;
+                }
+            }
+        }
+        for len in 2..=n {
+            for i in 0..=(n - len) {
+                for split in 1..len {
+                    for &(h, l, r) in &self.pairs {
+                        if table[i][split - 1][l] && table[i + split][len - split - 1][r] {
+                            table[i][len - 1][h] = true;
+                        }
+                    }
+                }
+            }
+        }
+        table[0][n - 1][self.start]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(g: &Cfg, text: &str) -> Vec<Symbol> {
+        text.split_whitespace()
+            .map(|t| g.alphabet.get(t).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn balanced_pairs() {
+        // Section 7's example language: b1^n b2^n, n ≥ 1.
+        let g = Cfg::parse("p -> b1 b2 | b1 p b2").unwrap();
+        let cnf = CnfGrammar::from_cfg(&g);
+        assert!(cnf.accepts(&syms(&g, "b1 b2")));
+        assert!(cnf.accepts(&syms(&g, "b1 b1 b2 b2")));
+        assert!(cnf.accepts(&syms(&g, "b1 b1 b1 b2 b2 b2")));
+        assert!(!cnf.accepts(&syms(&g, "b1 b2 b2")));
+        assert!(!cnf.accepts(&syms(&g, "b2 b1")));
+        assert!(!cnf.accepts(&[]));
+    }
+
+    #[test]
+    fn ancestor_language() {
+        let g = Cfg::parse("anc -> par | anc par").unwrap();
+        let cnf = CnfGrammar::from_cfg(&g);
+        assert!(cnf.accepts(&syms(&g, "par")));
+        assert!(cnf.accepts(&syms(&g, "par par par")));
+        assert!(!cnf.accepts(&[]));
+    }
+
+    #[test]
+    fn epsilon_language() {
+        let g = Cfg::parse("s -> eps | a s").unwrap();
+        let cnf = CnfGrammar::from_cfg(&g);
+        assert!(cnf.epsilon);
+        assert!(cnf.accepts(&[]));
+        assert!(cnf.accepts(&syms(&g, "a a")));
+    }
+
+    #[test]
+    fn long_chain_bodies_binarize() {
+        let g = Cfg::parse("s -> a b c d e").unwrap();
+        let cnf = CnfGrammar::from_cfg(&g);
+        assert!(cnf.accepts(&syms(&g, "a b c d e")));
+        assert!(!cnf.accepts(&syms(&g, "a b c d")));
+    }
+
+    #[test]
+    fn empty_language() {
+        let g = Cfg::parse("s -> s a").unwrap();
+        let cnf = CnfGrammar::from_cfg(&g);
+        assert!(!cnf.accepts(&[]));
+        let a = g.alphabet.get("a").unwrap();
+        assert!(!cnf.accepts(&[a]));
+    }
+
+    #[test]
+    fn nonlinear_ancestor_program_c() {
+        // Program C: anc -> par | anc anc, language par+.
+        let g = Cfg::parse("anc -> par | anc anc").unwrap();
+        let cnf = CnfGrammar::from_cfg(&g);
+        for n in 1..6 {
+            let w = vec![g.alphabet.get("par").unwrap(); n];
+            assert!(cnf.accepts(&w), "par^{n} should be accepted");
+        }
+        assert!(!cnf.accepts(&[]));
+    }
+}

@@ -1,0 +1,368 @@
+//! Right quotient of a context-free language by a regular language.
+//!
+//! Section 7 of the paper reads the magic-sets transformation on a chain
+//! program `H` as the computation of **language quotients**: for each rule
+//! `i` with "don't care" regular expression `R_i`, the magic predicate
+//! corresponds to `L(H)/R_i = { x | ∃y ∈ R_i : xy ∈ L(H) }`. The quotient
+//! of a CFL by a regular language is context-free, with an effective
+//! grammar construction — implemented here — after which
+//! [`crate::regular::approximate`] decides whether the quotient grammar is
+//! strongly regular (as it is in the paper's `b1^n b2^n` worked example,
+//! where both quotients come out as `b1 b1*`).
+
+use selprop_automata::dfa::Dfa;
+
+use crate::cfg::{Cfg, NonTerminal, Sym};
+use crate::clean::normalize;
+
+/// Constructs a CFG for the right quotient `L(g) / L(r)`.
+///
+/// Triple construction: a nonterminal `Q[A, q, q']` derives
+/// `{ x | ∃y : A ⇒* xy, δ(q, y) = q' }` — `x` is the part kept by the
+/// quotient, `y` the part consumed by a run of `r` from `q` to `q'`.
+/// Original nonterminals are imported as `Orig[A]` copies to generate the
+/// fully-kept prefixes `body[..i]`.
+pub fn right_quotient(g: &Cfg, r: &Dfa) -> Cfg {
+    assert_eq!(
+        g.alphabet, r.alphabet,
+        "quotient requires a shared alphabet"
+    );
+    let (clean, eps_l) = normalize(g);
+    let nq = r.num_states();
+    let nn = clean.num_nonterminals();
+
+    let mut out = Cfg::new(g.alphabet.clone(), "Q_start");
+    let start = out.start;
+    if nn == 0 || nq == 0 {
+        if eps_l && r.accepts_word(&[]) {
+            out.add_production(start, Vec::new());
+        }
+        return out;
+    }
+
+    // Copies of the original nonterminals (for prefixes kept wholesale).
+    let orig: Vec<NonTerminal> = (0..nn)
+        .map(|a| out.add_nonterminal(&format!("Orig[{}]", clean.nonterminal_names[a])))
+        .collect();
+    for p in &clean.productions {
+        let body = p
+            .body
+            .iter()
+            .map(|&s| match s {
+                Sym::T(t) => Sym::T(t),
+                Sym::N(b) => Sym::N(orig[b.index()]),
+            })
+            .collect();
+        out.add_production(orig[p.head.index()], body);
+    }
+
+    // Reach[A][q][q'] = A derives some terminal z with δ(q, z) = q'.
+    let reach = reachability(&clean, r);
+
+    // Q-nonterminal ids, allocated lazily.
+    let mut ids: Vec<Option<NonTerminal>> = vec![None; nn * nq * nq];
+    let mut q_nt = |out: &mut Cfg, a: usize, q: usize, qp: usize| -> NonTerminal {
+        let key = (a * nq + q) * nq + qp;
+        if let Some(n) = ids[key] {
+            return n;
+        }
+        let n = out.add_nonterminal(&format!("Q[{},{q},{qp}]", clean.nonterminal_names[a]));
+        ids[key] = Some(n);
+        n
+    };
+
+    // Start productions: L/R = ∪_f Q[S, start_R, f].
+    for f in 0..nq {
+        if r.is_accept(f) {
+            let n = q_nt(&mut out, clean.start.index(), r.start(), f);
+            out.add_production(start, vec![Sym::N(n)]);
+        }
+    }
+    // ε ∈ L case: then ε ∈ L/R iff ε ∈ R.
+    if eps_l && r.accepts_word(&[]) {
+        out.add_production(start, Vec::new());
+    }
+
+    // Per-production expansion.
+    for p in &clean.productions {
+        let k = p.body.len();
+        debug_assert!(k >= 1, "cleaned grammar is ε-free");
+        // suffix[i][s][s'] = body[i..] can drive the DFA from s to s'.
+        let mut suffix: Vec<Vec<Vec<bool>>> = Vec::with_capacity(k + 1);
+        suffix.resize(k + 1, vec![vec![false; nq]; nq]);
+        for s in 0..nq {
+            suffix[k][s][s] = true;
+        }
+        for i in (0..k).rev() {
+            let step = symbol_reach(r, p.body[i], &reach);
+            let next = suffix[i + 1].clone();
+            suffix[i] = compose(&step, &next, nq);
+        }
+        for q in 0..nq {
+            for qp in 0..nq {
+                for i in 0..k {
+                    // x covers body[..i] fully and splits inside body[i];
+                    // y's run: q --y_i--> mid, then body[i+1..] drives
+                    // mid → q'.
+                    for mid in 0..nq {
+                        if !suffix[i + 1][mid][qp] {
+                            continue;
+                        }
+                        let mut body: Vec<Sym> = p.body[..i]
+                            .iter()
+                            .map(|&s| match s {
+                                Sym::T(t) => Sym::T(t),
+                                Sym::N(b) => Sym::N(orig[b.index()]),
+                            })
+                            .collect();
+                        match p.body[i] {
+                            Sym::T(t) => {
+                                if mid == q {
+                                    // x_i = t, y_i = ε
+                                    body.push(Sym::T(t));
+                                } else if r.step(q, t) == mid {
+                                    // x_i = ε, y_i = t: keep only the
+                                    // prefix.
+                                } else {
+                                    continue;
+                                }
+                            }
+                            Sym::N(b) => {
+                                let n = q_nt(&mut out, b.index(), q, mid);
+                                body.push(Sym::N(n));
+                            }
+                        }
+                        let head = q_nt(&mut out, p.head.index(), q, qp);
+                        out.add_production(head, body);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `Reach[A][q][q']`: nonterminal `A` derives a terminal string driving
+/// the DFA from `q` to `q'`. Monotone fixpoint over the productions.
+fn reachability(g: &Cfg, r: &Dfa) -> Vec<Vec<Vec<bool>>> {
+    let nq = r.num_states();
+    let nn = g.num_nonterminals();
+    let mut reach = vec![vec![vec![false; nq]; nq]; nn];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in &g.productions {
+            let mut cur = identity(nq);
+            for &s in &p.body {
+                let step = symbol_reach(r, s, &reach);
+                cur = compose(&cur, &step, nq);
+            }
+            let dst = &mut reach[p.head.index()];
+            for q in 0..nq {
+                for qp in 0..nq {
+                    if cur[q][qp] && !dst[q][qp] {
+                        dst[q][qp] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    reach
+}
+
+fn identity(nq: usize) -> Vec<Vec<bool>> {
+    let mut m = vec![vec![false; nq]; nq];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = true;
+    }
+    m
+}
+
+fn compose(a: &[Vec<bool>], b: &[Vec<bool>], nq: usize) -> Vec<Vec<bool>> {
+    let mut m = vec![vec![false; nq]; nq];
+    for q in 0..nq {
+        for mid in 0..nq {
+            if a[q][mid] {
+                for qp in 0..nq {
+                    if b[mid][qp] {
+                        m[q][qp] = true;
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// The state-pair relation of a single grammar symbol.
+fn symbol_reach(r: &Dfa, s: Sym, reach: &[Vec<Vec<bool>>]) -> Vec<Vec<bool>> {
+    let nq = r.num_states();
+    match s {
+        Sym::T(t) => {
+            let mut m = vec![vec![false; nq]; nq];
+            for (q, row) in m.iter_mut().enumerate() {
+                row[r.step(q, t)] = true;
+            }
+            m
+        }
+        Sym::N(n) => reach[n.index()].clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::words_up_to;
+    use crate::regular::approximate;
+    use selprop_automata::equiv::equivalent;
+    use selprop_automata::regex::Regex;
+    use selprop_automata::Symbol;
+
+    fn regex_dfa(g: &Cfg, text: &str) -> Dfa {
+        let mut al = g.alphabet.clone();
+        Regex::parse(text, &mut al).unwrap().to_dfa(&al)
+    }
+
+    /// Ground-truth quotient by enumeration.
+    fn brute_quotient(g: &Cfg, r: &Dfa, max_x: usize, max_y: usize) -> Vec<Vec<Symbol>> {
+        let lw = words_up_to(g, max_x + max_y);
+        let rw = r.words_up_to(max_y);
+        let mut out: Vec<Vec<Symbol>> = Vec::new();
+        for w in &lw {
+            for split in 0..=w.len() {
+                let (x, y) = w.split_at(split);
+                if x.len() <= max_x && rw.iter().any(|cand| cand == y) {
+                    out.push(x.to_vec());
+                }
+            }
+        }
+        out.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn paper_worked_example_b1n_b2n() {
+        // Section 7: H with L(H) = { b1^n b2^n : n ≥ 1 }; rule regular
+        // expressions are * b2 b2* (for the recursive rule, reading the
+        // suffix after the magic point) — the paper states both quotients
+        // equal b1 b1* (a positive number of b1's).
+        let g = Cfg::parse("p -> b1 b2 | b1 p b2").unwrap();
+        // R = b2 b2* : suffixes that remain after the recursive descent.
+        let r = regex_dfa(&g, "b2 b2*");
+        let q = right_quotient(&g, &r);
+        let approx = approximate(&q);
+        // The quotient { b1^n b2^m : 1 ≤ m < n } / ... — compute expected:
+        // x b2^j ∈ L with j ≥ 1 means x = b1^n b2^(n-j), j ≥ 1:
+        // x ∈ { b1^n b2^i : 0 ≤ i < n }. That language is not regular;
+        // the paper instead quotients by the *per-variable* pattern and
+        // gets b1 b1*. Here we validate the construction itself against
+        // brute force.
+        let got = words_up_to(&q, 5);
+        let want = brute_quotient(&g, &r, 5, 10);
+        assert_eq!(got, want);
+        let _ = approx;
+    }
+
+    #[test]
+    fn paper_quotients_via_regular_envelope() {
+        // Section 7's worked example, via the paper's own fallback: when
+        // L(H)/R is not established regular, quotient the regular
+        // envelope R(H) instead. Here R(H) = Mohri–Nederhof(L(H)) comes
+        // out as the tight envelope b1+ b2+, and both rule patterns
+        // * b1 b2 * and * b1 * b2 * give the quotient b1* — the magic set
+        // of "nodes reachable from c by b1-edges" (the paper's `magic`
+        // predicate: magic(c) seed plus b1-closure).
+        let g = Cfg::parse("p -> b1 b2 | b1 p b2").unwrap();
+        let envelope = approximate(&g);
+        assert!(!envelope.exact);
+        // envelope = b1+ b2+
+        let tight = regex_dfa(&g, "b1 b1* b2 b2*");
+        assert!(equivalent(&envelope.dfa(), &tight));
+        // Rule 1 (p → b1 b2): pattern * b1 b2 * ; rule 2 (p → b1 p b2):
+        // pattern * b1 * b2 *. Both quotients come out b1* — the magic
+        // set "nodes reachable from c by b1-edges" (seed included).
+        let rule1 = regex_dfa(&g, "(b1|b2)* b1 b2 (b1|b2)*");
+        let rule2 = {
+            let b1 = g.alphabet.get("b1").unwrap();
+            let b2 = g.alphabet.get("b2").unwrap();
+            selprop_automata::regex::Regex::dont_care_pattern(&g.alphabet, &[b1, b2])
+                .to_dfa(&g.alphabet)
+        };
+        for (name, rdfa) in [("* b1 b2 *", rule1), ("* b1 * b2 *", rule2)] {
+            let q = selprop_automata::ops::right_quotient(&envelope.dfa(), &rdfa);
+            let expected = regex_dfa(&g, "b1*");
+            assert!(equivalent(&q, &expected), "R(H)/({name}) should be b1*");
+        }
+    }
+
+    #[test]
+    fn cfg_quotient_agrees_with_brute_force_on_paper_example() {
+        // The exact CFG quotient construction on the same example,
+        // validated against enumeration (the quotient language here is
+        // b1* ∪ { b1^n b2^m : m < n }, which is context-free but not
+        // regular — the reason the paper's heuristic needs the envelope).
+        let g = Cfg::parse("p -> b1 b2 | b1 p b2").unwrap();
+        let r = {
+            let b1 = g.alphabet.get("b1").unwrap();
+            let b2 = g.alphabet.get("b2").unwrap();
+            selprop_automata::regex::Regex::dont_care_pattern(&g.alphabet, &[b1, b2])
+                .to_dfa(&g.alphabet)
+        };
+        let q = right_quotient(&g, &r);
+        let got = words_up_to(&q, 4);
+        let want = brute_quotient(&g, &r, 4, 12);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn quotient_matches_brute_force_regular_case() {
+        let g = Cfg::parse("s -> a | a s b").unwrap(); // a^n+1 b^n-ish
+        let r = regex_dfa(&g, "b*");
+        let q = right_quotient(&g, &r);
+        let got = words_up_to(&q, 5);
+        let want = brute_quotient(&g, &r, 5, 10);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn quotient_by_epsilon_only() {
+        let g = Cfg::parse("anc -> par | anc par").unwrap();
+        let r = regex_dfa(&g, "ε");
+        let q = right_quotient(&g, &r);
+        // L/{ε} = L
+        let got = words_up_to(&q, 4);
+        let want = words_up_to(&g, 4);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn quotient_by_empty_is_empty() {
+        let g = Cfg::parse("anc -> par | anc par").unwrap();
+        let r = regex_dfa(&g, "∅");
+        let q = right_quotient(&g, &r);
+        assert!(crate::analysis::is_empty(&q));
+    }
+
+    #[test]
+    fn quotient_with_epsilon_in_l() {
+        let g = Cfg::parse("s -> eps | a s").unwrap(); // a*
+        let r = regex_dfa(&g, "a a*");
+        let q = right_quotient(&g, &r);
+        // a*/a+ = a*
+        let got = words_up_to(&q, 4);
+        let want = words_up_to(&g, 4);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn quotient_whole_words() {
+        // L = {ab}, R = {ab} → quotient contains ε.
+        let g = Cfg::parse("s -> a b").unwrap();
+        let r = regex_dfa(&g, "a b");
+        let q = right_quotient(&g, &r);
+        let words = words_up_to(&q, 3);
+        assert_eq!(words, vec![Vec::<Symbol>::new()]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Random sampling of words and derivations from a CFG.
+//!
+//! The experiment harness uses sampled words as workload seeds (paths to
+//! embed in databases) and the test suite uses them as randomized
+//! membership witnesses. Sampling is length-aware: it first computes
+//! which (nonterminal, length) pairs are inhabited, then samples
+//! uniformly over *derivation splits* — every word of the target length
+//! has nonzero probability.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+#[cfg(test)]
+use rand::SeedableRng;
+use selprop_automata::alphabet::Symbol;
+
+use crate::cfg::{Cfg, NonTerminal, Sym};
+use crate::clean::normalize;
+
+/// A length-aware sampler over a cleaned grammar.
+pub struct Sampler {
+    grammar: Cfg,
+    /// `inhabited[nt][len]`: some word of exactly `len` derivable.
+    inhabited: Vec<Vec<bool>>,
+    max_len: usize,
+    epsilon: bool,
+}
+
+impl Sampler {
+    /// Prepares a sampler for words up to `max_len`.
+    pub fn new(g: &Cfg, max_len: usize) -> Sampler {
+        let (clean, epsilon) = normalize(g);
+        let n = clean.num_nonterminals();
+        let mut inhabited = vec![vec![false; max_len + 1]; n.max(1)];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in &clean.productions {
+                // lengths reachable for this production body
+                let mut reach = vec![false; max_len + 1];
+                reach[0] = true;
+                for s in &p.body {
+                    let mut next = vec![false; max_len + 1];
+                    for base in 0..=max_len {
+                        if !reach[base] {
+                            continue;
+                        }
+                        match s {
+                            Sym::T(_) => {
+                                if base + 1 <= max_len {
+                                    next[base + 1] = true;
+                                }
+                            }
+                            Sym::N(m) => {
+                                for l in 1..=(max_len - base) {
+                                    if inhabited[m.index()][l] {
+                                        next[base + l] = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    reach = next;
+                }
+                let dst = &mut inhabited[p.head.index()];
+                for (len, &r) in reach.iter().enumerate() {
+                    if r && !dst[len] {
+                        dst[len] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Sampler {
+            grammar: clean,
+            inhabited,
+            max_len,
+            epsilon,
+        }
+    }
+
+    /// The inhabited word lengths of the start symbol, ascending.
+    pub fn inhabited_lengths(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        if self.epsilon {
+            out.push(0);
+        }
+        if self.grammar.num_nonterminals() > 0 {
+            for len in 1..=self.max_len {
+                if self.inhabited[self.grammar.start.index()][len] {
+                    out.push(len);
+                }
+            }
+        }
+        out
+    }
+
+    /// Samples a word of exactly `len` from the start symbol, or `None`
+    /// if no such word exists.
+    pub fn sample(&self, len: usize, rng: &mut StdRng) -> Option<Vec<Symbol>> {
+        if len == 0 {
+            return self.epsilon.then(Vec::new);
+        }
+        if self.grammar.num_nonterminals() == 0
+            || !self.inhabited[self.grammar.start.index()][len]
+        {
+            return None;
+        }
+        let mut out = Vec::new();
+        self.expand(self.grammar.start, len, rng, &mut out);
+        Some(out)
+    }
+
+    /// Samples a word of a random inhabited length ≤ `max_len`.
+    pub fn sample_any(&self, rng: &mut StdRng) -> Option<Vec<Symbol>> {
+        let lens = self.inhabited_lengths();
+        if lens.is_empty() {
+            return None;
+        }
+        let len = lens[rng.gen_range(0..lens.len())];
+        self.sample(len, rng)
+    }
+
+    fn expand(&self, nt: NonTerminal, len: usize, rng: &mut StdRng, out: &mut Vec<Symbol>) {
+        // candidate productions that can produce exactly `len`
+        let candidates: Vec<&crate::cfg::Production> = self
+            .grammar
+            .productions_of(nt)
+            .filter(|p| self.body_can(&p.body, len))
+            .collect();
+        debug_assert!(!candidates.is_empty(), "inhabited implies a candidate");
+        let p = candidates[rng.gen_range(0..candidates.len())];
+        // split `len` across the body left to right
+        let mut remaining = len;
+        let body = &p.body;
+        for (i, s) in body.iter().enumerate() {
+            match s {
+                Sym::T(t) => {
+                    out.push(*t);
+                    remaining -= 1;
+                }
+                Sym::N(m) => {
+                    // choose a length for this nonterminal such that the
+                    // rest of the body can still consume the remainder
+                    let rest = &body[i + 1..];
+                    let choices: Vec<usize> = (1..=remaining)
+                        .filter(|&l| {
+                            self.inhabited[m.index()][l] && self.rest_can(rest, remaining - l)
+                        })
+                        .collect();
+                    debug_assert!(!choices.is_empty());
+                    let l = choices[rng.gen_range(0..choices.len())];
+                    self.expand(*m, l, rng, out);
+                    remaining -= l;
+                }
+            }
+        }
+        debug_assert_eq!(remaining, 0);
+    }
+
+    fn body_can(&self, body: &[Sym], len: usize) -> bool {
+        self.rest_can(body, len)
+    }
+
+    fn rest_can(&self, rest: &[Sym], len: usize) -> bool {
+        // DP over the suffix: can `rest` produce exactly `len`?
+        let mut reach = vec![false; len + 1];
+        reach[0] = true;
+        for s in rest {
+            let mut next = vec![false; len + 1];
+            for base in 0..=len {
+                if !reach[base] {
+                    continue;
+                }
+                match s {
+                    Sym::T(_) => {
+                        if base + 1 <= len {
+                            next[base + 1] = true;
+                        }
+                    }
+                    Sym::N(m) => {
+                        for l in 1..=(len - base) {
+                            if self.inhabited[m.index()][l] {
+                                next[base + l] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            reach = next;
+        }
+        reach[len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::CnfGrammar;
+
+    #[test]
+    fn samples_are_members() {
+        let g = Cfg::parse("p -> b1 b2 | b1 p b2").unwrap();
+        let cnf = CnfGrammar::from_cfg(&g);
+        let sampler = Sampler::new(&g, 12);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let w = sampler.sample_any(&mut rng).expect("inhabited");
+            assert!(cnf.accepts(&w), "sampled non-member {w:?}");
+        }
+    }
+
+    #[test]
+    fn exact_length_sampling() {
+        let g = Cfg::parse("p -> b1 b2 | b1 p b2").unwrap();
+        let sampler = Sampler::new(&g, 12);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sampler.sample(4, &mut rng).unwrap().len(), 4);
+        assert!(sampler.sample(3, &mut rng).is_none(), "odd lengths empty");
+        assert_eq!(sampler.inhabited_lengths(), vec![2, 4, 6, 8, 10, 12]);
+    }
+
+    #[test]
+    fn nonlinear_grammar_sampling_covers_words() {
+        // Program C grammar: par+ — every length inhabited
+        let g = Cfg::parse("anc -> par | anc anc").unwrap();
+        let sampler = Sampler::new(&g, 8);
+        assert_eq!(sampler.inhabited_lengths().len(), 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in 1..=8 {
+            assert_eq!(sampler.sample(len, &mut rng).unwrap().len(), len);
+        }
+    }
+
+    #[test]
+    fn epsilon_sampling() {
+        let g = Cfg::parse("s -> eps | a s").unwrap();
+        let sampler = Sampler::new(&g, 4);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(sampler.sample(0, &mut rng), Some(vec![]));
+        assert_eq!(sampler.inhabited_lengths(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_language_sampling() {
+        let g = Cfg::parse("s -> s a").unwrap();
+        let sampler = Sampler::new(&g, 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(sampler.sample_any(&mut rng).is_none());
+    }
+
+    #[test]
+    fn distribution_touches_distinct_words() {
+        // sanity: sampling length 6 of (a|b)^* grammar reaches multiple words
+        let g = Cfg::parse("s -> a | b | a s | b s").unwrap();
+        let sampler = Sampler::new(&g, 6);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..60 {
+            seen.insert(sampler.sample(3, &mut rng).unwrap());
+        }
+        assert!(seen.len() >= 4, "only {} distinct words sampled", seen.len());
+    }
+}

@@ -1,0 +1,108 @@
+//! Sentential-form grammars (Proposition 8.1).
+//!
+//! Blattner proved that equality of the *sentential form* sets of two
+//! context-free grammars is undecidable; the paper (Prop. 8.1) reduces
+//! containment/equivalence of **uniform chain programs** to exactly that
+//! problem. This module builds, for a grammar `G`, a grammar `SF(G)` over
+//! the extended alphabet `Σ ∪ N` whose language is the set of sentential
+//! forms of `G` — the reduction's key object.
+
+use selprop_automata::alphabet::Alphabet;
+
+use crate::cfg::{Cfg, NonTerminal, Sym};
+
+/// The sentential-form grammar of `g`, together with the extended
+/// alphabet (terminals of `g` followed by one terminal per nonterminal,
+/// named `@<nonterminal>`).
+pub fn sentential_forms(g: &Cfg) -> Cfg {
+    // Extended alphabet: original terminals plus nonterminal markers.
+    let mut alphabet = g.alphabet.clone();
+    let markers: Vec<_> = g
+        .nonterminal_names
+        .iter()
+        .map(|n| alphabet.intern(&format!("@{n}")))
+        .collect();
+
+    let mut out = Cfg {
+        alphabet,
+        nonterminal_names: g
+            .nonterminal_names
+            .iter()
+            .map(|n| format!("SF_{n}"))
+            .collect(),
+        start: NonTerminal(g.start.0),
+        productions: Vec::new(),
+    };
+    for a in 0..g.num_nonterminals() {
+        let nt = NonTerminal(a as u32);
+        // A sentential form of A is either the marker @A itself...
+        out.add_production(nt, vec![Sym::T(markers[a])]);
+        // ...or any production body with symbols replaced by their
+        // sentential-form nonterminals.
+        for p in g.productions_of(nt) {
+            let body = p
+                .body
+                .iter()
+                .map(|&s| match s {
+                    Sym::T(t) => Sym::T(t),
+                    Sym::N(b) => Sym::N(NonTerminal(b.0)),
+                })
+                .collect();
+            out.add_production(nt, body);
+        }
+    }
+    out
+}
+
+/// The extended alphabet used by [`sentential_forms`] (useful for
+/// interpreting its words).
+pub fn extended_alphabet(g: &Cfg) -> Alphabet {
+    let mut alphabet = g.alphabet.clone();
+    for n in &g.nonterminal_names {
+        alphabet.intern(&format!("@{n}"));
+    }
+    alphabet
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::words_up_to;
+
+    #[test]
+    fn sentential_forms_of_ancestor() {
+        let g = Cfg::parse("anc -> par | anc par").unwrap();
+        let sf = sentential_forms(&g);
+        let words = words_up_to(&sf, 3);
+        let al = &sf.alphabet;
+        let render: Vec<String> = words.iter().map(|w| al.render_word(w)).collect();
+        // Sentential forms: @anc, par, @anc par, par par, @anc par par, ...
+        assert!(render.contains(&"@anc".to_owned()));
+        assert!(render.contains(&"par".to_owned()));
+        assert!(render.contains(&"@anc par".to_owned()));
+        assert!(render.contains(&"par par".to_owned()));
+        // Things that are NOT sentential forms of the left-linear grammar:
+        assert!(!render.contains(&"par @anc".to_owned()));
+    }
+
+    #[test]
+    fn sentential_forms_include_terminal_words() {
+        // every word of L(G) is a sentential form
+        let g = Cfg::parse("p -> b1 b2 | b1 p b2").unwrap();
+        let sf = sentential_forms(&g);
+        let lang = words_up_to(&g, 4);
+        let forms = words_up_to(&sf, 4);
+        for w in &lang {
+            assert!(forms.contains(w), "language word missing from forms");
+        }
+    }
+
+    #[test]
+    fn marker_symbols_distinct() {
+        let g = Cfg::parse("s -> a t\nt -> b").unwrap();
+        let al = extended_alphabet(&g);
+        assert!(al.get("@s").is_some());
+        assert!(al.get("@t").is_some());
+        assert_ne!(al.get("@s"), al.get("@t"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Unary-alphabet languages: effective regularity.
+//!
+//! Every context-free language over a **one-letter alphabet is regular**
+//! (Parikh), and its length set is ultimately periodic with threshold and
+//! period bounded exponentially in the size of a CNF grammar (Pighizzini,
+//! Shallit, Wang, *Unary context-free grammars and pushdown automata*,
+//! JCSS 2002: an `h`-variable CNF unary grammar converts to an automaton
+//! with `2^{O(h)}` states). This gives the propagation engine a region
+//! where Theorem 3.3(1) is **decidable despite self-embedding grammars**
+//! — covering the paper's Program C (`anc → par | anc anc`, language
+//! `par⁺` hidden behind a mixed-recursion grammar), and matching the
+//! Lemma 6.1 proof's own reliance on the unary case.
+//!
+//! Procedure: compute the exact length set up to a horizon `2B + B²`
+//! (with `B = 2^h` the threshold/period bound), detect the minimal
+//! `(threshold, period)` pattern, build the candidate DFA, and
+//! double-check the inclusion `L(G) ⊆ R` rigorously via a Bar-Hillel
+//! product with the complement (the converse inclusion holds on the
+//! whole agreement horizon, which exceeds `threshold + lcm` for any pair
+//! of languages within the bound). Grammars whose CNF exceeds the size
+//! cap return `None` and the engine stays honestly `Unknown`.
+
+use selprop_automata::dfa::Dfa;
+use selprop_automata::minimize::minimize;
+use selprop_automata::nfa::Nfa;
+
+use crate::analysis::is_empty;
+use crate::barhillel::intersect;
+use crate::cfg::Cfg;
+use crate::cnf::CnfGrammar;
+
+/// A certified unary regularity result.
+#[derive(Clone, Debug)]
+pub struct UnaryRegularity {
+    /// The DFA recognizing `L(G)` (over the grammar's 1-letter alphabet).
+    pub dfa: Dfa,
+    /// Detected threshold of the ultimately periodic length set.
+    pub threshold: usize,
+    /// Detected period.
+    pub period: usize,
+    /// The horizon up to which the length set was computed exactly.
+    pub horizon: usize,
+}
+
+/// Maximum cleaned-grammar nonterminal count attempted (the horizon
+/// grows as `4^h`).
+const MAX_VARS: usize = 6;
+
+/// Decides regularity of a unary-alphabet CFG. Returns `None` when the
+/// alphabet is not unary or the grammar exceeds the size cap.
+pub fn unary_regularity(g: &Cfg) -> Option<UnaryRegularity> {
+    if g.alphabet.len() != 1 {
+        return None;
+    }
+    let cnf = CnfGrammar::from_cfg(g);
+    // Bound parameter: the nonterminal count of the *cleaned* grammar
+    // before binarization (glue variables from binarization do not change
+    // the language and would inflate the bound pointlessly). The +2
+    // margin keeps us comfortably above the Pighizzini–Shallit–Wang
+    // threshold/period bound for small grammars; the Bar-Hillel upper
+    // check below self-validates the certificate regardless.
+    let h0 = crate::clean::normalize(g).0.num_nonterminals().max(1);
+    if h0 > MAX_VARS {
+        return None;
+    }
+    let bound = 1usize << (h0 + 2); // B = 2^(h0+2)
+    let horizon = 2 * bound + bound * bound;
+
+    let lengths = length_set(&cnf, horizon);
+
+    // detect minimal (threshold, period) with period ≤ B, threshold ≤ 2B
+    let (threshold, period) = detect_pattern(&lengths, bound)?;
+
+    // build the candidate DFA: chain 0..threshold+period-1, wrap the tail
+    let dfa = periodic_dfa(g, &lengths, threshold, period);
+
+    // rigorous upper check: L(G) ⊆ R  ⟺  L(G) ∩ ¬R = ∅
+    let complement = dfa.complement();
+    if !is_empty(&intersect(g, &complement)) {
+        // detection was fooled (cannot happen within the bound, but the
+        // check is cheap and makes the certificate self-validating)
+        return None;
+    }
+    Some(UnaryRegularity {
+        dfa,
+        threshold,
+        period,
+        horizon,
+    })
+}
+
+/// The exact derivable-length bitmap of the start symbol up to `horizon`,
+/// by increasing-length dynamic programming over the CNF grammar.
+fn length_set(cnf: &CnfGrammar, horizon: usize) -> Vec<bool> {
+    let m = cnf.num_nonterminals;
+    // derivable[a][n] for n ≤ horizon
+    let mut derivable = vec![vec![false; horizon + 1]; m.max(1)];
+    if m == 0 {
+        let mut out = vec![false; horizon + 1];
+        out[0] = cnf.epsilon;
+        return out;
+    }
+    for &(hd, _) in &cnf.terms {
+        derivable[hd][1] = true;
+    }
+    for n in 2..=horizon {
+        for &(hd, l, r) in &cnf.pairs {
+            if derivable[hd][n] {
+                continue;
+            }
+            for i in 1..n {
+                if derivable[l][i] && derivable[r][n - i] {
+                    derivable[hd][n] = true;
+                    break;
+                }
+            }
+        }
+    }
+    let mut out = derivable[cnf.start].clone();
+    out[0] = cnf.epsilon;
+    out
+}
+
+/// Finds the minimal `(threshold, period)` such that
+/// `lengths[n] == lengths[n + period]` for all `threshold ≤ n ≤ horizon - period`.
+fn detect_pattern(lengths: &[bool], bound: usize) -> Option<(usize, usize)> {
+    let horizon = lengths.len() - 1;
+    for period in 1..=bound {
+        // find the least threshold that works for this period
+        let mut threshold = 0;
+        let mut n = horizon.checked_sub(period)?;
+        loop {
+            if lengths[n] != lengths[n + period] {
+                threshold = n + 1;
+                break;
+            }
+            if n == 0 {
+                break;
+            }
+            n -= 1;
+        }
+        if threshold <= 2 * bound {
+            return Some((threshold, period));
+        }
+    }
+    None
+}
+
+/// Builds the minimal-ish DFA for an ultimately periodic unary length
+/// set: a chain of `threshold` states followed by a `period`-cycle.
+fn periodic_dfa(g: &Cfg, lengths: &[bool], threshold: usize, period: usize) -> Dfa {
+    let sym = g
+        .alphabet
+        .symbols()
+        .next()
+        .expect("unary alphabet has one symbol");
+    let mut nfa = Nfa::new(g.alphabet.clone());
+    let total = threshold + period;
+    for _ in 0..total {
+        nfa.add_state();
+    }
+    nfa.set_start(0);
+    for q in 0..total {
+        let next = if q + 1 < total { q + 1 } else { threshold };
+        nfa.add_transition(q, sym, next);
+        if lengths[q] {
+            nfa.set_accept(q);
+        }
+    }
+    minimize(&Dfa::from_nfa(&nfa))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::words_up_to;
+    use selprop_automata::equiv::equivalent;
+    use selprop_automata::regex::Regex;
+
+    fn regex_dfa(g: &Cfg, text: &str) -> Dfa {
+        let mut al = g.alphabet.clone();
+        Regex::parse(text, &mut al).unwrap().to_dfa(&al)
+    }
+
+    #[test]
+    fn program_c_grammar_is_par_plus() {
+        // the paper's Program C: self-embedding grammar, regular language
+        let g = Cfg::parse("anc -> par | anc anc").unwrap();
+        let u = unary_regularity(&g).expect("unary grammar within bounds");
+        let expected = regex_dfa(&g, "par par*");
+        assert!(equivalent(&u.dfa, &expected), "Program C defines par+");
+        assert_eq!(u.period, 1);
+        assert!(u.threshold <= 2);
+    }
+
+    #[test]
+    fn even_lengths() {
+        let g = Cfg::parse("s -> a a | s a a").unwrap();
+        let u = unary_regularity(&g).unwrap();
+        let expected = regex_dfa(&g, "a a (a a)*");
+        assert!(equivalent(&u.dfa, &expected));
+        assert_eq!(u.period, 2);
+    }
+
+    #[test]
+    fn doubling_grammar() {
+        // s → a | s s: lengths = all of 1.. (every n ≥ 1 reachable)
+        let g = Cfg::parse("s -> a | s s").unwrap();
+        let u = unary_regularity(&g).unwrap();
+        let expected = regex_dfa(&g, "a a*");
+        assert!(equivalent(&u.dfa, &expected));
+    }
+
+    #[test]
+    fn fibonacci_like_sums() {
+        // s → a a a | a a a a a | s s : sums of 3s and 5s = {3,5,6,8,9,10,11,...}
+        // ultimately periodic with period 1 from 8 (numerical semigroup ⟨3,5⟩)
+        let g = Cfg::parse("s -> a a a | a a a a a | s s").unwrap();
+        let u = unary_regularity(&g).unwrap();
+        for (n, expected) in [
+            (0, false), (1, false), (2, false), (3, true), (4, false),
+            (5, true), (6, true), (7, false), (8, true), (9, true),
+            (10, true), (11, true), (12, true),
+        ] {
+            let sym = g.alphabet.symbols().next().unwrap();
+            let w = vec![sym; n];
+            assert_eq!(u.dfa.accepts_word(&w), expected, "length {n}");
+        }
+    }
+
+    #[test]
+    fn finite_unary_language() {
+        let g = Cfg::parse("s -> a | a a a").unwrap();
+        let u = unary_regularity(&g).unwrap();
+        assert!(u.dfa.is_finite());
+        assert_eq!(u.dfa.finite_language().len(), 2);
+    }
+
+    #[test]
+    fn non_unary_rejected() {
+        let g = Cfg::parse("p -> b1 b2 | b1 p b2").unwrap();
+        assert!(unary_regularity(&g).is_none());
+    }
+
+    #[test]
+    fn empty_unary_language() {
+        let g = Cfg::parse("s -> s a").unwrap();
+        // cleaned grammar is empty: alphabet still unary
+        if let Some(u) = unary_regularity(&g) {
+            assert!(u.dfa.is_empty());
+        }
+    }
+
+    #[test]
+    fn epsilon_in_unary_language() {
+        let g = Cfg::parse("s -> eps | a s").unwrap();
+        let u = unary_regularity(&g).unwrap();
+        assert!(u.dfa.accepts_word(&[]));
+        let expected = regex_dfa(&g, "a*");
+        assert!(equivalent(&u.dfa, &expected));
+    }
+
+    #[test]
+    fn dfa_matches_enumeration() {
+        for src in ["s -> a | s a a", "s -> a a | s s", "s -> a | s s s"] {
+            let g = Cfg::parse(src).unwrap();
+            let u = unary_regularity(&g).unwrap();
+            let words = words_up_to(&g, 14);
+            for n in 0..=14usize {
+                let sym = g.alphabet.symbols().next().unwrap();
+                let w = vec![sym; n];
+                assert_eq!(
+                    u.dfa.accepts_word(&w),
+                    words.contains(&w),
+                    "mismatch at length {n} for {src}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Monadic fixpoint programs with negation — Example 6.3 and the
+//! Corollary 5.4 discussion.
+//!
+//! Lemma 6.1 shows plain monadic *Datalog* cannot express cyclicity. The
+//! paper's Example 6.3 shows the boundary is negation: allowing
+//! first-order bodies that are **monotone in the head predicate** (here,
+//! a universally quantified implication with negation on base facts),
+//! the single rule
+//!
+//! ```text
+//! w(X) :- w(X) ∨ ∀Y (b(X, Y) ⇒ w(Y))
+//! ```
+//!
+//! computes, as a least fixpoint, the set of nodes *not on any cycle*
+//! (mark sinks, then nodes all of whose successors are marked, ...), and
+//! a first-order difference then answers cyclicity. This module
+//! implements exactly that class: monadic least-fixpoint programs whose
+//! step is an FO formula over the structure plus the (positively
+//! occurring) fixpoint predicate.
+
+use crate::logic::{fo_check, FoFormula, FoTerm};
+use crate::structure::FiniteStructure;
+
+/// A monadic least-fixpoint definition: `w(X) ≡ lfp. φ(X, w)` where `φ`
+/// must be monotone in `w` (callers' responsibility; the paper's
+/// Example 6.3 formula is).
+#[derive(Clone, Debug)]
+pub struct MonadicFixpoint {
+    /// The name of the fixpoint predicate (a unary relation symbol usable
+    /// inside `step` via [`FoFormula::In`]).
+    pub predicate: String,
+    /// The step formula with free variable index 0 playing `X`.
+    pub step: FoFormula,
+}
+
+impl MonadicFixpoint {
+    /// Computes the least fixpoint on `s`, returning the final set and
+    /// the number of iterations to convergence.
+    pub fn evaluate(&self, s: &FiniteStructure) -> (Vec<usize>, usize) {
+        let mut current = s.clone();
+        current.unary.entry(self.predicate.clone()).or_default();
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            let mut next = current.clone();
+            let mut changed = false;
+            for e in 0..s.domain {
+                if current.unary[&self.predicate].contains(&e) {
+                    continue;
+                }
+                let mut env = vec![Some(e)];
+                if fo_check(&current, &self.step, &mut env) {
+                    next.add_mark(&self.predicate, e);
+                    changed = true;
+                }
+            }
+            current = next;
+            if !changed {
+                break;
+            }
+        }
+        let set: Vec<usize> = current.unary[&self.predicate].iter().copied().collect();
+        (set, iterations)
+    }
+}
+
+/// Example 6.3's fixpoint: `w(X) :- w(X) ∨ ∀Y (b(X,Y) ⇒ w(Y))`.
+/// Its least fixpoint is the set of nodes from which no infinite walk
+/// exists — i.e., the nodes *not on (or leading to) a cycle*.
+pub fn example_6_3() -> MonadicFixpoint {
+    use FoFormula as F;
+    use FoTerm::Var;
+    MonadicFixpoint {
+        predicate: "w".to_owned(),
+        step: F::or(
+            F::In("w".into(), Var(0)),
+            F::forall(
+                1,
+                F::implies(
+                    F::Edge("b".into(), Var(0), Var(1)),
+                    F::In("w".into(), Var(1)),
+                ),
+            ),
+        ),
+    }
+}
+
+/// The cyclicity query of Example 6.3: the graph has a cycle iff the
+/// fixpoint of [`example_6_3`] does not cover the domain (the difference
+/// "all nodes minus marked" is a first-order post-processing step).
+pub fn has_cycle_via_fixpoint(s: &FiniteStructure) -> bool {
+    let (marked, _) = example_6_3().evaluate(s);
+    marked.len() < s.domain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_proceed_from_sinks() {
+        // path 0→1→2: sinks first (2), then 1, then 0
+        let p = FiniteStructure::path(3, "b");
+        let (marked, iters) = example_6_3().evaluate(&p);
+        assert_eq!(marked, vec![0, 1, 2]);
+        assert!(iters >= 3, "marking proceeds one layer per iteration");
+    }
+
+    #[test]
+    fn cycle_nodes_never_marked() {
+        let s = FiniteStructure::path(3, "b").disjoint_union(&FiniteStructure::cycle(3, "b"));
+        let (marked, _) = example_6_3().evaluate(&s);
+        assert_eq!(marked, vec![0, 1, 2], "only the path nodes are marked");
+    }
+
+    #[test]
+    fn cyclicity_query_example_6_3() {
+        assert!(!has_cycle_via_fixpoint(&FiniteStructure::path(6, "b")));
+        assert!(has_cycle_via_fixpoint(&FiniteStructure::cycle(4, "b")));
+        let u = FiniteStructure::path(5, "b").disjoint_union(&FiniteStructure::cycle(3, "b"));
+        assert!(has_cycle_via_fixpoint(&u));
+        // self-loop is a cycle
+        let mut s = FiniteStructure::new(2);
+        s.add_edge("b", 0, 0);
+        assert!(has_cycle_via_fixpoint(&s));
+    }
+
+    #[test]
+    fn contrast_with_pure_monadic_datalog() {
+        // The point of Example 6.3: with negation-in-the-step, monadic
+        // fixpoints DO distinguish P_n from P_n ⊎ C_k — which Lemma 6.1
+        // proves pure monadic Datalog cannot.
+        let path = FiniteStructure::path(8, "b");
+        let with_cycle = path.disjoint_union(&FiniteStructure::cycle(5, "b"));
+        assert_ne!(
+            has_cycle_via_fixpoint(&path),
+            has_cycle_via_fixpoint(&with_cycle)
+        );
+        for probe in crate::symmetry::monadic_probe_programs() {
+            assert!(!crate::symmetry::distinguishes(&probe, &path, &with_cycle));
+        }
+    }
+
+    #[test]
+    fn nodes_reaching_cycles_stay_unmarked() {
+        // 0→1→2→0 cycle plus a tail 3→0 feeding it: 3 reaches the cycle,
+        // so it has an infinite walk and stays unmarked.
+        let mut s = FiniteStructure::new(4);
+        s.add_edge("b", 0, 1);
+        s.add_edge("b", 1, 2);
+        s.add_edge("b", 2, 0);
+        s.add_edge("b", 3, 0);
+        let (marked, _) = example_6_3().evaluate(&s);
+        assert!(marked.is_empty());
+    }
+
+    #[test]
+    fn dag_converges_in_depth_iterations() {
+        // longest path controls convergence
+        let p = FiniteStructure::path(10, "b");
+        let (_, iters) = example_6_3().evaluate(&p);
+        assert!(iters <= 12);
+    }
+}

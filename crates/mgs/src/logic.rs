@@ -1,0 +1,322 @@
+//! First-order and existential monadic second-order (∃MSO) model checking
+//! on finite structures — the machinery of monadic generalized spectra
+//! (Fagin, ref.\[16\]; paper Section 2.2).
+//!
+//! A set of finite structures is an **MGS** if it is the class of models
+//! of a sentence `∃w1 ... ∃wr σ` with `σ` first-order and the `wi`
+//! monadic. The checkers here are brute force (exponential in `r·n`),
+//! which is exactly what the experiments need: small structures, total
+//! certainty.
+
+use crate::structure::FiniteStructure;
+
+/// A first-order term.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FoTerm {
+    /// A variable (de Bruijn-free: caller-chosen index).
+    Var(usize),
+    /// A named constant of the structure.
+    Const(String),
+}
+
+/// First-order formulas over a relational vocabulary with named binary
+/// and unary relations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FoFormula {
+    /// Truth.
+    True,
+    /// `rel(t1, t2)` for a binary relation.
+    Edge(String, FoTerm, FoTerm),
+    /// `rel(t)` for a unary relation.
+    In(String, FoTerm),
+    /// `t1 = t2`.
+    Eq(FoTerm, FoTerm),
+    /// Negation.
+    Not(Box<FoFormula>),
+    /// Conjunction.
+    And(Box<FoFormula>, Box<FoFormula>),
+    /// Disjunction.
+    Or(Box<FoFormula>, Box<FoFormula>),
+    /// Implication.
+    Implies(Box<FoFormula>, Box<FoFormula>),
+    /// `∃x φ`.
+    Exists(usize, Box<FoFormula>),
+    /// `∀x φ`.
+    Forall(usize, Box<FoFormula>),
+    /// `∃!x φ` (Example 2.2.3 uses it directly).
+    ExistsUnique(usize, Box<FoFormula>),
+}
+
+impl FoFormula {
+    /// `¬φ`.
+    pub fn not(f: FoFormula) -> FoFormula {
+        FoFormula::Not(Box::new(f))
+    }
+    /// `φ ∧ ψ`.
+    pub fn and(a: FoFormula, b: FoFormula) -> FoFormula {
+        FoFormula::And(Box::new(a), Box::new(b))
+    }
+    /// `φ ∨ ψ`.
+    pub fn or(a: FoFormula, b: FoFormula) -> FoFormula {
+        FoFormula::Or(Box::new(a), Box::new(b))
+    }
+    /// `φ ⇒ ψ`.
+    pub fn implies(a: FoFormula, b: FoFormula) -> FoFormula {
+        FoFormula::Implies(Box::new(a), Box::new(b))
+    }
+    /// `φ ⇔ ψ`.
+    pub fn iff(a: FoFormula, b: FoFormula) -> FoFormula {
+        FoFormula::and(
+            FoFormula::implies(a.clone(), b.clone()),
+            FoFormula::implies(b, a),
+        )
+    }
+    /// `∃x φ`.
+    pub fn exists(x: usize, f: FoFormula) -> FoFormula {
+        FoFormula::Exists(x, Box::new(f))
+    }
+    /// `∀x φ`.
+    pub fn forall(x: usize, f: FoFormula) -> FoFormula {
+        FoFormula::Forall(x, Box::new(f))
+    }
+}
+
+/// Evaluates a first-order formula on a structure under a partial
+/// variable assignment (`env[i] = Some(element)`).
+pub fn fo_check(s: &FiniteStructure, f: &FoFormula, env: &mut Vec<Option<usize>>) -> bool {
+    let term = |t: &FoTerm, env: &Vec<Option<usize>>| -> usize {
+        match t {
+            FoTerm::Var(i) => env[*i].expect("unbound variable"),
+            FoTerm::Const(name) => *s
+                .constants
+                .get(name)
+                .unwrap_or_else(|| panic!("unknown constant {name}")),
+        }
+    };
+    match f {
+        FoFormula::True => true,
+        FoFormula::Edge(rel, t1, t2) => s.has_edge(rel, term(t1, env), term(t2, env)),
+        FoFormula::In(rel, t) => s
+            .unary
+            .get(rel)
+            .is_some_and(|set| set.contains(&term(t, env))),
+        FoFormula::Eq(t1, t2) => term(t1, env) == term(t2, env),
+        FoFormula::Not(g) => !fo_check(s, g, env),
+        FoFormula::And(a, b) => fo_check(s, a, env) && fo_check(s, b, env),
+        FoFormula::Or(a, b) => fo_check(s, a, env) || fo_check(s, b, env),
+        FoFormula::Implies(a, b) => !fo_check(s, a, env) || fo_check(s, b, env),
+        FoFormula::Exists(x, g) => quantify(s, *x, g, env).any(|b| b),
+        FoFormula::Forall(x, g) => quantify(s, *x, g, env).all(|b| b),
+        FoFormula::ExistsUnique(x, g) => {
+            quantify(s, *x, g, env).filter(|&b| b).count() == 1
+        }
+    }
+}
+
+fn quantify<'a>(
+    s: &'a FiniteStructure,
+    x: usize,
+    g: &'a FoFormula,
+    env: &'a mut Vec<Option<usize>>,
+) -> impl Iterator<Item = bool> + 'a {
+    if env.len() <= x {
+        env.resize(x + 1, None);
+    }
+    (0..s.domain).map(move |e| {
+        // re-borrow the environment per element
+        let mut local = env.clone();
+        local[x] = Some(e);
+        fo_check(s, g, &mut local)
+    })
+}
+
+/// Evaluates a sentence (no free variables).
+pub fn fo_sentence(s: &FiniteStructure, f: &FoFormula) -> bool {
+    fo_check(s, f, &mut Vec::new())
+}
+
+/// Checks an existential monadic second-order sentence
+/// `∃w_names[0] ... ∃w_names[r-1] σ` by enumerating all assignments of
+/// the monadic predicates. Exponential (`2^(r·n)`); intended for the
+/// small structures of the Section 6 experiments.
+pub fn emso_check(s: &FiniteStructure, monadic: &[&str], sigma: &FoFormula) -> bool {
+    let n = s.domain;
+    let r = monadic.len();
+    assert!(r * n <= 24, "∃MSO enumeration too large ({r} sets × {n} elements)");
+    let total = 1usize << (r * n);
+    for mask in 0..total {
+        let mut s2 = s.clone();
+        for (wi, w) in monadic.iter().enumerate() {
+            s2.unary.entry((*w).to_owned()).or_default().clear();
+            for e in 0..n {
+                if mask & (1 << (wi * n + e)) != 0 {
+                    s2.add_mark(w, e);
+                }
+            }
+        }
+        if fo_sentence(&s2, sigma) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Example 2.2.1: the ∃MSO sentence for **disconnectedness** of an
+/// undirected graph over edge relation `b`:
+/// `∃w (∃X w(X) ∧ ∃X ¬w(X) ∧ ∀X∀Y (b(X,Y) ⇒ (w(X) ⇔ w(Y))))`.
+pub fn disconnected_sigma() -> FoFormula {
+    use FoFormula as F;
+    use FoTerm::Var;
+    let w = "w";
+    F::and(
+        F::and(
+            F::exists(0, F::In(w.into(), Var(0))),
+            F::exists(0, F::not(F::In(w.into(), Var(0)))),
+        ),
+        F::forall(
+            0,
+            F::forall(
+                1,
+                F::implies(
+                    F::Edge("b".into(), Var(0), Var(1)),
+                    F::iff(F::In(w.into(), Var(0)), F::In(w.into(), Var(1))),
+                ),
+            ),
+        ),
+    )
+}
+
+/// Example 2.2.2: source–sink **non-reachability** as an MGS over
+/// `b, c1, c2`: a partition `w` separating `c1` from `c2` with no edges
+/// crossing from `w` out of `w`.
+pub fn nonreachability_sigma() -> FoFormula {
+    use FoFormula as F;
+    use FoTerm::{Const, Var};
+    let w = "w";
+    F::and(
+        F::and(
+            F::In(w.into(), Const("c1".into())),
+            F::not(F::In(w.into(), Const("c2".into()))),
+        ),
+        F::forall(
+            0,
+            F::forall(
+                1,
+                F::implies(
+                    F::and(
+                        F::Edge("b".into(), Var(0), Var(1)),
+                        F::In(w.into(), Var(0)),
+                    ),
+                    F::In(w.into(), Var(1)),
+                ),
+            ),
+        ),
+    )
+}
+
+/// Example 2.2.3: **cyclicity** of a directed graph as an MGS over `b`:
+/// `∃w (∃X w(X)) ∧ ∀X (w(X) ⇒ (∃!Y (w(Y) ∧ b(X,Y)) ∧ ∃!Z (w(Z) ∧ b(Z,X))))`.
+///
+/// (The paper's formula with in/out-degree exactly 1 inside `w`; we add
+/// the nonemptiness conjunct that the displayed formula leaves implicit.)
+pub fn cyclic_sigma() -> FoFormula {
+    use FoFormula as F;
+    use FoTerm::Var;
+    let w = "w";
+    F::and(
+        F::exists(0, F::In(w.into(), Var(0))),
+        F::forall(
+            0,
+            F::implies(
+                F::In(w.into(), Var(0)),
+                F::and(
+                    F::ExistsUnique(
+                        1,
+                        Box::new(F::and(
+                            F::In(w.into(), Var(1)),
+                            F::Edge("b".into(), Var(0), Var(1)),
+                        )),
+                    ),
+                    F::ExistsUnique(
+                        1,
+                        Box::new(F::and(
+                            F::In(w.into(), Var(1)),
+                            F::Edge("b".into(), Var(1), Var(0)),
+                        )),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disconnectedness_example_2_2_1() {
+        // connected path: not disconnected
+        let p = FiniteStructure::path(4, "b").symmetric_closure("b");
+        assert!(!emso_check(&p, &["w"], &disconnected_sigma()));
+        // two components: disconnected
+        let u = FiniteStructure::path(2, "b")
+            .disjoint_union(&FiniteStructure::path(2, "b"))
+            .symmetric_closure("b");
+        assert!(emso_check(&u, &["w"], &disconnected_sigma()));
+    }
+
+    #[test]
+    fn nonreachability_example_2_2_2() {
+        // path 0→1→2 with c1=0, c2=2: reachable, so non-reachability fails
+        let mut p = FiniteStructure::path(3, "b");
+        p.set_constant("c1", 0);
+        p.set_constant("c2", 2);
+        assert!(!emso_check(&p, &["w"], &nonreachability_sigma()));
+        // reversed constants: 2 cannot reach 0 in the directed path
+        let mut q = FiniteStructure::path(3, "b");
+        q.set_constant("c1", 2);
+        q.set_constant("c2", 0);
+        assert!(emso_check(&q, &["w"], &nonreachability_sigma()));
+    }
+
+    #[test]
+    fn cyclicity_example_2_2_3() {
+        let c = FiniteStructure::cycle(4, "b");
+        assert!(emso_check(&c, &["w"], &cyclic_sigma()));
+        let p = FiniteStructure::path(4, "b");
+        assert!(!emso_check(&p, &["w"], &cyclic_sigma()));
+        // path plus disjoint cycle: cyclic
+        let u = FiniteStructure::path(3, "b").disjoint_union(&FiniteStructure::cycle(3, "b"));
+        assert!(emso_check(&u, &["w"], &cyclic_sigma()));
+    }
+
+    #[test]
+    fn fo_quantifiers() {
+        use FoFormula as F;
+        use FoTerm::Var;
+        let p = FiniteStructure::path(3, "b");
+        // ∃x∃y b(x, y)
+        let f = F::exists(0, F::exists(1, F::Edge("b".into(), Var(0), Var(1))));
+        assert!(fo_sentence(&p, &f));
+        // ∀x∃y b(x, y): false (last node has no successor)
+        let g = F::forall(0, F::exists(1, F::Edge("b".into(), Var(0), Var(1))));
+        assert!(!fo_sentence(&p, &g));
+        // on a cycle it holds
+        let c = FiniteStructure::cycle(3, "b");
+        assert!(fo_sentence(&c, &g));
+    }
+
+    #[test]
+    fn exists_unique() {
+        use FoFormula as F;
+        use FoTerm::Var;
+        let p = FiniteStructure::path(3, "b");
+        // every node has at most one successor; node 0 exactly one
+        let f = F::ExistsUnique(1, Box::new(F::Edge("b".into(), Var(0), Var(1))));
+        let mut env = vec![Some(0), None];
+        assert!(fo_check(&p, &f, &mut env));
+        let mut env2 = vec![Some(2), None];
+        assert!(!fo_check(&p, &f, &mut env2)); // last node: zero successors
+    }
+}

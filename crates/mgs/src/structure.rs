@@ -1,0 +1,202 @@
+//! Finite relational structures for the monadic-generalized-spectra
+//! experiments (Section 6 and Examples 2.2.1–2.2.3 of the paper).
+//!
+//! A structure has a finite domain `0..n`, named binary relations (edge
+//! relations `b, b1, ...`), named unary relations (the candidate monadic
+//! predicates `w, w1, ...`), and named distinguished constants
+//! (`c1` source / `c2` sink in Example 2.2.2).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A finite structure over domain `{0, ..., domain-1}`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FiniteStructure {
+    /// Domain size.
+    pub domain: usize,
+    /// Binary relations by name.
+    pub binary: BTreeMap<String, BTreeSet<(usize, usize)>>,
+    /// Unary relations by name.
+    pub unary: BTreeMap<String, BTreeSet<usize>>,
+    /// Distinguished constants by name.
+    pub constants: BTreeMap<String, usize>,
+}
+
+impl FiniteStructure {
+    /// An empty structure with `n` elements.
+    pub fn new(n: usize) -> Self {
+        Self {
+            domain: n,
+            ..Self::default()
+        }
+    }
+
+    /// Adds an edge to a binary relation.
+    pub fn add_edge(&mut self, rel: &str, from: usize, to: usize) {
+        assert!(from < self.domain && to < self.domain);
+        self.binary
+            .entry(rel.to_owned())
+            .or_default()
+            .insert((from, to));
+    }
+
+    /// Adds an element to a unary relation.
+    pub fn add_mark(&mut self, rel: &str, elem: usize) {
+        assert!(elem < self.domain);
+        self.unary.entry(rel.to_owned()).or_default().insert(elem);
+    }
+
+    /// Names a constant.
+    pub fn set_constant(&mut self, name: &str, elem: usize) {
+        assert!(elem < self.domain);
+        self.constants.insert(name.to_owned(), elem);
+    }
+
+    /// Whether `(from, to)` is in the binary relation `rel`.
+    pub fn has_edge(&self, rel: &str, from: usize, to: usize) -> bool {
+        self.binary
+            .get(rel)
+            .is_some_and(|s| s.contains(&(from, to)))
+    }
+
+    /// The directed path `0 → 1 → ... → n-1` with edge relation `rel`
+    /// (the paper's `P` in Lemma 6.2).
+    pub fn path(n: usize, rel: &str) -> Self {
+        let mut s = Self::new(n);
+        for i in 0..n.saturating_sub(1) {
+            s.add_edge(rel, i, i + 1);
+        }
+        s
+    }
+
+    /// The directed cycle on `n` nodes (the paper's `C` structures in
+    /// Section 6, case b).
+    pub fn cycle(n: usize, rel: &str) -> Self {
+        let mut s = Self::new(n);
+        for i in 0..n {
+            s.add_edge(rel, i, (i + 1) % n);
+        }
+        s
+    }
+
+    /// Disjoint union; the right structure's elements are shifted by
+    /// `self.domain`. Constants of `other` are dropped (union structures
+    /// in Lemma 6.2 carry no constants).
+    pub fn disjoint_union(&self, other: &FiniteStructure) -> FiniteStructure {
+        let mut s = FiniteStructure::new(self.domain + other.domain);
+        for (rel, edges) in &self.binary {
+            for &(a, b) in edges {
+                s.add_edge(rel, a, b);
+            }
+        }
+        for (rel, edges) in &other.binary {
+            for &(a, b) in edges {
+                s.add_edge(rel, a + self.domain, b + self.domain);
+            }
+        }
+        for (rel, marks) in &self.unary {
+            for &a in marks {
+                s.add_mark(rel, a);
+            }
+        }
+        for (rel, marks) in &other.unary {
+            for &a in marks {
+                s.add_mark(rel, a + self.domain);
+            }
+        }
+        for (name, &e) in &self.constants {
+            s.set_constant(name, e);
+        }
+        s
+    }
+
+    /// Undirected view: both orientations of every edge (Example 2.2.1
+    /// deals with undirected graphs).
+    pub fn symmetric_closure(&self, rel: &str) -> FiniteStructure {
+        let mut s = self.clone();
+        if let Some(edges) = self.binary.get(rel) {
+            for &(a, b) in edges {
+                s.add_edge(rel, b, a);
+            }
+        }
+        s
+    }
+
+    /// Exports the structure as a Datalog database over the given symbol
+    /// spaces, with domain element `i` interned as `n{i}` (or reusing
+    /// constant names). Returns the database and the constant ids used.
+    pub fn to_database(
+        &self,
+        symbols: &mut selprop_datalog::Symbols,
+    ) -> (selprop_datalog::Database, Vec<selprop_datalog::Const>) {
+        let mut db = selprop_datalog::Database::new();
+        // name each element: constants get their names, others n{i}
+        let mut names: Vec<String> = (0..self.domain).map(|i| format!("n{i}")).collect();
+        for (name, &e) in &self.constants {
+            names[e] = name.clone();
+        }
+        let ids: Vec<selprop_datalog::Const> =
+            names.iter().map(|n| symbols.constant(n)).collect();
+        for (rel, edges) in &self.binary {
+            let p = symbols.predicate(rel);
+            for &(a, b) in edges {
+                db.insert(p, vec![ids[a], ids[b]]);
+            }
+        }
+        for (rel, marks) in &self.unary {
+            let p = symbols.predicate(rel);
+            for &a in marks {
+                db.insert(p, vec![ids[a]]);
+            }
+        }
+        (db, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let p = FiniteStructure::path(4, "b");
+        assert_eq!(p.binary["b"].len(), 3);
+        assert!(p.has_edge("b", 0, 1));
+        assert!(!p.has_edge("b", 3, 0));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let c = FiniteStructure::cycle(3, "b");
+        assert_eq!(c.binary["b"].len(), 3);
+        assert!(c.has_edge("b", 2, 0));
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let p = FiniteStructure::path(3, "b");
+        let c = FiniteStructure::cycle(2, "b");
+        let u = p.disjoint_union(&c);
+        assert_eq!(u.domain, 5);
+        assert!(u.has_edge("b", 3, 4));
+        assert!(u.has_edge("b", 4, 3));
+        assert!(!u.has_edge("b", 2, 3));
+    }
+
+    #[test]
+    fn symmetric_closure_doubles() {
+        let p = FiniteStructure::path(3, "b").symmetric_closure("b");
+        assert!(p.has_edge("b", 1, 0));
+        assert!(p.has_edge("b", 0, 1));
+    }
+
+    #[test]
+    fn database_export() {
+        let mut c = FiniteStructure::cycle(3, "b");
+        c.set_constant("c1", 0);
+        let mut sy = selprop_datalog::Symbols::new();
+        let (db, ids) = c.to_database(&mut sy);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(db.num_facts(), 3);
+        assert!(sy.get_constant("c1").is_some());
+    }
+}

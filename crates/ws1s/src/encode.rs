@@ -1,0 +1,358 @@
+//! Mechanization of the Lemma 5.1 encoding: a **monadic Datalog program**
+//! becomes a WS1S formula whose models, read through the EDB partition
+//! tracks, form a regular language.
+//!
+//! The paper's construction (Section 5): replace each EDB occurrence
+//! `b_i(X, Y)` by `w_{i+m}(X) ∧ next(X, Y)`, view the rules as universally
+//! quantified Horn clauses (φ4/φ5), constrain `w_{1+m}, ..., w_{k+m}` to
+//! partition a complete initial segment (φ1–φ3), and close with a prefix
+//! of *universal* weak second-order quantifiers over the IDB predicates
+//! (φ6):
+//!
+//! ```text
+//! φ = ∀w ∀w1 ... ∀wm (φ5 ⇒ w(0)) ∧ φ3
+//! ```
+//!
+//! In the finite-word semantics of this crate the "complete initial
+//! segment" is the word itself, so φ3 reduces to the partition constraint,
+//! and `next` is `succ`. One presentational deviation (documented in
+//! DESIGN.md): the paper uses goal `p(c, c)` on a *cycle*; we mechanize
+//! the `p(c, Y)` line variant — the database is the path `0 → 1 → ... →
+//! n-1` with edge `(i, i+1)` labeled by position `i`'s partition block,
+//! and the goal asks whether the **last** node is derived. Then
+//! `Models(φ)`, with the meaningless last-position label stripped, is
+//! exactly `L(H)` — the same conclusion Lemma 5.2 draws, with cleaner
+//! bookkeeping (a path winds exactly once; a cycle can wind many times).
+//!
+//! The punchline is Lemma 5.3 made executable: [`extract_language`]
+//! returns a DFA, so *whatever monadic program you feed in, the language
+//! it defines on labeled lines is regular* — the heart of the Theorem
+//! 3.3(1) "only if" direction.
+
+use selprop_automata::alphabet::{Alphabet, Symbol};
+use selprop_automata::dfa::Dfa;
+use selprop_automata::minimize::minimize;
+use selprop_automata::nfa::Nfa;
+use selprop_automata::ops;
+use selprop_datalog::ast::{Pred, Program, Term};
+
+use crate::compile::{compile, CompiledFormula};
+use crate::syntax::{Formula, VarId};
+
+/// The result of encoding a monadic program.
+#[derive(Clone, Debug)]
+pub struct ChainEncoding {
+    /// The WS1S formula (free variables: the EDB partition tracks).
+    pub formula: Formula,
+    /// Total number of tracks.
+    pub num_tracks: usize,
+    /// `(EDB predicate, track)` pairs, in track order `0..k`.
+    pub edb_tracks: Vec<(Pred, usize)>,
+    /// The target string alphabet (one symbol per EDB, named after it).
+    pub alphabet: Alphabet,
+}
+
+/// Builds the Lemma 5.1 formula for a monadic program `h` whose EDBs are
+/// binary and whose only constant is `origin` (the paper's `c`,
+/// interpreted as position 0). The goal must be unary (`g(Y)`: answer at
+/// the last node) or ground (`g(c)`: answer at the origin).
+pub fn encode_monadic_program(h: &Program, origin: &str) -> Result<ChainEncoding, String> {
+    h.validate()?;
+    if !h.is_monadic() {
+        return Err("Lemma 5.1 encoding requires a monadic program".to_owned());
+    }
+    let idbs = h.idb_predicates();
+    let edbs = h.edb_predicates();
+    if edbs.is_empty() {
+        return Err("program has no EDB predicates".to_owned());
+    }
+    let origin_const = h.symbols.get_constant(origin);
+
+    // Track layout: EDB partition tracks 0..k, then IDB tracks, then a
+    // per-rule pool of first-order tracks (reused across rules — each is
+    // quantified within its own rule's subformula).
+    let k = edbs.len();
+    let m = idbs.len();
+    let edb_track = |p: Pred| -> usize { edbs.iter().position(|&q| q == p).expect("edb") };
+    let idb_track = |p: Pred| -> usize { k + idbs.iter().position(|&q| q == p).expect("idb") };
+    let fo_base = k + m;
+
+    // φ_partition: every position is in exactly one EDB block.
+    let x = VarId(fo_base);
+    let partition = Formula::forall_fo(
+        x,
+        Formula::any((0..k).map(|i| {
+            Formula::all(
+                std::iter::once(Formula::In(x, VarId(i))).chain((0..k).filter(|&j| j != i).map(
+                    |j| Formula::not(Formula::In(x, VarId(j))),
+                )),
+            )
+        })),
+    );
+
+    // Per-rule Horn clause, universally closed.
+    let mut rules_formula = Formula::True;
+    for rule in &h.rules {
+        // map the rule's variables to FO tracks fo_base.., plus one extra
+        // track for the origin constant if it occurs.
+        let vars = rule.all_vars();
+        let var_track = |v: selprop_datalog::ast::Var| -> VarId {
+            VarId(fo_base + vars.iter().position(|&w| w == v).expect("rule var"))
+        };
+        let origin_track = VarId(fo_base + vars.len());
+        let mut uses_origin = false;
+        let term_var = |t: &Term, uses_origin: &mut bool| -> Result<VarId, String> {
+            match t {
+                Term::Var(v) => Ok(var_track(*v)),
+                Term::Const(c) => {
+                    if Some(*c) == origin_const {
+                        *uses_origin = true;
+                        Ok(origin_track)
+                    } else {
+                        Err(format!(
+                            "constant {} is not the origin '{origin}'",
+                            h.symbols.const_name(*c)
+                        ))
+                    }
+                }
+            }
+        };
+
+        let mut body = Formula::True;
+        for atom in &rule.body {
+            let f = if idbs.contains(&atom.pred) {
+                if atom.arity() != 1 {
+                    return Err("IDB atoms must be unary".to_owned());
+                }
+                let t = term_var(&atom.args[0], &mut uses_origin)?;
+                Formula::In(t, VarId(idb_track(atom.pred)))
+            } else {
+                if atom.arity() != 2 {
+                    return Err(format!(
+                        "EDB {} must be binary (chain form)",
+                        h.symbols.pred_name(atom.pred)
+                    ));
+                }
+                let tx = term_var(&atom.args[0], &mut uses_origin)?;
+                let ty = term_var(&atom.args[1], &mut uses_origin)?;
+                Formula::and(
+                    Formula::In(tx, VarId(edb_track(atom.pred))),
+                    Formula::Succ(tx, ty),
+                )
+            };
+            body = Formula::and(body, f);
+        }
+        if rule.head.arity() != 1 {
+            return Err("IDB heads must be unary".to_owned());
+        }
+        let head_t = term_var(&rule.head.args[0], &mut uses_origin)?;
+        let head = Formula::In(head_t, VarId(idb_track(rule.head.pred)));
+
+        let mut clause = Formula::implies(body, head);
+        // close over the origin marker, guarded by IsFirst
+        if uses_origin {
+            clause = Formula::forall_fo(
+                origin_track,
+                Formula::implies(Formula::IsFirst(origin_track), clause),
+            );
+        }
+        for &v in vars.iter().rev() {
+            clause = Formula::forall_fo(var_track(v), clause);
+        }
+        rules_formula = Formula::and(rules_formula, clause);
+    }
+
+    // Goal: g(Y) → last node derived; g(c) → origin derived.
+    let goal_track = VarId(idb_track(h.goal.pred));
+    let y = VarId(fo_base);
+    let goal_formula = match h.goal.args.as_slice() {
+        [Term::Var(_)] => Formula::exists_fo(
+            y,
+            Formula::and(Formula::IsLast(y), Formula::In(y, goal_track)),
+        ),
+        [Term::Const(c)] if Some(*c) == origin_const => Formula::exists_fo(
+            y,
+            Formula::and(Formula::IsFirst(y), Formula::In(y, goal_track)),
+        ),
+        _ => return Err("goal must be g(Y) or g(origin)".to_owned()),
+    };
+
+    // φ6: ∀W_idb1 ... ∀W_idbm (rules ⇒ goal) ∧ partition
+    let mut phi = Formula::implies(rules_formula, goal_formula);
+    for &p in idbs.iter().rev() {
+        phi = Formula::forall_so(VarId(idb_track(p)), phi);
+    }
+    let formula = Formula::and(partition, phi);
+
+    // count FO tracks actually used
+    let max_rule_vars = h
+        .rules
+        .iter()
+        .map(|r| r.all_vars().len() + 1)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let num_tracks = fo_base + max_rule_vars;
+
+    let alphabet = Alphabet::from_names(edbs.iter().map(|&p| h.symbols.pred_name(p)));
+    Ok(ChainEncoding {
+        formula,
+        num_tracks,
+        edb_tracks: edbs.iter().enumerate().map(|(i, &p)| (p, i)).collect(),
+        alphabet,
+    })
+}
+
+/// Compiles the encoding to its track DFA.
+pub fn compile_encoding(enc: &ChainEncoding) -> CompiledFormula {
+    compile(&enc.formula, enc.num_tracks, &[])
+}
+
+/// Extracts the regular language over the EDB alphabet: maps one-hot
+/// partition letters to EDB symbols and strips the meaningless label of
+/// the final node (a line with `n` nodes has `n-1` edges).
+pub fn extract_language(enc: &ChainEncoding) -> Dfa {
+    let compiled = compile_encoding(enc);
+    let track_dfa = &compiled.dfa;
+    let k = enc.edb_tracks.len();
+
+    let mut nfa = Nfa::new(enc.alphabet.clone());
+    for _ in 0..track_dfa.num_states() {
+        nfa.add_state();
+    }
+    if track_dfa.num_states() > 0 {
+        nfa.set_start(track_dfa.start());
+    }
+    for q in 0..track_dfa.num_states() {
+        if track_dfa.is_accept(q) {
+            nfa.set_accept(q);
+        }
+        for letter in track_dfa.alphabet.symbols() {
+            // keep only letters that are one-hot on the EDB tracks and
+            // zero on every other track
+            let mask = letter.0;
+            if mask.count_ones() != 1 {
+                continue;
+            }
+            let t = mask.trailing_zeros() as usize;
+            if t >= k {
+                continue;
+            }
+            nfa.add_transition(q, Symbol(t as u32), track_dfa.step(q, letter));
+        }
+    }
+    let mapped = minimize(&Dfa::from_nfa(&nfa));
+    // strip the final node's label: L = mapped / Σ
+    let sigma_once = {
+        let mut n = Nfa::new(enc.alphabet.clone());
+        let a = n.add_state();
+        let b = n.add_state();
+        n.set_start(a);
+        n.set_accept(b);
+        for s in enc.alphabet.symbols().collect::<Vec<_>>() {
+            n.add_transition(a, s, b);
+        }
+        Dfa::from_nfa(&n)
+    };
+    minimize(&ops::right_quotient(&mapped, &sigma_once))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selprop_automata::equiv::equivalent;
+    use selprop_automata::regex::Regex;
+    use selprop_datalog::parser::parse_program;
+
+    fn regex_dfa(al: &Alphabet, text: &str) -> Dfa {
+        let mut al = al.clone();
+        Regex::parse(text, &mut al).unwrap().to_dfa(&al)
+    }
+
+    #[test]
+    fn program_d_defines_par_plus() {
+        // Example 1.1 Program D — the monadic rewrite of ancestors. Its
+        // language on labeled lines is par⁺ = L(H) for the ancestor chain
+        // program.
+        let h = parse_program(
+            "?- ancjohn(Y).\n\
+             ancjohn(Y) :- par(john, Y).\n\
+             ancjohn(Y) :- ancjohn(Z), par(Z, Y).",
+        )
+        .unwrap();
+        let enc = encode_monadic_program(&h, "john").unwrap();
+        let lang = extract_language(&enc);
+        let expected = regex_dfa(&enc.alphabet, "par par*");
+        assert!(
+            equivalent(&lang, &expected),
+            "Program D's WS1S language must be par+"
+        );
+    }
+
+    #[test]
+    fn two_edb_left_linear() {
+        // L = b1 b2*: p(Y) :- b1(c, Y); p(Y) :- p(Z), b2(Z, Y).
+        let h = parse_program(
+            "?- p(Y).\n\
+             p(Y) :- b1(c, Y).\n\
+             p(Y) :- p(Z), b2(Z, Y).",
+        )
+        .unwrap();
+        let enc = encode_monadic_program(&h, "c").unwrap();
+        let lang = extract_language(&enc);
+        let expected = regex_dfa(&enc.alphabet, "b1 b2*");
+        assert!(equivalent(&lang, &expected));
+    }
+
+    #[test]
+    fn alternation_language() {
+        // L = (b1 b2)+ via two monadic IDBs.
+        let h = parse_program(
+            "?- q2(Y).\n\
+             q1(Y) :- b1(c, Y).\n\
+             q1(Y) :- q2(Z), b1(Z, Y).\n\
+             q2(Y) :- q1(Z), b2(Z, Y).",
+        )
+        .unwrap();
+        let enc = encode_monadic_program(&h, "c").unwrap();
+        let lang = extract_language(&enc);
+        let expected = regex_dfa(&enc.alphabet, "(b1 b2)(b1 b2)*");
+        assert!(equivalent(&lang, &expected));
+    }
+
+    #[test]
+    fn rejects_binary_idb() {
+        let h = parse_program(
+            "?- p(c, Y).\n\
+             p(X, Y) :- b(X, Y).\n\
+             p(X, Y) :- p(X, Z), b(Z, Y).",
+        )
+        .unwrap();
+        assert!(encode_monadic_program(&h, "c").is_err());
+    }
+
+    #[test]
+    fn rejects_foreign_constants() {
+        let h = parse_program(
+            "?- p(Y).\n\
+             p(Y) :- b(other, Y).",
+        )
+        .unwrap();
+        assert!(encode_monadic_program(&h, "c").is_err());
+    }
+
+    #[test]
+    fn empty_language_program() {
+        // A program that can never reach the goal: the goal predicate has
+        // an unsatisfiable guard (q never derived).
+        let h = parse_program(
+            "?- p(Y).\n\
+             p(Y) :- q(Z), b(Z, Y).\n\
+             q(Y) :- p(Z), b(Z, Y).",
+        )
+        .unwrap();
+        let enc = encode_monadic_program(&h, "c").unwrap();
+        let lang = extract_language(&enc);
+        assert!(lang.is_empty(), "unreachable goal means empty language");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the WS1S compiler: random formulas over two tracks
+//! are compiled and checked against a brute-force evaluator; algebraic
+//! laws (double negation, quantifier duality) are verified at the
+//! automaton level.
+
+use proptest::prelude::*;
+use selprop_automata::equiv::equivalent;
+use selprop_automata::Symbol;
+use selprop_ws1s::compile::compile;
+use selprop_ws1s::syntax::{Formula, VarId};
+
+const W: VarId = VarId(0); // free second-order track
+const X: VarId = VarId(1); // quantified FO track
+const Y: VarId = VarId(2); // quantified FO track
+
+/// Random quantifier-free cores over x, y, W.
+fn arb_core() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::In(X, W)),
+        Just(Formula::In(Y, W)),
+        Just(Formula::Eq(X, Y)),
+        Just(Formula::Succ(X, Y)),
+        Just(Formula::Lt(X, Y)),
+        Just(Formula::True),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+/// Closed formulas: quantify x and y in random order/polarity.
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    (arb_core(), 0u8..4).prop_map(|(core, mode)| match mode {
+        0 => Formula::exists_fo(X, Formula::exists_fo(Y, core)),
+        1 => Formula::forall_fo(X, Formula::exists_fo(Y, core)),
+        2 => Formula::exists_fo(X, Formula::forall_fo(Y, core)),
+        _ => Formula::forall_fo(X, Formula::forall_fo(Y, core)),
+    })
+}
+
+/// Brute-force evaluation on a word given as W-membership bits.
+fn eval(f: &Formula, w_bits: &[bool], x: Option<usize>, y: Option<usize>) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::In(v, _) if *v == X => x.map(|i| w_bits[i]).unwrap_or(false),
+        Formula::In(v, _) if *v == Y => y.map(|i| w_bits[i]).unwrap_or(false),
+        Formula::In(..) => false,
+        Formula::Eq(..) => x.is_some() && x == y,
+        Formula::Succ(..) => matches!((x, y), (Some(i), Some(j)) if j == i + 1),
+        Formula::Lt(..) => matches!((x, y), (Some(i), Some(j)) if i < j),
+        Formula::Not(g) => !eval(g, w_bits, x, y),
+        Formula::And(a, b) => eval(a, w_bits, x, y) && eval(b, w_bits, x, y),
+        Formula::Or(a, b) => eval(a, w_bits, x, y) || eval(b, w_bits, x, y),
+        Formula::Implies(a, b) => !eval(a, w_bits, x, y) || eval(b, w_bits, x, y),
+        Formula::ExistsFo(v, g) if *v == X => (0..w_bits.len()).any(|i| eval(g, w_bits, Some(i), y)),
+        Formula::ExistsFo(v, g) if *v == Y => (0..w_bits.len()).any(|j| eval(g, w_bits, x, Some(j))),
+        Formula::ForallFo(v, g) if *v == X => (0..w_bits.len()).all(|i| eval(g, w_bits, Some(i), y)),
+        Formula::ForallFo(v, g) if *v == Y => (0..w_bits.len()).all(|j| eval(g, w_bits, x, Some(j))),
+        _ => unreachable!("unsupported shape in this test family"),
+    }
+}
+
+/// All W-assignments of length ≤ n as bit vectors.
+fn words(n: usize) -> Vec<Vec<bool>> {
+    let mut out = vec![vec![]];
+    for len in 1..=n {
+        for mask in 0..(1u32 << len) {
+            out.push((0..len).map(|i| mask & (1 << i) != 0).collect());
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn compiler_matches_brute_force(f in arb_formula()) {
+        let compiled = compile(&f, 3, &[]);
+        for w in words(5) {
+            let symbols: Vec<Symbol> = w
+                .iter()
+                .map(|&b| Symbol(u32::from(b)))
+                .collect();
+            let want = eval(&f, &w, None, None);
+            prop_assert_eq!(
+                compiled.dfa.accepts_word(&symbols),
+                want,
+                "mismatch on {:?} for {}", w, f
+            );
+        }
+    }
+
+    #[test]
+    fn double_negation(f in arb_formula()) {
+        let a = compile(&f, 3, &[]);
+        let b = compile(&Formula::not(Formula::not(f)), 3, &[]);
+        prop_assert!(equivalent(&a.dfa, &b.dfa));
+    }
+
+    #[test]
+    fn quantifier_duality(core in arb_core()) {
+        // ∀x φ ≡ ¬∃x ¬φ  at the automaton level, with y closed first
+        let closed = |inner: Formula| Formula::exists_fo(Y, inner);
+        let lhs = compile(&Formula::forall_fo(X, closed(core.clone())), 3, &[]);
+        let rhs = compile(
+            &Formula::not(Formula::exists_fo(X, Formula::not(closed(core)))),
+            3,
+            &[],
+        );
+        prop_assert!(equivalent(&lhs.dfa, &rhs.dfa));
+    }
+
+    #[test]
+    fn de_morgan_on_compiled(f in arb_formula(), g in arb_formula()) {
+        let lhs = compile(&Formula::not(Formula::and(f.clone(), g.clone())), 3, &[]);
+        let rhs = compile(&Formula::or(Formula::not(f), Formula::not(g)), 3, &[]);
+        prop_assert!(equivalent(&lhs.dfa, &rhs.dfa));
+    }
+}

@@ -1,0 +1,106 @@
+//! Example 1.1 of the paper, end to end: the four ancestor programs
+//! A, B, C, D are semantically equivalent but cost wildly different
+//! amounts to evaluate; magic sets close most of the gap for A and B.
+//!
+//! ```bash
+//! cargo run --example ancestor_four_ways
+//! ```
+
+use selprop_datalog::db::Database;
+use selprop_datalog::eval::{answer, Strategy};
+use selprop_datalog::magic::magic_transform;
+use selprop_datalog::parser::parse_program;
+use selprop_core::workload;
+
+const PROGRAMS: [(&str, &str); 4] = [
+    (
+        "A (left-linear)",
+        "?- anc(john, Y).\n\
+         anc(X, Y) :- par(X, Y).\n\
+         anc(X, Y) :- anc(X, Z), par(Z, Y).",
+    ),
+    (
+        "B (right-linear)",
+        "?- anc(john, Y).\n\
+         anc(X, Y) :- par(X, Y).\n\
+         anc(X, Y) :- par(X, Z), anc(Z, Y).",
+    ),
+    (
+        "C (nonlinear)",
+        "?- anc(john, Y).\n\
+         anc(X, Y) :- par(X, Y).\n\
+         anc(X, Y) :- anc(X, Z), anc(Z, Y).",
+    ),
+    (
+        "D (monadic)",
+        "?- ancjohn(Y).\n\
+         ancjohn(Y) :- par(john, Y).\n\
+         ancjohn(Y) :- ancjohn(Z), par(Z, Y).",
+    ),
+];
+
+fn main() {
+    let n = 400;
+    println!(
+        "Example 1.1 — four equivalent ancestor programs on a random forest \
+         ({n} nodes) plus disconnected noise\n"
+    );
+    println!(
+        "{:<18} {:>9} {:>12} {:>12} {:>12}",
+        "program", "answers", "tuples", "work", "iterations"
+    );
+
+    let mut reference: Option<usize> = None;
+    for (name, src) in PROGRAMS {
+        let mut program = parse_program(src).unwrap();
+        let mut db = workload::random_forest(&mut program, "par", "john", n, 11);
+        // noise: chains not reachable from john
+        let noise = workload::wide(&mut program, "par", "elsewhere", 0, 20, 10);
+        merge(&mut db, &noise);
+        let (ans, stats) = answer(&program, &db, Strategy::SemiNaive);
+        match reference {
+            None => reference = Some(ans.len()),
+            Some(r) => assert_eq!(r, ans.len(), "Example 1.1 equivalence"),
+        }
+        println!(
+            "{:<18} {:>9} {:>12} {:>12} {:>12}",
+            name,
+            ans.len(),
+            stats.tuples_derived,
+            stats.work(),
+            stats.iterations
+        );
+    }
+
+    println!("\nWith the magic-sets transformation applied:\n");
+    println!("{:<18} {:>9} {:>12} {:>12}", "program", "answers", "tuples", "work");
+    for (name, src) in &PROGRAMS[..3] {
+        let mut program = parse_program(src).unwrap();
+        let mut db = workload::random_forest(&mut program, "par", "john", n, 11);
+        let noise = workload::wide(&mut program, "par", "elsewhere", 0, 20, 10);
+        merge(&mut db, &noise);
+        let magic = magic_transform(&program).unwrap();
+        let (ans, stats) = answer(&magic.program, &db, Strategy::SemiNaive);
+        println!(
+            "{:<18} {:>9} {:>12} {:>12}",
+            format!("magic({})", name.chars().next().unwrap()),
+            ans.len(),
+            stats.tuples_derived,
+            stats.work()
+        );
+        let _ = name;
+    }
+    println!(
+        "\nReading: D is the efficient monadic form; magic(A)/magic(B) restrict \
+         the computation to (roughly) what D does; magic helps C far less — \
+         exactly the paper's Section 1 narrative."
+    );
+}
+
+fn merge(into: &mut Database, from: &Database) {
+    for (p, rel) in from.iter() {
+        for t in rel.iter() {
+            into.insert(p, t.clone());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The negation boundary of Section 6: pure monadic Datalog is blind to
+//! cycles (Lemma 6.1), but Example 6.3's monadic *fixpoint with
+//! negation* expresses cyclicity.
+//!
+//! ```bash
+//! cargo run --example negation_boundary
+//! ```
+
+use selprop_mgs::fixpoint::{example_6_3, has_cycle_via_fixpoint};
+use selprop_mgs::structure::FiniteStructure;
+use selprop_mgs::symmetry::{distinguishes, monadic_probe_programs};
+
+fn main() {
+    let n = 10;
+    let path = FiniteStructure::path(n, "b");
+    let with_cycle = path.disjoint_union(&FiniteStructure::cycle(n / 2, "b"));
+
+    println!("Structures: P_{n} (a path) vs P_{n} ⊎ C_{} (path + cycle)\n", n / 2);
+
+    println!("— Pure monadic Datalog probes (Lemma 6.1: must be blind) —");
+    for (i, probe) in monadic_probe_programs().iter().enumerate() {
+        let d = distinguishes(probe, &path, &with_cycle);
+        println!("  probe {i}: distinguishes = {d}");
+        assert!(!d, "Lemma 6.1 violated");
+    }
+
+    println!("\n— Example 6.3: monadic fixpoint WITH negation —");
+    println!("  rule: w(X) :- w(X) ∨ ∀Y (b(X,Y) ⇒ w(Y))");
+    let fp = example_6_3();
+    for (name, s) in [("P_10", &path), ("P_10 ⊎ C_5", &with_cycle)] {
+        let (marked, iters) = fp.evaluate(s);
+        println!(
+            "  {name}: {} of {} nodes marked acyclic in {iters} iterations → has_cycle = {}",
+            marked.len(),
+            s.domain,
+            has_cycle_via_fixpoint(s)
+        );
+    }
+    assert!(!has_cycle_via_fixpoint(&path));
+    assert!(has_cycle_via_fixpoint(&with_cycle));
+
+    println!(
+        "\nThe same monadic arity, one negation-bearing universal body — and \
+         the cycle blindness of Lemma 6.1 is gone. This is why Theorem 3.3's \
+         lower bound technique (Section 6) does not extend to monadic fixpoint \
+         logic with negation, while the WS1S technique (Corollary 5.4) does."
+    );
+}
