@@ -19,7 +19,7 @@
 //! ## Crate map
 //!
 //! - [`chain`] — chain programs, goal classification, the grammar `G(H)`;
-//! - [`propagate`] — the decision engine: `Propagated` with a
+//! - [`propagate`](mod@propagate) — the decision engine: `Propagated` with a
 //!   machine-checkable certificate, `Impossible` with a pumping witness,
 //!   or `Unknown` with evidence (the undecidability made visible);
 //! - [`rewrite`] — the constructive direction: DFA → monadic program

@@ -12,7 +12,7 @@
 //!
 //! - [`syntax`] — WS1S formulas (first-order position variables, weak
 //!   second-order set variables, `succ`, order, membership);
-//! - [`compile`] — the Büchi–Elgot–Trakhtenbrot decision procedure:
+//! - [`compile`](mod@compile) — the Büchi–Elgot–Trakhtenbrot decision procedure:
 //!   formulas compile to DFAs over bit-vector track alphabets, so
 //!   `Language(φ)` is regular *constructively*;
 //! - [`encode`] — the Lemma 5.1 construction: a monadic Datalog program

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! micro-crate supplies the slice of criterion's API the `selprop-bench`
+//! harness uses: [`Criterion::benchmark_group`], group
+//! `sample_size`/`bench_function`/`bench_with_input`/`finish`,
+//! [`BenchmarkId::new`], [`Bencher::iter`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up
+//! once, then timed for `sample_size` batches, and the per-iteration
+//! mean / min are printed. No statistics, plots, or baselines — the
+//! machine-independent work counters printed by the benches themselves
+//! (see `EXPERIMENTS.md`) are the numbers the reproduction records.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered into the id (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and min per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records wall-clock statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut done = 0usize;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            done += 1;
+            // Bound total harness time per benchmark.
+            if total > Duration::from_millis(500) {
+                break;
+            }
+        }
+        self.result = Some((total / done as u32, min));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn run_one(&mut self, id: &str, run: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size.max(1),
+            result: None,
+        };
+        run(&mut b);
+        match b.result {
+            Some((mean, min)) => println!(
+                "bench {}/{id}: mean {} (min {})",
+                self.name,
+                fmt_duration(mean),
+                fmt_duration(min)
+            ),
+            None => println!("bench {}/{id}: no measurement", self.name),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.id, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point handed to every bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function from bench functions, like
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` from one or more [`criterion_group!`] names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
