@@ -255,7 +255,7 @@ impl Dfa {
         let mut color = vec![Color::White; self.num_states()];
         let symbols: Vec<Symbol> = self.alphabet.symbols().collect();
         for &root in &live {
-            if color[root as usize] != Color::White {
+            if color[root] != Color::White {
                 continue;
             }
             // stack of (state, next symbol index to explore)
@@ -381,13 +381,13 @@ impl Dfa {
         counts.push(accepted(&paths));
         for _ in 0..max_len {
             let mut next = vec![0u64; n];
-            for q in 0..n {
-                if paths[q] == 0 {
+            for (q, &count) in paths.iter().enumerate() {
+                if count == 0 {
                     continue;
                 }
                 for &a in &symbols {
                     let r = self.step(q, a);
-                    next[r] = next[r].saturating_add(paths[q]);
+                    next[r] = next[r].saturating_add(count);
                 }
             }
             paths = next;

@@ -47,14 +47,10 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
     let mut num_classes = usize::from(has_accepting) + usize::from(has_rejecting);
     if !has_accepting {
         // all rejecting: single class 0 already
-        for c in &mut class_of {
-            *c = 0;
-        }
+        class_of.fill(0);
         num_classes = 1;
     } else if !has_rejecting {
-        for c in &mut class_of {
-            *c = 0;
-        }
+        class_of.fill(0);
         num_classes = 1;
     }
 

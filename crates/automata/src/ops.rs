@@ -25,8 +25,8 @@ pub fn right_quotient(l: &Dfa, r: &Dfa) -> Dfa {
     // For each state q of l, test emptiness of L_q(l) ∩ L(r) where L_q is
     // the language of l started at q. All tests share one product search
     // seeded from every (q, r.start) pair.
-    for q in 0..l.num_states() {
-        accepting[q] = product_reaches_accept(l, q, r, r.start(), &symbols);
+    for (q, acc) in accepting.iter_mut().enumerate() {
+        *acc = product_reaches_accept(l, q, r, r.start(), &symbols);
     }
     Dfa::from_parts(
         l.alphabet.clone(),

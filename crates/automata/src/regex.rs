@@ -286,14 +286,14 @@ pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
     let start = n;
     let accept = n + 1;
     let mut edge: Vec<Vec<Regex>> = vec![vec![Regex::Empty; total]; total];
-    for q in 0..n {
+    for (q, row) in edge.iter_mut().enumerate().take(n) {
         for a in dfa.alphabet.symbols() {
             let r = dfa.step(q, a);
-            let e = edge[q][r].clone();
-            edge[q][r] = Regex::alt(e, Regex::Sym(a));
+            let e = row[r].clone();
+            row[r] = Regex::alt(e, Regex::Sym(a));
         }
         if dfa.is_accept(q) {
-            edge[q][accept] = Regex::alt(edge[q][accept].clone(), Regex::Epsilon);
+            row[accept] = Regex::alt(row[accept].clone(), Regex::Epsilon);
         }
     }
     edge[start][dfa.start()] = Regex::Epsilon;
@@ -315,9 +315,9 @@ pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
                 edge[p][s] = Regex::alt(edge[p][s].clone(), path);
             }
         }
-        for x in 0..total {
-            edge[victim][x] = Regex::Empty;
-            edge[x][victim] = Regex::Empty;
+        edge[victim].fill(Regex::Empty);
+        for row in edge.iter_mut() {
+            row[victim] = Regex::Empty;
         }
     }
     edge[start][accept].clone()

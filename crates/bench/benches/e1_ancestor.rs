@@ -47,6 +47,25 @@ fn bench(c: &mut Criterion) {
         }
     }
 
+    // Large-scale wall-clock configuration (>10^6 derived anc tuples);
+    // opt-in via SELPROP_LARGE=1 so the default bench run stays quick.
+    // `record` (crates/bench/src/bin/record.rs) measures the same config
+    // against the reference engine and persists it in BENCH_eval.json.
+    if std::env::var_os("SELPROP_LARGE").is_some() {
+        let mut group = c.benchmark_group("e1_ancestor_large");
+        group.sample_size(2);
+        for (name, src) in [PROGRAMS[0], PROGRAMS[3]] {
+            let mut p = parse_program(src).unwrap();
+            let db = workload::layered_dag(&mut p, "par", "john", 72, 20);
+            let (answers, stats) = run(&p, &db, Strategy::SemiNaive);
+            row(&format!("{name}/layered_dag"), db.num_facts(), answers, &stats);
+            group.bench_with_input(BenchmarkId::new(name, "layered_dag_72x20"), &name, |b, _| {
+                b.iter(|| run(&p, &db, Strategy::SemiNaive))
+            });
+        }
+        group.finish();
+    }
+
     let mut group = c.benchmark_group("e1_ancestor");
     group.sample_size(10);
     for n in [100usize, 400] {

@@ -57,6 +57,34 @@ fn bench(c: &mut Criterion) {
     }
     // quotient computation cost
     group.bench_function("analyze_quotients", |b| b.iter(|| analyze(&chain).unwrap()));
+
+    // Large-scale wall-clock configuration (10^6 noise pairs, >10^6
+    // derived p tuples for the untransformed program); opt-in via
+    // SELPROP_LARGE=1 — `record` persists the same config with
+    // reference-engine timings in BENCH_eval.json.
+    if std::env::var_os("SELPROP_LARGE").is_some() {
+        let (layers, noise) = (20usize, 1_000_000usize);
+        let mut p1 = chain.program.clone();
+        let db1 = workload::layered_b1_b2(&mut p1, "c", layers, noise);
+        let mut p2 = magic.program.clone();
+        let db2 = workload::layered_b1_b2(&mut p2, "c", layers, noise);
+        let (a1, s1) = run(&p1, &db1, Strategy::SemiNaive);
+        let (a2, s2) = run(&p2, &db2, Strategy::SemiNaive);
+        assert_eq!(a1, a2, "magic preserves answers");
+        row("original", layers * 2 + noise * 2, a1, &s1);
+        row("magic", layers * 2 + noise * 2, a2, &s2);
+        group.sample_size(2);
+        group.bench_with_input(
+            BenchmarkId::new("original", format!("{layers}x{noise}")),
+            &layers,
+            |b, _| b.iter(|| run(&p1, &db1, Strategy::SemiNaive)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("magic", format!("{layers}x{noise}")),
+            &layers,
+            |b, _| b.iter(|| run(&p2, &db2, Strategy::SemiNaive)),
+        );
+    }
     group.finish();
 }
 

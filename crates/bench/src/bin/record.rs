@@ -1,0 +1,158 @@
+//! Records the evaluation baseline: work counters **and** wall-clock for
+//! the headline experiment configs, including the large-scale (>10⁶
+//! derived tuples) workloads, into `BENCH_eval.json` at the repo root.
+//!
+//! Work counters are machine-independent and must never drift (the
+//! reference engine is run on every config as a cross-check); wall-clock
+//! is machine-dependent and recorded so future PRs can track the perf
+//! trajectory on the same box. Run with:
+//!
+//! ```text
+//! cargo run --release -p selprop-bench --bin record
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use selprop_core::workload;
+use selprop_datalog::db::Database;
+use selprop_datalog::eval::{answer, EvalStats, Strategy};
+use selprop_datalog::magic::magic_transform;
+use selprop_datalog::parser::parse_program;
+use selprop_datalog::{reference, Program};
+
+struct Row {
+    experiment: &'static str,
+    config: String,
+    answers: usize,
+    stats: EvalStats,
+    wall_ms: f64,
+    reference_wall_ms: f64,
+}
+
+/// Mean wall-clock of `runs` storage-engine evaluations plus one
+/// reference-engine run (which doubles as the counter cross-check).
+fn measure(experiment: &'static str, config: String, p: &Program, db: &Database, runs: u32) -> Row {
+    let mut total = 0.0;
+    let mut out = None;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let (ans, stats) = answer(p, db, Strategy::SemiNaive);
+        total += t0.elapsed().as_secs_f64() * 1e3;
+        out = Some((ans.len(), stats));
+    }
+    let (answers, stats) = out.expect("runs >= 1");
+
+    let t0 = Instant::now();
+    let (ref_ans, ref_stats) = reference::answer(p, db, Strategy::SemiNaive);
+    let reference_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(stats, ref_stats, "{experiment}/{config}: counter drift");
+    assert_eq!(answers, ref_ans.len(), "{experiment}/{config}: answer drift");
+
+    println!(
+        "{experiment:<4} {config:<28} answers={answers:<8} tuples={:<9} work={:<11} storage={:>9.2}ms reference={:>10.2}ms speedup={:>5.1}x",
+        stats.tuples_derived,
+        stats.work(),
+        total / f64::from(runs),
+        reference_wall_ms,
+        reference_wall_ms / (total / f64::from(runs)),
+    );
+    Row {
+        experiment,
+        config,
+        answers,
+        stats,
+        wall_ms: total / f64::from(runs),
+        reference_wall_ms,
+    }
+}
+
+fn e1_rows(rows: &mut Vec<Row>) {
+    const PROGRAMS: [(&str, &str); 4] = [
+        ("A", "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y)."),
+        ("B", "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y)."),
+        ("C", "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), anc(Z, Y)."),
+        ("D", "?- ancjohn(Y).\nancjohn(Y) :- par(john, Y).\nancjohn(Y) :- ancjohn(Z), par(Z, Y)."),
+    ];
+    for n in [100usize, 400] {
+        for (name, src) in PROGRAMS {
+            let mut p = parse_program(src).unwrap();
+            let mut db = workload::random_forest(&mut p, "par", "john", n, 11);
+            let noise = workload::wide(&mut p, "par", "elsewhere", 0, n / 20, 10);
+            for (pred, rel) in noise.iter() {
+                for t in rel.iter() {
+                    db.insert(pred, t.clone());
+                }
+            }
+            rows.push(measure("e1", format!("{name}/n={n}"), &p, &db, 5));
+            if name == "A" {
+                let magic = magic_transform(&p).unwrap();
+                rows.push(measure("e1", format!("magic({name})/n={n}"), &magic.program, &db, 5));
+            }
+        }
+    }
+    // Large scale: >10^6 derived anc tuples from a 28_820-edge layered
+    // DAG. Program A materializes the full closure; Program D (monadic)
+    // shows the paper's point — selection propagation stays linear.
+    for (name, src) in [PROGRAMS[0], PROGRAMS[3]] {
+        let mut p = parse_program(src).unwrap();
+        let db = workload::layered_dag(&mut p, "par", "john", 72, 20);
+        rows.push(measure("e1", format!("{name}/layered_dag(72,20)"), &p, &db, 2));
+    }
+}
+
+fn e5_rows(rows: &mut Vec<Row>) {
+    const SRC: &str = "?- p(c, Y).\n\
+                       p(X, Y) :- b1(X, X1), b2(X1, Y).\n\
+                       p(X, Y) :- b1(X, X1), p(X1, Y1), b2(Y1, Y).";
+    let orig = parse_program(SRC).unwrap();
+    let magic = magic_transform(&orig).unwrap();
+    for (layers, noise) in [(10usize, 50usize), (20, 400), (40, 3200)] {
+        let mut p1 = orig.clone();
+        let db1 = workload::layered_b1_b2(&mut p1, "c", layers, noise);
+        rows.push(measure("e5", format!("original/{layers}x{noise}"), &p1, &db1, 5));
+        let mut p2 = magic.program.clone();
+        let db2 = workload::layered_b1_b2(&mut p2, "c", layers, noise);
+        rows.push(measure("e5", format!("magic/{layers}x{noise}"), &p2, &db2, 5));
+    }
+    // Large scale: 10^6 noise pairs each deriving one irrelevant p fact —
+    // the magic-pruning scenario at a size where storage costs dominate.
+    let (layers, noise) = (20usize, 1_000_000usize);
+    let mut p1 = orig.clone();
+    let db1 = workload::layered_b1_b2(&mut p1, "c", layers, noise);
+    rows.push(measure("e5", format!("original/{layers}x{noise}"), &p1, &db1, 2));
+    let mut p2 = magic.program.clone();
+    let db2 = workload::layered_b1_b2(&mut p2, "c", layers, noise);
+    rows.push(measure("e5", format!("magic/{layers}x{noise}"), &p2, &db2, 2));
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("== recording evaluation baseline (storage engine vs reference) ==");
+    e1_rows(&mut rows);
+    e5_rows(&mut rows);
+
+    let mut json = String::from("{\n  \"generated_by\": \"cargo run --release -p selprop-bench --bin record\",\n  \"engine\": \"columnar-watermark\",\n  \"experiments\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"experiment\": \"{}\", \"config\": \"{}\", \"answers\": {}, \"iterations\": {}, \"rule_firings\": {}, \"tuples_derived\": {}, \"join_probes\": {}, \"wall_ms_mean\": {:.3}, \"wall_ms_reference\": {:.3}}}{}",
+            r.experiment,
+            r.config,
+            r.answers,
+            r.stats.iterations,
+            r.stats.rule_firings,
+            r.stats.tuples_derived,
+            r.stats.join_probes,
+            r.wall_ms,
+            r.reference_wall_ms,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+        json.push('\n');
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    std::fs::write(path, json).expect("write BENCH_eval.json");
+    println!("\nwrote {path}");
+}

@@ -103,6 +103,10 @@ pub struct UndecidedEvidence {
 }
 
 /// The outcome of selection propagation.
+// Propagated carries a whole Program by value; the enum is built a
+// handful of times per decision, so boxing (which would ripple through
+// every caller's match) buys nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum Propagation {
     /// An equivalent monadic program exists and was constructed.
@@ -247,25 +251,36 @@ pub fn propagate_with(
 /// the state count of any DFA for `L(G)`.
 pub fn nerode_lower_bound(g: &selprop_grammar::Cfg, max_len: usize) -> usize {
     let cnf = CnfGrammar::from_cfg(g);
-    // candidate prefixes and probe suffixes: all words up to max_len
-    let mut all: Vec<Vec<Symbol>> = vec![vec![]];
-    let mut frontier: Vec<Vec<Symbol>> = vec![vec![]];
+    // Candidate prefixes and probe suffixes: words in length-lexicographic
+    // order, capped at 256. Generated breadth-first with an early stop so
+    // the (exponential) full word set up to `max_len` is never
+    // materialized — only the capped slice the signatures actually use.
+    const CAP: usize = 256;
     let symbols: Vec<Symbol> = g.alphabet.symbols().collect();
+    let mut all: Vec<Vec<Symbol>> = vec![vec![]];
+    let mut level_start = 0;
     for _ in 0..max_len {
-        let mut next = Vec::new();
-        for w in &frontier {
+        if all.len() >= CAP {
+            break;
+        }
+        let level_end = all.len();
+        for wi in level_start..level_end {
             for &s in &symbols {
-                let mut w2 = w.clone();
+                let mut w2 = all[wi].clone();
                 w2.push(s);
-                next.push(w2);
+                all.push(w2);
+                if all.len() >= CAP {
+                    break;
+                }
+            }
+            if all.len() >= CAP {
+                break;
             }
         }
-        all.extend(next.iter().cloned());
-        frontier = next;
+        level_start = level_end;
     }
-    // prune the blow-up: cap the candidate sets
-    let prefixes: Vec<&Vec<Symbol>> = all.iter().take(256).collect();
-    let suffixes: Vec<&Vec<Symbol>> = all.iter().take(256).collect();
+    let prefixes: Vec<&Vec<Symbol>> = all.iter().take(CAP).collect();
+    let suffixes: Vec<&Vec<Symbol>> = all.iter().take(CAP).collect();
     // signature of a prefix = acceptance vector over probe suffixes
     let mut signatures: Vec<Vec<bool>> = Vec::new();
     for p in &prefixes {

@@ -121,6 +121,45 @@ pub fn layered_b1_b2(
     db
 }
 
+/// A layered complete-bipartite DAG on one EDB: `layers + 1` ranks of
+/// `width` nodes, every node of rank `i` pointing to every node of rank
+/// `i + 1`, with the named root feeding rank 0.
+///
+/// The wall-clock stress generator: `layers·width²` edges produce
+/// `Θ(layers²·width²)` transitive-closure facts (e.g. `layers = 72,
+/// width = 20` → 28_800 edges, >10⁶ derived `anc` tuples), so a full
+/// ancestor run exercises the storage layer at scale from a tiny input.
+/// Deterministic — no seed.
+pub fn layered_dag(
+    program: &mut Program,
+    edb: &str,
+    root: &str,
+    layers: usize,
+    width: usize,
+) -> Database {
+    let pred = program.symbols.predicate(edb);
+    let mut db = Database::new();
+    let rank: Vec<Vec<Const>> = (0..=layers)
+        .map(|l| {
+            (0..width)
+                .map(|i| program.symbols.constant(&format!("l{l}_{i}")))
+                .collect()
+        })
+        .collect();
+    let r = program.symbols.constant(root);
+    for &c in &rank[0] {
+        db.insert(pred, vec![r, c]);
+    }
+    for l in 0..layers {
+        for &a in &rank[l] {
+            for &b in &rank[l + 1] {
+                db.insert(pred, vec![a, b]);
+            }
+        }
+    }
+    db
+}
+
 /// A union of disjoint directed cycles with the given lengths, on one EDB
 /// (the Section 6 / E3 structures).
 pub fn cycles(program: &mut Program, edb: &str, lengths: &[usize]) -> Database {
@@ -212,6 +251,22 @@ mod tests {
         .unwrap();
         let db = layered_b1_b2(&mut p, "c", 5, 3);
         assert_eq!(db.num_facts(), 5 + 5 + 6);
+    }
+
+    #[test]
+    fn layered_dag_counts_and_closure() {
+        let mut p = anc_program();
+        let db = layered_dag(&mut p, "par", "c", 3, 4);
+        assert_eq!(db.num_facts(), 4 + 3 * 16);
+        let result = selprop_datalog::eval::evaluate(
+            &p,
+            &db,
+            selprop_datalog::eval::Strategy::SemiNaive,
+        );
+        let anc = p.symbols.get_predicate("anc").unwrap();
+        // closure: root reaches all 16 nodes; rank i reaches all deeper
+        // ranks: 16 + 4*(3+2+1)*4 = 16 + 96
+        assert_eq!(result.idb.relation(anc).unwrap().len(), 16 + 96);
     }
 
     #[test]

@@ -4,18 +4,23 @@
 //! relations, one per EDB predicate. Evaluation output adds IDB relations
 //! to the same representation.
 
-use std::collections::{HashMap, HashSet};
-
 use crate::ast::{Const, Pred, Symbols};
+use crate::hash::{FxHashMap, FxHashSet};
 
 /// A tuple of constants.
 pub type Tuple = Vec<Const>;
 
 /// A finite relation of fixed arity.
+///
+/// Tuple storage is hash-set based and keyed with the in-tree
+/// [`crate::hash::FxHasher`] — materializing a large evaluation result
+/// is insert-bound, and SipHash dominated the profile before the swap.
+/// (The evaluator itself works on [`crate::storage::ColumnarRelation`];
+/// this type is the stable exchange format at API boundaries.)
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Relation {
     arity: usize,
-    tuples: HashSet<Tuple>,
+    tuples: FxHashSet<Tuple>,
 }
 
 impl Relation {
@@ -23,7 +28,7 @@ impl Relation {
     pub fn new(arity: usize) -> Self {
         Self {
             arity,
-            tuples: HashSet::new(),
+            tuples: FxHashSet::default(),
         }
     }
 
@@ -69,7 +74,7 @@ impl Relation {
 
 impl FromIterator<Tuple> for Relation {
     fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
-        let mut tuples = HashSet::new();
+        let mut tuples = FxHashSet::default();
         let mut arity = None;
         for t in iter {
             match arity {
@@ -88,7 +93,7 @@ impl FromIterator<Tuple> for Relation {
 /// A database: a finite relation per predicate.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
-    relations: HashMap<Pred, Relation>,
+    relations: FxHashMap<Pred, Relation>,
 }
 
 impl Database {
@@ -130,7 +135,7 @@ impl Database {
 
     /// All constants mentioned in the database (the active domain).
     pub fn active_domain(&self) -> Vec<Const> {
-        let mut set: HashSet<Const> = HashSet::new();
+        let mut set: FxHashSet<Const> = FxHashSet::default();
         for r in self.relations.values() {
             for t in r.iter() {
                 set.extend(t.iter().copied());

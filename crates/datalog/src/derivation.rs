@@ -13,7 +13,6 @@ use std::collections::HashMap;
 
 use crate::ast::{Const, Pred, Program, Term};
 use crate::db::{Database, Tuple};
-use crate::eval::{evaluate, Strategy};
 
 /// A ground atom `pred(c1, ..., ck)`.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -223,84 +222,22 @@ pub struct ConvergenceProfile {
 }
 
 impl ConvergenceProfile {
-    /// Measures the profile by running semi-naive evaluation and reading
-    /// its iteration count; per-iteration counts come from a re-run with
-    /// per-round snapshots.
+    /// Measures the profile in one semi-naive run: the engine's watermark
+    /// deltas *are* the per-stage new-fact counts. Semi-naive with the
+    /// last-delta-occurrence convention is stage-exact — iteration `k`
+    /// derives precisely the facts first derivable at stage `k` of the
+    /// immediate-consequence operator — so this equals the naive
+    /// round-by-round count without re-running rounds against snapshots.
     pub fn measure(program: &Program, db: &Database) -> ConvergenceProfile {
-        // Simple approach: naive rounds, counting new facts each round.
-        let mut counts = Vec::new();
-        let mut model = Database::new();
-        loop {
-            let merged = merge(db, &model);
-            // one round: evaluate every rule once against `merged`
-            let single = single_round(program, &merged);
-            let mut new = 0u64;
-            let mut next = model.clone();
-            for (p, rel) in single.iter() {
-                for t in rel.iter() {
-                    let already = model
-                        .relation(p)
-                        .map(|r| r.contains(t))
-                        .unwrap_or(false);
-                    if !already && next.insert(p, t.clone()) {
-                        new += 1;
-                    }
-                }
-            }
-            if new == 0 {
-                break;
-            }
-            counts.push(new);
-            model = next;
+        ConvergenceProfile {
+            new_facts: crate::eval::seminaive_profile(program, db),
         }
-        ConvergenceProfile { new_facts: counts }
     }
 
     /// Number of iterations to fixpoint.
     pub fn iterations(&self) -> usize {
         self.new_facts.len()
     }
-}
-
-fn merge(db: &Database, idb: &Database) -> Database {
-    let mut out = db.clone();
-    for (p, rel) in idb.iter() {
-        for t in rel.iter() {
-            out.insert(p, t.clone());
-        }
-    }
-    out
-}
-
-/// One immediate-consequence round: treat every body atom as EDB (read
-/// from `facts`), producing all one-step derivable heads.
-fn single_round(program: &Program, facts: &Database) -> Database {
-    // Build a throwaway program whose rules read from `facts` only:
-    // evaluating with naive strategy for exactly one round is equivalent
-    // to evaluating a non-recursive program where IDB heads are renamed.
-    let mut renamed = program.clone();
-    let mut name_map: HashMap<Pred, Pred> = HashMap::new();
-    for r in &mut renamed.rules {
-        let new_head = *name_map.entry(r.head.pred).or_insert_with(|| {
-            renamed
-                .symbols
-                .fresh_predicate(&format!("step_{}", program.symbols.pred_name(r.head.pred)))
-        });
-        r.head.pred = new_head;
-    }
-    renamed.goal.pred = name_map[&renamed.goal.pred];
-    let result = evaluate(&renamed, facts, Strategy::Naive);
-    // map back
-    let mut out = Database::new();
-    let back: HashMap<Pred, Pred> = name_map.iter().map(|(&a, &b)| (b, a)).collect();
-    for (p, rel) in result.idb.iter() {
-        if let Some(&orig) = back.get(&p) {
-            for t in rel.iter() {
-                out.insert(orig, t.clone());
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -1,5 +1,5 @@
 //! Bottom-up evaluation: naive and semi-naive fixpoints with instrumented
-//! statistics.
+//! statistics, on flat columnar storage.
 //!
 //! Minimum-model semantics per Section 2.1 of the paper: the output of a
 //! program on a database is the least set of ground atoms containing the
@@ -9,11 +9,33 @@
 //! the paper's performance claims (Example 1.1: Program D ≪ Programs A–C;
 //! Section 7: magic pruning) are about work, not wall-clock on any
 //! particular machine.
-
-use std::collections::HashMap;
+//!
+//! # Engine architecture
+//!
+//! The work counters define *what* is computed; this module makes the
+//! computing fast. Relations live in [`crate::storage`]: each predicate
+//! is one flat [`ColumnarRelation`] (tuples are slices, not per-tuple
+//! `Vec`s), and semi-naive's `old`/`delta`/`full` snapshots are **row
+//! ranges** over the same append-only store (`old = [0, old_hi)`,
+//! `delta = [old_hi, len)`), so no iteration ever clones a relation.
+//! Per `(relation, mask)` there is one persistent [`IncrementalIndex`],
+//! built once and extended with only the delta rows each iteration; its
+//! newest-first chains let a single index serve all three snapshots.
+//! Each rule is compiled to a `RulePlan` — atom order, index ids, key
+//! ops and bind/check actions resolved to dense arrays — so the join is
+//! a flat loop with no hashing of `Vec` keys, no per-probe allocation,
+//! and no re-checking of positions the index probe already guaranteed.
+//!
+//! The original tuple-at-a-time evaluator is preserved verbatim in
+//! [`crate::reference`] as the executable specification; the
+//! `engine_equiv` property suite asserts both produce identical models
+//! *and identical counters*, so every number in EXPERIMENTS.md is stable
+//! across the storage rewrite.
 
 use crate::ast::{Atom, Const, Pred, Program, Rule, Term, Var};
-use crate::db::{Database, Relation, Tuple};
+use crate::db::{Database, Relation};
+use crate::hash::FxHashMap;
+use crate::storage::{ColumnarRelation, IncrementalIndex, NO_ROW};
 
 /// Evaluation strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,188 +79,203 @@ pub struct EvalResult {
 /// Evaluates `program` on `db` to the minimum model, returning the IDB
 /// relations and statistics.
 pub fn evaluate(program: &Program, db: &Database, strategy: Strategy) -> EvalResult {
-    Evaluator::new(program, db).run(strategy)
+    let mut engine = Engine::new(program, db);
+    engine.run(strategy);
+    engine.into_result()
 }
 
 /// Evaluates and applies the goal: the answer relation (arity = number of
 /// distinct goal variables) plus statistics.
+///
+/// Unlike [`evaluate`], this never materializes the full IDB model as a
+/// [`Database`]: the goal's selection/projection runs directly over the
+/// columnar rows of the goal predicate.
 pub fn answer(program: &Program, db: &Database, strategy: Strategy) -> (Relation, EvalStats) {
-    let result = evaluate(program, db, strategy);
-    let rel = result
-        .idb
-        .relation(program.goal.pred)
-        .cloned()
-        .unwrap_or_else(|| Relation::new(program.goal.arity()));
-    (apply_goal(&program.goal, &rel), result.stats)
+    let mut engine = Engine::new(program, db);
+    engine.run(strategy);
+    let rel = engine.goal_answer(&program.goal);
+    (rel, engine.stats)
+}
+
+// ---------------------------------------------------------------------
+// Goal application
+// ---------------------------------------------------------------------
+
+/// One compiled goal position.
+#[derive(Clone, Copy, Debug)]
+enum GoalOp {
+    /// The tuple value must equal this constant.
+    Const(Const),
+    /// First occurrence of the k-th distinct variable: bind it.
+    First(usize),
+    /// Repeated occurrence of the k-th distinct variable: must match.
+    Repeat(usize),
+}
+
+/// Compiles a goal atom to per-position ops plus the distinct-variable
+/// count. Distinct variables are numbered in first-occurrence order, so
+/// the binding array *is* the projected output tuple.
+fn goal_plan(goal: &Atom) -> (Vec<GoalOp>, usize) {
+    let mut vars: Vec<Var> = Vec::new();
+    let ops = goal
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => GoalOp::Const(*c),
+            Term::Var(v) => match vars.iter().position(|w| w == v) {
+                Some(k) => GoalOp::Repeat(k),
+                None => {
+                    vars.push(*v);
+                    GoalOp::First(vars.len() - 1)
+                }
+            },
+        })
+        .collect();
+    (ops, vars.len())
+}
+
+/// Runs a compiled goal over any tuple stream: selection by constants and
+/// repeated variables, projection onto the distinct variables in
+/// first-occurrence order (the binding array *is* the output tuple).
+fn select_project<'a>(ops: &[GoalOp], nvars: usize, rows: impl Iterator<Item = &'a [Const]>) -> Relation {
+    let mut out = Relation::new(nvars);
+    // fixed-size binding array, reused across tuples (no per-tuple map)
+    let mut bind = vec![Const(0); nvars];
+    'rows: for row in rows {
+        debug_assert_eq!(row.len(), ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                GoalOp::Const(c) => {
+                    if row[i] != c {
+                        continue 'rows;
+                    }
+                }
+                GoalOp::First(k) => bind[k] = row[i],
+                GoalOp::Repeat(k) => {
+                    if bind[k] != row[i] {
+                        continue 'rows;
+                    }
+                }
+            }
+        }
+        out.insert(bind.clone());
+    }
+    out
 }
 
 /// Applies a goal atom as a selection + projection: keeps tuples matching
 /// the goal's constants and repeated variables, projected onto the
 /// distinct variables in first-occurrence order.
 pub fn apply_goal(goal: &Atom, rel: &Relation) -> Relation {
-    // distinct variables in first-occurrence order, with their first position
-    let mut var_positions: Vec<(Var, usize)> = Vec::new();
-    for (i, t) in goal.args.iter().enumerate() {
-        if let Term::Var(v) = t {
-            if !var_positions.iter().any(|(w, _)| w == v) {
-                var_positions.push((*v, i));
-            }
-        }
-    }
-    let mut out = Relation::new(var_positions.len());
-    'tuples: for t in rel.iter() {
-        debug_assert_eq!(t.len(), goal.arity());
-        // check constants and repeated variables
-        let mut bind: HashMap<Var, Const> = HashMap::new();
-        for (i, arg) in goal.args.iter().enumerate() {
-            match arg {
-                Term::Const(c) => {
-                    if t[i] != *c {
-                        continue 'tuples;
-                    }
-                }
-                Term::Var(v) => match bind.get(v) {
-                    Some(&c) if c != t[i] => continue 'tuples,
-                    Some(_) => {}
-                    None => {
-                        bind.insert(*v, t[i]);
-                    }
-                },
-            }
-        }
-        out.insert(var_positions.iter().map(|&(_, i)| t[i]).collect());
-    }
-    out
+    let (ops, nvars) = goal_plan(goal);
+    select_project(&ops, nvars, rel.iter().map(Vec::as_slice))
 }
 
-/// A term pattern compiled to dense rule-local slots.
+// ---------------------------------------------------------------------
+// Rule plans
+// ---------------------------------------------------------------------
+
+/// A key component of a join step: where the bound value comes from.
 #[derive(Clone, Copy, Debug)]
-enum Pat {
-    /// A rule-local variable slot.
-    Slot(usize),
-    /// A constant that must match.
+enum KeyOp {
+    /// A constant from the rule text.
     Const(Const),
+    /// A rule-local slot bound by an earlier step.
+    Slot(usize),
 }
 
-#[derive(Clone, Debug)]
-struct CompiledAtom {
-    pred: Pred,
-    pattern: Vec<Pat>,
-    /// Argument positions that are bound when this atom is evaluated
-    /// left-to-right (constants, slots bound earlier, and repeats within
-    /// this atom).
-    bound_positions: Vec<usize>,
+/// What to do with one *unguaranteed* argument position of a matched row.
+/// Positions covered by the index mask are skipped entirely: the probe
+/// already guaranteed them.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    /// First occurrence of a free slot in this atom: bind it.
+    Bind { pos: usize, slot: usize },
+    /// Repeated occurrence within this atom: must equal the bound value.
+    Check { pos: usize, slot: usize },
 }
 
+/// Where a head position comes from.
+#[derive(Clone, Copy, Debug)]
+enum Out {
+    /// A constant from the rule text.
+    Const(Const),
+    /// A bound slot.
+    Slot(usize),
+}
+
+/// One body atom, compiled: which relation/index to probe, how to build
+/// the probe key, and how to bind/check the remaining positions.
 #[derive(Clone, Debug)]
-struct CompiledRule {
-    head_pred: Pred,
-    head_pattern: Vec<Pat>,
-    body: Vec<CompiledAtom>,
+struct Step {
+    rel: usize,
+    idx: usize,
+    /// Whether the predicate is an IDB of the program (reads snapshots).
+    idb: bool,
+    key: Box<[KeyOp]>,
+    actions: Box<[Action]>,
+}
+
+/// A rule compiled to a flat join plan.
+#[derive(Clone, Debug)]
+struct RulePlan {
+    head_rel: usize,
+    head: Box<[Out]>,
+    steps: Box<[Step]>,
     num_slots: usize,
-    /// Body positions whose predicate is an IDB of the program.
-    idb_positions: Vec<usize>,
+    /// Step positions whose predicate is an IDB (delta candidates).
+    idb_steps: Box<[usize]>,
 }
 
-fn compile_rule(rule: &Rule, idbs: &[Pred]) -> CompiledRule {
-    let mut slots: HashMap<Var, usize> = HashMap::new();
-    let slot_of = |v: Var, slots: &mut HashMap<Var, usize>| {
-        let next = slots.len();
-        *slots.entry(v).or_insert(next)
-    };
-    let mut body = Vec::new();
-    let mut bound_slots: Vec<bool> = Vec::new();
-    for atom in &rule.body {
-        let mut pattern = Vec::new();
-        let mut bound_positions = Vec::new();
-        let mut seen_here: Vec<usize> = Vec::new();
-        for (i, t) in atom.args.iter().enumerate() {
-            match t {
-                Term::Const(c) => {
-                    pattern.push(Pat::Const(*c));
-                    bound_positions.push(i);
-                }
-                Term::Var(v) => {
-                    let s = slot_of(*v, &mut slots);
-                    if s >= bound_slots.len() {
-                        bound_slots.resize(s + 1, false);
-                    }
-                    // Only slots bound by *earlier atoms* key the index;
-                    // a repeat within this atom (e.g. `p(X, X)`) is a
-                    // filter applied during tuple matching.
-                    if bound_slots[s] {
-                        bound_positions.push(i);
-                    }
-                    seen_here.push(s);
-                    pattern.push(Pat::Slot(s));
-                }
-            }
-        }
-        for &s in &seen_here {
-            bound_slots[s] = true;
-        }
-        body.push(CompiledAtom {
-            pred: atom.pred,
-            pattern,
-            bound_positions,
-        });
-    }
-    let head_pattern = rule
-        .head
-        .args
-        .iter()
-        .map(|t| match t {
-            Term::Const(c) => Pat::Const(*c),
-            Term::Var(v) => Pat::Slot(*slots.get(v).expect("safe rule")),
-        })
-        .collect();
-    let idb_positions = rule
-        .body
-        .iter()
-        .enumerate()
-        .filter(|(_, a)| idbs.contains(&a.pred))
-        .map(|(i, _)| i)
-        .collect();
-    CompiledRule {
-        head_pred: rule.head.pred,
-        head_pattern,
-        body,
-        num_slots: slots.len(),
-        idb_positions,
-    }
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+/// Reusable scratch buffers for one evaluation (no per-tuple allocation).
+#[derive(Default)]
+struct Scratch {
+    /// Rule-local slot environment. Values are garbage until a `Bind` or
+    /// key-op write at the plan-determined depth; the plan guarantees
+    /// every read happens after the corresponding write.
+    env: Vec<Const>,
+    /// Probe-key buffer, refilled before every index probe.
+    key: Vec<Const>,
+    /// Head-tuple buffer.
+    head: Vec<Const>,
 }
 
-/// Which snapshot a body atom reads from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum Source {
-    /// EDB relation from the input database.
-    Edb,
-    /// Current full IDB relation.
-    Full,
-    /// IDB relation as of the previous iteration.
-    Old,
-    /// Facts derived exactly in the previous iteration.
-    Delta,
+/// Tuples derived during one iteration, buffered flat until the merge
+/// (rules within an iteration must not see each other's output).
+#[derive(Default)]
+struct PendingTuples {
+    data: Vec<Const>,
+    rels: Vec<u32>,
 }
 
-type Index = HashMap<Vec<Const>, Vec<u32>>;
-
-struct Evaluator<'a> {
-    program: &'a Program,
-    rules: Vec<CompiledRule>,
-    edb: HashMap<Pred, Vec<Tuple>>,
-    arity: HashMap<Pred, usize>,
+struct Engine {
+    rels: Vec<ColumnarRelation>,
+    idxs: Vec<IncrementalIndex>,
+    plans: Vec<RulePlan>,
+    /// Dense relation ids of the program's IDB predicates.
+    idb_rels: Vec<usize>,
+    pred_of_rel: Vec<Pred>,
+    rel_of_pred: FxHashMap<Pred, usize>,
+    /// Per relation: the semi-naive watermark — rows `[0, old_hi)` are the
+    /// previous iteration's `old` snapshot, `[old_hi, len)` the delta.
+    old_hi: Vec<usize>,
+    /// New facts appended per productive iteration (convergence profile).
+    profile: Vec<u64>,
     stats: EvalStats,
 }
 
-impl<'a> Evaluator<'a> {
-    fn new(program: &'a Program, db: &Database) -> Self {
+impl Engine {
+    fn new(program: &Program, db: &Database) -> Self {
         let idbs = program.idb_predicates();
-        let rules = program.rules.iter().map(|r| compile_rule(r, &idbs)).collect();
-        let mut edb: HashMap<Pred, Vec<Tuple>> = HashMap::new();
-        let mut arity: HashMap<Pred, usize> = HashMap::new();
+
+        // Arity resolution mirrors the reference evaluator: database
+        // relations first, then rule heads, then body atoms.
+        let mut arity: FxHashMap<Pred, usize> = FxHashMap::default();
         for (p, r) in db.iter() {
-            edb.insert(p, r.iter().cloned().collect());
             arity.insert(p, r.arity());
         }
         for r in &program.rules {
@@ -247,117 +284,172 @@ impl<'a> Evaluator<'a> {
                 arity.entry(a.pred).or_insert_with(|| a.arity());
             }
         }
+
+        // Dense relation ids: IDB predicates first, then every EDB
+        // predicate referenced by a rule body.
+        let mut rels: Vec<ColumnarRelation> = Vec::new();
+        let mut pred_of_rel: Vec<Pred> = Vec::new();
+        let mut rel_of_pred: FxHashMap<Pred, usize> = FxHashMap::default();
+        let intern_rel = |p: Pred,
+                              rels: &mut Vec<ColumnarRelation>,
+                              pred_of_rel: &mut Vec<Pred>,
+                              rel_of_pred: &mut FxHashMap<Pred, usize>|
+         -> usize {
+            *rel_of_pred.entry(p).or_insert_with(|| {
+                let id = rels.len();
+                rels.push(ColumnarRelation::new(*arity.get(&p).unwrap_or(&0)));
+                pred_of_rel.push(p);
+                id
+            })
+        };
+        let mut idb_rels = Vec::new();
+        for &p in &idbs {
+            idb_rels.push(intern_rel(p, &mut rels, &mut pred_of_rel, &mut rel_of_pred));
+        }
+        for r in &program.rules {
+            for a in &r.body {
+                intern_rel(a.pred, &mut rels, &mut pred_of_rel, &mut rel_of_pred);
+            }
+        }
+
+        // Load EDB facts. Facts the database holds for IDB predicates are
+        // ignored, exactly as in the reference evaluator (IDB body atoms
+        // only ever read the derived snapshots).
+        for (p, r) in db.iter() {
+            if idbs.contains(&p) {
+                continue;
+            }
+            if let Some(&rid) = rel_of_pred.get(&p) {
+                for t in r.iter() {
+                    rels[rid].insert(t);
+                }
+            }
+        }
+
+        // Compile rules; register one index per (relation, mask).
+        let mut idxs: Vec<IncrementalIndex> = Vec::new();
+        let mut idx_of: FxHashMap<(usize, Vec<usize>), usize> = FxHashMap::default();
+        let plans = program
+            .rules
+            .iter()
+            .map(|r| compile_rule(r, &idbs, &rel_of_pred, &mut idxs, &mut idx_of))
+            .collect();
+
+        let old_hi = vec![0; rels.len()];
         Self {
-            program,
-            rules,
-            edb,
-            arity,
+            rels,
+            idxs,
+            plans,
+            idb_rels,
+            pred_of_rel,
+            rel_of_pred,
+            old_hi,
+            profile: Vec::new(),
             stats: EvalStats::default(),
         }
     }
 
-    fn run(mut self, strategy: Strategy) -> EvalResult {
-        let idbs = self.program.idb_predicates();
-        let mut full: HashMap<Pred, Vec<Tuple>> = idbs.iter().map(|&p| (p, Vec::new())).collect();
-        let mut full_set: HashMap<Pred, std::collections::HashSet<Tuple>> =
-            idbs.iter().map(|&p| (p, Default::default())).collect();
-        let mut old: HashMap<Pred, Vec<Tuple>> = full.clone();
-        let mut delta: HashMap<Pred, Vec<Tuple>> = full.clone();
-
+    fn run(&mut self, strategy: Strategy) {
+        let mut scratch = Scratch::default();
+        let mut pending = PendingTuples::default();
         let mut first = true;
         loop {
             self.stats.iterations += 1;
-            let mut new: HashMap<Pred, Vec<Tuple>> = HashMap::new();
-            let mut indexes: HashMap<(Pred, Source, Vec<usize>), Index> = HashMap::new();
+            // Extend every index over the rows that became visible at the
+            // last merge (incremental: only the delta rows are hashed).
+            for idx in &mut self.idxs {
+                idx.extend(&self.rels[idx.rel()]);
+            }
 
-            let rules = std::mem::take(&mut self.rules);
-            for rule in &rules {
+            for pi in 0..self.plans.len() {
+                let plan = &self.plans[pi];
                 match strategy {
                     Strategy::Naive => {
-                        self.eval_rule(rule, None, &full, &old, &delta, &mut indexes, |pred, t| {
-                            if !full_set[&pred].contains(&t) {
-                                new.entry(pred).or_default().push(t);
-                            }
-                        });
+                        self.eval_rule(pi, None, &mut scratch, &mut pending);
                     }
                     Strategy::SemiNaive => {
-                        if rule.idb_positions.is_empty() {
+                        if plan.idb_steps.is_empty() {
                             if first {
-                                self.eval_rule(
-                                    rule,
-                                    None,
-                                    &full,
-                                    &old,
-                                    &delta,
-                                    &mut indexes,
-                                    |pred, t| {
-                                        if !full_set[&pred].contains(&t) {
-                                            new.entry(pred).or_default().push(t);
-                                        }
-                                    },
-                                );
+                                self.eval_rule(pi, None, &mut scratch, &mut pending);
                             }
                         } else if !first {
-                            for &d in &rule.idb_positions {
-                                self.eval_rule(
-                                    rule,
-                                    Some(d),
-                                    &full,
-                                    &old,
-                                    &delta,
-                                    &mut indexes,
-                                    |pred, t| {
-                                        if !full_set[&pred].contains(&t) {
-                                            new.entry(pred).or_default().push(t);
-                                        }
-                                    },
-                                );
+                            for di in 0..self.plans[pi].idb_steps.len() {
+                                let d = self.plans[pi].idb_steps[di];
+                                self.eval_rule(pi, Some(d), &mut scratch, &mut pending);
                             }
                         }
                     }
                 }
             }
-            self.rules = rules;
 
-            // merge: old ← full; delta ← new; full ← full ∪ new
-            let mut any = false;
-            for (&p, f) in &full {
-                old.insert(p, f.clone());
+            // Merge: advance the old watermark to the current length, then
+            // append this iteration's new tuples — they become the delta.
+            for &r in &self.idb_rels {
+                self.old_hi[r] = self.rels[r].num_rows();
             }
-            for (p, tuples) in new {
-                let set = full_set.get_mut(&p).expect("idb pred");
-                let mut added = Vec::new();
-                for t in tuples {
-                    if set.insert(t.clone()) {
-                        added.push(t);
-                    }
+            let mut appended = 0u64;
+            let mut off = 0;
+            for &rid in &pending.rels {
+                let rel = &mut self.rels[rid as usize];
+                let ar = rel.arity();
+                if rel.insert(&pending.data[off..off + ar]) {
+                    appended += 1;
                 }
-                self.stats.tuples_derived += added.len() as u64;
-                if !added.is_empty() {
-                    any = true;
-                }
-                full.get_mut(&p).expect("idb pred").extend(added.iter().cloned());
-                delta.insert(p, added);
+                off += ar;
             }
-            // clear deltas of predicates that derived nothing this round
-            // (old holds the pre-merge sizes)
-            for &p in &idbs {
-                if old[&p].len() == full[&p].len() {
-                    delta.insert(p, Vec::new());
-                }
-            }
-            if !any {
+            pending.data.clear();
+            pending.rels.clear();
+            self.stats.tuples_derived += appended;
+            if appended == 0 {
                 break;
             }
+            self.profile.push(appended);
             first = false;
         }
+    }
 
+    /// Evaluates one rule with an optional delta position.
+    fn eval_rule(
+        &mut self,
+        plan_i: usize,
+        delta_pos: Option<usize>,
+        scratch: &mut Scratch,
+        pending: &mut PendingTuples,
+    ) {
+        let plan = &self.plans[plan_i];
+        scratch.env.resize(plan.num_slots, Const(0));
+        let mut probes = 0u64;
+        let mut firings = 0u64;
+        let ctx = JoinCtx {
+            rels: &self.rels,
+            idxs: &self.idxs,
+            old_hi: &self.old_hi,
+            delta_pos,
+        };
+        descend(plan, 0, &ctx, scratch, pending, &mut probes, &mut firings);
+        self.stats.join_probes += probes;
+        self.stats.rule_firings += firings;
+    }
+
+    /// Applies the goal directly over the columnar rows of the goal
+    /// predicate (no intermediate `Database`).
+    fn goal_answer(&self, goal: &Atom) -> Relation {
+        let (ops, nvars) = goal_plan(goal);
+        match self.rel_of_pred.get(&goal.pred) {
+            Some(&rid) if self.idb_rels.contains(&rid) => {
+                select_project(&ops, nvars, self.rels[rid].rows_iter())
+            }
+            _ => Relation::new(nvars),
+        }
+    }
+
+    fn into_result(self) -> EvalResult {
         let mut idb_db = Database::new();
-        for (&p, tuples) in &full {
-            let ar = *self.arity.get(&p).unwrap_or(&0);
-            let rel = idb_db.relation_mut(p, ar);
-            for t in tuples {
-                rel.insert(t.clone());
+        for &r in &self.idb_rels {
+            let rel = &self.rels[r];
+            let out = idb_db.relation_mut(self.pred_of_rel[r], rel.arity());
+            for row in rel.rows_iter() {
+                out.insert(row.to_vec());
             }
         }
         EvalResult {
@@ -365,158 +457,198 @@ impl<'a> Evaluator<'a> {
             stats: self.stats,
         }
     }
+}
 
-    /// Evaluates one rule with an optional delta position, feeding head
-    /// tuples to `emit`.
-    fn eval_rule(
-        &mut self,
-        rule: &CompiledRule,
-        delta_pos: Option<usize>,
-        full: &HashMap<Pred, Vec<Tuple>>,
-        old: &HashMap<Pred, Vec<Tuple>>,
-        delta: &HashMap<Pred, Vec<Tuple>>,
-        indexes: &mut HashMap<(Pred, Source, Vec<usize>), Index>,
-        mut emit: impl FnMut(Pred, Tuple),
-    ) {
-        let ctx = JoinCtx {
-            edb: &self.edb,
-            full,
-            old,
-            delta,
-            delta_pos,
-        };
-        let mut env: Vec<Option<Const>> = vec![None; rule.num_slots];
-        let mut probes = 0u64;
-        let mut firings = 0u64;
-        descend(
-            rule, 0, &mut env, &ctx, indexes, &mut probes, &mut firings, &mut emit,
-        );
-        self.stats.join_probes += probes;
-        self.stats.rule_firings += firings;
+/// Semi-naive convergence profile: new facts per productive iteration
+/// (the executable form of Section 8's boundedness measure). Stage-exact:
+/// iteration `k` derives precisely the facts first derivable at stage `k`
+/// of the immediate-consequence operator, so this equals the naive
+/// round-by-round count at a fraction of the cost.
+pub(crate) fn seminaive_profile(program: &Program, db: &Database) -> Vec<u64> {
+    let mut engine = Engine::new(program, db);
+    engine.run(Strategy::SemiNaive);
+    engine.profile
+}
+
+/// Compiles one rule against the dense relation table, registering the
+/// `(relation, mask)` indexes it probes.
+///
+/// The slot numbering and mask (bound-position) computation mirror
+/// [`crate::reference`] exactly — the index masks determine the
+/// `join_probes` counter, which must stay bit-for-bit stable.
+fn compile_rule(
+    rule: &Rule,
+    idbs: &[Pred],
+    rel_of_pred: &FxHashMap<Pred, usize>,
+    idxs: &mut Vec<IncrementalIndex>,
+    idx_of: &mut FxHashMap<(usize, Vec<usize>), usize>,
+) -> RulePlan {
+    let mut slots: FxHashMap<Var, usize> = FxHashMap::default();
+    let mut bound_slots: Vec<bool> = Vec::new();
+    let mut steps = Vec::new();
+    let mut idb_steps = Vec::new();
+    for (ai, atom) in rule.body.iter().enumerate() {
+        let rel = rel_of_pred[&atom.pred];
+        let mut mask: Vec<usize> = Vec::new();
+        let mut key: Vec<KeyOp> = Vec::new();
+        let mut actions: Vec<Action> = Vec::new();
+        let mut seen_here: Vec<usize> = Vec::new();
+        for (i, t) in atom.args.iter().enumerate() {
+            match t {
+                Term::Const(c) => {
+                    mask.push(i);
+                    key.push(KeyOp::Const(*c));
+                }
+                Term::Var(v) => {
+                    let next = slots.len();
+                    let s = *slots.entry(*v).or_insert(next);
+                    if s >= bound_slots.len() {
+                        bound_slots.resize(s + 1, false);
+                    }
+                    if bound_slots[s] {
+                        // Bound by an earlier atom: part of the index key;
+                        // the probe guarantees equality, so no action.
+                        mask.push(i);
+                        key.push(KeyOp::Slot(s));
+                    } else if seen_here.contains(&s) {
+                        // Repeat within this atom: a filter, not a key
+                        // component (mirrors the reference mask exactly).
+                        actions.push(Action::Check { pos: i, slot: s });
+                    } else {
+                        seen_here.push(s);
+                        actions.push(Action::Bind { pos: i, slot: s });
+                    }
+                }
+            }
+        }
+        for &s in &seen_here {
+            bound_slots[s] = true;
+        }
+        let idx = *idx_of.entry((rel, mask.clone())).or_insert_with(|| {
+            idxs.push(IncrementalIndex::new(rel, mask));
+            idxs.len() - 1
+        });
+        let idb = idbs.contains(&atom.pred);
+        if idb {
+            idb_steps.push(ai);
+        }
+        steps.push(Step {
+            rel,
+            idx,
+            idb,
+            key: key.into_boxed_slice(),
+            actions: actions.into_boxed_slice(),
+        });
+    }
+    let head = rule
+        .head
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Out::Const(*c),
+            Term::Var(v) => Out::Slot(*slots.get(v).expect("safe rule binds head slots")),
+        })
+        .collect();
+    RulePlan {
+        head_rel: rel_of_pred[&rule.head.pred],
+        head,
+        steps: steps.into_boxed_slice(),
+        num_slots: slots.len(),
+        idb_steps: idb_steps.into_boxed_slice(),
     }
 }
 
-/// Borrowed snapshots for one rule-evaluation pass.
-struct JoinCtx<'b> {
-    edb: &'b HashMap<Pred, Vec<Tuple>>,
-    full: &'b HashMap<Pred, Vec<Tuple>>,
-    old: &'b HashMap<Pred, Vec<Tuple>>,
-    delta: &'b HashMap<Pred, Vec<Tuple>>,
+/// Borrowed engine state for one rule-evaluation pass.
+struct JoinCtx<'a> {
+    rels: &'a [ColumnarRelation],
+    idxs: &'a [IncrementalIndex],
+    old_hi: &'a [usize],
     delta_pos: Option<usize>,
 }
 
-impl<'b> JoinCtx<'b> {
-    fn source_of(&self, pos: usize, atom: &CompiledAtom) -> Source {
-        if !self.full.contains_key(&atom.pred) {
-            Source::Edb
-        } else {
-            // "last delta occurrence" convention: positions before the
-            // delta read the up-to-date full relation, positions after it
-            // read the previous iteration's relation.
-            match self.delta_pos {
-                None => Source::Full,
-                Some(d) if pos == d => Source::Delta,
-                Some(d) if pos < d => Source::Full,
-                Some(_) => Source::Old,
-            }
-        }
-    }
-
-    fn tuples_of(&self, src: Source, pred: Pred) -> &'b [Tuple] {
-        let map = match src {
-            Source::Edb => self.edb,
-            Source::Full => self.full,
-            Source::Old => self.old,
-            Source::Delta => self.delta,
-        };
-        map.get(&pred).map(Vec::as_slice).unwrap_or(&[])
-    }
-}
-
-/// Recursive backtracking join over the body atoms.
-#[allow(clippy::too_many_arguments)]
+/// Recursive backtracking join over the plan steps. Slots are bound by
+/// overwriting (`Action::Bind`); no unbinding is needed on backtrack
+/// because the plan guarantees every slot read happens at a depth after
+/// its binding depth, and the next row at the binding depth overwrites.
 fn descend(
-    rule: &CompiledRule,
-    pos: usize,
-    env: &mut Vec<Option<Const>>,
+    plan: &RulePlan,
+    depth: usize,
     ctx: &JoinCtx<'_>,
-    indexes: &mut HashMap<(Pred, Source, Vec<usize>), Index>,
+    scratch: &mut Scratch,
+    pending: &mut PendingTuples,
     probes: &mut u64,
     firings: &mut u64,
-    emit: &mut dyn FnMut(Pred, Tuple),
 ) {
-    if pos == rule.body.len() {
-        let t: Tuple = rule
-            .head_pattern
-            .iter()
-            .map(|p| match p {
-                Pat::Const(c) => *c,
-                Pat::Slot(s) => env[*s].expect("safe rule binds head slots"),
-            })
-            .collect();
+    if depth == plan.steps.len() {
         *firings += 1;
-        emit(rule.head_pred, t);
+        scratch.head.clear();
+        for op in plan.head.iter() {
+            scratch.head.push(match *op {
+                Out::Const(c) => c,
+                Out::Slot(s) => scratch.env[s],
+            });
+        }
+        // Only buffer tuples not already in the relation (the merge
+        // dedups again; this keeps the pending buffer small).
+        if !ctx.rels[plan.head_rel].contains(&scratch.head) {
+            pending.data.extend_from_slice(&scratch.head);
+            pending.rels.push(plan.head_rel as u32);
+        }
         return;
     }
-    let atom = &rule.body[pos];
-    let src = ctx.source_of(pos, atom);
-    let tuples = ctx.tuples_of(src, atom.pred);
-    // Build/fetch the hash index for this (pred, source, mask).
-    let key = (atom.pred, src, atom.bound_positions.clone());
-    let index = indexes.entry(key).or_insert_with(|| {
-        let mut idx: Index = HashMap::new();
-        for (ti, t) in tuples.iter().enumerate() {
-            let k: Vec<Const> = atom.bound_positions.iter().map(|&i| t[i]).collect();
-            idx.entry(k).or_default().push(ti as u32);
+    let step = &plan.steps[depth];
+    let rel = &ctx.rels[step.rel];
+    let idx = &ctx.idxs[step.idx];
+
+    // Snapshot row range for this step ("last delta occurrence"
+    // convention: steps before the delta read the full relation, the
+    // delta step reads [old_hi, len), steps after read [0, old_hi)).
+    let (lo, hi) = if !step.idb {
+        (0, rel.num_rows())
+    } else {
+        match ctx.delta_pos {
+            None => (0, rel.num_rows()),
+            Some(d) if depth == d => (ctx.old_hi[step.rel], rel.num_rows()),
+            Some(d) if depth < d => (0, rel.num_rows()),
+            Some(_) => (0, ctx.old_hi[step.rel]),
         }
-        idx
-    });
-    let probe_key: Vec<Const> = atom
-        .bound_positions
-        .iter()
-        .map(|&i| match atom.pattern[i] {
-            Pat::Const(c) => c,
-            Pat::Slot(s) => env[s].expect("bound slot"),
-        })
-        .collect();
-    *probes += 1;
-    let Some(matches) = index.get(&probe_key) else {
-        return;
     };
-    let matches = matches.clone();
-    for ti in matches {
-        let t = &tuples[ti as usize];
-        // bind free slots; record which to unbind on backtrack
-        let mut bound_here: Vec<usize> = Vec::new();
+
+    scratch.key.clear();
+    for op in step.key.iter() {
+        scratch.key.push(match *op {
+            KeyOp::Const(c) => c,
+            KeyOp::Slot(s) => scratch.env[s],
+        });
+    }
+    *probes += 1;
+    let mut row = idx.probe(rel, &scratch.key);
+    // Chains are newest-first (strictly decreasing row ids): skip rows
+    // above the snapshot, stop below it.
+    while row != NO_ROW && row as usize >= hi {
+        row = idx.next_row(row);
+    }
+    while row != NO_ROW {
+        let r = row as usize;
+        if r < lo {
+            break;
+        }
         let mut ok = true;
-        for (i, pat) in atom.pattern.iter().enumerate() {
-            match pat {
-                Pat::Const(c) => {
-                    if t[i] != *c {
+        for a in step.actions.iter() {
+            match *a {
+                Action::Bind { pos, slot } => scratch.env[slot] = rel.value(r, pos),
+                Action::Check { pos, slot } => {
+                    if scratch.env[slot] != rel.value(r, pos) {
                         ok = false;
                         break;
                     }
                 }
-                Pat::Slot(s) => match env[*s] {
-                    Some(c) => {
-                        if c != t[i] {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    None => {
-                        env[*s] = Some(t[i]);
-                        bound_here.push(*s);
-                    }
-                },
             }
         }
         if ok {
-            descend(rule, pos + 1, env, ctx, indexes, probes, firings, emit);
+            descend(plan, depth + 1, ctx, scratch, pending, probes, firings);
         }
-        for s in bound_here {
-            env[s] = None;
-        }
+        row = idx.next_row(row);
     }
 }
 
@@ -743,5 +875,61 @@ mod tests {
             r1.idb.relation(anc).unwrap().sorted(),
             r2.idb.relation(anc).unwrap().sorted()
         );
+    }
+
+    #[test]
+    fn stats_match_reference_engine_exactly() {
+        // The storage engine's contract: work counters identical to the
+        // preserved tuple-at-a-time evaluator, both strategies.
+        let sources = [
+            "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).",
+            "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), anc(Z, Y).",
+            "?- p(X, X).\np(X, Y) :- par(X, Y).\np(X, Y) :- p(X, Z), par(Z, Y).",
+        ];
+        for src in sources {
+            for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+                let mut p = parse_program(src).unwrap();
+                let db = chain_db(&mut p, 9);
+                let new = evaluate(&p, &db, strategy);
+                let old = crate::reference::evaluate(&p, &db, strategy);
+                assert_eq!(new.stats, old.stats, "{src} {strategy:?}");
+                for (pred, rel) in old.idb.iter() {
+                    assert_eq!(
+                        new.idb.relation(pred).map(|r| r.sorted()),
+                        Some(rel.sorted()),
+                        "{src} {strategy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn answer_skips_database_materialization_but_agrees() {
+        let mut p = program_a();
+        let db = chain_db(&mut p, 7);
+        let (fast, s1) = answer(&p, &db, Strategy::SemiNaive);
+        let result = evaluate(&p, &db, Strategy::SemiNaive);
+        let anc = p.symbols.get_predicate("anc").unwrap();
+        let slow = apply_goal(&p.goal, result.idb.relation(anc).unwrap());
+        assert_eq!(fast.sorted(), slow.sorted());
+        assert_eq!(s1, result.stats);
+    }
+
+    #[test]
+    fn apply_goal_repeated_vars_and_constants() {
+        let mut sy = crate::ast::Symbols::new();
+        let p = sy.predicate("p");
+        let a = sy.constant("a");
+        let b = sy.constant("b");
+        let x = sy.variable("X");
+        // goal p(a, X, X): select first = a, positions 2 = 3, project X
+        let goal = Atom::new(p, vec![Term::Const(a), Term::Var(x), Term::Var(x)]);
+        let rel: Relation = [vec![a, b, b], vec![a, a, b], vec![b, b, b], vec![a, a, a]]
+            .into_iter()
+            .collect();
+        let out = apply_goal(&goal, &rel);
+        assert_eq!(out.arity(), 1);
+        assert_eq!(out.sorted(), vec![vec![a], vec![b]]);
     }
 }

@@ -1,0 +1,127 @@
+//! A fast, non-cryptographic hasher for the evaluator's hot paths.
+//!
+//! The fixpoint engine hashes millions of tiny keys — single interned
+//! `u32` ids and short id sequences — per evaluation. SipHash (the
+//! `std` default) burns most of its time in per-key setup for inputs
+//! this small, so the storage layer uses an FxHash-style multiply-xor
+//! hasher instead (the scheme rustc itself uses for interned ids). The
+//! build environment has no crates.io access, hence this in-tree copy.
+//!
+//! Not DoS-resistant — only ever fed interned ids, never untrusted
+//! input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from FxHash (a.k.a. FireflyHash): a random-ish odd
+/// constant with good bit dispersion under wrapping multiplication.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style streaming hasher: `state = (state rotl 5 ^ word) * SEED`
+/// per ingested word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    /// Folds one 64-bit word into the state.
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Hashes a sequence of interned ids (the storage layer's row and key
+/// hashing primitive).
+#[inline]
+pub fn hash_ids(ids: impl IntoIterator<Item = u32>) -> u64 {
+    let mut h = FxHasher::default();
+    let mut len = 0u64;
+    for id in ids {
+        h.write_u32(id);
+        len += 1;
+    }
+    // Fold the length in: leading zero ids leave the state at 0, so
+    // without it `[]`, `[0]`, `[0, 0]` would all collide.
+    h.write_u64(len);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        assert_eq!(hash_ids([1, 2, 3]), hash_ids([1, 2, 3]));
+        assert_ne!(hash_ids([1, 2, 3]), hash_ids([3, 2, 1]));
+        assert_ne!(hash_ids([0]), hash_ids([]));
+        assert_ne!(hash_ids([1]), hash_ids([1, 1]));
+    }
+
+    #[test]
+    fn map_alias_works() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+    }
+
+    #[test]
+    fn spreads_low_bits() {
+        // Open-addressing tables index by the hash's low bits; sequential
+        // ids must not collapse onto a few buckets.
+        let mask = 0xff;
+        let mut seen: std::collections::HashSet<u64> = Default::default();
+        for i in 0..256u32 {
+            seen.insert(hash_ids([i]) & mask);
+        }
+        assert!(seen.len() > 128, "only {} distinct low bytes", seen.len());
+    }
+}

@@ -12,7 +12,15 @@
 //! - [`db`] — databases as finite structures;
 //! - [`eval`] — minimum-model semantics via instrumented **naive** and
 //!   **semi-naive** bottom-up fixpoints (work counters power the
-//!   experiment harness);
+//!   experiment harness), running on the flat columnar [`storage`]
+//!   layer: watermark deltas instead of per-iteration clones, and
+//!   persistent incremental `(relation, mask)` indexes;
+//! - [`storage`] — columnar relations (one flat `Vec<Const>` per
+//!   predicate, rows deduplicated by an [`hash::FxHasher`] row table)
+//!   and the incremental join indexes;
+//! - [`mod@reference`] — the original tuple-at-a-time evaluator, kept as the
+//!   executable specification: the storage engine must reproduce its
+//!   [`eval::EvalStats`] bit-for-bit;
 //! - [`derivation`] — the operational semantics: derivation trees and
 //!   convergence profiles (the executable form of boundedness,
 //!   Section 8);
@@ -25,8 +33,11 @@ pub mod ast;
 pub mod db;
 pub mod derivation;
 pub mod eval;
+pub mod hash;
 pub mod magic;
 pub mod parser;
+pub mod reference;
+pub mod storage;
 
 pub use ast::{Atom, Const, Pred, Program, Rule, Symbols, Term, Var};
 pub use db::{Database, Relation};

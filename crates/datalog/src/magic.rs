@@ -8,9 +8,8 @@
 //! from the goal (the paper's Section 7 reads these predicates, for chain
 //! programs, as language quotients `L(H)/R_i`).
 
-use std::collections::HashMap;
-
 use crate::ast::{Atom, Pred, Program, Rule, Term, Var};
+use crate::hash::{FxHashMap, FxHashSet};
 
 /// A binding pattern: `true` = bound, `false` = free.
 pub type Adornment = Vec<bool>;
@@ -46,9 +45,9 @@ pub struct MagicProgram {
     /// The transformed program (adorned rules + magic rules + seed).
     pub program: Program,
     /// Map from (original IDB, adornment) to the adorned predicate.
-    pub adorned: HashMap<(Pred, String), Pred>,
+    pub adorned: FxHashMap<(Pred, String), Pred>,
     /// Map from (original IDB, adornment) to its magic predicate.
-    pub magic: HashMap<(Pred, String), Pred>,
+    pub magic: FxHashMap<(Pred, String), Pred>,
 }
 
 /// Applies the generalized magic-sets transformation with a left-to-right
@@ -59,10 +58,10 @@ pub fn magic_transform(original: &Program) -> Result<MagicProgram, String> {
     let idbs = original.idb_predicates();
 
     let goal_adn = goal_adornment(&original.goal);
-    let mut adorned: HashMap<(Pred, String), Pred> = HashMap::new();
-    let mut magic: HashMap<(Pred, String), Pred> = HashMap::new();
+    let mut adorned: FxHashMap<(Pred, String), Pred> = FxHashMap::default();
+    let mut magic: FxHashMap<(Pred, String), Pred> = FxHashMap::default();
     let mut queue: Vec<(Pred, Adornment)> = vec![(original.goal.pred, goal_adn.clone())];
-    let mut processed: Vec<(Pred, String)> = Vec::new();
+    let mut processed: FxHashSet<(Pred, String)> = FxHashSet::default();
     let mut rules: Vec<Rule> = Vec::new();
 
     // allocate adorned + magic predicate names up front for the queue seed
@@ -70,8 +69,8 @@ pub fn magic_transform(original: &Program) -> Result<MagicProgram, String> {
         |p: Pred,
          a: &Adornment,
          symbols: &mut crate::ast::Symbols,
-         adorned: &mut HashMap<(Pred, String), Pred>,
-         magic: &mut HashMap<(Pred, String), Pred>| {
+         adorned: &mut FxHashMap<(Pred, String), Pred>,
+         magic: &mut FxHashMap<(Pred, String), Pred>| {
             let key = (p, render_adornment(a));
             if !adorned.contains_key(&key) {
                 let name = format!("{}_{}", symbols.pred_name(p), render_adornment(a));
@@ -92,10 +91,9 @@ pub fn magic_transform(original: &Program) -> Result<MagicProgram, String> {
 
     while let Some((pred, adn)) = queue.pop() {
         let key = (pred, render_adornment(&adn));
-        if processed.contains(&key) {
+        if !processed.insert(key.clone()) {
             continue;
         }
-        processed.push(key.clone());
         let adorned_pred = adorned[&key];
         let magic_pred = magic[&key];
 

@@ -1,0 +1,450 @@
+//! The original tuple-at-a-time evaluator, preserved as the executable
+//! specification of the work counters.
+//!
+//! [`crate::eval`] reimplements the fixpoint on flat columnar storage for
+//! speed; its contract is that [`EvalStats`] — iterations, rule firings,
+//! derived tuples, join probes — stay **bit-for-bit identical** to this
+//! module on every program and database, so the tables in EXPERIMENTS.md
+//! remain valid across storage rewrites. The `engine_equiv` property
+//! suite and `stats_match_reference_engine_exactly` enforce the contract.
+//!
+//! This engine allocates a `Vec<Const>` per tuple, clones `old` from
+//! `full` each iteration, and rebuilds every hash index per iteration —
+//! exactly the costs the storage engine removes. Do not use it for
+//! anything but cross-checking.
+
+use std::collections::HashMap;
+
+use crate::ast::{Const, Pred, Program, Rule, Term, Var};
+use crate::db::{Database, Tuple};
+use crate::eval::{apply_goal, EvalResult, EvalStats, Strategy};
+
+/// Evaluates `program` on `db` with the reference engine.
+pub fn evaluate(program: &Program, db: &Database, strategy: Strategy) -> EvalResult {
+    Evaluator::new(program, db).run(strategy)
+}
+
+/// Evaluates and applies the goal with the reference engine.
+pub fn answer(
+    program: &Program,
+    db: &Database,
+    strategy: Strategy,
+) -> (crate::db::Relation, EvalStats) {
+    let result = evaluate(program, db, strategy);
+    let rel = result
+        .idb
+        .relation(program.goal.pred)
+        .cloned()
+        .unwrap_or_else(|| crate::db::Relation::new(program.goal.arity()));
+    (apply_goal(&program.goal, &rel), result.stats)
+}
+
+/// A term pattern compiled to dense rule-local slots.
+#[derive(Clone, Copy, Debug)]
+enum Pat {
+    /// A rule-local variable slot.
+    Slot(usize),
+    /// A constant that must match.
+    Const(Const),
+}
+
+#[derive(Clone, Debug)]
+struct CompiledAtom {
+    pred: Pred,
+    pattern: Vec<Pat>,
+    /// Argument positions that are bound when this atom is evaluated
+    /// left-to-right (constants, slots bound earlier, and repeats within
+    /// this atom).
+    bound_positions: Vec<usize>,
+}
+
+#[derive(Clone, Debug)]
+struct CompiledRule {
+    head_pred: Pred,
+    head_pattern: Vec<Pat>,
+    body: Vec<CompiledAtom>,
+    num_slots: usize,
+    /// Body positions whose predicate is an IDB of the program.
+    idb_positions: Vec<usize>,
+}
+
+fn compile_rule(rule: &Rule, idbs: &[Pred]) -> CompiledRule {
+    let mut slots: HashMap<Var, usize> = HashMap::new();
+    let slot_of = |v: Var, slots: &mut HashMap<Var, usize>| {
+        let next = slots.len();
+        *slots.entry(v).or_insert(next)
+    };
+    let mut body = Vec::new();
+    let mut bound_slots: Vec<bool> = Vec::new();
+    for atom in &rule.body {
+        let mut pattern = Vec::new();
+        let mut bound_positions = Vec::new();
+        let mut seen_here: Vec<usize> = Vec::new();
+        for (i, t) in atom.args.iter().enumerate() {
+            match t {
+                Term::Const(c) => {
+                    pattern.push(Pat::Const(*c));
+                    bound_positions.push(i);
+                }
+                Term::Var(v) => {
+                    let s = slot_of(*v, &mut slots);
+                    if s >= bound_slots.len() {
+                        bound_slots.resize(s + 1, false);
+                    }
+                    // Only slots bound by *earlier atoms* key the index;
+                    // a repeat within this atom (e.g. `p(X, X)`) is a
+                    // filter applied during tuple matching.
+                    if bound_slots[s] {
+                        bound_positions.push(i);
+                    }
+                    seen_here.push(s);
+                    pattern.push(Pat::Slot(s));
+                }
+            }
+        }
+        for &s in &seen_here {
+            bound_slots[s] = true;
+        }
+        body.push(CompiledAtom {
+            pred: atom.pred,
+            pattern,
+            bound_positions,
+        });
+    }
+    let head_pattern = rule
+        .head
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Pat::Const(*c),
+            Term::Var(v) => Pat::Slot(*slots.get(v).expect("safe rule")),
+        })
+        .collect();
+    let idb_positions = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| idbs.contains(&a.pred))
+        .map(|(i, _)| i)
+        .collect();
+    CompiledRule {
+        head_pred: rule.head.pred,
+        head_pattern,
+        body,
+        num_slots: slots.len(),
+        idb_positions,
+    }
+}
+
+/// Which snapshot a body atom reads from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Source {
+    /// EDB relation from the input database.
+    Edb,
+    /// Current full IDB relation.
+    Full,
+    /// IDB relation as of the previous iteration.
+    Old,
+    /// Facts derived exactly in the previous iteration.
+    Delta,
+}
+
+type Index = HashMap<Vec<Const>, Vec<u32>>;
+
+struct Evaluator<'a> {
+    program: &'a Program,
+    rules: Vec<CompiledRule>,
+    edb: HashMap<Pred, Vec<Tuple>>,
+    arity: HashMap<Pred, usize>,
+    stats: EvalStats,
+}
+
+impl<'a> Evaluator<'a> {
+    fn new(program: &'a Program, db: &Database) -> Self {
+        let idbs = program.idb_predicates();
+        let rules = program.rules.iter().map(|r| compile_rule(r, &idbs)).collect();
+        let mut edb: HashMap<Pred, Vec<Tuple>> = HashMap::new();
+        let mut arity: HashMap<Pred, usize> = HashMap::new();
+        for (p, r) in db.iter() {
+            edb.insert(p, r.iter().cloned().collect());
+            arity.insert(p, r.arity());
+        }
+        for r in &program.rules {
+            arity.entry(r.head.pred).or_insert_with(|| r.head.arity());
+            for a in &r.body {
+                arity.entry(a.pred).or_insert_with(|| a.arity());
+            }
+        }
+        Self {
+            program,
+            rules,
+            edb,
+            arity,
+            stats: EvalStats::default(),
+        }
+    }
+
+    fn run(mut self, strategy: Strategy) -> EvalResult {
+        let idbs = self.program.idb_predicates();
+        let mut full: HashMap<Pred, Vec<Tuple>> = idbs.iter().map(|&p| (p, Vec::new())).collect();
+        let mut full_set: HashMap<Pred, std::collections::HashSet<Tuple>> =
+            idbs.iter().map(|&p| (p, Default::default())).collect();
+        let mut old: HashMap<Pred, Vec<Tuple>> = full.clone();
+        let mut delta: HashMap<Pred, Vec<Tuple>> = full.clone();
+
+        let mut first = true;
+        loop {
+            self.stats.iterations += 1;
+            let mut new: HashMap<Pred, Vec<Tuple>> = HashMap::new();
+            let mut indexes: HashMap<(Pred, Source, Vec<usize>), Index> = HashMap::new();
+
+            let rules = std::mem::take(&mut self.rules);
+            for rule in &rules {
+                match strategy {
+                    Strategy::Naive => {
+                        self.eval_rule(rule, None, &full, &old, &delta, &mut indexes, |pred, t| {
+                            if !full_set[&pred].contains(&t) {
+                                new.entry(pred).or_default().push(t);
+                            }
+                        });
+                    }
+                    Strategy::SemiNaive => {
+                        if rule.idb_positions.is_empty() {
+                            if first {
+                                self.eval_rule(
+                                    rule,
+                                    None,
+                                    &full,
+                                    &old,
+                                    &delta,
+                                    &mut indexes,
+                                    |pred, t| {
+                                        if !full_set[&pred].contains(&t) {
+                                            new.entry(pred).or_default().push(t);
+                                        }
+                                    },
+                                );
+                            }
+                        } else if !first {
+                            for &d in &rule.idb_positions {
+                                self.eval_rule(
+                                    rule,
+                                    Some(d),
+                                    &full,
+                                    &old,
+                                    &delta,
+                                    &mut indexes,
+                                    |pred, t| {
+                                        if !full_set[&pred].contains(&t) {
+                                            new.entry(pred).or_default().push(t);
+                                        }
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            self.rules = rules;
+
+            // merge: old ← full; delta ← new; full ← full ∪ new
+            let mut any = false;
+            for (&p, f) in &full {
+                old.insert(p, f.clone());
+            }
+            for (p, tuples) in new {
+                let set = full_set.get_mut(&p).expect("idb pred");
+                let mut added = Vec::new();
+                for t in tuples {
+                    if set.insert(t.clone()) {
+                        added.push(t);
+                    }
+                }
+                self.stats.tuples_derived += added.len() as u64;
+                if !added.is_empty() {
+                    any = true;
+                }
+                full.get_mut(&p).expect("idb pred").extend(added.iter().cloned());
+                delta.insert(p, added);
+            }
+            // clear deltas of predicates that derived nothing this round
+            // (old holds the pre-merge sizes)
+            for &p in &idbs {
+                if old[&p].len() == full[&p].len() {
+                    delta.insert(p, Vec::new());
+                }
+            }
+            if !any {
+                break;
+            }
+            first = false;
+        }
+
+        let mut idb_db = Database::new();
+        for (&p, tuples) in &full {
+            let ar = *self.arity.get(&p).unwrap_or(&0);
+            let rel = idb_db.relation_mut(p, ar);
+            for t in tuples {
+                rel.insert(t.clone());
+            }
+        }
+        EvalResult {
+            idb: idb_db,
+            stats: self.stats,
+        }
+    }
+
+    /// Evaluates one rule with an optional delta position, feeding head
+    /// tuples to `emit`.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_rule(
+        &mut self,
+        rule: &CompiledRule,
+        delta_pos: Option<usize>,
+        full: &HashMap<Pred, Vec<Tuple>>,
+        old: &HashMap<Pred, Vec<Tuple>>,
+        delta: &HashMap<Pred, Vec<Tuple>>,
+        indexes: &mut HashMap<(Pred, Source, Vec<usize>), Index>,
+        mut emit: impl FnMut(Pred, Tuple),
+    ) {
+        let ctx = JoinCtx {
+            edb: &self.edb,
+            full,
+            old,
+            delta,
+            delta_pos,
+        };
+        let mut env: Vec<Option<Const>> = vec![None; rule.num_slots];
+        let mut probes = 0u64;
+        let mut firings = 0u64;
+        descend(
+            rule, 0, &mut env, &ctx, indexes, &mut probes, &mut firings, &mut emit,
+        );
+        self.stats.join_probes += probes;
+        self.stats.rule_firings += firings;
+    }
+}
+
+/// Borrowed snapshots for one rule-evaluation pass.
+struct JoinCtx<'b> {
+    edb: &'b HashMap<Pred, Vec<Tuple>>,
+    full: &'b HashMap<Pred, Vec<Tuple>>,
+    old: &'b HashMap<Pred, Vec<Tuple>>,
+    delta: &'b HashMap<Pred, Vec<Tuple>>,
+    delta_pos: Option<usize>,
+}
+
+impl<'b> JoinCtx<'b> {
+    fn source_of(&self, pos: usize, atom: &CompiledAtom) -> Source {
+        if !self.full.contains_key(&atom.pred) {
+            Source::Edb
+        } else {
+            // "last delta occurrence" convention: positions before the
+            // delta read the up-to-date full relation, positions after it
+            // read the previous iteration's relation.
+            match self.delta_pos {
+                None => Source::Full,
+                Some(d) if pos == d => Source::Delta,
+                Some(d) if pos < d => Source::Full,
+                Some(_) => Source::Old,
+            }
+        }
+    }
+
+    fn tuples_of(&self, src: Source, pred: Pred) -> &'b [Tuple] {
+        let map = match src {
+            Source::Edb => self.edb,
+            Source::Full => self.full,
+            Source::Old => self.old,
+            Source::Delta => self.delta,
+        };
+        map.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Recursive backtracking join over the body atoms.
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    rule: &CompiledRule,
+    pos: usize,
+    env: &mut Vec<Option<Const>>,
+    ctx: &JoinCtx<'_>,
+    indexes: &mut HashMap<(Pred, Source, Vec<usize>), Index>,
+    probes: &mut u64,
+    firings: &mut u64,
+    emit: &mut dyn FnMut(Pred, Tuple),
+) {
+    if pos == rule.body.len() {
+        let t: Tuple = rule
+            .head_pattern
+            .iter()
+            .map(|p| match p {
+                Pat::Const(c) => *c,
+                Pat::Slot(s) => env[*s].expect("safe rule binds head slots"),
+            })
+            .collect();
+        *firings += 1;
+        emit(rule.head_pred, t);
+        return;
+    }
+    let atom = &rule.body[pos];
+    let src = ctx.source_of(pos, atom);
+    let tuples = ctx.tuples_of(src, atom.pred);
+    // Build/fetch the hash index for this (pred, source, mask).
+    let key = (atom.pred, src, atom.bound_positions.clone());
+    let index = indexes.entry(key).or_insert_with(|| {
+        let mut idx: Index = HashMap::new();
+        for (ti, t) in tuples.iter().enumerate() {
+            let k: Vec<Const> = atom.bound_positions.iter().map(|&i| t[i]).collect();
+            idx.entry(k).or_default().push(ti as u32);
+        }
+        idx
+    });
+    let probe_key: Vec<Const> = atom
+        .bound_positions
+        .iter()
+        .map(|&i| match atom.pattern[i] {
+            Pat::Const(c) => c,
+            Pat::Slot(s) => env[s].expect("bound slot"),
+        })
+        .collect();
+    *probes += 1;
+    let Some(matches) = index.get(&probe_key) else {
+        return;
+    };
+    let matches = matches.clone();
+    for ti in matches {
+        let t = &tuples[ti as usize];
+        // bind free slots; record which to unbind on backtrack
+        let mut bound_here: Vec<usize> = Vec::new();
+        let mut ok = true;
+        for (i, pat) in atom.pattern.iter().enumerate() {
+            match pat {
+                Pat::Const(c) => {
+                    if t[i] != *c {
+                        ok = false;
+                        break;
+                    }
+                }
+                Pat::Slot(s) => match env[*s] {
+                    Some(c) => {
+                        if c != t[i] {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        env[*s] = Some(t[i]);
+                        bound_here.push(*s);
+                    }
+                },
+            }
+        }
+        if ok {
+            descend(rule, pos + 1, env, ctx, indexes, probes, firings, emit);
+        }
+        for s in bound_here {
+            env[s] = None;
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Flat columnar storage for the fixpoint engine.
+//!
+//! The evaluator's hot loop touches three structures, all allocation-free
+//! per tuple:
+//!
+//! - [`ColumnarRelation`] — a predicate's extension as one flat
+//!   `Vec<Const>` with an arity stride. A tuple is a **row**: a `&[Const]`
+//!   slice into the column store, identified by a dense `u32` row id in
+//!   insertion order. An open-addressing row table (keyed with the
+//!   in-tree [`crate::hash::FxHasher`]) deduplicates rows on insert.
+//! - [`IncrementalIndex`] — a persistent hash index over one relation and
+//!   one column **mask** (the bound argument positions of a join step).
+//!   Rows with equal key are chained through a flat `next` array,
+//!   newest-first; extending the index with freshly appended rows is
+//!   incremental, so semi-naive iterations never rebuild an index.
+//! - watermarks — because relations are append-only, the semi-naive
+//!   snapshots `old ⊆ full` and the per-iteration `delta` are just row
+//!   ranges: `old = [0, old_hi)`, `delta = [old_hi, len)`, `full =
+//!   [0, len)`. No cloning, no separate set/vec duplication.
+//!
+//! The newest-first chain invariant is what makes one index serve all
+//! three snapshots: a chain's row ids are strictly decreasing, so a
+//! traversal takes the `delta` rows as a prefix and the `old` rows as the
+//! remaining suffix.
+
+use crate::ast::Const;
+use crate::hash::hash_ids;
+
+/// Sentinel row id: "no row" / end of an index chain.
+pub const NO_ROW: u32 = u32::MAX;
+
+/// A relation stored as one flat column-major-free `Vec<Const>` with an
+/// arity stride, plus a row-id hash table for O(1) dedup and membership.
+#[derive(Clone, Debug, Default)]
+pub struct ColumnarRelation {
+    arity: usize,
+    /// Row-major tuple data: row `r` occupies `data[r*arity .. (r+1)*arity]`.
+    data: Vec<Const>,
+    /// Number of rows (kept explicitly so 0-ary relations work).
+    rows: usize,
+    /// Open-addressing dedup table over row ids (capacity is a power of
+    /// two; `NO_ROW` marks an empty slot).
+    slots: Vec<u32>,
+}
+
+impl ColumnarRelation {
+    /// Creates an empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            data: Vec::new(),
+            rows: 0,
+            slots: Vec::new(),
+        }
+    }
+
+    /// The arity (row stride).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The flat tuple data (`num_rows() * arity()` constants).
+    #[inline]
+    pub fn data(&self) -> &[Const] {
+        &self.data
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[Const] {
+        &self.data[r * self.arity..r * self.arity + self.arity]
+    }
+
+    /// The value at row `r`, column `col`.
+    #[inline]
+    pub fn value(&self, r: usize, col: usize) -> Const {
+        self.data[r * self.arity + col]
+    }
+
+    /// Iterates over the rows in insertion order.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[Const]> {
+        (0..self.rows).map(move |r| self.row(r))
+    }
+
+    fn hash_row_slice(row: &[Const]) -> u64 {
+        hash_ids(row.iter().map(|c| c.0))
+    }
+
+    /// Membership test (O(1) expected).
+    pub fn contains(&self, row: &[Const]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        if self.slots.is_empty() {
+            return false;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash_row_slice(row) as usize) & mask;
+        loop {
+            let s = self.slots[i];
+            if s == NO_ROW {
+                return false;
+            }
+            if self.row(s as usize) == row {
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Appends a row if it is not already present; returns whether it was
+    /// new. Row ids are dense and assigned in insertion order.
+    pub fn insert(&mut self, row: &[Const]) -> bool {
+        assert_eq!(row.len(), self.arity, "tuple arity mismatch");
+        if (self.rows + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash_row_slice(row) as usize) & mask;
+        loop {
+            let s = self.slots[i];
+            if s == NO_ROW {
+                let id = u32::try_from(self.rows).expect("relation row-id overflow");
+                assert_ne!(id, NO_ROW, "relation row-id overflow");
+                self.slots[i] = id;
+                self.data.extend_from_slice(row);
+                self.rows += 1;
+                return true;
+            }
+            if self.row(s as usize) == row {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(8);
+        self.slots = vec![NO_ROW; cap];
+        let mask = cap - 1;
+        for r in 0..self.rows {
+            let mut i = (Self::hash_row_slice(self.row(r)) as usize) & mask;
+            while self.slots[i] != NO_ROW {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = r as u32;
+        }
+    }
+}
+
+/// A persistent hash index over one [`ColumnarRelation`] and one column
+/// mask, extended incrementally as the relation grows.
+///
+/// Equal-key rows form a chain through `next`, **newest-first** (strictly
+/// decreasing row ids). The key of a chain is never stored: the head
+/// row's projection onto the mask *is* the key.
+#[derive(Clone, Debug)]
+pub struct IncrementalIndex {
+    /// The relation this index belongs to (an id into the engine's dense
+    /// relation table; opaque to this module).
+    rel: usize,
+    mask: Box<[usize]>,
+    /// Open-addressing key table: head row id per distinct key.
+    slots: Vec<u32>,
+    /// `next[r]` = next-older row with the same key, `NO_ROW` at chain end.
+    next: Vec<u32>,
+    /// Number of distinct keys (for the load factor).
+    keys: usize,
+    /// Rows `[0, watermark)` are indexed.
+    watermark: usize,
+}
+
+impl IncrementalIndex {
+    /// Creates an empty index for relation id `rel` over `mask`.
+    pub fn new(rel: usize, mask: Vec<usize>) -> Self {
+        Self {
+            rel,
+            mask: mask.into_boxed_slice(),
+            slots: Vec::new(),
+            next: Vec::new(),
+            keys: 0,
+            watermark: 0,
+        }
+    }
+
+    /// The relation id this index covers.
+    #[inline]
+    pub fn rel(&self) -> usize {
+        self.rel
+    }
+
+    /// The indexed column positions.
+    #[inline]
+    pub fn mask(&self) -> &[usize] {
+        &self.mask
+    }
+
+    /// How many rows are indexed.
+    #[inline]
+    pub fn watermark(&self) -> usize {
+        self.watermark
+    }
+
+    fn key_hash(&self, rel: &ColumnarRelation, r: usize) -> u64 {
+        hash_ids(self.mask.iter().map(|&p| rel.value(r, p).0))
+    }
+
+    fn keys_equal(&self, rel: &ColumnarRelation, a: usize, b: usize) -> bool {
+        self.mask.iter().all(|&p| rel.value(a, p) == rel.value(b, p))
+    }
+
+    /// Indexes the rows appended to `rel` since the last call (the delta
+    /// `[watermark, num_rows)`). The caller must always pass the same
+    /// relation.
+    pub fn extend(&mut self, rel: &ColumnarRelation) {
+        let upto = rel.num_rows();
+        if upto == self.watermark {
+            return;
+        }
+        self.next.resize(upto, NO_ROW);
+        for r in self.watermark..upto {
+            if (self.keys + 1) * 2 > self.slots.len() {
+                self.grow(rel, r);
+            }
+            self.add_row(rel, r);
+        }
+        self.watermark = upto;
+    }
+
+    fn add_row(&mut self, rel: &ColumnarRelation, r: usize) {
+        let mask = self.slots.len() - 1;
+        let mut i = (self.key_hash(rel, r) as usize) & mask;
+        loop {
+            let head = self.slots[i];
+            if head == NO_ROW {
+                self.slots[i] = r as u32;
+                self.next[r] = NO_ROW;
+                self.keys += 1;
+                return;
+            }
+            if self.keys_equal(rel, head as usize, r) {
+                // newest-first chaining keeps row ids strictly decreasing
+                self.next[r] = head;
+                self.slots[i] = r as u32;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Rebuilds the key table at double capacity, re-adding rows
+    /// `[0, upto)` (cheap: geometric growth amortizes to O(1) per row).
+    fn grow(&mut self, rel: &ColumnarRelation, upto: usize) {
+        let cap = (self.slots.len() * 2).max(8);
+        self.slots = vec![NO_ROW; cap];
+        self.keys = 0;
+        for r in 0..upto {
+            self.add_row(rel, r);
+        }
+    }
+
+    /// Looks up a key (values in mask order): the head of the matching
+    /// chain, or [`NO_ROW`]. Chains are newest-first; follow with
+    /// [`Self::next_row`]. No allocation.
+    pub fn probe(&self, rel: &ColumnarRelation, key: &[Const]) -> u32 {
+        debug_assert_eq!(key.len(), self.mask.len());
+        if self.slots.is_empty() {
+            return NO_ROW;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash_ids(key.iter().map(|c| c.0)) as usize) & mask;
+        loop {
+            let head = self.slots[i];
+            if head == NO_ROW {
+                return NO_ROW;
+            }
+            let h = head as usize;
+            if self.mask.iter().zip(key).all(|(&p, &k)| rel.value(h, p) == k) {
+                return head;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The next-older row in `r`'s chain.
+    #[inline]
+    pub fn next_row(&self, r: u32) -> u32 {
+        self.next[r as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: u32) -> Const {
+        Const(v)
+    }
+
+    #[test]
+    fn insert_dedup_and_membership() {
+        let mut rel = ColumnarRelation::new(2);
+        assert!(rel.insert(&[c(1), c(2)]));
+        assert!(!rel.insert(&[c(1), c(2)]));
+        assert!(rel.insert(&[c(2), c(1)]));
+        assert_eq!(rel.num_rows(), 2);
+        assert!(rel.contains(&[c(1), c(2)]));
+        assert!(!rel.contains(&[c(3), c(3)]));
+        assert_eq!(rel.row(0), &[c(1), c(2)]);
+        assert_eq!(rel.row(1), &[c(2), c(1)]);
+    }
+
+    #[test]
+    fn zero_arity_relation_holds_at_most_one_row() {
+        let mut rel = ColumnarRelation::new(0);
+        assert!(!rel.contains(&[]));
+        assert!(rel.insert(&[]));
+        assert!(!rel.insert(&[]));
+        assert_eq!(rel.num_rows(), 1);
+        assert!(rel.contains(&[]));
+        assert_eq!(rel.row(0), &[] as &[Const]);
+    }
+
+    #[test]
+    fn dedup_survives_growth() {
+        let mut rel = ColumnarRelation::new(1);
+        for i in 0..1000 {
+            assert!(rel.insert(&[c(i)]));
+        }
+        for i in 0..1000 {
+            assert!(!rel.insert(&[c(i)]));
+            assert!(rel.contains(&[c(i)]));
+        }
+        assert_eq!(rel.num_rows(), 1000);
+    }
+
+    #[test]
+    fn index_chains_are_newest_first() {
+        let mut rel = ColumnarRelation::new(2);
+        // key = column 0; three rows share key 7
+        rel.insert(&[c(7), c(0)]);
+        rel.insert(&[c(8), c(1)]);
+        rel.insert(&[c(7), c(2)]);
+        rel.insert(&[c(7), c(3)]);
+        let mut idx = IncrementalIndex::new(0, vec![0]);
+        idx.extend(&rel);
+        let mut rows = Vec::new();
+        let mut r = idx.probe(&rel, &[c(7)]);
+        while r != NO_ROW {
+            rows.push(r);
+            r = idx.next_row(r);
+        }
+        assert_eq!(rows, vec![3, 2, 0], "newest-first, strictly decreasing");
+        assert_eq!(idx.probe(&rel, &[c(9)]), NO_ROW);
+    }
+
+    #[test]
+    fn incremental_extension_matches_full_rebuild() {
+        let mut rel = ColumnarRelation::new(2);
+        let mut incremental = IncrementalIndex::new(0, vec![1]);
+        for step in 0..10 {
+            for i in 0..50u32 {
+                rel.insert(&[c(step * 50 + i), c(i % 7)]);
+            }
+            incremental.extend(&rel);
+        }
+        let mut fresh = IncrementalIndex::new(0, vec![1]);
+        fresh.extend(&rel);
+        for k in 0..7u32 {
+            let collect = |idx: &IncrementalIndex| {
+                let mut rows = Vec::new();
+                let mut r = idx.probe(&rel, &[c(k)]);
+                while r != NO_ROW {
+                    rows.push(r);
+                    r = idx.next_row(r);
+                }
+                rows
+            };
+            assert_eq!(collect(&incremental), collect(&fresh), "key {k}");
+        }
+    }
+
+    #[test]
+    fn empty_mask_chains_every_row() {
+        let mut rel = ColumnarRelation::new(1);
+        for i in 0..20u32 {
+            rel.insert(&[c(i)]);
+        }
+        let mut idx = IncrementalIndex::new(0, vec![]);
+        idx.extend(&rel);
+        let mut n = 0;
+        let mut r = idx.probe(&rel, &[]);
+        while r != NO_ROW {
+            n += 1;
+            r = idx.next_row(r);
+        }
+        assert_eq!(n, 20);
+    }
+}

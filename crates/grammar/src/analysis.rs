@@ -364,15 +364,15 @@ pub fn words_up_to(g: &Cfg, max_len: usize) -> Vec<Vec<Symbol>> {
                 for w in &partials {
                     match s {
                         Sym::T(t) => {
-                            if w.len() + 1 <= max_len {
+                            if w.len() < max_len {
                                 let mut w2 = w.clone();
                                 w2.push(*t);
                                 next.push(w2);
                             }
                         }
                         Sym::N(m) => {
-                            for len in 1..=(max_len - w.len()) {
-                                for e in &table[m.index()][len] {
+                            for bucket in &table[m.index()][1..=(max_len - w.len())] {
+                                for e in bucket {
                                     let mut w2 = w.clone();
                                     w2.extend_from_slice(e);
                                     next.push(w2);
@@ -399,8 +399,8 @@ pub fn words_up_to(g: &Cfg, max_len: usize) -> Vec<Vec<Symbol>> {
         out.push(Vec::new());
     }
     if n > 0 {
-        for len in 1..=max_len {
-            out.extend(table[clean.start.index()][len].iter().cloned());
+        for bucket in &table[clean.start.index()][1..=max_len] {
+            out.extend(bucket.iter().cloned());
         }
     }
     out.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));

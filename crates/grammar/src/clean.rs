@@ -199,9 +199,9 @@ pub fn remove_units(g: &Cfg) -> Cfg {
         changed = false;
         for p in &g.productions {
             if let [Sym::N(b)] = p.body.as_slice() {
-                for a in 0..n {
-                    if unit[a][p.head.index()] && !unit[a][b.index()] {
-                        unit[a][b.index()] = true;
+                for row in unit.iter_mut() {
+                    if row[p.head.index()] && !row[b.index()] {
+                        row[b.index()] = true;
                         changed = true;
                     }
                 }
@@ -209,9 +209,9 @@ pub fn remove_units(g: &Cfg) -> Cfg {
         }
     }
     let mut productions: Vec<Production> = Vec::new();
-    for a in 0..n {
-        for b in 0..n {
-            if !unit[a][b] {
+    for (a, row) in unit.iter().enumerate() {
+        for (b, &reach) in row.iter().enumerate() {
+            if !reach {
                 continue;
             }
             for p in g.productions_of(NonTerminal(b as u32)) {

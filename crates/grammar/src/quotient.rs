@@ -22,6 +22,10 @@ use crate::clean::normalize;
 /// quotient, `y` the part consumed by a run of `r` from `q` to `q'`.
 /// Original nonterminals are imported as `Orig[A]` copies to generate the
 /// fully-kept prefixes `body[..i]`.
+// The (q, q', i, mid) expansion walks four index spaces that jointly
+// address `suffix`; iterator/enumerate forms obscure the DFA-state
+// arithmetic the construction is about.
+#[allow(clippy::needless_range_loop)]
 pub fn right_quotient(g: &Cfg, r: &Dfa) -> Cfg {
     assert_eq!(
         g.alphabet, r.alphabet,
@@ -90,8 +94,8 @@ pub fn right_quotient(g: &Cfg, r: &Dfa) -> Cfg {
         // suffix[i][s][s'] = body[i..] can drive the DFA from s to s'.
         let mut suffix: Vec<Vec<Vec<bool>>> = Vec::with_capacity(k + 1);
         suffix.resize(k + 1, vec![vec![false; nq]; nq]);
-        for s in 0..nq {
-            suffix[k][s][s] = true;
+        for (s, row) in suffix[k].iter_mut().enumerate() {
+            row[s] = true;
         }
         for i in (0..k).rev() {
             let step = symbol_reach(r, p.body[i], &reach);

@@ -46,7 +46,7 @@ impl Sampler {
                         }
                         match s {
                             Sym::T(_) => {
-                                if base + 1 <= max_len {
+                                if base < max_len {
                                     next[base + 1] = true;
                                 }
                             }
@@ -173,7 +173,7 @@ impl Sampler {
                 }
                 match s {
                     Sym::T(_) => {
-                        if base + 1 <= len {
+                        if base < len {
                             next[base + 1] = true;
                         }
                     }

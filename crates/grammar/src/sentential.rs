@@ -33,10 +33,10 @@ pub fn sentential_forms(g: &Cfg) -> Cfg {
         start: NonTerminal(g.start.0),
         productions: Vec::new(),
     };
-    for a in 0..g.num_nonterminals() {
+    for (a, &marker) in markers.iter().enumerate() {
         let nt = NonTerminal(a as u32);
         // A sentential form of A is either the marker @A itself...
-        out.add_production(nt, vec![Sym::T(markers[a])]);
+        out.add_production(nt, vec![Sym::T(marker)]);
         // ...or any production body with symbols replaced by their
         // sentential-form nonterminals.
         for p in g.productions_of(nt) {

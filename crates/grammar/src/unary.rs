@@ -160,10 +160,10 @@ fn periodic_dfa(g: &Cfg, lengths: &[bool], threshold: usize, period: usize) -> D
         nfa.add_state();
     }
     nfa.set_start(0);
-    for q in 0..total {
+    for (q, &in_set) in lengths.iter().enumerate().take(total) {
         let next = if q + 1 < total { q + 1 } else { threshold };
         nfa.add_transition(q, sym, next);
-        if lengths[q] {
+        if in_set {
             nfa.set_accept(q);
         }
     }

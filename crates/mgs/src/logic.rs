@@ -49,6 +49,9 @@ pub enum FoFormula {
 
 impl FoFormula {
     /// `¬φ`.
+    // A DSL constructor taking the operand by value, not an `ops::Not`
+    // impl (which would force `!f` syntax on boxed formulas).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: FoFormula) -> FoFormula {
         FoFormula::Not(Box::new(f))
     }

@@ -130,8 +130,8 @@ mod tests {
         let (ans, _) = answer(&p2, &db, Strategy::SemiNaive);
         // exactly the three cycle nodes (shifted by 3)
         assert_eq!(ans.len(), 3);
-        for i in 3..6 {
-            assert!(ans.contains(&[ids[i]]));
+        for id in &ids[3..6] {
+            assert!(ans.contains(&[*id]));
         }
     }
 

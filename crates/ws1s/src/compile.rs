@@ -57,7 +57,7 @@ pub fn compile(f: &Formula, num_tracks: usize, free_fo: &[VarId]) -> CompiledFor
         assert!(m < num_tracks, "variable track out of range");
     }
     let alphabet = track_alphabet(num_tracks);
-    let mut dfa = go(f, &alphabet, num_tracks);
+    let mut dfa = go(f, &alphabet);
     for &v in free_fo {
         dfa = dfa.intersect(&singleton(&alphabet, v.0));
         dfa = minimize(&dfa);
@@ -69,7 +69,7 @@ pub fn compile(f: &Formula, num_tracks: usize, free_fo: &[VarId]) -> CompiledFor
     }
 }
 
-fn go(f: &Formula, al: &Alphabet, m: usize) -> Dfa {
+fn go(f: &Formula, al: &Alphabet) -> Dfa {
     let dfa = match f {
         Formula::True => all_words(al),
         Formula::False => Dfa::from_nfa(&Nfa::empty(al.clone())),
@@ -79,21 +79,21 @@ fn go(f: &Formula, al: &Alphabet, m: usize) -> Dfa {
         Formula::In(x, w) => is_in(al, x.0, w.0),
         Formula::IsFirst(x) => is_first(al, x.0),
         Formula::IsLast(x) => is_last(al, x.0),
-        Formula::Not(g) => go(g, al, m).complement(),
-        Formula::And(a, b) => go(a, al, m).intersect(&go(b, al, m)),
-        Formula::Or(a, b) => go(a, al, m).union(&go(b, al, m)),
-        Formula::Implies(a, b) => go(a, al, m).complement().union(&go(b, al, m)),
+        Formula::Not(g) => go(g, al).complement(),
+        Formula::And(a, b) => go(a, al).intersect(&go(b, al)),
+        Formula::Or(a, b) => go(a, al).union(&go(b, al)),
+        Formula::Implies(a, b) => go(a, al).complement().union(&go(b, al)),
         Formula::ExistsFo(v, g) => {
-            let body = go(g, al, m).intersect(&singleton(al, v.0));
+            let body = go(g, al).intersect(&singleton(al, v.0));
             project(&body, al, v.0)
         }
         Formula::ForallFo(v, g) => {
             // ∀x φ ≡ ¬∃x ¬φ (with the singleton constraint inside ∃)
-            let body = go(g, al, m).complement().intersect(&singleton(al, v.0));
+            let body = go(g, al).complement().intersect(&singleton(al, v.0));
             project(&body, al, v.0).complement()
         }
-        Formula::ExistsSo(v, g) => project(&go(g, al, m), al, v.0),
-        Formula::ForallSo(v, g) => project(&go(g, al, m).complement(), al, v.0).complement(),
+        Formula::ExistsSo(v, g) => project(&go(g, al), al, v.0),
+        Formula::ForallSo(v, g) => project(&go(g, al).complement(), al, v.0).complement(),
     };
     minimize(&dfa)
 }
@@ -297,7 +297,7 @@ mod tests {
 
     /// Evaluates a formula on an explicit word by brute force (ground
     /// truth for the compiler).
-    fn eval(f: &Formula, word: &[u32], n: usize) -> bool {
+    fn eval(f: &Formula, word: &[u32]) -> bool {
         // word[i] = bitmask of tracks at position i
         match f {
             Formula::True => true,
@@ -319,25 +319,25 @@ mod tests {
             Formula::IsLast(x) => {
                 !word.is_empty() && pos_of(word, x.0) == Some(word.len() - 1)
             }
-            Formula::Not(g) => !eval(g, word, n),
-            Formula::And(a, b) => eval(a, word, n) && eval(b, word, n),
-            Formula::Or(a, b) => eval(a, word, n) || eval(b, word, n),
-            Formula::Implies(a, b) => !eval(a, word, n) || eval(b, word, n),
+            Formula::Not(g) => !eval(g, word),
+            Formula::And(a, b) => eval(a, word) && eval(b, word),
+            Formula::Or(a, b) => eval(a, word) || eval(b, word),
+            Formula::Implies(a, b) => !eval(a, word) || eval(b, word),
             Formula::ExistsFo(v, g) => (0..word.len()).any(|i| {
                 let w2 = with_singleton(word, v.0, i);
-                eval(g, &w2, n)
+                eval(g, &w2)
             }),
             Formula::ForallFo(v, g) => (0..word.len()).all(|i| {
                 let w2 = with_singleton(word, v.0, i);
-                eval(g, &w2, n)
+                eval(g, &w2)
             }),
             Formula::ExistsSo(v, g) => subsets(word.len()).any(|s| {
                 let w2 = with_set(word, v.0, s);
-                eval(g, &w2, n)
+                eval(g, &w2)
             }),
             Formula::ForallSo(v, g) => subsets(word.len()).all(|s| {
                 let w2 = with_set(word, v.0, s);
-                eval(g, &w2, n)
+                eval(g, &w2)
             }),
         }
     }
@@ -404,7 +404,7 @@ mod tests {
             let symbols: Vec<Symbol> = w.iter().map(|&l| Symbol(l)).collect();
             assert_eq!(
                 compiled.dfa.accepts_word(&symbols),
-                eval(f, &w, m),
+                eval(f, &w),
                 "mismatch on {w:?} for {f}"
             );
         }

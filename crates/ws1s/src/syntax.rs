@@ -61,6 +61,9 @@ pub enum Formula {
 
 impl Formula {
     /// `¬φ`.
+    // A DSL constructor taking the operand by value, not an `ops::Not`
+    // impl (which would force `!f` syntax on boxed formulas).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }

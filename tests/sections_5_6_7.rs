@@ -100,8 +100,8 @@ fn cycle_program_answers_exactly_cycle_nodes() {
         selprop_datalog::eval::Strategy::SemiNaive,
     );
     assert_eq!(ans.len(), 5); // 3-cycle + 2-cycle nodes
-    for i in 4..9 {
-        assert!(ans.contains(&[ids[i]]));
+    for id in &ids[4..9] {
+        assert!(ans.contains(&[*id]));
     }
 }
 
