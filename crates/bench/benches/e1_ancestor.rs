@@ -5,7 +5,7 @@
 //! magic(A)/magic(B) land near D; magic(C) stays expensive.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use selprop_bench::{row, run};
+use selprop_bench::{row, run, strategy_from_env, THREAD_SWEEP};
 use selprop_core::workload;
 use selprop_datalog::db::Database;
 use selprop_datalog::eval::Strategy;
@@ -62,23 +62,56 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(name, "layered_dag_72x20"), &name, |b, _| {
                 b.iter(|| run(&p, &db, Strategy::SemiNaive))
             });
+            // Thread-scaling sweep of the sharded parallel engine on the
+            // same closure (EXPERIMENTS.md's thread table; BENCH_eval.json
+            // records the same sweep via `record`).
+            if name == "A" {
+                for threads in THREAD_SWEEP {
+                    let strategy = Strategy::SemiNaiveParallel { threads };
+                    let (pa, ps) = run(&p, &db, strategy);
+                    assert_eq!((pa, ps), (answers, stats), "parallel drift at {threads}t");
+                    group.bench_with_input(
+                        BenchmarkId::new(format!("{name}_threads"), threads),
+                        &threads,
+                        |b, _| b.iter(|| run(&p, &db, strategy)),
+                    );
+                }
+            }
         }
         group.finish();
     }
 
+    // The timed sweep honors SELPROP_THREADS (CI smoke-runs the parallel
+    // engine with SELPROP_THREADS=4); counters are strategy-invariant,
+    // which the assert checks on every config.
+    let strategy = strategy_from_env();
     let mut group = c.benchmark_group("e1_ancestor");
     group.sample_size(10);
     for n in [100usize, 400] {
         for (name, src) in PROGRAMS {
             let mut p = parse_program(src).unwrap();
             let db = build_db(&mut p, n);
+            if strategy != Strategy::SemiNaive {
+                assert_eq!(
+                    run(&p, &db, strategy),
+                    run(&p, &db, Strategy::SemiNaive),
+                    "{name}/n={n}: parallel strategy drift"
+                );
+            }
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-                b.iter(|| run(&p, &db, Strategy::SemiNaive))
+                b.iter(|| run(&p, &db, strategy))
             });
             if name != "D" {
                 let magic = magic_transform(&p).unwrap();
+                if strategy != Strategy::SemiNaive {
+                    assert_eq!(
+                        run(&magic.program, &db, strategy),
+                        run(&magic.program, &db, Strategy::SemiNaive),
+                        "magic({name})/n={n}: parallel strategy drift"
+                    );
+                }
                 group.bench_with_input(BenchmarkId::new(format!("magic_{name}"), n), &n, |b, _| {
-                    b.iter(|| run(&magic.program, &db, Strategy::SemiNaive))
+                    b.iter(|| run(&magic.program, &db, strategy))
                 });
             }
         }

@@ -7,7 +7,7 @@
 //! every rule (the paper's magic set).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use selprop_bench::{row, run};
+use selprop_bench::{row, run, strategy_from_env, THREAD_SWEEP};
 use selprop_core::chain::ChainProgram;
 use selprop_core::magic_chain::{analyze, transform};
 use selprop_core::workload;
@@ -32,6 +32,9 @@ fn bench(c: &mut Criterion) {
     );
     let magic = transform(&chain).unwrap();
 
+    // The timed sweep honors SELPROP_THREADS (parallel engine smoke in
+    // CI); work counters are strategy-invariant.
+    let strategy = strategy_from_env();
     let mut group = c.benchmark_group("e5_magic");
     group.sample_size(10);
     for (layers, noise) in [(10usize, 50usize), (20, 400), (40, 3200)] {
@@ -42,17 +45,21 @@ fn bench(c: &mut Criterion) {
         let (a1, s1) = run(&p1, &db1, Strategy::SemiNaive);
         let (a2, s2) = run(&p2, &db2, Strategy::SemiNaive);
         assert_eq!(a1, a2, "magic preserves answers");
+        if strategy != Strategy::SemiNaive {
+            assert_eq!(run(&p1, &db1, strategy), (a1, s1), "parallel strategy drift");
+            assert_eq!(run(&p2, &db2, strategy), (a2, s2), "magic parallel strategy drift");
+        }
         row("original", layers * 2 + noise * 2, a1, &s1);
         row("magic", layers * 2 + noise * 2, a2, &s2);
         group.bench_with_input(
             BenchmarkId::new("original", format!("{layers}x{noise}")),
             &layers,
-            |b, _| b.iter(|| run(&p1, &db1, Strategy::SemiNaive)),
+            |b, _| b.iter(|| run(&p1, &db1, strategy)),
         );
         group.bench_with_input(
             BenchmarkId::new("magic", format!("{layers}x{noise}")),
             &layers,
-            |b, _| b.iter(|| run(&p2, &db2, Strategy::SemiNaive)),
+            |b, _| b.iter(|| run(&p2, &db2, strategy)),
         );
     }
     // quotient computation cost
@@ -84,6 +91,19 @@ fn bench(c: &mut Criterion) {
             &layers,
             |b, _| b.iter(|| run(&p2, &db2, Strategy::SemiNaive)),
         );
+        // Thread-scaling sweep on the untransformed large config (the
+        // delta step of the recursive rule sits mid-join here, so this
+        // exercises sharding with duplicated pre-delta work).
+        for threads in THREAD_SWEEP {
+            let strategy = Strategy::SemiNaiveParallel { threads };
+            let (pa, ps) = run(&p1, &db1, strategy);
+            assert_eq!((pa, ps), (a1, s1), "parallel drift at {threads}t");
+            group.bench_with_input(
+                BenchmarkId::new("original_threads", threads),
+                &threads,
+                |b, _| b.iter(|| run(&p1, &db1, strategy)),
+            );
+        }
     }
     group.finish();
 }

@@ -1,19 +1,32 @@
 //! Records the evaluation baseline: work counters **and** wall-clock for
 //! the headline experiment configs, including the large-scale (>10⁶
-//! derived tuples) workloads, into `BENCH_eval.json` at the repo root.
+//! derived tuples) workloads and the thread-scaling sweep of the
+//! parallel engine, into `BENCH_eval.json` at the repo root.
 //!
 //! Work counters are machine-independent and must never drift (the
-//! reference engine is run on every config as a cross-check); wall-clock
-//! is machine-dependent and recorded so future PRs can track the perf
-//! trajectory on the same box. Run with:
+//! reference engine is run on every config as a cross-check, and every
+//! per-thread-count run is cross-checked against the sequential storage
+//! engine); wall-clock is machine-dependent and recorded so future PRs
+//! can track the perf trajectory on the same box. **A cross-check
+//! mismatch terminates the process with a nonzero exit code** — CI and
+//! scripts must be able to rely on that. Run with:
 //!
 //! ```text
 //! cargo run --release -p selprop-bench --bin record
 //! ```
+//!
+//! Flags (used by the bench crate's integration tests):
+//!
+//! - `--smoke`: tiny configs only, output to a temp path — exercises the
+//!   full pipeline (including thread rows) in seconds;
+//! - `--corrupt-cross-check`: deliberately corrupts one reference
+//!   counter before the comparison, proving the failure path really
+//!   propagates to a nonzero exit.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use selprop_bench::THREAD_SWEEP;
 use selprop_core::workload;
 use selprop_datalog::db::Database;
 use selprop_datalog::eval::{answer, EvalStats, Strategy};
@@ -24,15 +37,50 @@ use selprop_datalog::{reference, Program};
 struct Row {
     experiment: &'static str,
     config: String,
+    threads: usize,
     answers: usize,
     stats: EvalStats,
     wall_ms: f64,
-    reference_wall_ms: f64,
+    /// Reference-engine wall-clock; `None` for per-thread-count rows
+    /// (those cross-check against the sequential storage run instead).
+    reference_wall_ms: Option<f64>,
+}
+
+/// The cross-check: counters and answer counts must agree exactly.
+/// Returns a descriptive error (propagated to a nonzero process exit)
+/// on any drift.
+fn cross_check(
+    label: &str,
+    stats: EvalStats,
+    answers: usize,
+    want_stats: EvalStats,
+    want_answers: usize,
+) -> Result<(), String> {
+    if stats != want_stats {
+        return Err(format!(
+            "{label}: counter drift\n  got:  {stats:?}\n  want: {want_stats:?}"
+        ));
+    }
+    if answers != want_answers {
+        return Err(format!(
+            "{label}: answer drift (got {answers}, want {want_answers})"
+        ));
+    }
+    Ok(())
 }
 
 /// Mean wall-clock of `runs` storage-engine evaluations plus one
 /// reference-engine run (which doubles as the counter cross-check).
-fn measure(experiment: &'static str, config: String, p: &Program, db: &Database, runs: u32) -> Row {
+/// `corrupt` perturbs the reference counters first — the self-test of
+/// the failure path.
+fn measure(
+    experiment: &'static str,
+    config: String,
+    p: &Program,
+    db: &Database,
+    runs: u32,
+    corrupt: bool,
+) -> Result<Row, String> {
     let mut total = 0.0;
     let mut out = None;
     for _ in 0..runs {
@@ -44,10 +92,19 @@ fn measure(experiment: &'static str, config: String, p: &Program, db: &Database,
     let (answers, stats) = out.expect("runs >= 1");
 
     let t0 = Instant::now();
-    let (ref_ans, ref_stats) = reference::answer(p, db, Strategy::SemiNaive);
+    let (ref_ans, mut ref_stats) = reference::answer(p, db, Strategy::SemiNaive);
     let reference_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(stats, ref_stats, "{experiment}/{config}: counter drift");
-    assert_eq!(answers, ref_ans.len(), "{experiment}/{config}: answer drift");
+    if corrupt {
+        // Deliberate drift: the caller expects the pipeline to fail.
+        ref_stats.join_probes += 1;
+    }
+    cross_check(
+        &format!("{experiment}/{config}"),
+        stats,
+        answers,
+        ref_stats,
+        ref_ans.len(),
+    )?;
 
     println!(
         "{experiment:<4} {config:<28} answers={answers:<8} tuples={:<9} work={:<11} storage={:>9.2}ms reference={:>10.2}ms speedup={:>5.1}x",
@@ -57,24 +114,86 @@ fn measure(experiment: &'static str, config: String, p: &Program, db: &Database,
         reference_wall_ms,
         reference_wall_ms / (total / f64::from(runs)),
     );
-    Row {
+    Ok(Row {
         experiment,
         config,
+        threads: 1,
         answers,
         stats,
         wall_ms: total / f64::from(runs),
-        reference_wall_ms,
-    }
+        reference_wall_ms: Some(reference_wall_ms),
+    })
 }
 
-fn e1_rows(rows: &mut Vec<Row>) {
+/// Appends one row per [`THREAD_SWEEP`] entry for the same config,
+/// cross-checking every parallel run against the sequential storage
+/// stats (which the preceding [`measure`] already checked against the
+/// reference engine).
+#[allow(clippy::too_many_arguments)]
+fn measure_threads(
+    rows: &mut Vec<Row>,
+    experiment: &'static str,
+    config: &str,
+    p: &Program,
+    db: &Database,
+    runs: u32,
+    want_stats: EvalStats,
+    want_answers: usize,
+) -> Result<(), String> {
+    let mut wall_by_thread = Vec::new();
+    for &threads in &THREAD_SWEEP {
+        let mut total = 0.0;
+        let mut out = None;
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            let (ans, stats) = answer(p, db, Strategy::SemiNaiveParallel { threads });
+            total += t0.elapsed().as_secs_f64() * 1e3;
+            out = Some((ans.len(), stats));
+        }
+        let (answers, stats) = out.expect("runs >= 1");
+        cross_check(
+            &format!("{experiment}/{config}/threads={threads}"),
+            stats,
+            answers,
+            want_stats,
+            want_answers,
+        )?;
+        let wall_ms = total / f64::from(runs);
+        println!(
+            "{experiment:<4} {:<28} answers={answers:<8} tuples={:<9} work={:<11} storage={wall_ms:>9.2}ms",
+            format!("{config}/threads={threads}"),
+            stats.tuples_derived,
+            stats.work(),
+        );
+        wall_by_thread.push((threads, wall_ms));
+        rows.push(Row {
+            experiment,
+            config: format!("{config}/threads={threads}"),
+            threads,
+            answers,
+            stats,
+            wall_ms,
+            reference_wall_ms: None,
+        });
+    }
+    if let (Some(&(_, w1)), Some(&(_, w8))) = (
+        wall_by_thread.iter().find(|(t, _)| *t == 1),
+        wall_by_thread.iter().find(|(t, _)| *t == 8),
+    ) {
+        println!("     {config:<28} thread-scaling 8t vs 1t: {:.2}x", w1 / w8);
+    }
+    Ok(())
+}
+
+fn e1_rows(rows: &mut Vec<Row>, smoke: bool) -> Result<(), String> {
     const PROGRAMS: [(&str, &str); 4] = [
         ("A", "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y)."),
         ("B", "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y)."),
         ("C", "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), anc(Z, Y)."),
         ("D", "?- ancjohn(Y).\nancjohn(Y) :- par(john, Y).\nancjohn(Y) :- ancjohn(Z), par(Z, Y)."),
     ];
-    for n in [100usize, 400] {
+    let sizes: &[usize] = if smoke { &[60] } else { &[100, 400] };
+    for &n in sizes {
         for (name, src) in PROGRAMS {
             let mut p = parse_program(src).unwrap();
             let mut db = workload::random_forest(&mut p, "par", "john", n, 11);
@@ -84,75 +203,173 @@ fn e1_rows(rows: &mut Vec<Row>) {
                     db.insert(pred, t.clone());
                 }
             }
-            rows.push(measure("e1", format!("{name}/n={n}"), &p, &db, 5));
+            let row = measure("e1", format!("{name}/n={n}"), &p, &db, 5, false)?;
+            let (stats, answers) = (row.stats, row.answers);
+            rows.push(row);
             if name == "A" {
+                if smoke {
+                    // Smoke mode exercises the thread sweep on the small
+                    // config instead of the large closure.
+                    measure_threads(
+                        rows,
+                        "e1",
+                        &format!("{name}/n={n}"),
+                        &p,
+                        &db,
+                        2,
+                        stats,
+                        answers,
+                    )?;
+                }
                 let magic = magic_transform(&p).unwrap();
-                rows.push(measure("e1", format!("magic({name})/n={n}"), &magic.program, &db, 5));
+                rows.push(measure(
+                    "e1",
+                    format!("magic({name})/n={n}"),
+                    &magic.program,
+                    &db,
+                    5,
+                    false,
+                )?);
             }
         }
+    }
+    if smoke {
+        return Ok(());
     }
     // Large scale: >10^6 derived anc tuples from a 28_820-edge layered
     // DAG. Program A materializes the full closure; Program D (monadic)
     // shows the paper's point — selection propagation stays linear.
+    // Program A's closure is the headline thread-scaling config.
     for (name, src) in [PROGRAMS[0], PROGRAMS[3]] {
         let mut p = parse_program(src).unwrap();
         let db = workload::layered_dag(&mut p, "par", "john", 72, 20);
-        rows.push(measure("e1", format!("{name}/layered_dag(72,20)"), &p, &db, 2));
+        let config = format!("{name}/layered_dag(72,20)");
+        let row = measure("e1", config.clone(), &p, &db, 2, false)?;
+        let (stats, answers) = (row.stats, row.answers);
+        rows.push(row);
+        if name == "A" {
+            measure_threads(rows, "e1", &config, &p, &db, 2, stats, answers)?;
+        }
     }
+    Ok(())
 }
 
-fn e5_rows(rows: &mut Vec<Row>) {
+fn e5_rows(rows: &mut Vec<Row>, smoke: bool) -> Result<(), String> {
     const SRC: &str = "?- p(c, Y).\n\
                        p(X, Y) :- b1(X, X1), b2(X1, Y).\n\
                        p(X, Y) :- b1(X, X1), p(X1, Y1), b2(Y1, Y).";
     let orig = parse_program(SRC).unwrap();
     let magic = magic_transform(&orig).unwrap();
-    for (layers, noise) in [(10usize, 50usize), (20, 400), (40, 3200)] {
+    let configs: &[(usize, usize)] = if smoke {
+        &[(8, 40)]
+    } else {
+        &[(10, 50), (20, 400), (40, 3200)]
+    };
+    for &(layers, noise) in configs {
         let mut p1 = orig.clone();
         let db1 = workload::layered_b1_b2(&mut p1, "c", layers, noise);
-        rows.push(measure("e5", format!("original/{layers}x{noise}"), &p1, &db1, 5));
+        rows.push(measure("e5", format!("original/{layers}x{noise}"), &p1, &db1, 5, false)?);
         let mut p2 = magic.program.clone();
         let db2 = workload::layered_b1_b2(&mut p2, "c", layers, noise);
-        rows.push(measure("e5", format!("magic/{layers}x{noise}"), &p2, &db2, 5));
+        rows.push(measure("e5", format!("magic/{layers}x{noise}"), &p2, &db2, 5, false)?);
+    }
+    if smoke {
+        return Ok(());
     }
     // Large scale: 10^6 noise pairs each deriving one irrelevant p fact —
     // the magic-pruning scenario at a size where storage costs dominate.
+    // The untransformed program is the second thread-scaling config.
     let (layers, noise) = (20usize, 1_000_000usize);
     let mut p1 = orig.clone();
     let db1 = workload::layered_b1_b2(&mut p1, "c", layers, noise);
-    rows.push(measure("e5", format!("original/{layers}x{noise}"), &p1, &db1, 2));
+    let config = format!("original/{layers}x{noise}");
+    let row = measure("e5", config.clone(), &p1, &db1, 2, false)?;
+    let (stats, answers) = (row.stats, row.answers);
+    rows.push(row);
+    measure_threads(rows, "e5", &config, &p1, &db1, 2, stats, answers)?;
     let mut p2 = magic.program.clone();
     let db2 = workload::layered_b1_b2(&mut p2, "c", layers, noise);
-    rows.push(measure("e5", format!("magic/{layers}x{noise}"), &p2, &db2, 2));
+    rows.push(measure("e5", format!("magic/{layers}x{noise}"), &p2, &db2, 2, false)?);
+    Ok(())
 }
 
-fn main() {
-    let mut rows = Vec::new();
-    println!("== recording evaluation baseline (storage engine vs reference) ==");
-    e1_rows(&mut rows);
-    e5_rows(&mut rows);
-
+fn render_json(rows: &[Row]) -> String {
     let mut json = String::from("{\n  \"generated_by\": \"cargo run --release -p selprop-bench --bin record\",\n  \"engine\": \"columnar-watermark\",\n  \"experiments\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"experiment\": \"{}\", \"config\": \"{}\", \"answers\": {}, \"iterations\": {}, \"rule_firings\": {}, \"tuples_derived\": {}, \"join_probes\": {}, \"wall_ms_mean\": {:.3}, \"wall_ms_reference\": {:.3}}}{}",
+            "    {{\"experiment\": \"{}\", \"config\": \"{}\", \"threads\": {}, \"answers\": {}, \"iterations\": {}, \"rule_firings\": {}, \"tuples_derived\": {}, \"join_probes\": {}, \"wall_ms_mean\": {:.3}",
             r.experiment,
             r.config,
+            r.threads,
             r.answers,
             r.stats.iterations,
             r.stats.rule_firings,
             r.stats.tuples_derived,
             r.stats.join_probes,
             r.wall_ms,
-            r.reference_wall_ms,
-            if i + 1 == rows.len() { "" } else { "," },
         );
+        if let Some(ref_ms) = r.reference_wall_ms {
+            let _ = write!(json, ", \"wall_ms_reference\": {ref_ms:.3}");
+        }
+        let _ = write!(json, "}}{}", if i + 1 == rows.len() { "" } else { "," });
         json.push('\n');
     }
     json.push_str("  ]\n}\n");
+    json
+}
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
-    std::fs::write(path, json).expect("write BENCH_eval.json");
-    println!("\nwrote {path}");
+/// Runs the failure-path self-test: a deliberately corrupted reference
+/// counter must surface as `Err` from the measurement pipeline.
+fn corrupt_cross_check() -> Result<(), String> {
+    let mut p = parse_program(
+        "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).",
+    )
+    .unwrap();
+    let db = workload::random_forest(&mut p, "par", "john", 30, 11);
+    measure("e1", "corrupt-self-test".to_owned(), &p, &db, 1, true).map(|_| ())
+}
+
+fn record(smoke: bool) -> Result<String, String> {
+    let mut rows = Vec::new();
+    println!("== recording evaluation baseline (storage engine vs reference) ==");
+    e1_rows(&mut rows, smoke)?;
+    e5_rows(&mut rows, smoke)?;
+    let json = render_json(&rows);
+    let path = if smoke {
+        // Per-process name: concurrent smoke runs must not race on one file.
+        std::env::temp_dir()
+            .join(format!("BENCH_eval_smoke_{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json").to_owned()
+    };
+    std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(path)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--corrupt-cross-check") {
+        // Self-test of the failure path: this MUST exit nonzero.
+        match corrupt_cross_check() {
+            Ok(()) => {
+                eprintln!("cross-check FAILED to detect deliberate corruption");
+                std::process::exit(3);
+            }
+            Err(e) => {
+                eprintln!("cross-check mismatch (expected by --corrupt-cross-check): {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    match record(smoke) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("cross-check mismatch: {e}");
+            std::process::exit(2);
+        }
+    }
 }

@@ -27,3 +27,21 @@ pub fn row(label: &str, n: usize, answers: usize, stats: &EvalStats) {
 
 /// Standard small/medium/large sweep used across experiments.
 pub const SIZES: [usize; 3] = [100, 400, 1600];
+
+/// The evaluation strategy selected by the `SELPROP_THREADS` environment
+/// variable: `>= 2` picks the sharded parallel engine with that many
+/// workers, anything else (unset, `0`, `1`, garbage) the sequential
+/// semi-naive engine. Lets CI exercise the parallel path on every bench
+/// without a separate harness (`SELPROP_THREADS=4 cargo bench ...`).
+pub fn strategy_from_env() -> Strategy {
+    match std::env::var("SELPROP_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(threads) if threads >= 2 => Strategy::SemiNaiveParallel { threads },
+        _ => Strategy::SemiNaive,
+    }
+}
+
+/// Thread counts for the scaling sweeps in the E1/E5 benches.
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];

@@ -1,0 +1,58 @@
+//! The `record` binary's contract: a storage/reference cross-check
+//! mismatch must terminate the process with a **nonzero** exit code, and
+//! the healthy pipeline (including the per-thread-count rows) must exit
+//! zero. Both paths are driven end-to-end through the real binary.
+
+use std::process::Command;
+
+#[test]
+fn corrupt_cross_check_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_record"))
+        .arg("--corrupt-cross-check")
+        .output()
+        .expect("spawn record binary");
+    assert!(
+        !out.status.success(),
+        "deliberately corrupted cross-check must exit nonzero; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cross-check mismatch"),
+        "stderr should describe the mismatch:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("counter drift"),
+        "stderr should name the drifted counters:\n{stderr}"
+    );
+}
+
+#[test]
+fn smoke_run_exits_zero_and_writes_json() {
+    let out = Command::new(env!("CARGO_BIN_EXE_record"))
+        .arg("--smoke")
+        .output()
+        .expect("spawn record binary");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "smoke run must pass its cross-checks:\n{stdout}\n{stderr}"
+    );
+    // The smoke output path is printed on the last line.
+    let path = stdout
+        .lines()
+        .rev()
+        .find_map(|l| l.strip_prefix("wrote "))
+        .expect("record prints the output path");
+    let json = std::fs::read_to_string(path).expect("smoke JSON written");
+    let _ = std::fs::remove_file(path); // don't accumulate temp files
+    // Per-thread-count rows made it into the file.
+    for t in [1usize, 2, 4, 8] {
+        assert!(
+            json.contains(&format!("threads={t}")),
+            "missing threads={t} row in:\n{json}"
+        );
+    }
+    assert!(json.contains("\"wall_ms_reference\""));
+}

@@ -229,8 +229,25 @@ impl ConvergenceProfile {
     /// immediate-consequence operator — so this equals the naive
     /// round-by-round count without re-running rounds against snapshots.
     pub fn measure(program: &Program, db: &Database) -> ConvergenceProfile {
+        Self::measure_with(program, db, crate::eval::Strategy::SemiNaive)
+    }
+
+    /// [`ConvergenceProfile::measure`] with an explicit strategy, so the
+    /// thread count of [`crate::eval::Strategy::SemiNaiveParallel`] can
+    /// flow through. The parallel engine's per-iteration deltas are
+    /// identical to the sequential engine's, so the measured profile
+    /// does not depend on the thread count (a [`Strategy::Naive`]
+    /// argument is measured as semi-naive — the profile is defined by
+    /// stages, not by the evaluation order).
+    ///
+    /// [`Strategy::Naive`]: crate::eval::Strategy::Naive
+    pub fn measure_with(
+        program: &Program,
+        db: &Database,
+        strategy: crate::eval::Strategy,
+    ) -> ConvergenceProfile {
         ConvergenceProfile {
-            new_facts: crate::eval::seminaive_profile(program, db),
+            new_facts: crate::eval::seminaive_profile(program, db, strategy),
         }
     }
 

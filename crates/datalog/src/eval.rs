@@ -35,7 +35,8 @@
 use crate::ast::{Atom, Const, Pred, Program, Rule, Term, Var};
 use crate::db::{Database, Relation};
 use crate::hash::FxHashMap;
-use crate::storage::{ColumnarRelation, IncrementalIndex, NO_ROW};
+use crate::pool::ThreadPool;
+use crate::storage::{shard_ranges, ColumnarRelation, IncrementalIndex, NO_ROW};
 
 /// Evaluation strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +46,30 @@ pub enum Strategy {
     /// Delta-driven evaluation (each derivation uses at least one
     /// last-iteration fact).
     SemiNaive,
+    /// Semi-naive evaluation with the per-iteration delta range-sharded
+    /// across a scoped thread pool ([`crate::pool`]). Counter-identical
+    /// to [`Strategy::SemiNaive`] by construction: each worker joins one
+    /// slice of the delta row range against the shared read-only
+    /// indexes, staging results thread-locally, and the merge applies
+    /// the staged rows in deterministic `(rule, delta, shard)` order.
+    /// `threads <= 1` degenerates to the sequential code path.
+    SemiNaiveParallel {
+        /// Worker-thread count (`0` and `1` both mean sequential).
+        threads: usize,
+    },
+}
+
+impl Strategy {
+    /// The sequential strategy that defines this strategy's semantics
+    /// and work counters: parallel semi-naive is specified — and tested
+    /// — to produce [`EvalStats`] bit-for-bit identical to sequential
+    /// semi-naive, so the reference engine evaluates it as such.
+    pub fn sequential_spec(self) -> Strategy {
+        match self {
+            Strategy::SemiNaiveParallel { .. } => Strategy::SemiNaive,
+            s => s,
+        }
+    }
 }
 
 /// Work counters accumulated during evaluation.
@@ -175,6 +200,10 @@ pub fn apply_goal(goal: &Atom, rel: &Relation) -> Relation {
 // Rule plans
 // ---------------------------------------------------------------------
 
+/// Sentinel index id for unkeyed (empty-mask) steps: they scan rows
+/// directly, so no [`IncrementalIndex`] exists for them.
+const NO_INDEX: usize = usize::MAX;
+
 /// A key component of a join step: where the bound value comes from.
 #[derive(Clone, Copy, Debug)]
 enum KeyOp {
@@ -209,6 +238,8 @@ enum Out {
 #[derive(Clone, Debug)]
 struct Step {
     rel: usize,
+    /// Index id, or [`NO_INDEX`] for unkeyed steps (empty mask): those
+    /// scan their row range directly and register no index at all.
     idx: usize,
     /// Whether the predicate is an IDB of the program (reads snapshots).
     idb: bool,
@@ -250,6 +281,36 @@ struct Scratch {
 struct PendingTuples {
     data: Vec<Const>,
     rels: Vec<u32>,
+}
+
+/// Work counters for one rule-evaluation pass, with probes split at the
+/// delta step. `pre` counts probes at depths up to and including the
+/// delta step — work every parallel shard repeats identically, so only
+/// the lead shard's `pre` enters [`EvalStats`]. `post` counts probes
+/// strictly below the delta step — work partitioned by the delta rows,
+/// summed across shards. With no delta step, everything is `pre`.
+#[derive(Clone, Copy, Debug, Default)]
+struct Counters {
+    pre: u64,
+    post: u64,
+    firings: u64,
+}
+
+/// One parallel work item: rule `plan_i` with the delta step `delta_pos`
+/// restricted to the delta-row subrange `range`, staging into its own
+/// buffer. `lead` marks the shard whose `pre` probe count is accounted
+/// (shard 0 — every shard performs identical pre-delta work). Tasks are
+/// recycled across iterations so the staging and scratch buffers keep
+/// their grown capacity instead of reallocating every iteration.
+#[derive(Default)]
+struct ShardTask {
+    plan_i: usize,
+    delta_pos: usize,
+    range: (usize, usize),
+    lead: bool,
+    counters: Counters,
+    pending: PendingTuples,
+    scratch: Scratch,
 }
 
 struct Engine {
@@ -350,16 +411,51 @@ impl Engine {
     }
 
     fn run(&mut self, strategy: Strategy) {
+        match strategy {
+            Strategy::SemiNaiveParallel { threads } if threads >= 2 => {
+                self.run_parallel(threads);
+            }
+            // `threads <= 1` degenerates to the sequential code path,
+            // byte-for-byte: same loop, same buffers, same row ids.
+            _ => self.run_sequential(strategy.sequential_spec()),
+        }
+    }
+
+    /// Extends the per-`(relation, mask)` indexes over the rows that
+    /// became visible at the last merge (incremental: only the delta
+    /// rows are hashed). Unkeyed steps have no index at all
+    /// ([`NO_INDEX`]): the join scans their row range directly.
+    fn extend_indexes(&mut self) {
+        for idx in &mut self.idxs {
+            idx.extend(&self.rels[idx.rel()]);
+        }
+    }
+
+    /// Merges one staging buffer into the relations, deduplicating;
+    /// returns how many rows were actually appended.
+    fn merge_pending(rels: &mut [ColumnarRelation], pending: &mut PendingTuples) -> u64 {
+        let mut appended = 0u64;
+        let mut off = 0;
+        for &rid in &pending.rels {
+            let rel = &mut rels[rid as usize];
+            let ar = rel.arity();
+            if rel.insert(&pending.data[off..off + ar]) {
+                appended += 1;
+            }
+            off += ar;
+        }
+        pending.data.clear();
+        pending.rels.clear();
+        appended
+    }
+
+    fn run_sequential(&mut self, strategy: Strategy) {
         let mut scratch = Scratch::default();
         let mut pending = PendingTuples::default();
         let mut first = true;
         loop {
             self.stats.iterations += 1;
-            // Extend every index over the rows that became visible at the
-            // last merge (incremental: only the delta rows are hashed).
-            for idx in &mut self.idxs {
-                idx.extend(&self.rels[idx.rel()]);
-            }
+            self.extend_indexes();
 
             for pi in 0..self.plans.len() {
                 let plan = &self.plans[pi];
@@ -367,7 +463,7 @@ impl Engine {
                     Strategy::Naive => {
                         self.eval_rule(pi, None, &mut scratch, &mut pending);
                     }
-                    Strategy::SemiNaive => {
+                    _ => {
                         if plan.idb_steps.is_empty() {
                             if first {
                                 self.eval_rule(pi, None, &mut scratch, &mut pending);
@@ -387,18 +483,7 @@ impl Engine {
             for &r in &self.idb_rels {
                 self.old_hi[r] = self.rels[r].num_rows();
             }
-            let mut appended = 0u64;
-            let mut off = 0;
-            for &rid in &pending.rels {
-                let rel = &mut self.rels[rid as usize];
-                let ar = rel.arity();
-                if rel.insert(&pending.data[off..off + ar]) {
-                    appended += 1;
-                }
-                off += ar;
-            }
-            pending.data.clear();
-            pending.rels.clear();
+            let appended = Self::merge_pending(&mut self.rels, &mut pending);
             self.stats.tuples_derived += appended;
             if appended == 0 {
                 break;
@@ -408,7 +493,137 @@ impl Engine {
         }
     }
 
-    /// Evaluates one rule with an optional delta position.
+    /// The sharded semi-naive fixpoint. Per iteration: every
+    /// `(rule, delta step)` pair is split into `threads` contiguous
+    /// slices of the delta row range; workers join their slice against
+    /// the shared read-only relations and indexes, staging derived rows
+    /// thread-locally; the merge then applies the staged buffers in
+    /// `(rule, delta, shard)` order — deterministic for a fixed thread
+    /// count, and counter-identical to the sequential engine (each
+    /// shard's pre-delta join work is identical, so only the lead
+    /// shard's `pre` probe count is accounted; post-delta work is
+    /// partitioned by the delta rows and summed).
+    fn run_parallel(&mut self, threads: usize) {
+        // Spawned on the first delta iteration (a fixpoint that converges
+        // on the seed rules never pays for threads) and dropped with this
+        // call: the spawn cost amortizes over the iterations of one
+        // evaluation. For sub-millisecond workloads the sequential
+        // strategy is the right tool; the counters are identical.
+        let mut pool: Option<ThreadPool> = None;
+        let mut scratch = Scratch::default();
+        let mut pending = PendingTuples::default();
+        // Recycled task slots: merged-out staging buffers and scratch
+        // space return here and are reused next iteration.
+        let mut spare: Vec<ShardTask> = Vec::new();
+        let mut first = true;
+        loop {
+            self.stats.iterations += 1;
+            self.extend_indexes();
+
+            let mut appended = 0u64;
+            if first {
+                // First iteration: only EDB-only rules fire (no deltas
+                // exist yet); identical to the sequential engine.
+                for pi in 0..self.plans.len() {
+                    if self.plans[pi].idb_steps.is_empty() {
+                        self.eval_rule(pi, None, &mut scratch, &mut pending);
+                    }
+                }
+                for &r in &self.idb_rels {
+                    self.old_hi[r] = self.rels[r].num_rows();
+                }
+                appended = Self::merge_pending(&mut self.rels, &mut pending);
+            } else {
+                let mut tasks: Vec<ShardTask> = Vec::new();
+                for pi in 0..self.plans.len() {
+                    for di in 0..self.plans[pi].idb_steps.len() {
+                        let d = self.plans[pi].idb_steps[di];
+                        let rel = self.plans[pi].steps[d].rel;
+                        let (dlo, dhi) = (self.old_hi[rel], self.rels[rel].num_rows());
+                        for (si, &(lo, hi)) in
+                            shard_ranges(dlo, dhi, threads).iter().enumerate()
+                        {
+                            // The lead shard always runs (it accounts the
+                            // pre-delta probes even over an empty delta,
+                            // exactly like the sequential engine); empty
+                            // trailing shards contribute nothing.
+                            if si > 0 && lo == hi {
+                                continue;
+                            }
+                            let mut t = spare.pop().unwrap_or_default();
+                            t.plan_i = pi;
+                            t.delta_pos = d;
+                            t.range = (lo, hi);
+                            t.lead = si == 0;
+                            t.counters = Counters::default();
+                            // t.pending was cleared by the last merge;
+                            // t.scratch keeps its capacity.
+                            tasks.push(t);
+                        }
+                    }
+                }
+                {
+                    let plans = &self.plans;
+                    let rels = &self.rels;
+                    let idxs = &self.idxs;
+                    let old_hi = &self.old_hi;
+                    let pool = pool.get_or_insert_with(|| ThreadPool::new(threads));
+                    pool.scope(|s| {
+                        for t in tasks.iter_mut() {
+                            s.execute(move || {
+                                let ShardTask {
+                                    plan_i,
+                                    delta_pos,
+                                    range,
+                                    scratch,
+                                    pending,
+                                    counters,
+                                    ..
+                                } = t;
+                                eval_rule_shard(
+                                    plans,
+                                    rels,
+                                    idxs,
+                                    old_hi,
+                                    *plan_i,
+                                    Some(*delta_pos),
+                                    *range,
+                                    scratch,
+                                    pending,
+                                    counters,
+                                );
+                            });
+                        }
+                    });
+                }
+                for t in &tasks {
+                    if t.lead {
+                        self.stats.join_probes += t.counters.pre;
+                    }
+                    self.stats.join_probes += t.counters.post;
+                    self.stats.rule_firings += t.counters.firings;
+                }
+                for &r in &self.idb_rels {
+                    self.old_hi[r] = self.rels[r].num_rows();
+                }
+                // Deterministic merge: staged buffers in task order =
+                // (rule, delta step, shard top-down).
+                for t in &mut tasks {
+                    appended += Self::merge_pending(&mut self.rels, &mut t.pending);
+                }
+                spare.append(&mut tasks);
+            }
+            self.stats.tuples_derived += appended;
+            if appended == 0 {
+                break;
+            }
+            self.profile.push(appended);
+            first = false;
+        }
+    }
+
+    /// Evaluates one rule with an optional delta position over the full
+    /// delta range (the sequential engine's unit of work).
     fn eval_rule(
         &mut self,
         plan_i: usize,
@@ -416,19 +631,28 @@ impl Engine {
         scratch: &mut Scratch,
         pending: &mut PendingTuples,
     ) {
-        let plan = &self.plans[plan_i];
-        scratch.env.resize(plan.num_slots, Const(0));
-        let mut probes = 0u64;
-        let mut firings = 0u64;
-        let ctx = JoinCtx {
-            rels: &self.rels,
-            idxs: &self.idxs,
-            old_hi: &self.old_hi,
-            delta_pos,
+        let range = match delta_pos {
+            Some(d) => {
+                let rel = self.plans[plan_i].steps[d].rel;
+                (self.old_hi[rel], self.rels[rel].num_rows())
+            }
+            None => (0, 0),
         };
-        descend(plan, 0, &ctx, scratch, pending, &mut probes, &mut firings);
-        self.stats.join_probes += probes;
-        self.stats.rule_firings += firings;
+        let mut counters = Counters::default();
+        eval_rule_shard(
+            &self.plans,
+            &self.rels,
+            &self.idxs,
+            &self.old_hi,
+            plan_i,
+            delta_pos,
+            range,
+            scratch,
+            pending,
+            &mut counters,
+        );
+        self.stats.join_probes += counters.pre + counters.post;
+        self.stats.rule_firings += counters.firings;
     }
 
     /// Applies the goal directly over the columnar rows of the goal
@@ -463,10 +687,15 @@ impl Engine {
 /// (the executable form of Section 8's boundedness measure). Stage-exact:
 /// iteration `k` derives precisely the facts first derivable at stage `k`
 /// of the immediate-consequence operator, so this equals the naive
-/// round-by-round count at a fraction of the cost.
-pub(crate) fn seminaive_profile(program: &Program, db: &Database) -> Vec<u64> {
+/// round-by-round count at a fraction of the cost. Accepts any
+/// semi-naive-family strategy; the parallel engine produces the same
+/// per-stage deltas as the sequential one.
+pub(crate) fn seminaive_profile(program: &Program, db: &Database, strategy: Strategy) -> Vec<u64> {
     let mut engine = Engine::new(program, db);
-    engine.run(Strategy::SemiNaive);
+    engine.run(match strategy {
+        Strategy::Naive => Strategy::SemiNaive,
+        s => s,
+    });
     engine.profile
 }
 
@@ -524,10 +753,17 @@ fn compile_rule(
         for &s in &seen_here {
             bound_slots[s] = true;
         }
-        let idx = *idx_of.entry((rel, mask.clone())).or_insert_with(|| {
-            idxs.push(IncrementalIndex::new(rel, mask));
-            idxs.len() - 1
-        });
+        // Unkeyed steps scan their snapshot range directly — an
+        // empty-mask index would never be extended or probed, so none
+        // is registered.
+        let idx = if mask.is_empty() {
+            NO_INDEX
+        } else {
+            *idx_of.entry((rel, mask.clone())).or_insert_with(|| {
+                idxs.push(IncrementalIndex::new(rel, mask));
+                idxs.len() - 1
+            })
+        };
         let idb = idbs.contains(&atom.pred);
         if idb {
             idb_steps.push(ai);
@@ -558,12 +794,45 @@ fn compile_rule(
     }
 }
 
+/// Evaluates one rule with an optional delta position, with the delta
+/// step restricted to the row range `delta_range` (the full delta in
+/// the sequential engine, one shard in the parallel engine). Shared
+/// state is read-only, so any number of shards may run concurrently;
+/// derived rows go to the caller's staging buffer and counters.
+#[allow(clippy::too_many_arguments)]
+fn eval_rule_shard(
+    plans: &[RulePlan],
+    rels: &[ColumnarRelation],
+    idxs: &[IncrementalIndex],
+    old_hi: &[usize],
+    plan_i: usize,
+    delta_pos: Option<usize>,
+    delta_range: (usize, usize),
+    scratch: &mut Scratch,
+    pending: &mut PendingTuples,
+    counters: &mut Counters,
+) {
+    let plan = &plans[plan_i];
+    scratch.env.resize(plan.num_slots, Const(0));
+    let ctx = JoinCtx {
+        rels,
+        idxs,
+        old_hi,
+        delta_pos,
+        delta_range,
+    };
+    descend(plan, 0, &ctx, scratch, pending, counters);
+}
+
 /// Borrowed engine state for one rule-evaluation pass.
 struct JoinCtx<'a> {
     rels: &'a [ColumnarRelation],
     idxs: &'a [IncrementalIndex],
     old_hi: &'a [usize],
     delta_pos: Option<usize>,
+    /// Row range the delta step reads (`[old_hi, len)` sequentially; one
+    /// shard of it in the parallel engine).
+    delta_range: (usize, usize),
 }
 
 /// Recursive backtracking join over the plan steps. Slots are bound by
@@ -576,11 +845,10 @@ fn descend(
     ctx: &JoinCtx<'_>,
     scratch: &mut Scratch,
     pending: &mut PendingTuples,
-    probes: &mut u64,
-    firings: &mut u64,
+    counters: &mut Counters,
 ) {
     if depth == plan.steps.len() {
-        *firings += 1;
+        counters.firings += 1;
         scratch.head.clear();
         for op in plan.head.iter() {
             scratch.head.push(match *op {
@@ -598,22 +866,42 @@ fn descend(
     }
     let step = &plan.steps[depth];
     let rel = &ctx.rels[step.rel];
-    let idx = &ctx.idxs[step.idx];
 
     // Snapshot row range for this step ("last delta occurrence"
     // convention: steps before the delta read the full relation, the
-    // delta step reads [old_hi, len), steps after read [0, old_hi)).
+    // delta step reads its delta range, steps after read [0, old_hi)).
     let (lo, hi) = if !step.idb {
         (0, rel.num_rows())
     } else {
         match ctx.delta_pos {
             None => (0, rel.num_rows()),
-            Some(d) if depth == d => (ctx.old_hi[step.rel], rel.num_rows()),
+            Some(d) if depth == d => ctx.delta_range,
             Some(d) if depth < d => (0, rel.num_rows()),
             Some(_) => (0, ctx.old_hi[step.rel]),
         }
     };
 
+    // Probes at or before the delta step are identical across shards
+    // (`pre`, accounted once); probes after it are partitioned by the
+    // delta rows (`post`, summed across shards).
+    if ctx.delta_pos.is_none_or(|d| depth <= d) {
+        counters.pre += 1;
+    } else {
+        counters.post += 1;
+    }
+
+    if step.key.is_empty() {
+        // Unkeyed step: the empty-mask chain is exactly the rows in
+        // descending id order, so scan the range directly — no index
+        // traversal, and (for a sharded delta step) no walking through
+        // other shards' rows to reach this shard's.
+        for r in (lo..hi).rev() {
+            match_row(plan, step, rel, r, depth, ctx, scratch, pending, counters);
+        }
+        return;
+    }
+
+    let idx = &ctx.idxs[step.idx];
     scratch.key.clear();
     for op in step.key.iter() {
         scratch.key.push(match *op {
@@ -621,7 +909,6 @@ fn descend(
             KeyOp::Slot(s) => scratch.env[s],
         });
     }
-    *probes += 1;
     let mut row = idx.probe(rel, &scratch.key);
     // Chains are newest-first (strictly decreasing row ids): skip rows
     // above the snapshot, stop below it.
@@ -633,23 +920,37 @@ fn descend(
         if r < lo {
             break;
         }
-        let mut ok = true;
-        for a in step.actions.iter() {
-            match *a {
-                Action::Bind { pos, slot } => scratch.env[slot] = rel.value(r, pos),
-                Action::Check { pos, slot } => {
-                    if scratch.env[slot] != rel.value(r, pos) {
-                        ok = false;
-                        break;
-                    }
+        match_row(plan, step, rel, r, depth, ctx, scratch, pending, counters);
+        row = idx.next_row(row);
+    }
+}
+
+/// Applies one matched row's bind/check actions and, if they pass,
+/// descends to the next step. Returns whether the actions passed.
+#[allow(clippy::too_many_arguments)]
+fn match_row(
+    plan: &RulePlan,
+    step: &Step,
+    rel: &ColumnarRelation,
+    r: usize,
+    depth: usize,
+    ctx: &JoinCtx<'_>,
+    scratch: &mut Scratch,
+    pending: &mut PendingTuples,
+    counters: &mut Counters,
+) -> bool {
+    for a in step.actions.iter() {
+        match *a {
+            Action::Bind { pos, slot } => scratch.env[slot] = rel.value(r, pos),
+            Action::Check { pos, slot } => {
+                if scratch.env[slot] != rel.value(r, pos) {
+                    return false;
                 }
             }
         }
-        if ok {
-            descend(plan, depth + 1, ctx, scratch, pending, probes, firings);
-        }
-        row = idx.next_row(row);
     }
+    descend(plan, depth + 1, ctx, scratch, pending, counters);
+    true
 }
 
 #[cfg(test)]
@@ -914,6 +1215,120 @@ mod tests {
         let slow = apply_goal(&p.goal, result.idb.relation(anc).unwrap());
         assert_eq!(fast.sorted(), slow.sorted());
         assert_eq!(s1, result.stats);
+    }
+
+    /// Unsorted per-predicate rows: observes insertion (row-id) order.
+    fn raw_model(result: &EvalResult) -> Vec<(u32, Vec<Vec<Const>>)> {
+        let mut v: Vec<(u32, Vec<Vec<Const>>)> = result
+            .idb
+            .iter()
+            .map(|(p, r)| (p.0, r.iter().cloned().collect()))
+            .collect();
+        v.sort_by_key(|(p, _)| *p);
+        v
+    }
+
+    #[test]
+    fn parallel_matches_sequential_stats_and_model() {
+        let sources = [
+            "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).",
+            "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y).",
+            "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), anc(Z, Y).",
+            "?- p(X, X).\np(X, Y) :- par(X, Y).\np(X, Y) :- p(X, Z), par(Z, Y).",
+        ];
+        for src in sources {
+            let mut p = parse_program(src).unwrap();
+            let db = chain_db(&mut p, 9);
+            let seq = evaluate(&p, &db, Strategy::SemiNaive);
+            for threads in [2, 3, 8] {
+                let par = evaluate(&p, &db, Strategy::SemiNaiveParallel { threads });
+                assert_eq!(par.stats, seq.stats, "{src} threads={threads}");
+                let mut a = raw_model(&par);
+                let mut b = raw_model(&seq);
+                for (_, rows) in a.iter_mut().chain(b.iter_mut()) {
+                    rows.sort();
+                }
+                assert_eq!(a, b, "{src} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_one_thread_is_the_sequential_path_byte_for_byte() {
+        // `threads <= 1` routes through the sequential code path, so even
+        // the row ids (insertion order) are identical.
+        let mut p = program_a();
+        let db = chain_db(&mut p, 8);
+        let seq = evaluate(&p, &db, Strategy::SemiNaive);
+        for threads in [0, 1] {
+            let par = evaluate(&p, &db, Strategy::SemiNaiveParallel { threads });
+            assert_eq!(par.stats, seq.stats);
+            assert_eq!(raw_model(&par), raw_model(&seq), "insertion order must match");
+        }
+    }
+
+    #[test]
+    fn parallel_is_deterministic_per_thread_count() {
+        // Same thread count => identical row ids across runs (the merge
+        // applies staged buffers in (rule, delta, shard) order).
+        let mut p = parse_program(
+            "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let db = chain_db(&mut p, 10);
+        let first = evaluate(&p, &db, Strategy::SemiNaiveParallel { threads: 4 });
+        for _ in 0..3 {
+            let again = evaluate(&p, &db, Strategy::SemiNaiveParallel { threads: 4 });
+            assert_eq!(again.stats, first.stats);
+            assert_eq!(raw_model(&again), raw_model(&first));
+        }
+    }
+
+    #[test]
+    fn parallel_delta_at_front_matches_sequential_row_order() {
+        // When every recursive rule's delta step is its first body atom
+        // (Program A's shape), top-down shard order reproduces the
+        // sequential enumeration exactly, row ids included.
+        let mut p = program_a();
+        let db = chain_db(&mut p, 12);
+        let seq = evaluate(&p, &db, Strategy::SemiNaive);
+        let par = evaluate(&p, &db, Strategy::SemiNaiveParallel { threads: 4 });
+        assert_eq!(par.stats, seq.stats);
+        assert_eq!(raw_model(&par), raw_model(&seq));
+    }
+
+    #[test]
+    fn parallel_answer_and_profile_agree() {
+        let mut p = program_a();
+        let db = chain_db(&mut p, 7);
+        let (seq_ans, seq_stats) = answer(&p, &db, Strategy::SemiNaive);
+        let (par_ans, par_stats) = answer(&p, &db, Strategy::SemiNaiveParallel { threads: 3 });
+        assert_eq!(par_ans.sorted(), seq_ans.sorted());
+        assert_eq!(par_stats, seq_stats);
+        assert_eq!(
+            seminaive_profile(&p, &db, Strategy::SemiNaive),
+            seminaive_profile(&p, &db, Strategy::SemiNaiveParallel { threads: 3 }),
+        );
+    }
+
+    #[test]
+    fn parallel_empty_database_converges() {
+        let p = program_a();
+        let db = Database::new();
+        let (ans, stats) = answer(&p, &db, Strategy::SemiNaiveParallel { threads: 4 });
+        assert_eq!(ans.len(), 0);
+        assert!(stats.iterations <= 2);
+    }
+
+    #[test]
+    fn parallel_more_threads_than_delta_rows() {
+        // Shards beyond the delta size are empty and skipped; the lead
+        // shard still accounts the sequential probe counts.
+        let mut p = program_a();
+        let db = chain_db(&mut p, 2);
+        let seq = evaluate(&p, &db, Strategy::SemiNaive);
+        let par = evaluate(&p, &db, Strategy::SemiNaiveParallel { threads: 16 });
+        assert_eq!(par.stats, seq.stats);
     }
 
     #[test]

@@ -10,11 +10,17 @@
 //!   predicates), atoms, rules, programs with a distinguished goal;
 //! - [`parser`] — the Prolog-like surface syntax of the paper's examples;
 //! - [`db`] — databases as finite structures;
-//! - [`eval`] — minimum-model semantics via instrumented **naive** and
-//!   **semi-naive** bottom-up fixpoints (work counters power the
-//!   experiment harness), running on the flat columnar [`storage`]
-//!   layer: watermark deltas instead of per-iteration clones, and
-//!   persistent incremental `(relation, mask)` indexes;
+//! - [`eval`] — minimum-model semantics via instrumented **naive**,
+//!   **semi-naive**, and **parallel semi-naive** bottom-up fixpoints
+//!   (work counters power the experiment harness), running on the flat
+//!   columnar [`storage`] layer: watermark deltas instead of
+//!   per-iteration clones, and persistent incremental
+//!   `(relation, mask)` indexes; the parallel strategy range-shards
+//!   each iteration's delta across the in-tree [`pool`] and merges
+//!   deterministically, keeping [`eval::EvalStats`] bit-for-bit equal
+//!   to the sequential engine;
+//! - [`pool`] — a dependency-free scoped thread pool (persistent
+//!   workers, borrowing jobs, panic propagation);
 //! - [`storage`] — columnar relations (one flat `Vec<Const>` per
 //!   predicate, rows deduplicated by an [`hash::FxHasher`] row table)
 //!   and the incremental join indexes;
@@ -36,6 +42,7 @@ pub mod eval;
 pub mod hash;
 pub mod magic;
 pub mod parser;
+pub mod pool;
 pub mod reference;
 pub mod storage;
 

@@ -125,18 +125,19 @@ pub fn magic_transform(original: &Program) -> Result<MagicProgram, String> {
             let mut prefix: Vec<Atom> = vec![guard];
             for batom in &rule.body {
                 if idbs.contains(&batom.pred) {
-                    // adornment of this occurrence
-                    let mut seen_here: Vec<Var> = Vec::new();
+                    // Adornment of this occurrence. Only variables bound
+                    // by the prefix count as bound: a within-atom repeat
+                    // (`r(X, X)` with `X` unbound) is a *filter* — its
+                    // value is not available to the magic rule, and
+                    // marking it bound would emit an unsafe magic rule
+                    // (`m_r_fb(X) :- m_p_f`) and reject the whole
+                    // program. Free is sound: less pruning, same model.
                     let sub_adn: Adornment = batom
                         .args
                         .iter()
                         .map(|t| match t {
                             Term::Const(_) => true,
-                            Term::Var(v) => {
-                                let b = bound.contains(v) || seen_here.contains(v);
-                                seen_here.push(*v);
-                                b
-                            }
+                            Term::Var(v) => bound.contains(v),
                         })
                         .collect();
                     ensure_preds(batom.pred, &sub_adn, &mut symbols, &mut adorned, &mut magic);
@@ -337,6 +338,123 @@ mod tests {
         let magic = magic_transform(&orig).unwrap();
         let (got, _) = answer(&magic.program, &db, Strategy::SemiNaive);
         assert_eq!(got.sorted(), want.sorted());
+    }
+
+    /// Direct model + `apply_goal` vs magic-transformed model +
+    /// `apply_goal`: the contract the all-free / 0-ary regressions
+    /// assert (answers must agree tuple-for-tuple).
+    fn assert_magic_model_matches(src: &str, db: &Database) {
+        use crate::eval::{apply_goal, evaluate};
+        let orig = parse_program(src).unwrap();
+        let magic = magic_transform(&orig).expect("transform must succeed");
+        let direct = evaluate(&orig, db, Strategy::SemiNaive);
+        let direct_rel = direct
+            .idb
+            .relation(orig.goal.pred)
+            .cloned()
+            .unwrap_or_else(|| crate::db::Relation::new(orig.goal.arity()));
+        let want = apply_goal(&orig.goal, &direct_rel);
+        let transformed = evaluate(&magic.program, db, Strategy::SemiNaive);
+        let magic_rel = transformed
+            .idb
+            .relation(magic.program.goal.pred)
+            .cloned()
+            .unwrap_or_else(|| crate::db::Relation::new(magic.program.goal.arity()));
+        let got = apply_goal(&magic.program.goal, &magic_rel);
+        assert_eq!(got.sorted(), want.sorted(), "{src}");
+    }
+
+    #[test]
+    fn magic_all_free_goal_is_correct() {
+        // No bound argument at all: the magic set degenerates to a 0-ary
+        // "true" seed and the rewrite must not lose (or invent) answers.
+        let src = "?- anc(X, Y).\n\
+                   anc(X, Y) :- par(X, Y).\n\
+                   anc(X, Y) :- anc(X, Z), par(Z, Y).";
+        let mut p = parse_program(src).unwrap();
+        let db = wide_db(&mut p, 4, 3);
+        assert_magic_model_matches(src, &db);
+    }
+
+    #[test]
+    fn magic_all_free_nonlinear_goal_is_correct() {
+        let src = "?- sg(X, Y).\n\
+                   sg(X, Y) :- flat(X, Y).\n\
+                   sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).";
+        let mut p = parse_program(src).unwrap();
+        let up = p.symbols.get_predicate("up").unwrap();
+        let flat = p.symbols.get_predicate("flat").unwrap();
+        let down = p.symbols.get_predicate("down").unwrap();
+        let cs: Vec<_> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|n| p.symbols.constant(n))
+            .collect();
+        let mut db = Database::new();
+        db.insert(up, vec![cs[0], cs[2]]);
+        db.insert(up, vec![cs[1], cs[3]]);
+        db.insert(flat, vec![cs[2], cs[3]]);
+        db.insert(down, vec![cs[3], cs[4]]);
+        assert_magic_model_matches(src, &db);
+    }
+
+    #[test]
+    fn magic_propositional_goal_is_correct() {
+        // 0-ary goal: empty adornment, 0-ary magic seed.
+        let src = "?- yes.\nyes :- e(X, X).";
+        let mut p = parse_program(src).unwrap();
+        let e = p.symbols.get_predicate("e").unwrap();
+        let a = p.symbols.constant("a");
+        let b = p.symbols.constant("b");
+        // true instance (a self-loop exists)
+        let mut db_true = Database::new();
+        db_true.insert(e, vec![a, b]);
+        db_true.insert(e, vec![b, b]);
+        assert_magic_model_matches(src, &db_true);
+        // false instance (no self-loop): both models must be empty
+        let mut db_false = Database::new();
+        db_false.insert(e, vec![a, b]);
+        assert_magic_model_matches(src, &db_false);
+    }
+
+    #[test]
+    fn magic_propositional_recursive_goal_is_correct() {
+        let src = "?- reach.\n\
+                   reach :- hit(Y).\n\
+                   hit(Y) :- e(root, Y).\n\
+                   hit(Y) :- hit(X), e(X, Y).";
+        let mut p = parse_program(src).unwrap();
+        let e = p.symbols.get_predicate("e").unwrap();
+        let root = p.symbols.constant("root");
+        let cs: Vec<_> = (0..4)
+            .map(|i| p.symbols.constant(&format!("v{i}")))
+            .collect();
+        let mut db = Database::new();
+        db.insert(e, vec![root, cs[0]]);
+        db.insert(e, vec![cs[0], cs[1]]);
+        db.insert(e, vec![cs[2], cs[3]]); // unreachable island
+        assert_magic_model_matches(src, &db);
+    }
+
+    #[test]
+    fn magic_within_atom_repeat_under_free_goal_is_correct() {
+        // r(X, X) with X unbound: the repeat is a filter, not a passable
+        // binding — the transform must adorn it free (not emit an unsafe
+        // magic rule and reject the program).
+        let src = "?- p(X).\n\
+                   p(X) :- r(X, X).\n\
+                   r(X, Y) :- e(X, Y).\n\
+                   r(X, Y) :- r(X, Z), e(Z, Y).";
+        let mut p = parse_program(src).unwrap();
+        let e = p.symbols.get_predicate("e").unwrap();
+        let cs: Vec<_> = (0..4)
+            .map(|i| p.symbols.constant(&format!("n{i}")))
+            .collect();
+        let mut db = Database::new();
+        // cycle n0 -> n1 -> n0 plus a tail n2 -> n3
+        db.insert(e, vec![cs[0], cs[1]]);
+        db.insert(e, vec![cs[1], cs[0]]);
+        db.insert(e, vec![cs[2], cs[3]]);
+        assert_magic_model_matches(src, &db);
     }
 
     #[test]

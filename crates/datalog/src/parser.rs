@@ -93,7 +93,12 @@ fn parse_atom(p: &mut Tokens, symbols: &mut Symbols) -> Result<Atom, String> {
             let tok = p
                 .ident()
                 .ok_or_else(|| format!("expected term at position {}", p.pos))?;
-            let first = tok.chars().next().expect("nonempty ident");
+            // `ident()` never returns an empty token, but arbitrary input
+            // must go through `Err`, not a panicking `expect`.
+            let first = tok
+                .chars()
+                .next()
+                .ok_or_else(|| format!("empty term at position {}", p.pos))?;
             let term = if first.is_uppercase() || first == '_' {
                 Term::Var(symbols.variable(&tok))
             } else {
@@ -149,7 +154,11 @@ impl Tokens {
     fn try_consume(&mut self, what: &str) -> bool {
         self.skip_ws();
         let w: Vec<char> = what.chars().collect();
-        if self.chars[self.pos..].starts_with(&w) {
+        // `get` instead of indexing: a slice `self.chars[self.pos..]`
+        // would panic if `pos` ever passed the end, and this must hold
+        // for arbitrary (fuzzed) input, not just for inputs that keep
+        // today's position invariant.
+        if self.chars.get(self.pos..).is_some_and(|rest| rest.starts_with(&w)) {
             // avoid matching "?" as prefix of "?-": handled by caller order;
             // avoid matching ":" alone etc. — fixed token set keeps it simple.
             self.pos += w.len();
@@ -258,5 +267,64 @@ mod tests {
         let a = parse_atom_str("anc(john, Y)", &mut sy).unwrap();
         assert_eq!(a.arity(), 2);
         assert!(parse_atom_str("anc(john", &mut sy).is_err());
+    }
+
+    mod fuzz {
+        //! `parse_program` must return `Err`, never panic, on arbitrary
+        //! input. Three generators: raw byte soup (lossily decoded, so
+        //! invalid UTF-8 becomes replacement characters), soup built
+        //! from the parser's own token vocabulary (reaches deep states
+        //! that random bytes rarely hit), and mutated valid programs
+        //! (near-misses around every position).
+
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Tokens of the surface syntax plus adversarial near-tokens.
+        const TOKENS: &[&str] = &[
+            "?-", "?", ":-", ":", "-", ".", ",", "(", ")", "anc", "par", "X", "Y", "_",
+            "_Y", "john", "q", "e", "%", "# c\n", "\n", " ", "\t", "0", "12", "α", "Ω",
+            "?.", "()", "((", "))", ".." ,
+        ];
+
+        /// A valid program that mutations start from.
+        const SEED: &str = "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).";
+
+        fn never_panics(text: &str) {
+            // Both entry points: whole programs and single atoms.
+            let _ = parse_program(text);
+            let mut sy = Symbols::new();
+            let _ = parse_atom_str(text, &mut sy);
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(500))]
+
+            #[test]
+            fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..120)) {
+                never_panics(&String::from_utf8_lossy(&bytes));
+            }
+
+            #[test]
+            fn token_soup_never_panics(picks in proptest::collection::vec(0usize..TOKENS.len(), 0..60)) {
+                let text: String = picks.iter().map(|&i| TOKENS[i]).collect();
+                never_panics(&text);
+            }
+
+            #[test]
+            fn mutated_valid_programs_never_panic(
+                cut in 0usize..SEED.len(),
+                insert in 0usize..TOKENS.len(),
+                drop_len in 0usize..8,
+            ) {
+                // Splice a token into (or over) a char boundary of a valid
+                // program: the classic near-miss neighborhood.
+                let cut = (0..=cut).rev().find(|&i| SEED.is_char_boundary(i)).unwrap_or(0);
+                let end = (cut + drop_len).min(SEED.len());
+                let end = (end..=SEED.len()).find(|&i| SEED.is_char_boundary(i)).unwrap_or(SEED.len());
+                let text = format!("{}{}{}", &SEED[..cut], TOKENS[insert], &SEED[end..]);
+                never_panics(&text);
+            }
+        }
     }
 }

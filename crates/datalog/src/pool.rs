@@ -1,0 +1,331 @@
+//! A small scoped thread pool for the parallel evaluator.
+//!
+//! No external dependencies (mirroring the vendored-stand-in discipline
+//! of this workspace): workers are plain [`std::thread`]s, the injector
+//! is a [`Mutex`]ed deque, and completion is signalled through a
+//! [`Condvar`]. The pool is deliberately minimal — exactly the surface
+//! the sharded semi-naive evaluator needs:
+//!
+//! - [`ThreadPool::new`] spawns `threads` long-lived workers once per
+//!   evaluation (not per iteration, and not per rule);
+//! - [`ThreadPool::scope`] submits **borrowing** jobs — closures that
+//!   capture `&`/`&mut` references into the caller's stack — and blocks
+//!   until every job submitted in the scope has finished, so the borrows
+//!   are provably dead before the scope returns (the same guarantee as
+//!   [`std::thread::scope`], amortized over a persistent pool);
+//! - a job that panics is caught on the worker (the worker survives and
+//!   keeps serving jobs); the panic is re-raised on the scope owner when
+//!   the scope closes, so failures propagate to exactly one place.
+//!
+//! Dropping the pool shuts the workers down and joins them; a pool that
+//! saw panicking jobs still drops cleanly (shutdown-on-panic).
+//!
+//! The pool is owned and driven by one thread (the evaluator's). Scopes
+//! are sequential: concurrent `scope` calls from multiple threads on one
+//! pool would wait on each other's jobs and are not supported.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased job. Jobs enter the queue with their true (scoped)
+/// lifetime erased to `'static`; the scope protocol guarantees they run
+/// and finish before the borrowed data goes away.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool owner and the workers.
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a job is queued or shutdown begins.
+    job_ready: Condvar,
+    /// Signalled when the pool drains (queue empty, nothing running).
+    drained: Condvar,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Jobs currently executing on workers.
+    running: usize,
+    /// The first panic payload caught since the last scope closed — kept
+    /// whole so the scope re-raises the *original* panic (message, file,
+    /// line), not a generic summary.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+impl Shared {
+    /// Blocks until the queue is empty and no job is running; returns
+    /// (and clears) the first caught panic payload, if any.
+    fn wait_drained(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        let mut st = self.state.lock().unwrap();
+        while !(st.queue.is_empty() && st.running == 0) {
+            st = self.drained.wait(st).unwrap();
+        }
+        st.panic.take()
+    }
+}
+
+/// A fixed-size pool of worker threads executing scoped jobs.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (`threads >= 1`).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                running: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            drained: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("selprop-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f` with a [`Scope`] handle for submitting borrowing jobs,
+    /// then blocks until every submitted job has completed. If any job
+    /// panicked (or `f` itself did), the panic is re-raised here — after
+    /// the drain, so borrowed data is never freed under a live job.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            _env: PhantomData,
+        };
+        // Drain even if `f` panics mid-submission: jobs it already queued
+        // borrow from the caller's frame, which unwinding would free.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        let job_panic = self.shared.wait_drained();
+        match (result, job_panic) {
+            // The scope body's own panic wins (it came first).
+            (Err(payload), _) => resume_unwind(payload),
+            // Re-raise a job's panic with its original payload.
+            (Ok(_), Some(payload)) => resume_unwind(payload),
+            (Ok(r), None) => r,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        for w in self.workers.drain(..) {
+            // Workers catch job panics, so joins are clean even after a
+            // panicking scope (shutdown-on-panic).
+            let _ = w.join();
+        }
+    }
+}
+
+/// Job-submission handle passed to the closure of [`ThreadPool::scope`].
+/// `'env` is the lifetime of the data jobs may borrow.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ThreadPool,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Queues a job. The job may borrow anything that outlives `'env`;
+    /// the enclosing [`ThreadPool::scope`] call does not return until the
+    /// job has finished.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: `scope` drains the pool before returning (on both the
+        // normal and the panic path), so this job — and the `'env`
+        // borrows it captures — cannot outlive the data it points into.
+        // The transmute only erases the lifetime bound of the trait
+        // object; vtable and layout are unchanged.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        {
+            let mut st = self.pool.shared.state.lock().unwrap();
+            st.queue.push_back(job);
+        }
+        self.pool.shared.job_ready.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.running += 1;
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.job_ready.wait(st).unwrap();
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let mut st = shared.state.lock().unwrap();
+        st.running -= 1;
+        if let Err(payload) = outcome {
+            // Keep the first payload; later ones are dropped (one panic
+            // per scope is re-raised, matching std::thread::scope).
+            st.panic.get_or_insert(payload);
+        }
+        if st.queue.is_empty() && st.running == 0 {
+            shared.drained.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_and_scope_waits() {
+        let pool = ThreadPool::new(4);
+        let sum = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for i in 1..=100 {
+                let sum = &sum;
+                s.execute(move || {
+                    sum.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        // scope returned => every job completed
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn jobs_borrow_disjoint_mutable_slices() {
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0usize; 12];
+        pool.scope(|s| {
+            for (i, chunk) in data.chunks_mut(4).enumerate() {
+                s.execute(move || {
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        *x = i * 4 + j;
+                    }
+                });
+            }
+        });
+        assert_eq!(data, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_work_scope_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        // Many empty scopes: the per-iteration shape of a fixpoint whose
+        // rules produced nothing — must not deadlock or leak.
+        for _ in 0..100 {
+            let r = pool.scope(|_| 42);
+            assert_eq!(r, 42);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_executes_everything() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut results = vec![0u64; 8];
+        pool.scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.execute(move || *slot = (i as u64) * 2);
+            }
+        });
+        assert_eq!(results, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn panicking_job_propagates_to_scope_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.execute(|| panic!("job boom"));
+                s.execute(|| { /* healthy job, must still run */ });
+            });
+        }));
+        let payload = outcome.expect_err("scope must re-raise the job panic");
+        // ...with the job's original payload, not a generic summary.
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"job boom"));
+        // Workers caught the panic: the pool keeps serving jobs...
+        let ok = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..10 {
+                let ok = &ok;
+                s.execute(move || {
+                    ok.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 10);
+        // ...and Drop joins cleanly (shutdown-on-panic).
+        drop(pool);
+    }
+
+    #[test]
+    fn panic_in_scope_body_still_drains_queued_jobs() {
+        let pool = ThreadPool::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let ran = Arc::clone(&ran2);
+                s.execute(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+                panic!("scope body boom");
+            });
+        }));
+        assert!(outcome.is_err());
+        // The queued job borrowingly captured `ran`; scope drained it
+        // before unwinding past the owning frame.
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sequential_scopes_reuse_workers() {
+        let pool = ThreadPool::new(2);
+        for round in 0..50 {
+            let count = AtomicUsize::new(0);
+            pool.scope(|s| {
+                for _ in 0..4 {
+                    let count = &count;
+                    s.execute(move || {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 4, "round {round}");
+        }
+    }
+}

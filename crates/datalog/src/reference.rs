@@ -20,8 +20,13 @@ use crate::db::{Database, Tuple};
 use crate::eval::{apply_goal, EvalResult, EvalStats, Strategy};
 
 /// Evaluates `program` on `db` with the reference engine.
+///
+/// [`Strategy::SemiNaiveParallel`] is evaluated as sequential semi-naive
+/// ([`Strategy::sequential_spec`]): the parallel engine's contract is to
+/// match that specification's counters bit-for-bit, so the reference for
+/// both is the same run.
 pub fn evaluate(program: &Program, db: &Database, strategy: Strategy) -> EvalResult {
-    Evaluator::new(program, db).run(strategy)
+    Evaluator::new(program, db).run(strategy.sequential_spec())
 }
 
 /// Evaluates and applies the goal with the reference engine.
@@ -208,7 +213,7 @@ impl<'a> Evaluator<'a> {
                             }
                         });
                     }
-                    Strategy::SemiNaive => {
+                    _ => {
                         if rule.idb_positions.is_empty() {
                             if first {
                                 self.eval_rule(

@@ -29,6 +29,33 @@ use crate::hash::hash_ids;
 /// Sentinel row id: "no row" / end of an index chain.
 pub const NO_ROW: u32 = u32::MAX;
 
+/// Partitions the row range `[lo, hi)` into `shards` contiguous
+/// subranges for the parallel evaluator, returned **top-down**: the
+/// first subrange covers the newest (highest-id) rows. Subrange sizes
+/// differ by at most one; when the range has fewer rows than `shards`,
+/// the trailing subranges are empty.
+///
+/// Top-down order matters for determinism: index chains are traversed
+/// newest-first, so concatenating per-shard results in this order
+/// reproduces the sequential engine's enumeration order whenever the
+/// sharded (delta) step is the first step of a join.
+pub fn shard_ranges(lo: usize, hi: usize, shards: usize) -> Vec<(usize, usize)> {
+    assert!(shards >= 1, "need at least one shard");
+    assert!(lo <= hi, "inverted row range");
+    let n = hi - lo;
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut top = hi;
+    for s in 0..shards {
+        let size = base + usize::from(s < extra);
+        out.push((top - size, top));
+        top -= size;
+    }
+    debug_assert_eq!(top, lo);
+    out
+}
+
 /// A relation stored as one flat column-major-free `Vec<Const>` with an
 /// arity stride, plus a row-id hash table for O(1) dedup and membership.
 #[derive(Clone, Debug, Default)]
@@ -382,6 +409,28 @@ mod tests {
                 rows
             };
             assert_eq!(collect(&incremental), collect(&fresh), "key {k}");
+        }
+    }
+
+    #[test]
+    fn shard_ranges_partition_top_down() {
+        for (lo, hi, k) in [(0, 100, 8), (5, 6, 4), (7, 7, 3), (0, 3, 8), (10, 1000, 1)] {
+            let shards = shard_ranges(lo, hi, k);
+            assert_eq!(shards.len(), k);
+            // top-down, contiguous, exactly covering [lo, hi)
+            let mut top = hi;
+            for &(a, b) in &shards {
+                assert_eq!(b, top, "contiguous top-down");
+                assert!(a <= b);
+                top = a;
+            }
+            assert_eq!(top, lo);
+            let total: usize = shards.iter().map(|(a, b)| b - a).sum();
+            assert_eq!(total, hi - lo);
+            // balanced: sizes differ by at most one
+            let sizes: Vec<usize> = shards.iter().map(|(a, b)| b - a).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "{lo}..{hi} x{k}: {sizes:?}");
         }
     }
 

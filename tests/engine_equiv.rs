@@ -85,6 +85,26 @@ fn assert_engines_agree(program: &Program, db: &Database) -> (EvalStats, EvalSta
     assert_eq!(fast_ans.sorted(), ref_ans.sorted(), "goal answers");
     assert_eq!(fast_stats, new_sn.stats);
 
+    // the sharded parallel engine: same minimum model, and EvalStats
+    // bit-for-bit identical to the sequential (and hence the reference)
+    // engine, for degenerate (1), even (2), and odd (3) thread counts
+    for threads in [1usize, 2, 3] {
+        let par = eval::evaluate(program, db, Strategy::SemiNaiveParallel { threads });
+        assert_eq!(
+            par.stats, new_sn.stats,
+            "parallel({threads}) EvalStats must be bit-for-bit identical"
+        );
+        assert_eq!(
+            model_of(&par),
+            model_of(&new_sn),
+            "parallel({threads}) IDB model"
+        );
+    }
+    let (par_ans, par_stats) =
+        eval::answer(program, db, Strategy::SemiNaiveParallel { threads: 2 });
+    assert_eq!(par_ans.sorted(), fast_ans.sorted(), "parallel goal answers");
+    assert_eq!(par_stats, fast_stats);
+
     (new_sn.stats, new_nv.stats)
 }
 
@@ -145,5 +165,13 @@ proptest! {
         prop_assert_eq!(total, result.stats.tuples_derived);
         prop_assert_eq!(profile.iterations(), result.stats.iterations - 1);
         prop_assert!(profile.new_facts.iter().all(|&k| k > 0));
+        // thread count flows through measure_with; stage deltas must not
+        // depend on it
+        let par = selprop_datalog::derivation::ConvergenceProfile::measure_with(
+            &program,
+            &db,
+            Strategy::SemiNaiveParallel { threads: 2 },
+        );
+        prop_assert_eq!(profile, par);
     }
 }
