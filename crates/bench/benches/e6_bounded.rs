@@ -9,6 +9,7 @@ use selprop_bench::{row, run};
 use selprop_core::bounded::{boundedness, Boundedness};
 use selprop_core::chain::ChainProgram;
 use selprop_core::workload;
+use selprop_datalog::derivation::Provenance;
 use selprop_datalog::eval::Strategy;
 
 const BOUNDED: &str = "?- p(c, Y).\n\
@@ -48,6 +49,19 @@ fn bench(c: &mut Criterion) {
         let (a3, s3) = run(&p3, &db3, Strategy::SemiNaive);
         row("unbounded/anc", n, a3, &s3);
         assert!(s3.iterations >= n / 2, "unbounded: iterations grow with n");
+
+        // The definitional Section-8 measure, from recorded provenance:
+        // max derivation-tree height is n-independent iff bounded.
+        let h_bounded = Provenance::compute(&p1, &db1).max_height();
+        let h_unbounded = Provenance::compute(&p3, &db3).max_height();
+        println!(
+            "max-tree-height          n={n:<8} bounded={h_bounded:<8} unbounded={h_unbounded}"
+        );
+        assert!(h_bounded <= 4, "bounded program: constant tree height");
+        assert!(
+            h_unbounded as usize >= n,
+            "unbounded program: tree height tracks the chain"
+        );
 
         group.bench_with_input(BenchmarkId::new("bounded", n), &n, |b, _| {
             b.iter(|| run(&p1, &db1, Strategy::SemiNaive))

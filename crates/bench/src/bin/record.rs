@@ -29,7 +29,7 @@ use std::time::Instant;
 use selprop_bench::THREAD_SWEEP;
 use selprop_core::workload;
 use selprop_datalog::db::Database;
-use selprop_datalog::eval::{answer, EvalStats, Strategy};
+use selprop_datalog::eval::{answer, apply_goal, evaluate_with_provenance, EvalStats, Strategy};
 use selprop_datalog::magic::magic_transform;
 use selprop_datalog::parser::parse_program;
 use selprop_datalog::{reference, Program};
@@ -69,6 +69,21 @@ fn cross_check(
     Ok(())
 }
 
+/// Mean wall-clock (ms) of `runs` invocations of `f`, plus the last
+/// invocation's result — the one measurement idiom every sweep uses.
+fn timed<T>(runs: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(runs >= 1);
+    let mut total = 0.0;
+    let mut out = None;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let v = f();
+        total += t0.elapsed().as_secs_f64() * 1e3;
+        out = Some(v);
+    }
+    (total / f64::from(runs), out.expect("runs >= 1"))
+}
+
 /// Mean wall-clock of `runs` storage-engine evaluations plus one
 /// reference-engine run (which doubles as the counter cross-check).
 /// `corrupt` perturbs the reference counters first — the self-test of
@@ -81,15 +96,10 @@ fn measure(
     runs: u32,
     corrupt: bool,
 ) -> Result<Row, String> {
-    let mut total = 0.0;
-    let mut out = None;
-    for _ in 0..runs {
-        let t0 = Instant::now();
+    let (wall_ms, (answers, stats)) = timed(runs, || {
         let (ans, stats) = answer(p, db, Strategy::SemiNaive);
-        total += t0.elapsed().as_secs_f64() * 1e3;
-        out = Some((ans.len(), stats));
-    }
-    let (answers, stats) = out.expect("runs >= 1");
+        (ans.len(), stats)
+    });
 
     let t0 = Instant::now();
     let (ref_ans, mut ref_stats) = reference::answer(p, db, Strategy::SemiNaive);
@@ -107,12 +117,10 @@ fn measure(
     )?;
 
     println!(
-        "{experiment:<4} {config:<28} answers={answers:<8} tuples={:<9} work={:<11} storage={:>9.2}ms reference={:>10.2}ms speedup={:>5.1}x",
+        "{experiment:<4} {config:<28} answers={answers:<8} tuples={:<9} work={:<11} storage={wall_ms:>9.2}ms reference={reference_wall_ms:>10.2}ms speedup={:>5.1}x",
         stats.tuples_derived,
         stats.work(),
-        total / f64::from(runs),
-        reference_wall_ms,
-        reference_wall_ms / (total / f64::from(runs)),
+        reference_wall_ms / wall_ms,
     );
     Ok(Row {
         experiment,
@@ -120,7 +128,7 @@ fn measure(
         threads: 1,
         answers,
         stats,
-        wall_ms: total / f64::from(runs),
+        wall_ms,
         reference_wall_ms: Some(reference_wall_ms),
     })
 }
@@ -142,15 +150,10 @@ fn measure_threads(
 ) -> Result<(), String> {
     let mut wall_by_thread = Vec::new();
     for &threads in &THREAD_SWEEP {
-        let mut total = 0.0;
-        let mut out = None;
-        for _ in 0..runs {
-            let t0 = Instant::now();
+        let (wall_ms, (answers, stats)) = timed(runs, || {
             let (ans, stats) = answer(p, db, Strategy::SemiNaiveParallel { threads });
-            total += t0.elapsed().as_secs_f64() * 1e3;
-            out = Some((ans.len(), stats));
-        }
-        let (answers, stats) = out.expect("runs >= 1");
+            (ans.len(), stats)
+        });
         cross_check(
             &format!("{experiment}/{config}/threads={threads}"),
             stats,
@@ -158,7 +161,6 @@ fn measure_threads(
             want_stats,
             want_answers,
         )?;
-        let wall_ms = total / f64::from(runs);
         println!(
             "{experiment:<4} {:<28} answers={answers:<8} tuples={:<9} work={:<11} storage={wall_ms:>9.2}ms",
             format!("{config}/threads={threads}"),
@@ -293,6 +295,142 @@ fn e5_rows(rows: &mut Vec<Row>, smoke: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Provenance-overhead rows (`prov=off` vs `prov=on` on the same
+/// config — the counters are identical by contract, so the pair
+/// isolates the wall-clock cost of recording justifications) and a
+/// shard-sweep over [`Strategy::SemiNaiveSharded`] (threads fixed,
+/// shard count varying; counters are shard-count independent).
+fn prov_and_shard_rows(rows: &mut Vec<Row>, smoke: bool) -> Result<(), String> {
+    const SRC_A: &str =
+        "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).";
+    let n = if smoke { 60 } else { 400 };
+    let runs = if smoke { 2 } else { 5 };
+    let mut p = parse_program(SRC_A).unwrap();
+    let mut db = workload::random_forest(&mut p, "par", "john", n, 11);
+    let noise = workload::wide(&mut p, "par", "elsewhere", 0, n / 20, 10);
+    for (pred, rel) in noise.iter() {
+        for t in rel.iter() {
+            db.insert(pred, t.clone());
+        }
+    }
+    let config = format!("A/n={n}");
+    let (want_answers, want_stats) = prov_pair(rows, &config, &p, &db, runs)?;
+    shard_sweep(rows, &config, &p, &db, runs, want_stats, want_answers)?;
+    if smoke {
+        return Ok(());
+    }
+    // The headline >10^6-tuple closure: provenance overhead and shard
+    // sweep where storage costs dominate.
+    let mut p = parse_program(SRC_A).unwrap();
+    let db = workload::layered_dag(&mut p, "par", "john", 72, 20);
+    let (want_answers, want_stats) = prov_pair(rows, "A/layered_dag(72,20)", &p, &db, 2)?;
+    shard_sweep(rows, "A/layered_dag(72,20)", &p, &db, 2, want_stats, want_answers)?;
+    Ok(())
+}
+
+/// Returns the sequential `(answers, stats)` baseline so the caller can
+/// feed the shard sweep without re-evaluating.
+fn prov_pair(
+    rows: &mut Vec<Row>,
+    config: &str,
+    p: &Program,
+    db: &Database,
+    runs: u32,
+) -> Result<(usize, EvalStats), String> {
+    let (off_wall, (want_answers, want_stats)) = timed(runs, || {
+        let (ans, stats) = answer(p, db, Strategy::SemiNaive);
+        (ans.len(), stats)
+    });
+    let (on_wall, result) = timed(runs, || {
+        evaluate_with_provenance(p, db, Strategy::SemiNaive)
+    });
+    // Outside the timed loop: the lazy model conversion is a consumer
+    // choice, not part of the recording overhead being measured.
+    let idb = result.provenance.idb_database();
+    let ans = idb
+        .relation(p.goal.pred)
+        .map(|rel| apply_goal(&p.goal, rel).len())
+        .unwrap_or(0);
+    cross_check(
+        &format!("prov/{config}"),
+        result.stats,
+        ans,
+        want_stats,
+        want_answers,
+    )?;
+    if result.provenance.num_derived() as u64 != want_stats.tuples_derived {
+        return Err(format!(
+            "prov/{config}: justification count {} != derived tuples {}",
+            result.provenance.num_derived(),
+            want_stats.tuples_derived
+        ));
+    }
+    for (mode, wall) in [("off", off_wall), ("on", on_wall)] {
+        println!(
+            "prov {:<28} answers={want_answers:<8} tuples={:<9} work={:<11} storage={wall:>9.2}ms",
+            format!("{config}/prov={mode}"),
+            want_stats.tuples_derived,
+            want_stats.work(),
+        );
+        rows.push(Row {
+            experiment: "prov",
+            config: format!("{config}/prov={mode}"),
+            threads: 1,
+            answers: want_answers,
+            stats: want_stats,
+            wall_ms: wall,
+            reference_wall_ms: None,
+        });
+    }
+    println!(
+        "     {config:<28} provenance recording overhead: {:.2}x",
+        (on_wall / off_wall).max(0.0)
+    );
+    Ok((want_answers, want_stats))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn shard_sweep(
+    rows: &mut Vec<Row>,
+    config: &str,
+    p: &Program,
+    db: &Database,
+    runs: u32,
+    want_stats: EvalStats,
+    want_answers: usize,
+) -> Result<(), String> {
+    let threads = 4usize;
+    for shards in [4usize, 16, 32] {
+        let (wall_ms, (answers, stats)) = timed(runs, || {
+            let (ans, stats) = answer(p, db, Strategy::SemiNaiveSharded { threads, shards });
+            (ans.len(), stats)
+        });
+        cross_check(
+            &format!("shards/{config}/threads={threads}/shards={shards}"),
+            stats,
+            answers,
+            want_stats,
+            want_answers,
+        )?;
+        println!(
+            "shrd {:<28} answers={answers:<8} tuples={:<9} work={:<11} storage={wall_ms:>9.2}ms",
+            format!("{config}/t={threads}/shards={shards}"),
+            stats.tuples_derived,
+            stats.work(),
+        );
+        rows.push(Row {
+            experiment: "shards",
+            config: format!("{config}/threads={threads}/shards={shards}"),
+            threads,
+            answers,
+            stats,
+            wall_ms,
+            reference_wall_ms: None,
+        });
+    }
+    Ok(())
+}
+
 fn render_json(rows: &[Row]) -> String {
     let mut json = String::from("{\n  \"generated_by\": \"cargo run --release -p selprop-bench --bin record\",\n  \"engine\": \"columnar-watermark\",\n  \"experiments\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -335,6 +473,7 @@ fn record(smoke: bool) -> Result<String, String> {
     println!("== recording evaluation baseline (storage engine vs reference) ==");
     e1_rows(&mut rows, smoke)?;
     e5_rows(&mut rows, smoke)?;
+    prov_and_shard_rows(&mut rows, smoke)?;
     let json = render_json(&rows);
     let path = if smoke {
         // Per-process name: concurrent smoke runs must not race on one file.

@@ -14,7 +14,7 @@
 
 use selprop_datalog::ast::{Atom, Program, Rule, Term};
 use selprop_datalog::db::Database;
-use selprop_datalog::derivation::ConvergenceProfile;
+use selprop_datalog::derivation::{ConvergenceProfile, Provenance};
 use selprop_grammar::analysis::{finiteness, Finiteness, PumpWitness};
 
 use crate::chain::ChainProgram;
@@ -119,6 +119,21 @@ fn fo_form(chain: &ChainProgram, words: &[Vec<selprop_automata::Symbol>]) -> Pro
 pub fn convergence_iterations(chain: &ChainProgram, dbs: &[Database]) -> Vec<usize> {
     dbs.iter()
         .map(|db| ConvergenceProfile::measure(&chain.program, db).iterations())
+        .collect()
+}
+
+/// The *direct* Section-8 measure, now computable at scale: the maximum
+/// derivation-tree height over all facts derived from each database,
+/// read off the columnar engine's recorded justifications
+/// ([`selprop_datalog::eval::evaluate_with_provenance`]). Boundedness is
+/// *defined* through bounded tree size; for a bounded program this is
+/// constant in the data, for an unbounded one it grows. Unlike
+/// [`convergence_iterations`] (a proxy via fixpoint stages), this
+/// measures the trees themselves — iteratively, so chain databases deep
+/// enough to overflow a recursive traversal are fine.
+pub fn derivation_heights(chain: &ChainProgram, dbs: &[Database]) -> Vec<u64> {
+    dbs.iter()
+        .map(|db| Provenance::compute(&chain.program, db).max_height())
         .collect()
 }
 
@@ -229,5 +244,65 @@ mod tests {
         u.program.symbols = q2.symbols;
         let iters2 = convergence_iterations(&u, &dbs2);
         assert!(iters2[1] > iters2[0], "unbounded: growing iterations, got {iters2:?}");
+    }
+
+    #[test]
+    fn derivation_heights_separate_bounded_from_unbounded() {
+        // Bounded program: max derivation-tree height is a constant
+        // (here 3: p-node over one or two b-leaves) at every data size —
+        // the definitional form of Section 8 boundedness.
+        let bounded = ChainProgram::parse(
+            "?- p(c, Y).\n\
+             p(X, Y) :- b(X, Y).\n\
+             p(X, Y) :- b(X, Z), b(Z, Y).",
+        )
+        .unwrap();
+        let mut p1 = bounded.program.clone();
+        let mut p2 = bounded.program.clone();
+        let mut p3 = bounded.program.clone();
+        let dbs = vec![chain_db(&mut p1, 3), chain_db(&mut p2, 8), chain_db(&mut p3, 16)];
+        let mut with_syms = bounded.clone();
+        with_syms.program.symbols = p3.symbols;
+        let hs = derivation_heights(&with_syms, &dbs);
+        assert!(
+            hs.windows(2).all(|w| w[0] == w[1]),
+            "bounded: constant tree height, got {hs:?}"
+        );
+        assert!(hs[0] <= 3, "p over b-leaves: height ≤ 3, got {hs:?}");
+
+        // The FO rewrite's derivations are one rule node over EDB
+        // leaves: height exactly 2, size within the decision's bound.
+        if let Boundedness::Bounded { fo_program, depth_bound, .. } = boundedness(&bounded) {
+            let mut fo = fo_program.clone();
+            let db = chain_db(&mut fo, 8);
+            let prov = Provenance::compute(&fo, &db);
+            assert!(prov.num_derived() > 0);
+            assert_eq!(prov.max_height(), 2, "FO form: rule node over leaves");
+            for atom in prov.derived() {
+                let size = prov.tree_size(&atom).expect("derived fact has a tree");
+                assert!(
+                    size as usize <= depth_bound + 1,
+                    "FO derivation size {size} exceeds bound {depth_bound}"
+                );
+            }
+        } else {
+            panic!("finite language must be bounded");
+        }
+
+        // Unbounded program: the deepest tree tracks the chain length.
+        let unbounded = ChainProgram::parse(
+            "?- anc(c, Y).\n\
+             anc(X, Y) :- par(X, Y).\n\
+             anc(X, Y) :- anc(X, Z), par(Z, Y).",
+        )
+        .unwrap();
+        let mut q1 = unbounded.program.clone();
+        let mut q2 = unbounded.program.clone();
+        let dbs2 = vec![chain_db(&mut q1, 4), chain_db(&mut q2, 12)];
+        let mut u = unbounded.clone();
+        u.program.symbols = q2.symbols;
+        let hs2 = derivation_heights(&u, &dbs2);
+        assert!(hs2[1] > hs2[0], "unbounded: growing tree height, got {hs2:?}");
+        assert_eq!(hs2[1], 13, "left-linear anc: height = chain length + 1");
     }
 }

@@ -3,16 +3,42 @@
 //! Section 2.1 of the paper gives the operational semantics of Datalog via
 //! derivation trees: a ground atom is in the minimum model iff it has a
 //! tree whose leaves are database facts and whose internal nodes are rule
-//! instantiations. This module materializes one such tree per derived
-//! fact, and measures the **convergence profile** (new facts per
-//! iteration) used by the boundedness experiments: a program is bounded
-//! w.r.t. its goal iff derivation-tree size — equivalently, iterations to
-//! fixpoint — is bounded independently of the database (Section 8).
+//! instantiations. This module exposes one such tree per derived fact,
+//! and measures the **convergence profile** (new facts per iteration)
+//! used by the boundedness experiments: a program is bounded w.r.t. its
+//! goal iff derivation-tree size — equivalently, iterations to fixpoint —
+//! is bounded independently of the database (Section 8).
+//!
+//! # Provenance at scale
+//!
+//! [`Provenance`] is a view over the columnar engine's justification
+//! store: [`crate::eval::evaluate_with_provenance`] records, at staging
+//! time inside the join, one first-found justification per derived row —
+//! the rule index plus the body **row ids** into the
+//! [`crate::storage::ColumnarRelation`] store. No `GroundAtom` is ever
+//! cloned during evaluation; atoms materialize lazily when a tree or a
+//! justification is asked for. Justifications are deterministic and
+//! identical at every thread and shard count of the parallel engine.
+//!
+//! Because the paper's own workloads produce proofs that are deep, not
+//! just big (a chain program's derivation is as deep as the chain is
+//! long), **every** tree operation here is iterative: reconstruction
+//! ([`Provenance::tree`]), the metrics ([`DerivationTree::size`],
+//! [`DerivationTree::height`], [`Provenance::tree_size`],
+//! [`Provenance::tree_height`]), node iteration
+//! ([`DerivationTree::nodes`]), and even `Drop` (the derive'd drop glue
+//! would recurse through 10⁵ nested nodes and overflow the stack of a
+//! default test thread).
+//!
+//! The original naive provenance fixpoint is preserved as
+//! [`crate::reference::Provenance`] — the executable specification the
+//! equivalence suite validates this module against.
 
-use std::collections::HashMap;
-
-use crate::ast::{Const, Pred, Program, Term};
+use crate::ast::{Pred, Program};
 use crate::db::{Database, Tuple};
+use crate::eval::RelJust;
+use crate::hash::FxHashMap;
+use crate::storage::{ColumnarRelation, NO_ROW};
 
 /// A ground atom `pred(c1, ..., ck)`.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -24,7 +50,13 @@ pub struct GroundAtom {
 }
 
 /// A derivation tree for a ground atom.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// All operations — size, height, node iteration, clone, equality, and
+/// drop — are iterative, so trees hundreds of thousands of nodes deep
+/// are safe on default-size thread stacks. (The one exception is the
+/// derived `Debug` formatting, whose output is inherently nested — do
+/// not debug-print ultra-deep trees.)
+#[derive(Debug, Eq)]
 pub struct DerivationTree {
     /// The derived ground atom at this node.
     pub atom: GroundAtom,
@@ -34,179 +66,549 @@ pub struct DerivationTree {
 }
 
 impl DerivationTree {
-    /// Number of nodes.
+    /// Number of nodes (iterative; deep chains do not overflow).
     pub fn size(&self) -> usize {
-        1 + self
-            .via
-            .iter()
-            .flat_map(|(_, kids)| kids.iter())
-            .map(DerivationTree::size)
-            .sum::<usize>()
+        self.nodes().count()
     }
 
-    /// Height (a leaf has height 1).
+    /// Height (a leaf has height 1; iterative).
     pub fn height(&self) -> usize {
-        1 + self
-            .via
-            .iter()
-            .flat_map(|(_, kids)| kids.iter())
-            .map(DerivationTree::height)
-            .max()
-            .unwrap_or(0)
+        let mut max = 0usize;
+        let mut stack: Vec<(&DerivationTree, usize)> = vec![(self, 1)];
+        while let Some((t, h)) = stack.pop() {
+            max = max.max(h);
+            if let Some((_, kids)) = &t.via {
+                stack.extend(kids.iter().map(|k| (k, h + 1)));
+            }
+        }
+        max
+    }
+
+    /// Iterates over all nodes (pre-order, iterative).
+    pub fn nodes(&self) -> impl Iterator<Item = &DerivationTree> {
+        let mut stack = vec![self];
+        std::iter::from_fn(move || {
+            let t = stack.pop()?;
+            if let Some((_, kids)) = &t.via {
+                stack.extend(kids.iter());
+            }
+            Some(t)
+        })
     }
 }
 
-/// Provenance-tracking evaluation: for every derived IDB fact, one
-/// justification (rule index + body ground atoms).
+impl Clone for DerivationTree {
+    /// Iterative clone: the derived clone glue recurses per nested
+    /// node, which overflows the stack on the ≥10⁵-deep proofs the
+    /// chain workloads produce.
+    fn clone(&self) -> Self {
+        let Some((rule0, kids0)) = &self.via else {
+            return DerivationTree {
+                atom: self.atom.clone(),
+                via: None,
+            };
+        };
+        struct Frame<'a> {
+            atom: &'a GroundAtom,
+            rule: usize,
+            src: &'a [DerivationTree],
+            kids: Vec<DerivationTree>,
+        }
+        let mut stack = vec![Frame {
+            atom: &self.atom,
+            rule: *rule0,
+            src: kids0,
+            kids: Vec::with_capacity(kids0.len()),
+        }];
+        loop {
+            let (src, built) = {
+                let f = stack.last().expect("non-empty until the root completes");
+                (f.src, f.kids.len())
+            };
+            if built < src.len() {
+                let child = &src[built];
+                match &child.via {
+                    None => stack
+                        .last_mut()
+                        .expect("frame exists")
+                        .kids
+                        .push(DerivationTree {
+                            atom: child.atom.clone(),
+                            via: None,
+                        }),
+                    Some((crule, ckids)) => stack.push(Frame {
+                        atom: &child.atom,
+                        rule: *crule,
+                        src: ckids,
+                        kids: Vec::with_capacity(ckids.len()),
+                    }),
+                }
+            } else {
+                let f = stack.pop().expect("frame exists");
+                let node = DerivationTree {
+                    atom: f.atom.clone(),
+                    via: Some((f.rule, f.kids)),
+                };
+                match stack.last_mut() {
+                    None => return node,
+                    Some(parent) => parent.kids.push(node),
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for DerivationTree {
+    /// Iterative structural equality (the derived impl recurses).
+    fn eq(&self, other: &Self) -> bool {
+        let mut stack = vec![(self, other)];
+        while let Some((a, b)) = stack.pop() {
+            if a.atom != b.atom {
+                return false;
+            }
+            match (&a.via, &b.via) {
+                (None, None) => {}
+                (Some((ra, ka)), Some((rb, kb))) => {
+                    if ra != rb || ka.len() != kb.len() {
+                        return false;
+                    }
+                    stack.extend(ka.iter().zip(kb.iter()));
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+impl Drop for DerivationTree {
+    /// Iterative drop: the derived drop glue recurses through nested
+    /// nodes, which overflows the stack on the ≥10⁵-deep proofs the
+    /// chain workloads produce.
+    fn drop(&mut self) {
+        if let Some((_, kids)) = self.via.take() {
+            let mut stack = kids;
+            while let Some(mut t) = stack.pop() {
+                if let Some((_, mut k)) = t.via.take() {
+                    stack.append(&mut k);
+                    // `t` drops here with `via == None`: no recursion.
+                }
+            }
+        }
+    }
+}
+
+/// Sentinel metric values (also used as memo-table states).
+const UNSET: u64 = u64::MAX;
+const PENDING: u64 = u64::MAX - 1;
+/// Metrics saturate here so they never collide with the sentinels.
+const METRIC_CAP: u64 = u64::MAX - 2;
+
+/// Row-id provenance recorded by the columnar engine: for every derived
+/// IDB row, the rule index and the body row ids that first derived it.
+///
+/// Produced by [`crate::eval::evaluate_with_provenance`]. Equality is
+/// bit-for-bit over the row stores and justification tables — what the
+/// thread-determinism tests assert.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Provenance {
-    just: HashMap<GroundAtom, (usize, Vec<GroundAtom>)>,
-    edb_preds: Vec<Pred>,
+    rels: Vec<ColumnarRelation>,
+    pred_of_rel: Vec<Pred>,
+    rel_of_pred: FxHashMap<Pred, usize>,
+    /// Per relation: whether it is an IDB of the program (has
+    /// justifications; EDB rows are leaves).
+    idb: Vec<bool>,
+    just: Vec<RelJust>,
+    /// Per rule: the dense relation id of each body atom.
+    body_rels: Vec<Vec<u32>>,
 }
 
 impl Provenance {
-    /// Runs a naive fixpoint recording first-found justifications.
-    pub fn compute(program: &Program, db: &Database) -> Provenance {
-        let mut just: HashMap<GroundAtom, (usize, Vec<GroundAtom>)> = HashMap::new();
-        // naive rounds with substitution enumeration via the existing
-        // engine is not provenance-aware, so re-derive here with a simple
-        // nested-loop matcher (clarity over speed; used on small inputs).
-        let mut model: Vec<GroundAtom> = Vec::new();
-        let mut model_set: std::collections::HashSet<GroundAtom> = Default::default();
-        for (p, rel) in db.iter() {
-            for t in rel.iter() {
-                let g = GroundAtom {
-                    pred: p,
-                    args: t.clone(),
-                };
-                if model_set.insert(g.clone()) {
-                    model.push(g);
-                }
-            }
+    pub(crate) fn from_engine(
+        rels: Vec<ColumnarRelation>,
+        pred_of_rel: Vec<Pred>,
+        rel_of_pred: FxHashMap<Pred, usize>,
+        idb_rels: Vec<usize>,
+        body_rels: Vec<Vec<u32>>,
+        just: Vec<RelJust>,
+    ) -> Self {
+        let mut idb = vec![false; rels.len()];
+        for r in idb_rels {
+            idb[r] = true;
         }
-        loop {
-            let mut new: Vec<(GroundAtom, usize, Vec<GroundAtom>)> = Vec::new();
-            for (ri, rule) in program.rules.iter().enumerate() {
-                let mut env: HashMap<crate::ast::Var, Const> = HashMap::new();
-                match_body(rule, 0, &model, &mut env, &mut |env| {
-                    let head = GroundAtom {
-                        pred: rule.head.pred,
-                        args: rule
-                            .head
-                            .args
-                            .iter()
-                            .map(|t| match t {
-                                Term::Const(c) => *c,
-                                Term::Var(v) => env[v],
-                            })
-                            .collect(),
-                    };
-                    if !model_set.contains(&head) {
-                        let body = rule
-                            .body
-                            .iter()
-                            .map(|a| GroundAtom {
-                                pred: a.pred,
-                                args: a
-                                    .args
-                                    .iter()
-                                    .map(|t| match t {
-                                        Term::Const(c) => *c,
-                                        Term::Var(v) => env[v],
-                                    })
-                                    .collect(),
-                            })
-                            .collect();
-                        new.push((head, ri, body));
-                    }
-                });
-            }
-            let mut any = false;
-            for (head, ri, body) in new {
-                if model_set.insert(head.clone()) {
-                    model.push(head.clone());
-                    just.insert(head, (ri, body));
-                    any = true;
-                }
-            }
-            if !any {
-                break;
-            }
-        }
-        Provenance {
+        debug_assert!(idb
+            .iter()
+            .zip(&rels)
+            .zip(&just)
+            .all(|((&i, r), j)| !i || j.rule.len() == r.num_rows()));
+        Self {
+            rels,
+            pred_of_rel,
+            rel_of_pred,
+            idb,
             just,
-            edb_preds: program.edb_predicates(),
+            body_rels,
         }
     }
 
-    /// Builds the derivation tree of a ground atom, if it was derived (or
-    /// is a database fact).
+    /// Evaluates `program` on `db` with the columnar engine, recording
+    /// one first-found justification per derived fact (sequential
+    /// semi-naive; use [`crate::eval::evaluate_with_provenance`] for an
+    /// explicit strategy — the justifications are identical).
+    pub fn compute(program: &Program, db: &Database) -> Provenance {
+        crate::eval::evaluate_with_provenance(program, db, crate::eval::Strategy::SemiNaive)
+            .provenance
+    }
+
+    /// Locates an atom in the row store.
+    fn rel_row(&self, atom: &GroundAtom) -> Option<(usize, u32)> {
+        let &rel = self.rel_of_pred.get(&atom.pred)?;
+        if self.rels[rel].arity() != atom.args.len() {
+            return None;
+        }
+        let row = self.rels[rel].find_row(&atom.args);
+        (row != NO_ROW).then_some((rel, row))
+    }
+
+    /// The atom stored at `(rel, row)`.
+    fn atom_at(&self, rel: usize, row: u32) -> GroundAtom {
+        GroundAtom {
+            pred: self.pred_of_rel[rel],
+            args: self.rels[rel].row(row as usize).to_vec(),
+        }
+    }
+
+    /// The recorded justification of a row: `None` for EDB rows
+    /// (leaves), `Some((rule, body row ids))` for derived rows.
+    fn just_of(&self, rel: usize, row: u32) -> Option<(u32, &[u32])> {
+        if !self.idb[rel] {
+            return None;
+        }
+        let j = &self.just[rel];
+        let r = row as usize;
+        let lo = j.body_off[r] as usize;
+        let hi = j
+            .body_off
+            .get(r + 1)
+            .map_or(j.bodies.len(), |&o| o as usize);
+        Some((j.rule[r], &j.bodies[lo..hi]))
+    }
+
+    /// The justification of a derived fact: the rule index and the body
+    /// ground atoms of its first-found derivation. `None` if the atom is
+    /// not a derived IDB fact in the model.
+    pub fn justification(&self, atom: &GroundAtom) -> Option<(usize, Vec<GroundAtom>)> {
+        let (rel, row) = self.rel_row(atom)?;
+        let (rule, body) = self.just_of(rel, row)?;
+        let atoms = body
+            .iter()
+            .enumerate()
+            .map(|(k, &b)| self.atom_at(self.body_rels[rule as usize][k] as usize, b))
+            .collect();
+        Some((rule as usize, atoms))
+    }
+
+    /// All derived IDB ground atoms, in derivation (row id) order per
+    /// predicate.
+    pub fn derived(&self) -> impl Iterator<Item = GroundAtom> + '_ {
+        self.rels
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| self.idb[r])
+            .flat_map(move |(r, rel)| {
+                (0..rel.num_rows()).map(move |row| self.atom_at(r, row as u32))
+            })
+    }
+
+    /// Number of derived IDB facts (= rows with a justification).
+    pub fn num_derived(&self) -> usize {
+        self.rels
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| self.idb[r])
+            .map(|(_, rel)| rel.num_rows())
+            .sum()
+    }
+
+    /// Materializes the IDB model as a [`Database`] (what a plain
+    /// [`crate::eval::evaluate`] returns). O(model) — built on demand so
+    /// provenance-only consumers (tree metrics, boundedness
+    /// measurements) never pay for it.
+    pub fn idb_database(&self) -> Database {
+        let mut idb_db = Database::new();
+        for (r, rel) in self.rels.iter().enumerate() {
+            if !self.idb[r] {
+                continue;
+            }
+            let out = idb_db.relation_mut(self.pred_of_rel[r], rel.arity());
+            for row in rel.rows_iter() {
+                out.insert(row.to_vec());
+            }
+        }
+        idb_db
+    }
+
+    /// Builds the derivation tree of a ground atom, if it is in the
+    /// model (a leaf for database facts). Iterative: proof depth is
+    /// bounded by memory, not stack.
     pub fn tree(&self, atom: &GroundAtom) -> Option<DerivationTree> {
-        if self.edb_preds.contains(&atom.pred) {
+        let (rel0, row0) = self.rel_row(atom)?;
+        let Some((rule0, _)) = self.just_of(rel0, row0) else {
             return Some(DerivationTree {
-                atom: atom.clone(),
+                atom: self.atom_at(rel0, row0),
                 via: None,
             });
+        };
+        struct Frame {
+            rel: usize,
+            row: u32,
+            rule: u32,
+            kids: Vec<DerivationTree>,
         }
-        let (ri, body) = self.just.get(atom)?;
-        let kids: Option<Vec<DerivationTree>> = body.iter().map(|b| self.tree(b)).collect();
-        Some(DerivationTree {
-            atom: atom.clone(),
-            via: Some((*ri, kids?)),
-        })
+        let mut stack = vec![Frame {
+            rel: rel0,
+            row: row0,
+            rule: rule0,
+            kids: Vec::new(),
+        }];
+        loop {
+            let (frel, frow, frule, built) = {
+                let f = stack.last().expect("non-empty until the root completes");
+                (f.rel, f.row, f.rule, f.kids.len())
+            };
+            let body = self.just_of(frel, frow).expect("frames are derived rows").1;
+            if built < body.len() {
+                let crel = self.body_rels[frule as usize][built] as usize;
+                let crow = body[built];
+                match self.just_of(crel, crow) {
+                    None => stack
+                        .last_mut()
+                        .expect("frame exists")
+                        .kids
+                        .push(DerivationTree {
+                            atom: self.atom_at(crel, crow),
+                            via: None,
+                        }),
+                    Some((crule, _)) => stack.push(Frame {
+                        rel: crel,
+                        row: crow,
+                        rule: crule,
+                        kids: Vec::new(),
+                    }),
+                }
+            } else {
+                let f = stack.pop().expect("frame exists");
+                let node = DerivationTree {
+                    atom: self.atom_at(f.rel, f.row),
+                    via: Some((f.rule as usize, f.kids)),
+                };
+                match stack.last_mut() {
+                    None => return Some(node),
+                    Some(parent) => parent.kids.push(node),
+                }
+            }
+        }
     }
 
-    /// All derived IDB ground atoms.
-    pub fn derived(&self) -> impl Iterator<Item = &GroundAtom> {
-        self.just.keys()
+    /// Number of nodes of the atom's derivation tree, without
+    /// materializing it: iterative memoized dynamic programming over the
+    /// justification DAG (shared sub-derivations are counted once per
+    /// occurrence, as the tree semantics demands; values saturate).
+    pub fn tree_size(&self, atom: &GroundAtom) -> Option<u64> {
+        let (rel, row) = self.rel_row(atom)?;
+        let mut ctx = MetricCtx::new(self, false);
+        Some(ctx.get(rel, row).expect("engine provenance is acyclic"))
+    }
+
+    /// Height of the atom's derivation tree (a leaf has height 1),
+    /// without materializing it.
+    pub fn tree_height(&self, atom: &GroundAtom) -> Option<u64> {
+        let (rel, row) = self.rel_row(atom)?;
+        let mut ctx = MetricCtx::new(self, true);
+        Some(ctx.get(rel, row).expect("engine provenance is acyclic"))
+    }
+
+    /// Derivation-tree heights of every row of `pred`, in row (first
+    /// derivation) order; empty if the predicate derived nothing.
+    pub fn heights(&self, pred: Pred) -> Vec<u64> {
+        let Some(&rel) = self.rel_of_pred.get(&pred) else {
+            return Vec::new();
+        };
+        let mut ctx = MetricCtx::new(self, true);
+        (0..self.rels[rel].num_rows())
+            .map(|row| {
+                ctx.get(rel, row as u32)
+                    .expect("engine provenance is acyclic")
+            })
+            .collect()
+    }
+
+    /// The maximum derivation-tree height over all derived facts (0 if
+    /// nothing was derived) — the executable form of the Section 8
+    /// boundedness measure.
+    pub fn max_height(&self) -> u64 {
+        let mut ctx = MetricCtx::new(self, true);
+        let mut max = 0;
+        for (rel, cr) in self.rels.iter().enumerate() {
+            if !self.idb[rel] {
+                continue;
+            }
+            for row in 0..cr.num_rows() {
+                max = max.max(
+                    ctx.get(rel, row as u32)
+                        .expect("engine provenance is acyclic"),
+                );
+            }
+        }
+        max
+    }
+
+    /// Validity check: every recorded justification is a genuine
+    /// instantiation of its rule (constants match, repeated variables
+    /// bind consistently, the head instantiates to the derived row), all
+    /// body row ids are real rows, and every justification chain is
+    /// well-founded — it bottoms out in EDB rows. This is the bridge the
+    /// equivalence suite uses between this engine-recorded provenance
+    /// and the naive [`crate::reference::Provenance`] specification.
+    pub fn check(&self, program: &Program) -> Result<(), String> {
+        use crate::ast::Term;
+        let edbs = program.edb_predicates();
+        for (rel, cr) in self.rels.iter().enumerate() {
+            if !self.idb[rel] {
+                if cr.num_rows() > 0 && !edbs.contains(&self.pred_of_rel[rel]) {
+                    return Err(format!(
+                        "leaf relation {rel} is not an EDB predicate of the program"
+                    ));
+                }
+                continue;
+            }
+            for row in 0..cr.num_rows() {
+                let (rule_i, body) = self
+                    .just_of(rel, row as u32)
+                    .expect("IDB rows carry justifications");
+                let rule = program
+                    .rules
+                    .get(rule_i as usize)
+                    .ok_or_else(|| format!("row {rel}/{row}: rule {rule_i} out of range"))?;
+                if rule.head.pred != self.pred_of_rel[rel] {
+                    return Err(format!("row {rel}/{row}: rule {rule_i} heads another predicate"));
+                }
+                if body.len() != rule.body.len() {
+                    return Err(format!("row {rel}/{row}: body arity mismatch"));
+                }
+                let mut env: FxHashMap<crate::ast::Var, crate::ast::Const> = FxHashMap::default();
+                let bind = |t: &Term, c: crate::ast::Const, env: &mut FxHashMap<_, _>| match t {
+                    Term::Const(k) => *k == c,
+                    Term::Var(v) => *env.entry(*v).or_insert(c) == c,
+                };
+                for (k, (atom, &brow)) in rule.body.iter().zip(body).enumerate() {
+                    let brel = self.body_rels[rule_i as usize][k] as usize;
+                    if self.pred_of_rel[brel] != atom.pred {
+                        return Err(format!("row {rel}/{row}: body {k} wrong predicate"));
+                    }
+                    if brow as usize >= self.rels[brel].num_rows() {
+                        return Err(format!("row {rel}/{row}: body {k} row {brow} out of range"));
+                    }
+                    let tuple = self.rels[brel].row(brow as usize);
+                    if atom.args.len() != tuple.len()
+                        || !atom
+                            .args
+                            .iter()
+                            .zip(tuple)
+                            .all(|(t, &c)| bind(t, c, &mut env))
+                    {
+                        return Err(format!(
+                            "row {rel}/{row}: body {k} is not an instantiation"
+                        ));
+                    }
+                }
+                let head_row = cr.row(row);
+                if rule.head.args.len() != head_row.len()
+                    || !rule
+                        .head
+                        .args
+                        .iter()
+                        .zip(head_row)
+                        .all(|(t, &c)| bind(t, c, &mut env))
+                {
+                    return Err(format!("row {rel}/{row}: head is not the rule instantiation"));
+                }
+            }
+        }
+        // Well-foundedness: height computation visits every chain and
+        // fails on a cycle (a cycle would mean a "justification" that
+        // never reaches EDB leaves).
+        let mut ctx = MetricCtx::new(self, true);
+        for (rel, cr) in self.rels.iter().enumerate() {
+            if self.idb[rel] {
+                for row in 0..cr.num_rows() {
+                    ctx.get(rel, row as u32)?;
+                }
+            }
+        }
+        Ok(())
     }
 }
 
-fn match_body(
-    rule: &crate::ast::Rule,
-    pos: usize,
-    model: &[GroundAtom],
-    env: &mut HashMap<crate::ast::Var, Const>,
-    emit: &mut dyn FnMut(&HashMap<crate::ast::Var, Const>),
-) {
-    if pos == rule.body.len() {
-        emit(env);
-        return;
-    }
-    let atom = &rule.body[pos];
-    for fact in model {
-        if fact.pred != atom.pred || fact.args.len() != atom.args.len() {
-            continue;
+/// Shared-memo iterative DP over the justification DAG: size or height
+/// per row. Detects cycles (corrupt stores) instead of hanging.
+struct MetricCtx<'a> {
+    prov: &'a Provenance,
+    memo: Vec<Vec<u64>>,
+    height: bool,
+}
+
+impl<'a> MetricCtx<'a> {
+    fn new(prov: &'a Provenance, height: bool) -> Self {
+        Self {
+            prov,
+            memo: prov.rels.iter().map(|r| vec![UNSET; r.num_rows()]).collect(),
+            height,
         }
-        let mut bound: Vec<crate::ast::Var> = Vec::new();
-        let mut ok = true;
-        for (t, c) in atom.args.iter().zip(&fact.args) {
-            match t {
-                Term::Const(k) => {
-                    if k != c {
-                        ok = false;
-                        break;
+    }
+
+    fn get(&mut self, rel0: usize, row0: u32) -> Result<u64, String> {
+        let mut stack: Vec<(usize, u32, bool)> = vec![(rel0, row0, false)];
+        while let Some((rel, row, expanded)) = stack.pop() {
+            let cur = self.memo[rel][row as usize];
+            if cur != UNSET && cur != PENDING {
+                continue;
+            }
+            let Some((rule, body)) = self.prov.just_of(rel, row) else {
+                self.memo[rel][row as usize] = 1; // EDB leaf
+                continue;
+            };
+            if expanded {
+                let mut acc = 0u64;
+                for (k, &b) in body.iter().enumerate() {
+                    let brel = self.prov.body_rels[rule as usize][k] as usize;
+                    let v = self.memo[brel][b as usize];
+                    debug_assert!(v != UNSET && v != PENDING, "children computed first");
+                    acc = if self.height {
+                        acc.max(v)
+                    } else {
+                        acc.saturating_add(v)
+                    };
+                }
+                self.memo[rel][row as usize] = acc.saturating_add(1).min(METRIC_CAP);
+            } else {
+                self.memo[rel][row as usize] = PENDING;
+                stack.push((rel, row, true));
+                for (k, &b) in body.iter().enumerate() {
+                    let brel = self.prov.body_rels[rule as usize][k] as usize;
+                    match self.memo[brel][b as usize] {
+                        PENDING => {
+                            return Err(format!(
+                                "cycle in justification DAG at relation {brel} row {b}"
+                            ))
+                        }
+                        UNSET => stack.push((brel, b, false)),
+                        _ => {}
                     }
                 }
-                Term::Var(v) => match env.get(v) {
-                    Some(&b) => {
-                        if b != *c {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    None => {
-                        env.insert(*v, *c);
-                        bound.push(*v);
-                    }
-                },
             }
         }
-        if ok {
-            match_body(rule, pos + 1, model, env, emit);
-        }
-        for v in bound {
-            env.remove(&v);
-        }
+        Ok(self.memo[rel0][row0 as usize])
     }
 }
 
@@ -260,6 +662,8 @@ impl ConvergenceProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::Const;
+    use crate::eval::{evaluate_with_provenance, Strategy};
     use crate::parser::parse_program;
 
     fn setup(n: usize) -> (Program, Database) {
@@ -287,15 +691,18 @@ mod tests {
         let anc = p.symbols.get_predicate("anc").unwrap();
         let john = p.symbols.get_constant("john").unwrap();
         let c4 = p.symbols.get_constant("c4").unwrap();
-        let tree = prov
-            .tree(&GroundAtom {
-                pred: anc,
-                args: vec![john, c4],
-            })
-            .expect("anc(john, c4) derivable");
+        let atom = GroundAtom {
+            pred: anc,
+            args: vec![john, c4],
+        };
+        let tree = prov.tree(&atom).expect("anc(john, c4) derivable");
         // Program A is left-linear: tree height grows with distance.
         assert_eq!(tree.height(), 5); // anc-anc-anc-anc chain + par leaf
         assert!(tree.size() >= 8);
+        // The DAG metrics agree with the materialized tree.
+        assert_eq!(prov.tree_height(&atom), Some(tree.height() as u64));
+        assert_eq!(prov.tree_size(&atom), Some(tree.size() as u64));
+        assert_eq!(tree.nodes().count(), tree.size());
     }
 
     #[test]
@@ -311,13 +718,12 @@ mod tests {
                 args: vec![john, c2],
             })
             .unwrap();
-        fn check_leaves(t: &DerivationTree, p: &Program) -> bool {
-            match &t.via {
-                None => p.edb_predicates().contains(&t.atom.pred),
-                Some((_, kids)) => kids.iter().all(|k| check_leaves(k, p)),
-            }
-        }
-        assert!(check_leaves(&tree, &p));
+        let edbs = p.edb_predicates();
+        assert!(tree
+            .nodes()
+            .filter(|t| t.via.is_none())
+            .all(|t| edbs.contains(&t.atom.pred)));
+        prov.check(&p).expect("engine provenance is valid");
     }
 
     #[test]
@@ -327,12 +733,122 @@ mod tests {
         let anc = p.symbols.get_predicate("anc").unwrap();
         let c1 = p.symbols.get_constant("c1").unwrap();
         let john = p.symbols.get_constant("john").unwrap();
-        assert!(prov
-            .tree(&GroundAtom {
+        let atom = GroundAtom {
+            pred: anc,
+            args: vec![c1, john], // backwards
+        };
+        assert!(prov.tree(&atom).is_none());
+        assert!(prov.tree_height(&atom).is_none());
+        assert!(prov.justification(&atom).is_none());
+    }
+
+    #[test]
+    fn justifications_are_rule_instantiations() {
+        let (p, db) = setup(3);
+        let prov = Provenance::compute(&p, &db);
+        let anc = p.symbols.get_predicate("anc").unwrap();
+        let john = p.symbols.get_constant("john").unwrap();
+        let c3 = p.symbols.get_constant("c3").unwrap();
+        let (rule, body) = prov
+            .justification(&GroundAtom {
                 pred: anc,
-                args: vec![c1, john], // backwards
+                args: vec![john, c3],
             })
-            .is_none());
+            .unwrap();
+        // anc(john, c3) can only come from the recursive rule.
+        assert_eq!(rule, 1);
+        assert_eq!(body.len(), 2);
+        assert_eq!(prov.num_derived(), 6); // all anc pairs on a 3-chain
+        assert_eq!(prov.derived().count(), 6);
+    }
+
+    #[test]
+    fn provenance_identical_across_thread_and_shard_counts() {
+        let (p, db) = setup(9);
+        let seq = evaluate_with_provenance(&p, &db, Strategy::SemiNaive);
+        for strategy in [
+            Strategy::SemiNaiveParallel { threads: 2 },
+            Strategy::SemiNaiveParallel { threads: 4 },
+            Strategy::SemiNaiveSharded { threads: 2, shards: 7 },
+            Strategy::SemiNaiveSharded { threads: 1, shards: 5 },
+        ] {
+            let par = evaluate_with_provenance(&p, &db, strategy);
+            assert_eq!(par.stats, seq.stats, "{strategy:?}");
+            assert_eq!(par.provenance, seq.provenance, "{strategy:?}");
+        }
+    }
+
+    /// Satellite regression: a ≥200k-deep manually-built chain tree.
+    /// Must pass in the default (dev) test profile, where thread stacks
+    /// are smallest — recursion in size/height/drop would overflow.
+    #[test]
+    fn deep_chain_tree_metrics_are_iterative_200k() {
+        const DEPTH: usize = 200_000;
+        let mut t = DerivationTree {
+            atom: GroundAtom {
+                pred: Pred(1),
+                args: vec![Const(0), Const(1)],
+            },
+            via: None,
+        };
+        for i in 1..DEPTH {
+            t = DerivationTree {
+                atom: GroundAtom {
+                    pred: Pred(0),
+                    args: vec![Const(0), Const(i as u32 + 1)],
+                },
+                via: Some((0, vec![t])),
+            };
+        }
+        assert_eq!(t.height(), DEPTH);
+        assert_eq!(t.size(), DEPTH);
+        assert_eq!(t.nodes().count(), DEPTH);
+        // Clone and structural equality are iterative too.
+        let c = t.clone();
+        assert_eq!(c.height(), DEPTH);
+        assert!(c == t, "iterative eq on the deep clone");
+        // The implicit drops of `t` and `c` here complete the test:
+        // derive'd drop glue would recurse 200k frames deep.
+    }
+
+    /// Satellite regression: a ≥200k-deep proof produced by the engine,
+    /// reconstructed and measured through the columnar provenance. Uses
+    /// the monadic Program D (linear model) so the fixpoint itself stays
+    /// O(n).
+    #[test]
+    fn deep_chain_provenance_reconstruction_200k() {
+        const N: usize = 200_000;
+        let mut p = parse_program(
+            "?- ancjohn(Y).\n\
+             ancjohn(Y) :- par(john, Y).\n\
+             ancjohn(Y) :- ancjohn(Z), par(Z, Y).",
+        )
+        .unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let mut db = Database::new();
+        let mut prev = p.symbols.constant("john");
+        let mut last = prev;
+        for i in 1..=N {
+            let c = p.symbols.constant(&format!("c{i}"));
+            db.insert(par, vec![prev, c]);
+            prev = c;
+            last = c;
+        }
+        let prov = Provenance::compute(&p, &db);
+        let ancjohn = p.symbols.get_predicate("ancjohn").unwrap();
+        let deepest = GroundAtom {
+            pred: ancjohn,
+            args: vec![last],
+        };
+        // DAG metrics without materialization.
+        assert_eq!(prov.tree_height(&deepest), Some(N as u64 + 1));
+        assert_eq!(prov.tree_size(&deepest), Some(2 * N as u64));
+        assert_eq!(prov.max_height(), N as u64 + 1);
+        // Full iterative reconstruction of the 400k-node tree — and its
+        // iterative drop at scope end.
+        let tree = prov.tree(&deepest).expect("deepest fact derivable");
+        assert_eq!(tree.height(), N + 1);
+        assert_eq!(tree.size(), 2 * N);
     }
 
     #[test]

@@ -34,9 +34,20 @@
 
 use crate::ast::{Atom, Const, Pred, Program, Rule, Term, Var};
 use crate::db::{Database, Relation};
+use crate::derivation::Provenance;
 use crate::hash::FxHashMap;
 use crate::pool::ThreadPool;
 use crate::storage::{shard_ranges, ColumnarRelation, IncrementalIndex, NO_ROW};
+
+/// Delta shards per worker thread in [`Strategy::SemiNaiveParallel`]
+/// (`shards = OVERSHARD × threads`). Oversharding keeps the pool busy
+/// when per-shard work is skewed: a worker that finishes a cheap shard
+/// pulls the next one instead of idling until the slowest shard
+/// finishes. The deterministic `(rule, delta, shard)` merge order and
+/// the lead-shard probe accounting are shard-count-independent, so
+/// [`EvalStats`] stays bit-for-bit identical at any factor.
+/// [`Strategy::SemiNaiveSharded`] pins an explicit shard count instead.
+pub const OVERSHARD: usize = 4;
 
 /// Evaluation strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,10 +63,25 @@ pub enum Strategy {
     /// slice of the delta row range against the shared read-only
     /// indexes, staging results thread-locally, and the merge applies
     /// the staged rows in deterministic `(rule, delta, shard)` order.
-    /// `threads <= 1` degenerates to the sequential code path.
+    /// The delta is oversharded ([`OVERSHARD`]` × threads` shards) for
+    /// load balance. `threads <= 1` degenerates to the sequential code
+    /// path.
     SemiNaiveParallel {
         /// Worker-thread count (`0` and `1` both mean sequential).
         threads: usize,
+    },
+    /// [`Strategy::SemiNaiveParallel`] with an explicit delta shard
+    /// count instead of the default [`OVERSHARD`]` × threads`. Used by
+    /// the shard-sweep benchmarks and the equivalence suite; the merge
+    /// order `(rule, delta, shard)` stays deterministic for any
+    /// `(threads, shards)` pair. `threads <= 1 && shards <= 1`
+    /// degenerates to the sequential code path.
+    SemiNaiveSharded {
+        /// Worker-thread count.
+        threads: usize,
+        /// Number of contiguous delta subranges per `(rule, delta)`
+        /// work item.
+        shards: usize,
     },
 }
 
@@ -66,7 +92,9 @@ impl Strategy {
     /// semi-naive, so the reference engine evaluates it as such.
     pub fn sequential_spec(self) -> Strategy {
         match self {
-            Strategy::SemiNaiveParallel { .. } => Strategy::SemiNaive,
+            Strategy::SemiNaiveParallel { .. } | Strategy::SemiNaiveSharded { .. } => {
+                Strategy::SemiNaive
+            }
             s => s,
         }
     }
@@ -104,7 +132,7 @@ pub struct EvalResult {
 /// Evaluates `program` on `db` to the minimum model, returning the IDB
 /// relations and statistics.
 pub fn evaluate(program: &Program, db: &Database, strategy: Strategy) -> EvalResult {
-    let mut engine = Engine::new(program, db);
+    let mut engine = Engine::new(program, db, false);
     engine.run(strategy);
     engine.into_result()
 }
@@ -116,10 +144,49 @@ pub fn evaluate(program: &Program, db: &Database, strategy: Strategy) -> EvalRes
 /// [`Database`]: the goal's selection/projection runs directly over the
 /// columnar rows of the goal predicate.
 pub fn answer(program: &Program, db: &Database, strategy: Strategy) -> (Relation, EvalStats) {
-    let mut engine = Engine::new(program, db);
+    let mut engine = Engine::new(program, db, false);
     engine.run(strategy);
     let rel = engine.goal_answer(&program.goal);
     (rel, engine.stats)
+}
+
+/// The result of a provenance-recording fixpoint evaluation.
+///
+/// The IDB model is not eagerly materialized: the provenance owns the
+/// columnar rows, and [`Provenance::idb_database`] converts on demand —
+/// provenance-only consumers (tree metrics, boundedness measurements)
+/// skip that O(model) copy entirely.
+#[derive(Clone, Debug)]
+pub struct ProvenanceResult {
+    /// Work counters — bit-for-bit identical to a plain [`evaluate`]
+    /// with the same strategy (recording adds no probes or firings).
+    pub stats: EvalStats,
+    /// One justification per derived row, over the columnar row ids.
+    pub provenance: Provenance,
+}
+
+/// Evaluates `program` on `db` while recording **one first-found
+/// justification per derived row**: the rule index and the body row ids
+/// that instantiated it, captured at staging time inside the join.
+///
+/// Justifications are deterministic and **thread-count independent**:
+/// the sequential engine's staging order is the lexicographic-descending
+/// order of the per-step row coordinates, and in the parallel engine
+/// every `(rule, delta step)` group merges its shards' staged rows back
+/// into exactly that order (the coordinates are the justification body,
+/// so the comparison is free). Any [`Strategy`] therefore yields the
+/// same row ids, the same justifications, and the same [`EvalStats`] as
+/// sequential semi-naive — except [`Strategy::Naive`], whose iteration
+/// structure (and hence first-found choice) is its own, but is equally
+/// deterministic.
+pub fn evaluate_with_provenance(
+    program: &Program,
+    db: &Database,
+    strategy: Strategy,
+) -> ProvenanceResult {
+    let mut engine = Engine::new(program, db, true);
+    engine.run(strategy);
+    engine.into_provenance_result()
 }
 
 // ---------------------------------------------------------------------
@@ -273,14 +340,50 @@ struct Scratch {
     key: Vec<Const>,
     /// Head-tuple buffer.
     head: Vec<Const>,
+    /// Row id matched at each join depth — the derivation coordinates.
+    /// Maintained unconditionally (one word store per matched row); read
+    /// only when provenance recording is on.
+    rows: Vec<u32>,
 }
 
 /// Tuples derived during one iteration, buffered flat until the merge
 /// (rules within an iteration must not see each other's output).
+///
+/// When provenance recording is on, every staged tuple also stages its
+/// justification: the rule index and the body row ids (one per plan
+/// step, in body-atom order). The merge keeps only the justification of
+/// the staged copy that actually inserts the row — the first found in
+/// the deterministic merge order.
 #[derive(Default)]
 struct PendingTuples {
     data: Vec<Const>,
     rels: Vec<u32>,
+    /// Rule index per staged tuple (empty when recording is off).
+    just_rule: Vec<u32>,
+    /// Flat body row ids; tuple `i`'s slice length is the body length of
+    /// `just_rule[i]` (empty when recording is off).
+    just_rows: Vec<u32>,
+}
+
+/// Per-relation justification store: parallel to the relation's row ids.
+/// EDB relations keep empty vectors (their rows are leaves).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct RelJust {
+    /// Rule that first derived each row.
+    pub(crate) rule: Vec<u32>,
+    /// Offset of each row's body slice in `bodies`.
+    pub(crate) body_off: Vec<u32>,
+    /// Flat body row ids, in body-atom order per justification.
+    pub(crate) bodies: Vec<u32>,
+}
+
+impl RelJust {
+    fn push(&mut self, rule: u32, body: &[u32]) {
+        self.rule.push(rule);
+        self.body_off
+            .push(u32::try_from(self.bodies.len()).expect("justification store overflow"));
+        self.bodies.extend_from_slice(body);
+    }
 }
 
 /// Work counters for one rule-evaluation pass, with probes split at the
@@ -326,11 +429,14 @@ struct Engine {
     old_hi: Vec<usize>,
     /// New facts appended per productive iteration (convergence profile).
     profile: Vec<u64>,
+    /// Per-relation justification stores when provenance recording is
+    /// on (`Some` even if a relation never derives — empty is fine).
+    prov: Option<Vec<RelJust>>,
     stats: EvalStats,
 }
 
 impl Engine {
-    fn new(program: &Program, db: &Database) -> Self {
+    fn new(program: &Program, db: &Database, record: bool) -> Self {
         let idbs = program.idb_predicates();
 
         // Arity resolution mirrors the reference evaluator: database
@@ -397,6 +503,7 @@ impl Engine {
             .collect();
 
         let old_hi = vec![0; rels.len()];
+        let prov = record.then(|| vec![RelJust::default(); rels.len()]);
         Self {
             rels,
             idxs,
@@ -406,6 +513,7 @@ impl Engine {
             rel_of_pred,
             old_hi,
             profile: Vec::new(),
+            prov,
             stats: EvalStats::default(),
         }
     }
@@ -413,7 +521,10 @@ impl Engine {
     fn run(&mut self, strategy: Strategy) {
         match strategy {
             Strategy::SemiNaiveParallel { threads } if threads >= 2 => {
-                self.run_parallel(threads);
+                self.run_parallel(threads, OVERSHARD * threads);
+            }
+            Strategy::SemiNaiveSharded { threads, shards } if threads >= 2 || shards >= 2 => {
+                self.run_parallel(threads.max(1), shards.max(1));
             }
             // `threads <= 1` degenerates to the sequential code path,
             // byte-for-byte: same loop, same buffers, same row ids.
@@ -432,17 +543,46 @@ impl Engine {
     }
 
     /// Merges one staging buffer into the relations, deduplicating;
-    /// returns how many rows were actually appended.
-    fn merge_pending(rels: &mut [ColumnarRelation], pending: &mut PendingTuples) -> u64 {
+    /// returns how many rows were actually appended. With provenance
+    /// recording on, the staged justification of each tuple that
+    /// actually inserts (the first staged copy in merge order) is
+    /// appended to the head relation's justification store.
+    fn merge_pending(
+        rels: &mut [ColumnarRelation],
+        pending: &mut PendingTuples,
+        prov: Option<&mut Vec<RelJust>>,
+        plans: &[RulePlan],
+    ) -> u64 {
         let mut appended = 0u64;
         let mut off = 0;
-        for &rid in &pending.rels {
-            let rel = &mut rels[rid as usize];
-            let ar = rel.arity();
-            if rel.insert(&pending.data[off..off + ar]) {
-                appended += 1;
+        match prov {
+            None => {
+                for &rid in &pending.rels {
+                    let rel = &mut rels[rid as usize];
+                    let ar = rel.arity();
+                    if rel.insert(&pending.data[off..off + ar]) {
+                        appended += 1;
+                    }
+                    off += ar;
+                }
             }
-            off += ar;
+            Some(prov) => {
+                let mut joff = 0;
+                for (i, &rid) in pending.rels.iter().enumerate() {
+                    let rel = &mut rels[rid as usize];
+                    let ar = rel.arity();
+                    let rule = pending.just_rule[i];
+                    let blen = plans[rule as usize].steps.len();
+                    if rel.insert(&pending.data[off..off + ar]) {
+                        appended += 1;
+                        prov[rid as usize].push(rule, &pending.just_rows[joff..joff + blen]);
+                    }
+                    off += ar;
+                    joff += blen;
+                }
+                pending.just_rule.clear();
+                pending.just_rows.clear();
+            }
         }
         pending.data.clear();
         pending.rels.clear();
@@ -483,7 +623,8 @@ impl Engine {
             for &r in &self.idb_rels {
                 self.old_hi[r] = self.rels[r].num_rows();
             }
-            let appended = Self::merge_pending(&mut self.rels, &mut pending);
+            let appended =
+                Self::merge_pending(&mut self.rels, &mut pending, self.prov.as_mut(), &self.plans);
             self.stats.tuples_derived += appended;
             if appended == 0 {
                 break;
@@ -494,16 +635,24 @@ impl Engine {
     }
 
     /// The sharded semi-naive fixpoint. Per iteration: every
-    /// `(rule, delta step)` pair is split into `threads` contiguous
-    /// slices of the delta row range; workers join their slice against
-    /// the shared read-only relations and indexes, staging derived rows
-    /// thread-locally; the merge then applies the staged buffers in
-    /// `(rule, delta, shard)` order — deterministic for a fixed thread
-    /// count, and counter-identical to the sequential engine (each
-    /// shard's pre-delta join work is identical, so only the lead
+    /// `(rule, delta step)` pair is split into `shards` contiguous
+    /// slices of the delta row range (`OVERSHARD × threads` by default,
+    /// so a worker finishing a cheap shard pulls the next instead of
+    /// idling); workers join their slice against the shared read-only
+    /// relations and indexes, staging derived rows thread-locally; the
+    /// merge then applies the staged buffers in `(rule, delta, shard)`
+    /// order — deterministic for a fixed `(threads, shards)` pair, and
+    /// counter-identical to the sequential engine for **any** pair
+    /// (each shard's pre-delta join work is identical, so only the lead
     /// shard's `pre` probe count is accounted; post-delta work is
     /// partitioned by the delta rows and summed).
-    fn run_parallel(&mut self, threads: usize) {
+    ///
+    /// With provenance recording on, each `(rule, delta step)` group
+    /// instead merges its shards' staged rows in the sequential
+    /// engine's staging order (see [`Engine::merge_group_recorded`]), so
+    /// row ids and justifications are identical at every thread and
+    /// shard count.
+    fn run_parallel(&mut self, threads: usize, shards: usize) {
         // Spawned on the first delta iteration (a fixpoint that converges
         // on the seed rules never pays for threads) and dropped with this
         // call: the spawn cost amortizes over the iterations of one
@@ -532,7 +681,12 @@ impl Engine {
                 for &r in &self.idb_rels {
                     self.old_hi[r] = self.rels[r].num_rows();
                 }
-                appended = Self::merge_pending(&mut self.rels, &mut pending);
+                appended = Self::merge_pending(
+                    &mut self.rels,
+                    &mut pending,
+                    self.prov.as_mut(),
+                    &self.plans,
+                );
             } else {
                 let mut tasks: Vec<ShardTask> = Vec::new();
                 for pi in 0..self.plans.len() {
@@ -541,7 +695,7 @@ impl Engine {
                         let rel = self.plans[pi].steps[d].rel;
                         let (dlo, dhi) = (self.old_hi[rel], self.rels[rel].num_rows());
                         for (si, &(lo, hi)) in
-                            shard_ranges(dlo, dhi, threads).iter().enumerate()
+                            shard_ranges(dlo, dhi, shards).iter().enumerate()
                         {
                             // The lead shard always runs (it accounts the
                             // pre-delta probes even over an empty delta,
@@ -567,6 +721,7 @@ impl Engine {
                     let rels = &self.rels;
                     let idxs = &self.idxs;
                     let old_hi = &self.old_hi;
+                    let record = self.prov.is_some();
                     let pool = pool.get_or_insert_with(|| ThreadPool::new(threads));
                     pool.scope(|s| {
                         for t in tasks.iter_mut() {
@@ -588,6 +743,7 @@ impl Engine {
                                     *plan_i,
                                     Some(*delta_pos),
                                     *range,
+                                    record,
                                     scratch,
                                     pending,
                                     counters,
@@ -606,10 +762,42 @@ impl Engine {
                 for &r in &self.idb_rels {
                     self.old_hi[r] = self.rels[r].num_rows();
                 }
-                // Deterministic merge: staged buffers in task order =
-                // (rule, delta step, shard top-down).
-                for t in &mut tasks {
-                    appended += Self::merge_pending(&mut self.rels, &mut t.pending);
+                match self.prov.as_mut() {
+                    // Deterministic merge: staged buffers in task order =
+                    // (rule, delta step, shard top-down).
+                    None => {
+                        for t in &mut tasks {
+                            appended += Self::merge_pending(
+                                &mut self.rels,
+                                &mut t.pending,
+                                None,
+                                &self.plans,
+                            );
+                        }
+                    }
+                    // Provenance mode: each (rule, delta step) group
+                    // merges in the sequential engine's staging order,
+                    // so row ids and justifications are thread- and
+                    // shard-count independent.
+                    Some(prov) => {
+                        let mut i = 0;
+                        while i < tasks.len() {
+                            let key = (tasks[i].plan_i, tasks[i].delta_pos);
+                            let mut j = i + 1;
+                            while j < tasks.len()
+                                && (tasks[j].plan_i, tasks[j].delta_pos) == key
+                            {
+                                j += 1;
+                            }
+                            appended += Self::merge_group_recorded(
+                                &mut self.rels,
+                                prov,
+                                &self.plans,
+                                &mut tasks[i..j],
+                            );
+                            i = j;
+                        }
+                    }
                 }
                 spare.append(&mut tasks);
             }
@@ -620,6 +808,61 @@ impl Engine {
             self.profile.push(appended);
             first = false;
         }
+    }
+
+    /// Merges the shards of one `(rule, delta step)` group in the
+    /// sequential engine's staging order.
+    ///
+    /// The join enumerates combinations in **lexicographic-descending
+    /// order of the per-step row coordinates** (every step — unkeyed
+    /// scan or newest-first index chain — visits rows in strictly
+    /// decreasing id order given the rows above it), and the shards
+    /// partition the delta coordinate. Merging the shards' staged rows
+    /// by largest-coordinates-first therefore reproduces exactly the
+    /// order the sequential engine would have staged them in, which is
+    /// what makes provenance thread- and shard-count independent. The
+    /// coordinates *are* the staged justification bodies, so the
+    /// comparison needs no extra bookkeeping.
+    fn merge_group_recorded(
+        rels: &mut [ColumnarRelation],
+        prov: &mut [RelJust],
+        plans: &[RulePlan],
+        group: &mut [ShardTask],
+    ) -> u64 {
+        let plan_i = group[0].plan_i;
+        let blen = plans[plan_i].steps.len();
+        let head_rel = plans[plan_i].head_rel;
+        let ar = rels[head_rel].arity();
+        let mut cursors = vec![0usize; group.len()];
+        let mut appended = 0u64;
+        loop {
+            let mut best: Option<(usize, &[u32])> = None;
+            for (gi, t) in group.iter().enumerate() {
+                let c = cursors[gi];
+                if c == t.pending.rels.len() {
+                    continue;
+                }
+                let coords = &t.pending.just_rows[c * blen..(c + 1) * blen];
+                if !matches!(best, Some((_, b)) if b >= coords) {
+                    best = Some((gi, coords));
+                }
+            }
+            let Some((gi, coords)) = best else { break };
+            let c = cursors[gi];
+            cursors[gi] += 1;
+            let tuple = &group[gi].pending.data[c * ar..(c + 1) * ar];
+            if rels[head_rel].insert(tuple) {
+                appended += 1;
+                prov[head_rel].push(plan_i as u32, coords);
+            }
+        }
+        for t in group.iter_mut() {
+            t.pending.data.clear();
+            t.pending.rels.clear();
+            t.pending.just_rule.clear();
+            t.pending.just_rows.clear();
+        }
+        appended
     }
 
     /// Evaluates one rule with an optional delta position over the full
@@ -647,6 +890,7 @@ impl Engine {
             plan_i,
             delta_pos,
             range,
+            self.prov.is_some(),
             scratch,
             pending,
             &mut counters,
@@ -681,6 +925,28 @@ impl Engine {
             stats: self.stats,
         }
     }
+
+    fn into_provenance_result(self) -> ProvenanceResult {
+        // Per rule: the dense relation id of each body atom (what the
+        // justification body row ids index into).
+        let body_rels = self
+            .plans
+            .iter()
+            .map(|p| p.steps.iter().map(|s| s.rel as u32).collect())
+            .collect();
+        let provenance = Provenance::from_engine(
+            self.rels,
+            self.pred_of_rel,
+            self.rel_of_pred,
+            self.idb_rels,
+            body_rels,
+            self.prov.expect("provenance recording was on"),
+        );
+        ProvenanceResult {
+            stats: self.stats,
+            provenance,
+        }
+    }
 }
 
 /// Semi-naive convergence profile: new facts per productive iteration
@@ -691,7 +957,7 @@ impl Engine {
 /// semi-naive-family strategy; the parallel engine produces the same
 /// per-stage deltas as the sequential one.
 pub(crate) fn seminaive_profile(program: &Program, db: &Database, strategy: Strategy) -> Vec<u64> {
-    let mut engine = Engine::new(program, db);
+    let mut engine = Engine::new(program, db, false);
     engine.run(match strategy {
         Strategy::Naive => Strategy::SemiNaive,
         s => s,
@@ -808,18 +1074,22 @@ fn eval_rule_shard(
     plan_i: usize,
     delta_pos: Option<usize>,
     delta_range: (usize, usize),
+    record: bool,
     scratch: &mut Scratch,
     pending: &mut PendingTuples,
     counters: &mut Counters,
 ) {
     let plan = &plans[plan_i];
     scratch.env.resize(plan.num_slots, Const(0));
+    scratch.rows.resize(plan.steps.len(), 0);
     let ctx = JoinCtx {
         rels,
         idxs,
         old_hi,
         delta_pos,
         delta_range,
+        plan_i,
+        record,
     };
     descend(plan, 0, &ctx, scratch, pending, counters);
 }
@@ -833,6 +1103,10 @@ struct JoinCtx<'a> {
     /// Row range the delta step reads (`[old_hi, len)` sequentially; one
     /// shard of it in the parallel engine).
     delta_range: (usize, usize),
+    /// Index of the plan being evaluated (= the rule index).
+    plan_i: usize,
+    /// Whether to stage justifications alongside derived tuples.
+    record: bool,
 }
 
 /// Recursive backtracking join over the plan steps. Slots are bound by
@@ -861,6 +1135,12 @@ fn descend(
         if !ctx.rels[plan.head_rel].contains(&scratch.head) {
             pending.data.extend_from_slice(&scratch.head);
             pending.rels.push(plan.head_rel as u32);
+            if ctx.record {
+                // The justification: this rule, instantiated by the row
+                // matched at each join depth (body-atom order).
+                pending.just_rule.push(ctx.plan_i as u32);
+                pending.just_rows.extend_from_slice(&scratch.rows[..plan.steps.len()]);
+            }
         }
         return;
     }
@@ -949,6 +1229,9 @@ fn match_row(
             }
         }
     }
+    // Derivation coordinate for provenance staging (one word; cheaper
+    // than branching on the recording flag here).
+    scratch.rows[depth] = r as u32;
     descend(plan, depth + 1, ctx, scratch, pending, counters);
     true
 }

@@ -26,10 +26,17 @@
 //!   and the incremental join indexes;
 //! - [`mod@reference`] — the original tuple-at-a-time evaluator, kept as the
 //!   executable specification: the storage engine must reproduce its
-//!   [`eval::EvalStats`] bit-for-bit;
+//!   [`eval::EvalStats`] bit-for-bit; also hosts the naive provenance
+//!   fixpoint ([`reference::Provenance`]), the spec for the engine's
+//!   recorded justifications;
 //! - [`derivation`] — the operational semantics: derivation trees and
 //!   convergence profiles (the executable form of boundedness,
-//!   Section 8);
+//!   Section 8). [`eval::evaluate_with_provenance`] records one
+//!   first-found justification (rule + body row ids) per derived row
+//!   inside the columnar join — deterministic at every thread and shard
+//!   count — and [`derivation::Provenance`] reconstructs trees and
+//!   computes size/height **iteratively**, so the 10⁵-deep proofs of
+//!   the chain workloads cannot overflow the stack;
 //! - [`magic`] — adornments and the generalized magic-sets rewriting (ref.\[5\]),
 //!   which Section 7 of the paper interprets as language quotients.
 
@@ -48,5 +55,6 @@ pub mod storage;
 
 pub use ast::{Atom, Const, Pred, Program, Rule, Symbols, Term, Var};
 pub use db::{Database, Relation};
-pub use eval::{answer, evaluate, EvalStats, Strategy};
+pub use derivation::{DerivationTree, GroundAtom, Provenance};
+pub use eval::{answer, evaluate, evaluate_with_provenance, EvalStats, ProvenanceResult, Strategy};
 pub use parser::parse_program;

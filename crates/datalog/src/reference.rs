@@ -17,6 +17,7 @@ use std::collections::HashMap;
 
 use crate::ast::{Const, Pred, Program, Rule, Term, Var};
 use crate::db::{Database, Tuple};
+use crate::derivation::{DerivationTree, GroundAtom};
 use crate::eval::{apply_goal, EvalResult, EvalStats, Strategy};
 
 /// Evaluates `program` on `db` with the reference engine.
@@ -451,5 +452,396 @@ fn descend(
         for s in bound_here {
             env[s] = None;
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Naive provenance — the executable specification
+// ---------------------------------------------------------------------
+
+/// Provenance-tracking evaluation by naive fixpoint: for every derived
+/// IDB fact, one justification (rule index + body ground atoms).
+///
+/// This is the original tuple-at-a-time provenance from the derivation
+/// module, preserved — like the evaluator above — as the executable
+/// specification: a simple nested-loop re-matcher over cloned
+/// [`GroundAtom`]s, quadratic and clarity-first. The production path is
+/// [`crate::eval::evaluate_with_provenance`], which records row-id
+/// justifications inside the columnar join; the `engine_equiv` property
+/// suite validates both against [`Provenance::check`] /
+/// [`crate::derivation::Provenance::check`] and asserts they derive the
+/// same facts.
+pub struct Provenance {
+    just: HashMap<GroundAtom, (usize, Vec<GroundAtom>)>,
+    edb_preds: Vec<Pred>,
+}
+
+impl Provenance {
+    /// Runs a naive fixpoint recording first-found justifications.
+    pub fn compute(program: &Program, db: &Database) -> Provenance {
+        let mut just: HashMap<GroundAtom, (usize, Vec<GroundAtom>)> = HashMap::new();
+        let mut model: Vec<GroundAtom> = Vec::new();
+        let mut model_set: std::collections::HashSet<GroundAtom> = Default::default();
+        let idbs = program.idb_predicates();
+        for (p, rel) in db.iter() {
+            // Database facts for IDB predicates are ignored, exactly as
+            // in both evaluators (IDB relations start empty) — the spec
+            // must derive the same facts the engines derive.
+            if idbs.contains(&p) {
+                continue;
+            }
+            for t in rel.iter() {
+                let g = GroundAtom {
+                    pred: p,
+                    args: t.clone(),
+                };
+                if model_set.insert(g.clone()) {
+                    model.push(g);
+                }
+            }
+        }
+        loop {
+            let mut new: Vec<(GroundAtom, usize, Vec<GroundAtom>)> = Vec::new();
+            // Within-round dedup: `model_set` is frozen for the round, so
+            // without this set every rule (and every instantiation) that
+            // re-derives a head already staged this round would push a
+            // duplicate — quadratic memory on dense inputs, all dropped
+            // at the merge anyway.
+            let mut new_set: std::collections::HashSet<GroundAtom> = Default::default();
+            for (ri, rule) in program.rules.iter().enumerate() {
+                let mut env: HashMap<crate::ast::Var, Const> = HashMap::new();
+                match_body(rule, 0, &model, &mut env, &mut |env| {
+                    let head = GroundAtom {
+                        pred: rule.head.pred,
+                        args: rule
+                            .head
+                            .args
+                            .iter()
+                            .map(|t| match t {
+                                Term::Const(c) => *c,
+                                Term::Var(v) => env[v],
+                            })
+                            .collect(),
+                    };
+                    if !model_set.contains(&head) && !new_set.contains(&head) {
+                        new_set.insert(head.clone());
+                        let body = rule
+                            .body
+                            .iter()
+                            .map(|a| GroundAtom {
+                                pred: a.pred,
+                                args: a
+                                    .args
+                                    .iter()
+                                    .map(|t| match t {
+                                        Term::Const(c) => *c,
+                                        Term::Var(v) => env[v],
+                                    })
+                                    .collect(),
+                            })
+                            .collect();
+                        new.push((head, ri, body));
+                    }
+                });
+            }
+            let mut any = false;
+            for (head, ri, body) in new {
+                if model_set.insert(head.clone()) {
+                    model.push(head.clone());
+                    just.insert(head, (ri, body));
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        Provenance {
+            just,
+            edb_preds: program.edb_predicates(),
+        }
+    }
+
+    /// Builds the derivation tree of a ground atom, if it was derived (or
+    /// is a database fact). Iterative, like the columnar engine's
+    /// [`crate::derivation::Provenance::tree`]: the spec must also be
+    /// callable on deep-chain proofs.
+    pub fn tree(&self, atom: &GroundAtom) -> Option<DerivationTree> {
+        if self.edb_preds.contains(&atom.pred) {
+            return Some(DerivationTree {
+                atom: atom.clone(),
+                via: None,
+            });
+        }
+        let (rule0, _) = self.just.get(atom)?;
+        struct Frame<'a> {
+            atom: &'a GroundAtom,
+            rule: usize,
+            kids: Vec<DerivationTree>,
+        }
+        let mut stack = vec![Frame {
+            atom,
+            rule: *rule0,
+            kids: Vec::new(),
+        }];
+        loop {
+            let (fatom, built) = {
+                let f = stack.last().expect("non-empty until the root completes");
+                (f.atom, f.kids.len())
+            };
+            let body = &self.just.get(fatom).expect("frames are derived atoms").1;
+            if built < body.len() {
+                let child = &body[built];
+                if self.edb_preds.contains(&child.pred) {
+                    stack.last_mut().expect("frame exists").kids.push(DerivationTree {
+                        atom: child.clone(),
+                        via: None,
+                    });
+                } else {
+                    let (crule, _) = self.just.get(child)?;
+                    stack.push(Frame {
+                        atom: child,
+                        rule: *crule,
+                        kids: Vec::new(),
+                    });
+                }
+            } else {
+                let f = stack.pop().expect("frame exists");
+                let node = DerivationTree {
+                    atom: f.atom.clone(),
+                    via: Some((f.rule, f.kids)),
+                };
+                match stack.last_mut() {
+                    None => return Some(node),
+                    Some(parent) => parent.kids.push(node),
+                }
+            }
+        }
+    }
+
+    /// All derived IDB ground atoms.
+    pub fn derived(&self) -> impl Iterator<Item = &GroundAtom> {
+        self.just.keys()
+    }
+
+    /// The recorded justification of a derived atom.
+    pub fn justification(&self, atom: &GroundAtom) -> Option<(usize, &[GroundAtom])> {
+        self.just.get(atom).map(|(ri, body)| (*ri, body.as_slice()))
+    }
+
+    /// Validity check mirroring
+    /// [`crate::derivation::Provenance::check`]: every justification is
+    /// a genuine rule instantiation over facts of the model, and every
+    /// chain bottoms out in EDB facts.
+    pub fn check(&self, program: &Program) -> Result<(), String> {
+        for (head, (ri, body)) in &self.just {
+            let rule = program
+                .rules
+                .get(*ri)
+                .ok_or_else(|| format!("{head:?}: rule {ri} out of range"))?;
+            if rule.head.pred != head.pred || body.len() != rule.body.len() {
+                return Err(format!("{head:?}: rule shape mismatch"));
+            }
+            let mut env: HashMap<Var, Const> = HashMap::new();
+            let bind = |t: &Term, c: Const, env: &mut HashMap<Var, Const>| match t {
+                Term::Const(k) => *k == c,
+                Term::Var(v) => *env.entry(*v).or_insert(c) == c,
+            };
+            for (atom, fact) in rule.body.iter().zip(body) {
+                if atom.pred != fact.pred
+                    || atom.args.len() != fact.args.len()
+                    || !atom
+                        .args
+                        .iter()
+                        .zip(&fact.args)
+                        .all(|(t, &c)| bind(t, c, &mut env))
+                {
+                    return Err(format!("{head:?}: body is not an instantiation"));
+                }
+                if !self.edb_preds.contains(&fact.pred) && !self.just.contains_key(fact) {
+                    return Err(format!("{head:?}: body fact {fact:?} unjustified"));
+                }
+            }
+            if head.args.len() != rule.head.args.len()
+                || !rule
+                    .head
+                    .args
+                    .iter()
+                    .zip(&head.args)
+                    .all(|(t, &c)| bind(t, c, &mut env))
+            {
+                return Err(format!("{head:?}: head is not the rule instantiation"));
+            }
+        }
+        // Well-foundedness: every justification chain reaches EDB leaves.
+        // Body facts strictly predate their head in the naive rounds, so
+        // a DFS with an on-path set detects any (impossible) cycle.
+        let mut done: std::collections::HashSet<&GroundAtom> = Default::default();
+        for root in self.just.keys() {
+            if done.contains(root) {
+                continue;
+            }
+            let mut on_path: std::collections::HashSet<&GroundAtom> = Default::default();
+            let mut stack: Vec<(&GroundAtom, bool)> = vec![(root, false)];
+            while let Some((a, expanded)) = stack.pop() {
+                if expanded {
+                    on_path.remove(a);
+                    done.insert(a);
+                    continue;
+                }
+                if done.contains(a) || self.edb_preds.contains(&a.pred) {
+                    continue;
+                }
+                if !on_path.insert(a) {
+                    return Err(format!("{a:?}: cyclic justification"));
+                }
+                stack.push((a, true));
+                let (_, body) = &self.just[a];
+                for b in body {
+                    stack.push((b, false));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn match_body(
+    rule: &crate::ast::Rule,
+    pos: usize,
+    model: &[GroundAtom],
+    env: &mut HashMap<crate::ast::Var, Const>,
+    emit: &mut dyn FnMut(&HashMap<crate::ast::Var, Const>),
+) {
+    if pos == rule.body.len() {
+        emit(env);
+        return;
+    }
+    let atom = &rule.body[pos];
+    for fact in model {
+        if fact.pred != atom.pred || fact.args.len() != atom.args.len() {
+            continue;
+        }
+        let mut bound: Vec<crate::ast::Var> = Vec::new();
+        let mut ok = true;
+        for (t, c) in atom.args.iter().zip(&fact.args) {
+            match t {
+                Term::Const(k) => {
+                    if k != c {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match env.get(v) {
+                    Some(&b) => {
+                        if b != *c {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        env.insert(*v, *c);
+                        bound.push(*v);
+                    }
+                },
+            }
+        }
+        if ok {
+            match_body(rule, pos + 1, model, env, emit);
+        }
+        for v in bound {
+            env.remove(&v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod provenance_tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    /// Satellite regression: two rules deriving the same fact in the
+    /// same round must stage it once (the round-local dedup), and the
+    /// recorded justification is the first rule's.
+    #[test]
+    fn duplicate_heads_within_a_round_are_deduped() {
+        let mut p = parse_program(
+            "?- p(Y).\n\
+             p(X) :- e(X).\n\
+             p(X) :- f(X).",
+        )
+        .unwrap();
+        let e = p.symbols.get_predicate("e").unwrap();
+        let f = p.symbols.get_predicate("f").unwrap();
+        let a = p.symbols.constant("a");
+        let mut db = Database::new();
+        db.insert(e, vec![a]);
+        db.insert(f, vec![a]);
+        let prov = Provenance::compute(&p, &db);
+        let pp = p.symbols.get_predicate("p").unwrap();
+        let atom = GroundAtom {
+            pred: pp,
+            args: vec![a],
+        };
+        assert_eq!(prov.derived().count(), 1, "p(a) derived exactly once");
+        let (rule, body) = prov.justification(&atom).expect("p(a) justified");
+        assert_eq!(rule, 0, "first-found justification is the first rule");
+        assert_eq!(body, &[GroundAtom { pred: e, args: vec![a] }]);
+        prov.check(&p).expect("naive provenance is valid");
+        // The columnar engine agrees on the derived set and the choice.
+        let fast = crate::derivation::Provenance::compute(&p, &db);
+        assert_eq!(fast.num_derived(), 1);
+        assert_eq!(fast.justification(&atom).map(|(r, _)| r), Some(0));
+    }
+
+    /// Database facts under IDB predicates are ignored, exactly as both
+    /// evaluators ignore them — the spec must not derive from phantom
+    /// seeds the engines never see.
+    #[test]
+    fn idb_predicate_facts_in_the_database_are_ignored() {
+        let mut p = parse_program(
+            "?- anc(a, Y).\n\
+             anc(X, Y) :- par(X, Y).\n\
+             anc(X, Y) :- anc(X, Z), par(Z, Y).",
+        )
+        .unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let anc = p.symbols.get_predicate("anc").unwrap();
+        let a = p.symbols.constant("a");
+        let b = p.symbols.constant("b");
+        let c = p.symbols.constant("c");
+        let mut db = Database::new();
+        db.insert(par, vec![a, b]);
+        db.insert(anc, vec![b, c]); // phantom IDB seed: must be ignored
+        let spec = Provenance::compute(&p, &db);
+        let mut spec_facts: Vec<_> = spec.derived().cloned().collect();
+        spec_facts.sort();
+        let engine = crate::derivation::Provenance::compute(&p, &db);
+        let mut engine_facts: Vec<_> = engine.derived().collect();
+        engine_facts.sort();
+        assert_eq!(spec_facts, engine_facts, "spec and engine agree");
+        assert_eq!(spec_facts.len(), 1, "only anc(a, b) is derivable");
+        spec.check(&p).expect("valid");
+    }
+
+    /// The same head re-derived by *many* instantiations of one rule in
+    /// one round stages once, not once per instantiation.
+    #[test]
+    fn duplicate_heads_across_instantiations_are_deduped() {
+        let mut p = parse_program(
+            "?- q(Y).\n\
+             q(Y) :- e(X, Y).",
+        )
+        .unwrap();
+        let e = p.symbols.get_predicate("e").unwrap();
+        let b = p.symbols.constant("b");
+        let mut db = Database::new();
+        for i in 0..20 {
+            let c = p.symbols.constant(&format!("s{i}"));
+            db.insert(e, vec![c, b]);
+        }
+        let prov = Provenance::compute(&p, &db);
+        assert_eq!(prov.derived().count(), 1);
+        prov.check(&p).expect("valid");
     }
 }

@@ -58,7 +58,10 @@ pub fn shard_ranges(lo: usize, hi: usize, shards: usize) -> Vec<(usize, usize)> 
 
 /// A relation stored as one flat column-major-free `Vec<Const>` with an
 /// arity stride, plus a row-id hash table for O(1) dedup and membership.
-#[derive(Clone, Debug, Default)]
+///
+/// Equality compares the full insertion-ordered contents (row ids
+/// included), which is what the provenance determinism tests assert.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ColumnarRelation {
     arity: usize,
     /// Row-major tuple data: row `r` occupies `data[r*arity .. (r+1)*arity]`.
@@ -122,19 +125,26 @@ impl ColumnarRelation {
 
     /// Membership test (O(1) expected).
     pub fn contains(&self, row: &[Const]) -> bool {
+        self.find_row(row) != NO_ROW
+    }
+
+    /// The row id of a tuple, or [`NO_ROW`] if absent (O(1) expected).
+    /// Row ids are dense and stable: the provenance subsystem uses them
+    /// as node identities of the justification DAG.
+    pub fn find_row(&self, row: &[Const]) -> u32 {
         debug_assert_eq!(row.len(), self.arity);
         if self.slots.is_empty() {
-            return false;
+            return NO_ROW;
         }
         let mask = self.slots.len() - 1;
         let mut i = (Self::hash_row_slice(row) as usize) & mask;
         loop {
             let s = self.slots[i];
             if s == NO_ROW {
-                return false;
+                return NO_ROW;
             }
             if self.row(s as usize) == row {
-                return true;
+                return s;
             }
             i = (i + 1) & mask;
         }
@@ -340,6 +350,18 @@ mod tests {
         assert!(!rel.contains(&[c(3), c(3)]));
         assert_eq!(rel.row(0), &[c(1), c(2)]);
         assert_eq!(rel.row(1), &[c(2), c(1)]);
+    }
+
+    #[test]
+    fn find_row_returns_dense_insertion_ids() {
+        let mut rel = ColumnarRelation::new(2);
+        for i in 0..100u32 {
+            rel.insert(&[c(i), c(i + 1)]);
+        }
+        for i in 0..100u32 {
+            assert_eq!(rel.find_row(&[c(i), c(i + 1)]), i);
+        }
+        assert_eq!(rel.find_row(&[c(1), c(1)]), NO_ROW);
     }
 
     #[test]

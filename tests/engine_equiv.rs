@@ -100,12 +100,92 @@ fn assert_engines_agree(program: &Program, db: &Database) -> (EvalStats, EvalSta
             "parallel({threads}) IDB model"
         );
     }
+
+    // explicit shard counts, including heavily oversharded and
+    // shards ≠ k×threads configurations: the (rule, delta, shard)
+    // merge order keeps counters and model shard-count independent
+    for (threads, shards) in [(2usize, 7usize), (3, 12), (1, 5)] {
+        let par = eval::evaluate(program, db, Strategy::SemiNaiveSharded { threads, shards });
+        assert_eq!(
+            par.stats, new_sn.stats,
+            "sharded({threads}x{shards}) EvalStats must be bit-for-bit identical"
+        );
+        assert_eq!(
+            model_of(&par),
+            model_of(&new_sn),
+            "sharded({threads}x{shards}) IDB model"
+        );
+    }
     let (par_ans, par_stats) =
         eval::answer(program, db, Strategy::SemiNaiveParallel { threads: 2 });
     assert_eq!(par_ans.sorted(), fast_ans.sorted(), "parallel goal answers");
     assert_eq!(par_stats, fast_stats);
 
     (new_sn.stats, new_nv.stats)
+}
+
+/// The provenance contract, asserted on one `(program, db)` pair:
+///
+/// 1. recording justifications changes no counter and no model row;
+/// 2. every recorded justification is a genuine rule instantiation whose
+///    chains bottom out in EDB rows ([`Provenance::check`]);
+/// 3. the naive spec (`reference::Provenance`) derives the same facts,
+///    and its own justifications pass the mirror checker;
+/// 4. justifications are **bit-for-bit identical** across thread counts
+///    {1, 2, 4} and oversharded configurations.
+///
+/// [`Provenance::check`]: selprop_datalog::Provenance::check
+fn assert_provenance_contract(program: &Program, db: &Database) {
+    let plain = eval::evaluate(program, db, Strategy::SemiNaive);
+    let seq = eval::evaluate_with_provenance(program, db, Strategy::SemiNaive);
+    assert_eq!(
+        seq.stats, plain.stats,
+        "recording justifications must not change the work counters"
+    );
+    seq.provenance
+        .check(program)
+        .expect("engine justifications are valid rule instantiations over EDB leaves");
+
+    // the recorded derived set IS the IDB model, and matches the naive
+    // executable specification
+    let spec = reference::Provenance::compute(program, db);
+    spec.check(program).expect("spec justifications are valid");
+    let mut engine_facts: Vec<_> = seq.provenance.derived().collect();
+    engine_facts.sort();
+    engine_facts.dedup();
+    let mut spec_facts: Vec<_> = spec.derived().cloned().collect();
+    spec_facts.sort();
+    assert_eq!(engine_facts, spec_facts, "derived sets agree with the spec");
+    assert_eq!(
+        seq.provenance.num_derived() as u64,
+        plain.stats.tuples_derived,
+        "one justification per derived tuple"
+    );
+
+    // thread- and shard-count independence, bit-for-bit (row ids
+    // included — Provenance equality compares the full row stores)
+    for strategy in [
+        Strategy::SemiNaiveParallel { threads: 1 },
+        Strategy::SemiNaiveParallel { threads: 2 },
+        Strategy::SemiNaiveParallel { threads: 4 },
+        Strategy::SemiNaiveSharded { threads: 2, shards: 5 },
+        Strategy::SemiNaiveSharded { threads: 3, shards: 12 },
+    ] {
+        let par = eval::evaluate_with_provenance(program, db, strategy);
+        assert_eq!(par.stats, seq.stats, "{strategy:?} counters");
+        assert_eq!(
+            par.provenance, seq.provenance,
+            "{strategy:?}: justifications must be identical at every thread/shard count"
+        );
+    }
+
+    // the naive strategy records its own (round-structured) first-found
+    // choice; it must still be valid
+    let naive = eval::evaluate_with_provenance(program, db, Strategy::Naive);
+    naive
+        .provenance
+        .check(program)
+        .expect("naive-strategy justifications are valid");
 }
 
 proptest! {
@@ -145,6 +225,40 @@ proptest! {
         let mut program = magic.program;
         let db = build_db(&mut program, 0, n, seed);
         assert_engines_agree(&program, &db);
+    }
+
+    #[test]
+    fn provenance_contract_on_gallery(
+        which in 0usize..10,
+        shape in 0u8..4,
+        n in 3usize..10,
+        seed in 0u64..10_000,
+    ) {
+        let entries = gallery();
+        let entry = &entries[which % entries.len()];
+        let mut program = entry.chain().program;
+        let db = build_db(&mut program, shape, n, seed);
+        assert_provenance_contract(&program, &db);
+    }
+
+    #[test]
+    fn provenance_contract_on_magic_programs(
+        which in 0usize..10,
+        n in 3usize..8,
+        seed in 0u64..10_000,
+    ) {
+        // Magic-transformed programs stress 0-ary magic predicates,
+        // empty-body seed rules, and constants in rule bodies — all of
+        // which must still record valid justifications.
+        let entries = gallery();
+        let entry = &entries[which % entries.len()];
+        let original = entry.chain().program;
+        let Ok(magic) = selprop_datalog::magic::magic_transform(&original) else {
+            return Ok(()); // diagonal goals reject magic; nothing to test
+        };
+        let mut program = magic.program;
+        let db = build_db(&mut program, 0, n, seed);
+        assert_provenance_contract(&program, &db);
     }
 
     #[test]
