@@ -28,11 +28,13 @@ use std::time::Instant;
 
 use selprop_bench::THREAD_SWEEP;
 use selprop_core::workload;
-use selprop_datalog::db::Database;
-use selprop_datalog::eval::{answer, apply_goal, evaluate_with_provenance, EvalStats, Strategy};
+use selprop_datalog::db::{Database, Tuple};
+use selprop_datalog::eval::{
+    answer, apply_goal, evaluate, evaluate_with_provenance, EvalStats, Strategy,
+};
 use selprop_datalog::magic::magic_transform;
 use selprop_datalog::parser::parse_program;
-use selprop_datalog::{reference, Program};
+use selprop_datalog::{reference, Materialization, Program};
 
 struct Row {
     experiment: &'static str,
@@ -431,6 +433,183 @@ fn shard_sweep(
     Ok(())
 }
 
+/// Sorted-model equality of two databases (the incremental group's
+/// cross-check currency: row ids churn across updates, live tuple sets
+/// must not).
+fn models_equal(label: &str, got: &Database, want: &Database) -> Result<(), String> {
+    let (g, w) = (got.sorted_models(), want.sorted_models());
+    if g != w {
+        return Err(format!(
+            "{label}: model drift (got {} relations / {} facts, want {} / {})",
+            g.len(),
+            g.iter().map(|(_, t)| t.len()).sum::<usize>(),
+            w.len(),
+            w.iter().map(|(_, t)| t.len()).sum::<usize>()
+        ));
+    }
+    Ok(())
+}
+
+/// The incremental-maintenance group: insert ~1% new edges into the E1
+/// closure as a live update, compare its latency against a full
+/// recompute, then retract them and verify the pre-insert store is
+/// restored — **cross-checked against a from-scratch evaluation (and
+/// the reference engine) both times**. Any drift propagates as `Err`
+/// (→ process exit 2).
+fn incremental_rows(rows: &mut Vec<Row>, smoke: bool) -> Result<(), String> {
+    const SRC_A: &str =
+        "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).";
+    // Non-smoke: the headline 10^6-tuple closure (28_800 edges); the new
+    // edges are 1% of the input — a chain of fresh nodes off the root,
+    // so the update genuinely derives new closure tuples.
+    let (layers, width, new_edges) = if smoke { (6, 4, 8) } else { (72, 20, 288) };
+    let mut p = parse_program(SRC_A).unwrap();
+    let par = p.symbols.get_predicate("par").unwrap();
+    let db = workload::layered_dag(&mut p, "par", "john", layers, width);
+    let config = format!("A/layered_dag({layers},{width})");
+
+    let mut edges: Vec<Tuple> = Vec::with_capacity(new_edges);
+    let mut prev = p.symbols.get_constant("john").unwrap();
+    for i in 0..new_edges {
+        let c = p.symbols.constant(&format!("live{i}"));
+        edges.push(vec![prev, c]);
+        prev = c;
+    }
+    let mut db_after = db.clone();
+    for e in &edges {
+        db_after.insert(par, e.clone());
+    }
+
+    // Build the materialization (one batch fixpoint, recording on).
+    let (build_ms, mut m) = timed(1, || Materialization::from_database(&p, &db, Strategy::SemiNaive));
+    let build_stats = m.stats();
+    let base_answers = m.answer().len();
+    rows.push(Row {
+        experiment: "incremental",
+        config: format!("{config}/build"),
+        threads: 1,
+        answers: base_answers,
+        stats: build_stats,
+        wall_ms: build_ms,
+        reference_wall_ms: None,
+    });
+
+    // Live insert vs full recompute.
+    let (insert_ms, novel) = timed(1, || m.insert_facts(par, &edges));
+    if novel != new_edges {
+        return Err(format!(
+            "incremental/{config}: expected {new_edges} novel edges, stored {novel}"
+        ));
+    }
+    let insert_stats = diff_stats(m.stats(), build_stats);
+    let (recompute_ms, scratch) = timed(1, || evaluate(&p, &db_after, Strategy::SemiNaive));
+    models_equal(
+        &format!("incremental/{config}/insert"),
+        &m.idb_database(),
+        &scratch.idb,
+    )?;
+    let t0 = Instant::now();
+    let spec = reference::evaluate(&p, &db_after, Strategy::SemiNaive);
+    let reference_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    models_equal(
+        &format!("incremental/{config}/insert(reference)"),
+        &m.idb_database(),
+        &spec.idb,
+    )?;
+    let insert_answers = m.answer().len();
+    rows.push(Row {
+        experiment: "incremental",
+        config: format!("{config}/insert({new_edges})"),
+        threads: 1,
+        answers: insert_answers,
+        stats: insert_stats,
+        wall_ms: insert_ms,
+        reference_wall_ms: None,
+    });
+    rows.push(Row {
+        experiment: "incremental",
+        config: format!("{config}/recompute_after_insert"),
+        threads: 1,
+        answers: insert_answers,
+        stats: scratch.stats,
+        wall_ms: recompute_ms,
+        reference_wall_ms: Some(reference_wall_ms),
+    });
+    println!(
+        "incr {config:<28} insert {new_edges} edges: {insert_ms:>9.2}ms vs full recompute {recompute_ms:>9.2}ms  speedup={:>5.1}x",
+        recompute_ms / insert_ms
+    );
+
+    // Retract the same edges: the pre-insert store must come back.
+    let pre_insert_stats = m.stats();
+    let (retract_ms, removed) = timed(1, || m.retract_facts(par, &edges));
+    if removed != new_edges {
+        return Err(format!(
+            "incremental/{config}: expected {new_edges} retracted edges, removed {removed}"
+        ));
+    }
+    let retract_stats = diff_stats(m.stats(), pre_insert_stats);
+    // Cross-check "both times": from-scratch storage engine AND the
+    // reference engine on the restored database.
+    let scratch0 = evaluate(&p, &db, Strategy::SemiNaive);
+    models_equal(
+        &format!("incremental/{config}/retract"),
+        &m.idb_database(),
+        &scratch0.idb,
+    )?;
+    let t0 = Instant::now();
+    let spec0 = reference::evaluate(&p, &db, Strategy::SemiNaive);
+    let reference_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    models_equal(
+        &format!("incremental/{config}/retract(reference)"),
+        &m.idb_database(),
+        &spec0.idb,
+    )?;
+    let mut edb_after_retract = Database::new();
+    for (pred, rel) in m.database().iter() {
+        if pred == par {
+            for t in rel.iter() {
+                edb_after_retract.insert(pred, t.clone());
+            }
+        }
+    }
+    models_equal(
+        &format!("incremental/{config}/retract(edb)"),
+        &edb_after_retract,
+        &db,
+    )?;
+    if m.answer().len() != base_answers {
+        return Err(format!(
+            "incremental/{config}/retract: answer drift (got {}, want {base_answers})",
+            m.answer().len()
+        ));
+    }
+    println!(
+        "incr {config:<28} retract {new_edges} edges: {retract_ms:>9.2}ms (store restored bit-for-bit)"
+    );
+    rows.push(Row {
+        experiment: "incremental",
+        config: format!("{config}/retract({new_edges})"),
+        threads: 1,
+        answers: base_answers,
+        stats: retract_stats,
+        wall_ms: retract_ms,
+        reference_wall_ms: Some(reference_wall_ms),
+    });
+    Ok(())
+}
+
+/// Per-op stats: the counter delta between two cumulative readings of a
+/// materialization's lifetime stats.
+fn diff_stats(after: EvalStats, before: EvalStats) -> EvalStats {
+    EvalStats {
+        iterations: after.iterations - before.iterations,
+        rule_firings: after.rule_firings - before.rule_firings,
+        tuples_derived: after.tuples_derived - before.tuples_derived,
+        join_probes: after.join_probes - before.join_probes,
+    }
+}
+
 fn render_json(rows: &[Row]) -> String {
     let mut json = String::from("{\n  \"generated_by\": \"cargo run --release -p selprop-bench --bin record\",\n  \"engine\": \"columnar-watermark\",\n  \"experiments\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -474,6 +653,7 @@ fn record(smoke: bool) -> Result<String, String> {
     e1_rows(&mut rows, smoke)?;
     e5_rows(&mut rows, smoke)?;
     prov_and_shard_rows(&mut rows, smoke)?;
+    incremental_rows(&mut rows, smoke)?;
     let json = render_json(&rows);
     let path = if smoke {
         // Per-process name: concurrent smoke runs must not race on one file.

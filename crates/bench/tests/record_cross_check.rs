@@ -55,4 +55,9 @@ fn smoke_run_exits_zero_and_writes_json() {
         );
     }
     assert!(json.contains("\"wall_ms_reference\""));
+    // The incremental-maintenance group ran and was cross-checked: its
+    // build/insert/recompute/retract rows are all present.
+    for row in ["incremental", "/build", "/insert(", "/recompute_after_insert", "/retract("] {
+        assert!(json.contains(row), "missing incremental row {row} in:\n{json}");
+    }
 }

@@ -48,6 +48,14 @@ impl Relation {
         self.tuples.contains(t)
     }
 
+    /// Removes a tuple; returns whether it was present. (The mirror
+    /// operation of [`Relation::insert`], used by the incremental-
+    /// maintenance harnesses to keep a from-scratch reference database
+    /// in step with a `Materialization`.)
+    pub fn remove(&mut self, t: &[Const]) -> bool {
+        self.tuples.remove(t)
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> usize {
         self.tuples.len()
@@ -111,6 +119,13 @@ impl Database {
             .insert(tuple)
     }
 
+    /// Removes a fact; returns whether it was present.
+    pub fn remove(&mut self, pred: Pred, tuple: &[Const]) -> bool {
+        self.relations
+            .get_mut(&pred)
+            .is_some_and(|r| r.remove(tuple))
+    }
+
     /// The relation of a predicate, empty if absent.
     pub fn relation(&self, pred: Pred) -> Option<&Relation> {
         self.relations.get(&pred)
@@ -131,6 +146,20 @@ impl Database {
     /// Total number of facts.
     pub fn num_facts(&self) -> usize {
         self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Sorted `(pred, sorted tuples)` view of the whole database — the
+    /// deterministic comparison currency of the equivalence suites and
+    /// the incremental-maintenance cross-checks (row order and hash
+    /// iteration order never leak into it).
+    pub fn sorted_models(&self) -> Vec<(Pred, Vec<Tuple>)> {
+        let mut v: Vec<(Pred, Vec<Tuple>)> = self
+            .relations
+            .iter()
+            .map(|(&p, r)| (p, r.sorted()))
+            .collect();
+        v.sort_by_key(|&(p, _)| p);
+        v
     }
 
     /// All constants mentioned in the database (the active domain).

@@ -36,8 +36,8 @@
 
 use crate::ast::{Pred, Program};
 use crate::db::{Database, Tuple};
-use crate::eval::RelJust;
 use crate::hash::FxHashMap;
+use crate::materialize::RelJust;
 use crate::storage::{ColumnarRelation, NO_ROW};
 
 /// A ground atom `pred(c1, ..., ck)`.
@@ -240,7 +240,7 @@ impl Provenance {
             .iter()
             .zip(&rels)
             .zip(&just)
-            .all(|((&i, r), j)| !i || j.rule.len() == r.num_rows()));
+            .all(|((&i, r), j)| !i || j.len() == r.num_rows()));
         Self {
             rels,
             pred_of_rel,
@@ -284,14 +284,7 @@ impl Provenance {
         if !self.idb[rel] {
             return None;
         }
-        let j = &self.just[rel];
-        let r = row as usize;
-        let lo = j.body_off[r] as usize;
-        let hi = j
-            .body_off
-            .get(r + 1)
-            .map_or(j.bodies.len(), |&o| o as usize);
-        Some((j.rule[r], &j.bodies[lo..hi]))
+        Some(self.just[rel].entry(row as usize))
     }
 
     /// The justification of a derived fact: the rule index and the body
@@ -308,25 +301,29 @@ impl Provenance {
         Some((rule as usize, atoms))
     }
 
-    /// All derived IDB ground atoms, in derivation (row id) order per
-    /// predicate.
+    /// All derived live IDB ground atoms, in derivation (row id) order
+    /// per predicate (tombstoned rows — retracted by the incremental
+    /// maintenance layer — are skipped).
     pub fn derived(&self) -> impl Iterator<Item = GroundAtom> + '_ {
         self.rels
             .iter()
             .enumerate()
             .filter(|&(r, _)| self.idb[r])
             .flat_map(move |(r, rel)| {
-                (0..rel.num_rows()).map(move |row| self.atom_at(r, row as u32))
+                (0..rel.num_rows())
+                    .filter(move |&row| rel.is_live(row))
+                    .map(move |row| self.atom_at(r, row as u32))
             })
     }
 
-    /// Number of derived IDB facts (= rows with a justification).
+    /// Number of derived live IDB facts (= live rows, each of which
+    /// carries a justification).
     pub fn num_derived(&self) -> usize {
         self.rels
             .iter()
             .enumerate()
             .filter(|&(r, _)| self.idb[r])
-            .map(|(_, rel)| rel.num_rows())
+            .map(|(_, rel)| rel.num_live())
             .sum()
     }
 
@@ -428,14 +425,15 @@ impl Provenance {
         Some(ctx.get(rel, row).expect("engine provenance is acyclic"))
     }
 
-    /// Derivation-tree heights of every row of `pred`, in row (first
-    /// derivation) order; empty if the predicate derived nothing.
+    /// Derivation-tree heights of every live row of `pred`, in row
+    /// (first derivation) order; empty if the predicate derived nothing.
     pub fn heights(&self, pred: Pred) -> Vec<u64> {
         let Some(&rel) = self.rel_of_pred.get(&pred) else {
             return Vec::new();
         };
         let mut ctx = MetricCtx::new(self, true);
         (0..self.rels[rel].num_rows())
+            .filter(|&row| self.rels[rel].is_live(row))
             .map(|row| {
                 ctx.get(rel, row as u32)
                     .expect("engine provenance is acyclic")
@@ -443,8 +441,8 @@ impl Provenance {
             .collect()
     }
 
-    /// The maximum derivation-tree height over all derived facts (0 if
-    /// nothing was derived) — the executable form of the Section 8
+    /// The maximum derivation-tree height over all derived live facts
+    /// (0 if nothing was derived) — the executable form of the Section 8
     /// boundedness measure.
     pub fn max_height(&self) -> u64 {
         let mut ctx = MetricCtx::new(self, true);
@@ -454,6 +452,9 @@ impl Provenance {
                 continue;
             }
             for row in 0..cr.num_rows() {
+                if !cr.is_live(row) {
+                    continue;
+                }
                 max = max.max(
                     ctx.get(rel, row as u32)
                         .expect("engine provenance is acyclic"),
@@ -475,7 +476,7 @@ impl Provenance {
         let edbs = program.edb_predicates();
         for (rel, cr) in self.rels.iter().enumerate() {
             if !self.idb[rel] {
-                if cr.num_rows() > 0 && !edbs.contains(&self.pred_of_rel[rel]) {
+                if cr.num_live() > 0 && !edbs.contains(&self.pred_of_rel[rel]) {
                     return Err(format!(
                         "leaf relation {rel} is not an EDB predicate of the program"
                     ));
@@ -483,6 +484,9 @@ impl Provenance {
                 continue;
             }
             for row in 0..cr.num_rows() {
+                if !cr.is_live(row) {
+                    continue; // retracted rows keep stale, unread entries
+                }
                 let (rule_i, body) = self
                     .just_of(rel, row as u32)
                     .expect("IDB rows carry justifications");
@@ -508,6 +512,11 @@ impl Provenance {
                     }
                     if brow as usize >= self.rels[brel].num_rows() {
                         return Err(format!("row {rel}/{row}: body {k} row {brow} out of range"));
+                    }
+                    if !self.rels[brel].is_live(brow as usize) {
+                        return Err(format!(
+                            "row {rel}/{row}: body {k} row {brow} was retracted"
+                        ));
                     }
                     let tuple = self.rels[brel].row(brow as usize);
                     if atom.args.len() != tuple.len()
@@ -542,7 +551,9 @@ impl Provenance {
         for (rel, cr) in self.rels.iter().enumerate() {
             if self.idb[rel] {
                 for row in 0..cr.num_rows() {
-                    ctx.get(rel, row as u32)?;
+                    if cr.is_live(row) {
+                        ctx.get(rel, row as u32)?;
+                    }
                 }
             }
         }

@@ -1,5 +1,5 @@
-//! Bottom-up evaluation: naive and semi-naive fixpoints with instrumented
-//! statistics, on flat columnar storage.
+//! Batch evaluation entry points: naive, semi-naive and parallel
+//! semi-naive fixpoints with instrumented statistics.
 //!
 //! Minimum-model semantics per Section 2.1 of the paper: the output of a
 //! program on a database is the least set of ground atoms containing the
@@ -12,41 +12,38 @@
 //!
 //! # Engine architecture
 //!
-//! The work counters define *what* is computed; this module makes the
-//! computing fast. Relations live in [`crate::storage`]: each predicate
-//! is one flat [`ColumnarRelation`] (tuples are slices, not per-tuple
-//! `Vec`s), and semi-naive's `old`/`delta`/`full` snapshots are **row
-//! ranges** over the same append-only store (`old = [0, old_hi)`,
-//! `delta = [old_hi, len)`), so no iteration ever clones a relation.
-//! Per `(relation, mask)` there is one persistent [`IncrementalIndex`],
-//! built once and extended with only the delta rows each iteration; its
-//! newest-first chains let a single index serve all three snapshots.
-//! Each rule is compiled to a `RulePlan` — atom order, index ids, key
-//! ops and bind/check actions resolved to dense arrays — so the join is
-//! a flat loop with no hashing of `Vec` keys, no per-probe allocation,
-//! and no re-checking of positions the index probe already guaranteed.
+//! Since the incremental-materialization refactor, **batch evaluation is
+//! a special case of the persistent engine**: [`evaluate`], [`answer`]
+//! and [`evaluate_with_provenance`] are thin wrappers that build a
+//! [`crate::materialize::Materialization`], bulk-load the database, run
+//! one fixpoint and read the result out. The join machinery — flat
+//! columnar [`crate::storage`], watermark snapshots, compiled rule
+//! plans, depth-0-sharded parallel rounds — lives in
+//! [`crate::materialize`]; what this module owns is the strategy/stat
+//! vocabulary and the goal selection/projection.
 //!
 //! The original tuple-at-a-time evaluator is preserved verbatim in
 //! [`crate::reference`] as the executable specification; the
 //! `engine_equiv` property suite asserts both produce identical models
 //! *and identical counters*, so every number in EXPERIMENTS.md is stable
-//! across the storage rewrite.
+//! across engine rewrites.
 
-use crate::ast::{Atom, Const, Pred, Program, Rule, Term, Var};
+use crate::ast::{Atom, Const, Program, Term, Var};
 use crate::db::{Database, Relation};
 use crate::derivation::Provenance;
-use crate::hash::FxHashMap;
-use crate::pool::ThreadPool;
-use crate::storage::{shard_ranges, ColumnarRelation, IncrementalIndex, NO_ROW};
+use crate::materialize::Materialization;
 
-/// Delta shards per worker thread in [`Strategy::SemiNaiveParallel`]
-/// (`shards = OVERSHARD × threads`). Oversharding keeps the pool busy
-/// when per-shard work is skewed: a worker that finishes a cheap shard
-/// pulls the next one instead of idling until the slowest shard
-/// finishes. The deterministic `(rule, delta, shard)` merge order and
-/// the lead-shard probe accounting are shard-count-independent, so
-/// [`EvalStats`] stays bit-for-bit identical at any factor.
-/// [`Strategy::SemiNaiveSharded`] pins an explicit shard count instead.
+/// First-join-step shards per worker thread in
+/// [`Strategy::SemiNaiveParallel`] (`shards = OVERSHARD × threads`):
+/// each `(rule, delta step)` work item partitions its first body atom's
+/// row range into this many contiguous slices per thread. Oversharding
+/// keeps the pool busy when per-shard work is skewed: a worker that
+/// finishes a cheap shard pulls the next one instead of idling until
+/// the slowest shard finishes. The deterministic `(rule, delta, shard)`
+/// merge order and the lead-shard depth-0 probe accounting are
+/// shard-count-independent, so [`EvalStats`] stays bit-for-bit
+/// identical at any factor. [`Strategy::SemiNaiveSharded`] pins an
+/// explicit shard count instead.
 pub const OVERSHARD: usize = 4;
 
 /// Evaluation strategy.
@@ -57,30 +54,30 @@ pub enum Strategy {
     /// Delta-driven evaluation (each derivation uses at least one
     /// last-iteration fact).
     SemiNaive,
-    /// Semi-naive evaluation with the per-iteration delta range-sharded
-    /// across a scoped thread pool ([`crate::pool`]). Counter-identical
-    /// to [`Strategy::SemiNaive`] by construction: each worker joins one
-    /// slice of the delta row range against the shared read-only
-    /// indexes, staging results thread-locally, and the merge applies
-    /// the staged rows in deterministic `(rule, delta, shard)` order.
-    /// The delta is oversharded ([`OVERSHARD`]` × threads` shards) for
-    /// load balance. `threads <= 1` degenerates to the sequential code
-    /// path.
+    /// Semi-naive evaluation with each `(rule, delta step)`'s **first
+    /// join step** range-sharded across a scoped thread pool
+    /// ([`crate::pool`]). Counter-identical to [`Strategy::SemiNaive`]
+    /// by construction — and, because top-down shards of the first
+    /// step's descending enumeration concatenate back into exactly the
+    /// sequential staging order, row-id- and justification-identical
+    /// too. The range is oversharded ([`OVERSHARD`]` × threads` shards)
+    /// for load balance. `threads <= 1` degenerates to the sequential
+    /// code path.
     SemiNaiveParallel {
         /// Worker-thread count (`0` and `1` both mean sequential).
         threads: usize,
     },
-    /// [`Strategy::SemiNaiveParallel`] with an explicit delta shard
-    /// count instead of the default [`OVERSHARD`]` × threads`. Used by
-    /// the shard-sweep benchmarks and the equivalence suite; the merge
+    /// [`Strategy::SemiNaiveParallel`] with an explicit shard count
+    /// instead of the default [`OVERSHARD`]` × threads`. Used by the
+    /// shard-sweep benchmarks and the equivalence suite; the merge
     /// order `(rule, delta, shard)` stays deterministic for any
     /// `(threads, shards)` pair. `threads <= 1 && shards <= 1`
     /// degenerates to the sequential code path.
     SemiNaiveSharded {
         /// Worker-thread count.
         threads: usize,
-        /// Number of contiguous delta subranges per `(rule, delta)`
-        /// work item.
+        /// Number of contiguous first-step subranges per
+        /// `(rule, delta)` work item.
         shards: usize,
     },
 }
@@ -131,10 +128,13 @@ pub struct EvalResult {
 
 /// Evaluates `program` on `db` to the minimum model, returning the IDB
 /// relations and statistics.
+///
+/// A thin wrapper over the persistent engine: build a
+/// [`Materialization`], run the batch fixpoint, read the model out. Use
+/// [`Materialization::from_database`] directly to keep the state and
+/// absorb updates instead of recomputing.
 pub fn evaluate(program: &Program, db: &Database, strategy: Strategy) -> EvalResult {
-    let mut engine = Engine::new(program, db, false);
-    engine.run(strategy);
-    engine.into_result()
+    Materialization::batch(program, db, strategy, false).into_result()
 }
 
 /// Evaluates and applies the goal: the answer relation (arity = number of
@@ -144,10 +144,8 @@ pub fn evaluate(program: &Program, db: &Database, strategy: Strategy) -> EvalRes
 /// [`Database`]: the goal's selection/projection runs directly over the
 /// columnar rows of the goal predicate.
 pub fn answer(program: &Program, db: &Database, strategy: Strategy) -> (Relation, EvalStats) {
-    let mut engine = Engine::new(program, db, false);
-    engine.run(strategy);
-    let rel = engine.goal_answer(&program.goal);
-    (rel, engine.stats)
+    let m = Materialization::batch(program, db, strategy, false);
+    (m.goal_answer(&program.goal), m.stats())
 }
 
 /// The result of a provenance-recording fixpoint evaluation.
@@ -171,11 +169,11 @@ pub struct ProvenanceResult {
 ///
 /// Justifications are deterministic and **thread-count independent**:
 /// the sequential engine's staging order is the lexicographic-descending
-/// order of the per-step row coordinates, and in the parallel engine
-/// every `(rule, delta step)` group merges its shards' staged rows back
-/// into exactly that order (the coordinates are the justification body,
-/// so the comparison is free). Any [`Strategy`] therefore yields the
-/// same row ids, the same justifications, and the same [`EvalStats`] as
+/// order of the per-step row coordinates, and the parallel engine's
+/// shards partition the first step's row range top-down, so
+/// concatenating their staged rows in `(rule, delta, shard)` order *is*
+/// that sequential order. Any [`Strategy`] therefore yields the same
+/// row ids, the same justifications, and the same [`EvalStats`] as
 /// sequential semi-naive — except [`Strategy::Naive`], whose iteration
 /// structure (and hence first-found choice) is its own, but is equally
 /// deterministic.
@@ -184,9 +182,7 @@ pub fn evaluate_with_provenance(
     db: &Database,
     strategy: Strategy,
 ) -> ProvenanceResult {
-    let mut engine = Engine::new(program, db, true);
-    engine.run(strategy);
-    engine.into_provenance_result()
+    Materialization::batch(program, db, strategy, true).into_provenance_result()
 }
 
 // ---------------------------------------------------------------------
@@ -195,7 +191,7 @@ pub fn evaluate_with_provenance(
 
 /// One compiled goal position.
 #[derive(Clone, Copy, Debug)]
-enum GoalOp {
+pub(crate) enum GoalOp {
     /// The tuple value must equal this constant.
     Const(Const),
     /// First occurrence of the k-th distinct variable: bind it.
@@ -207,7 +203,7 @@ enum GoalOp {
 /// Compiles a goal atom to per-position ops plus the distinct-variable
 /// count. Distinct variables are numbered in first-occurrence order, so
 /// the binding array *is* the projected output tuple.
-fn goal_plan(goal: &Atom) -> (Vec<GoalOp>, usize) {
+pub(crate) fn goal_plan(goal: &Atom) -> (Vec<GoalOp>, usize) {
     let mut vars: Vec<Var> = Vec::new();
     let ops = goal
         .args
@@ -229,7 +225,11 @@ fn goal_plan(goal: &Atom) -> (Vec<GoalOp>, usize) {
 /// Runs a compiled goal over any tuple stream: selection by constants and
 /// repeated variables, projection onto the distinct variables in
 /// first-occurrence order (the binding array *is* the output tuple).
-fn select_project<'a>(ops: &[GoalOp], nvars: usize, rows: impl Iterator<Item = &'a [Const]>) -> Relation {
+pub(crate) fn select_project<'a>(
+    ops: &[GoalOp],
+    nvars: usize,
+    rows: impl Iterator<Item = &'a [Const]>,
+) -> Relation {
     let mut out = Relation::new(nvars);
     // fixed-size binding array, reused across tuples (no per-tuple map)
     let mut bind = vec![Const(0); nvars];
@@ -263,692 +263,6 @@ pub fn apply_goal(goal: &Atom, rel: &Relation) -> Relation {
     select_project(&ops, nvars, rel.iter().map(Vec::as_slice))
 }
 
-// ---------------------------------------------------------------------
-// Rule plans
-// ---------------------------------------------------------------------
-
-/// Sentinel index id for unkeyed (empty-mask) steps: they scan rows
-/// directly, so no [`IncrementalIndex`] exists for them.
-const NO_INDEX: usize = usize::MAX;
-
-/// A key component of a join step: where the bound value comes from.
-#[derive(Clone, Copy, Debug)]
-enum KeyOp {
-    /// A constant from the rule text.
-    Const(Const),
-    /// A rule-local slot bound by an earlier step.
-    Slot(usize),
-}
-
-/// What to do with one *unguaranteed* argument position of a matched row.
-/// Positions covered by the index mask are skipped entirely: the probe
-/// already guaranteed them.
-#[derive(Clone, Copy, Debug)]
-enum Action {
-    /// First occurrence of a free slot in this atom: bind it.
-    Bind { pos: usize, slot: usize },
-    /// Repeated occurrence within this atom: must equal the bound value.
-    Check { pos: usize, slot: usize },
-}
-
-/// Where a head position comes from.
-#[derive(Clone, Copy, Debug)]
-enum Out {
-    /// A constant from the rule text.
-    Const(Const),
-    /// A bound slot.
-    Slot(usize),
-}
-
-/// One body atom, compiled: which relation/index to probe, how to build
-/// the probe key, and how to bind/check the remaining positions.
-#[derive(Clone, Debug)]
-struct Step {
-    rel: usize,
-    /// Index id, or [`NO_INDEX`] for unkeyed steps (empty mask): those
-    /// scan their row range directly and register no index at all.
-    idx: usize,
-    /// Whether the predicate is an IDB of the program (reads snapshots).
-    idb: bool,
-    key: Box<[KeyOp]>,
-    actions: Box<[Action]>,
-}
-
-/// A rule compiled to a flat join plan.
-#[derive(Clone, Debug)]
-struct RulePlan {
-    head_rel: usize,
-    head: Box<[Out]>,
-    steps: Box<[Step]>,
-    num_slots: usize,
-    /// Step positions whose predicate is an IDB (delta candidates).
-    idb_steps: Box<[usize]>,
-}
-
-// ---------------------------------------------------------------------
-// Engine
-// ---------------------------------------------------------------------
-
-/// Reusable scratch buffers for one evaluation (no per-tuple allocation).
-#[derive(Default)]
-struct Scratch {
-    /// Rule-local slot environment. Values are garbage until a `Bind` or
-    /// key-op write at the plan-determined depth; the plan guarantees
-    /// every read happens after the corresponding write.
-    env: Vec<Const>,
-    /// Probe-key buffer, refilled before every index probe.
-    key: Vec<Const>,
-    /// Head-tuple buffer.
-    head: Vec<Const>,
-    /// Row id matched at each join depth — the derivation coordinates.
-    /// Maintained unconditionally (one word store per matched row); read
-    /// only when provenance recording is on.
-    rows: Vec<u32>,
-}
-
-/// Tuples derived during one iteration, buffered flat until the merge
-/// (rules within an iteration must not see each other's output).
-///
-/// When provenance recording is on, every staged tuple also stages its
-/// justification: the rule index and the body row ids (one per plan
-/// step, in body-atom order). The merge keeps only the justification of
-/// the staged copy that actually inserts the row — the first found in
-/// the deterministic merge order.
-#[derive(Default)]
-struct PendingTuples {
-    data: Vec<Const>,
-    rels: Vec<u32>,
-    /// Rule index per staged tuple (empty when recording is off).
-    just_rule: Vec<u32>,
-    /// Flat body row ids; tuple `i`'s slice length is the body length of
-    /// `just_rule[i]` (empty when recording is off).
-    just_rows: Vec<u32>,
-}
-
-/// Per-relation justification store: parallel to the relation's row ids.
-/// EDB relations keep empty vectors (their rows are leaves).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub(crate) struct RelJust {
-    /// Rule that first derived each row.
-    pub(crate) rule: Vec<u32>,
-    /// Offset of each row's body slice in `bodies`.
-    pub(crate) body_off: Vec<u32>,
-    /// Flat body row ids, in body-atom order per justification.
-    pub(crate) bodies: Vec<u32>,
-}
-
-impl RelJust {
-    fn push(&mut self, rule: u32, body: &[u32]) {
-        self.rule.push(rule);
-        self.body_off
-            .push(u32::try_from(self.bodies.len()).expect("justification store overflow"));
-        self.bodies.extend_from_slice(body);
-    }
-}
-
-/// Work counters for one rule-evaluation pass, with probes split at the
-/// delta step. `pre` counts probes at depths up to and including the
-/// delta step — work every parallel shard repeats identically, so only
-/// the lead shard's `pre` enters [`EvalStats`]. `post` counts probes
-/// strictly below the delta step — work partitioned by the delta rows,
-/// summed across shards. With no delta step, everything is `pre`.
-#[derive(Clone, Copy, Debug, Default)]
-struct Counters {
-    pre: u64,
-    post: u64,
-    firings: u64,
-}
-
-/// One parallel work item: rule `plan_i` with the delta step `delta_pos`
-/// restricted to the delta-row subrange `range`, staging into its own
-/// buffer. `lead` marks the shard whose `pre` probe count is accounted
-/// (shard 0 — every shard performs identical pre-delta work). Tasks are
-/// recycled across iterations so the staging and scratch buffers keep
-/// their grown capacity instead of reallocating every iteration.
-#[derive(Default)]
-struct ShardTask {
-    plan_i: usize,
-    delta_pos: usize,
-    range: (usize, usize),
-    lead: bool,
-    counters: Counters,
-    pending: PendingTuples,
-    scratch: Scratch,
-}
-
-struct Engine {
-    rels: Vec<ColumnarRelation>,
-    idxs: Vec<IncrementalIndex>,
-    plans: Vec<RulePlan>,
-    /// Dense relation ids of the program's IDB predicates.
-    idb_rels: Vec<usize>,
-    pred_of_rel: Vec<Pred>,
-    rel_of_pred: FxHashMap<Pred, usize>,
-    /// Per relation: the semi-naive watermark — rows `[0, old_hi)` are the
-    /// previous iteration's `old` snapshot, `[old_hi, len)` the delta.
-    old_hi: Vec<usize>,
-    /// New facts appended per productive iteration (convergence profile).
-    profile: Vec<u64>,
-    /// Per-relation justification stores when provenance recording is
-    /// on (`Some` even if a relation never derives — empty is fine).
-    prov: Option<Vec<RelJust>>,
-    stats: EvalStats,
-}
-
-impl Engine {
-    fn new(program: &Program, db: &Database, record: bool) -> Self {
-        let idbs = program.idb_predicates();
-
-        // Arity resolution mirrors the reference evaluator: database
-        // relations first, then rule heads, then body atoms.
-        let mut arity: FxHashMap<Pred, usize> = FxHashMap::default();
-        for (p, r) in db.iter() {
-            arity.insert(p, r.arity());
-        }
-        for r in &program.rules {
-            arity.entry(r.head.pred).or_insert_with(|| r.head.arity());
-            for a in &r.body {
-                arity.entry(a.pred).or_insert_with(|| a.arity());
-            }
-        }
-
-        // Dense relation ids: IDB predicates first, then every EDB
-        // predicate referenced by a rule body.
-        let mut rels: Vec<ColumnarRelation> = Vec::new();
-        let mut pred_of_rel: Vec<Pred> = Vec::new();
-        let mut rel_of_pred: FxHashMap<Pred, usize> = FxHashMap::default();
-        let intern_rel = |p: Pred,
-                              rels: &mut Vec<ColumnarRelation>,
-                              pred_of_rel: &mut Vec<Pred>,
-                              rel_of_pred: &mut FxHashMap<Pred, usize>|
-         -> usize {
-            *rel_of_pred.entry(p).or_insert_with(|| {
-                let id = rels.len();
-                rels.push(ColumnarRelation::new(*arity.get(&p).unwrap_or(&0)));
-                pred_of_rel.push(p);
-                id
-            })
-        };
-        let mut idb_rels = Vec::new();
-        for &p in &idbs {
-            idb_rels.push(intern_rel(p, &mut rels, &mut pred_of_rel, &mut rel_of_pred));
-        }
-        for r in &program.rules {
-            for a in &r.body {
-                intern_rel(a.pred, &mut rels, &mut pred_of_rel, &mut rel_of_pred);
-            }
-        }
-
-        // Load EDB facts. Facts the database holds for IDB predicates are
-        // ignored, exactly as in the reference evaluator (IDB body atoms
-        // only ever read the derived snapshots).
-        for (p, r) in db.iter() {
-            if idbs.contains(&p) {
-                continue;
-            }
-            if let Some(&rid) = rel_of_pred.get(&p) {
-                for t in r.iter() {
-                    rels[rid].insert(t);
-                }
-            }
-        }
-
-        // Compile rules; register one index per (relation, mask).
-        let mut idxs: Vec<IncrementalIndex> = Vec::new();
-        let mut idx_of: FxHashMap<(usize, Vec<usize>), usize> = FxHashMap::default();
-        let plans = program
-            .rules
-            .iter()
-            .map(|r| compile_rule(r, &idbs, &rel_of_pred, &mut idxs, &mut idx_of))
-            .collect();
-
-        let old_hi = vec![0; rels.len()];
-        let prov = record.then(|| vec![RelJust::default(); rels.len()]);
-        Self {
-            rels,
-            idxs,
-            plans,
-            idb_rels,
-            pred_of_rel,
-            rel_of_pred,
-            old_hi,
-            profile: Vec::new(),
-            prov,
-            stats: EvalStats::default(),
-        }
-    }
-
-    fn run(&mut self, strategy: Strategy) {
-        match strategy {
-            Strategy::SemiNaiveParallel { threads } if threads >= 2 => {
-                self.run_parallel(threads, OVERSHARD * threads);
-            }
-            Strategy::SemiNaiveSharded { threads, shards } if threads >= 2 || shards >= 2 => {
-                self.run_parallel(threads.max(1), shards.max(1));
-            }
-            // `threads <= 1` degenerates to the sequential code path,
-            // byte-for-byte: same loop, same buffers, same row ids.
-            _ => self.run_sequential(strategy.sequential_spec()),
-        }
-    }
-
-    /// Extends the per-`(relation, mask)` indexes over the rows that
-    /// became visible at the last merge (incremental: only the delta
-    /// rows are hashed). Unkeyed steps have no index at all
-    /// ([`NO_INDEX`]): the join scans their row range directly.
-    fn extend_indexes(&mut self) {
-        for idx in &mut self.idxs {
-            idx.extend(&self.rels[idx.rel()]);
-        }
-    }
-
-    /// Merges one staging buffer into the relations, deduplicating;
-    /// returns how many rows were actually appended. With provenance
-    /// recording on, the staged justification of each tuple that
-    /// actually inserts (the first staged copy in merge order) is
-    /// appended to the head relation's justification store.
-    fn merge_pending(
-        rels: &mut [ColumnarRelation],
-        pending: &mut PendingTuples,
-        prov: Option<&mut Vec<RelJust>>,
-        plans: &[RulePlan],
-    ) -> u64 {
-        let mut appended = 0u64;
-        let mut off = 0;
-        match prov {
-            None => {
-                for &rid in &pending.rels {
-                    let rel = &mut rels[rid as usize];
-                    let ar = rel.arity();
-                    if rel.insert(&pending.data[off..off + ar]) {
-                        appended += 1;
-                    }
-                    off += ar;
-                }
-            }
-            Some(prov) => {
-                let mut joff = 0;
-                for (i, &rid) in pending.rels.iter().enumerate() {
-                    let rel = &mut rels[rid as usize];
-                    let ar = rel.arity();
-                    let rule = pending.just_rule[i];
-                    let blen = plans[rule as usize].steps.len();
-                    if rel.insert(&pending.data[off..off + ar]) {
-                        appended += 1;
-                        prov[rid as usize].push(rule, &pending.just_rows[joff..joff + blen]);
-                    }
-                    off += ar;
-                    joff += blen;
-                }
-                pending.just_rule.clear();
-                pending.just_rows.clear();
-            }
-        }
-        pending.data.clear();
-        pending.rels.clear();
-        appended
-    }
-
-    fn run_sequential(&mut self, strategy: Strategy) {
-        let mut scratch = Scratch::default();
-        let mut pending = PendingTuples::default();
-        let mut first = true;
-        loop {
-            self.stats.iterations += 1;
-            self.extend_indexes();
-
-            for pi in 0..self.plans.len() {
-                let plan = &self.plans[pi];
-                match strategy {
-                    Strategy::Naive => {
-                        self.eval_rule(pi, None, &mut scratch, &mut pending);
-                    }
-                    _ => {
-                        if plan.idb_steps.is_empty() {
-                            if first {
-                                self.eval_rule(pi, None, &mut scratch, &mut pending);
-                            }
-                        } else if !first {
-                            for di in 0..self.plans[pi].idb_steps.len() {
-                                let d = self.plans[pi].idb_steps[di];
-                                self.eval_rule(pi, Some(d), &mut scratch, &mut pending);
-                            }
-                        }
-                    }
-                }
-            }
-
-            // Merge: advance the old watermark to the current length, then
-            // append this iteration's new tuples — they become the delta.
-            for &r in &self.idb_rels {
-                self.old_hi[r] = self.rels[r].num_rows();
-            }
-            let appended =
-                Self::merge_pending(&mut self.rels, &mut pending, self.prov.as_mut(), &self.plans);
-            self.stats.tuples_derived += appended;
-            if appended == 0 {
-                break;
-            }
-            self.profile.push(appended);
-            first = false;
-        }
-    }
-
-    /// The sharded semi-naive fixpoint. Per iteration: every
-    /// `(rule, delta step)` pair is split into `shards` contiguous
-    /// slices of the delta row range (`OVERSHARD × threads` by default,
-    /// so a worker finishing a cheap shard pulls the next instead of
-    /// idling); workers join their slice against the shared read-only
-    /// relations and indexes, staging derived rows thread-locally; the
-    /// merge then applies the staged buffers in `(rule, delta, shard)`
-    /// order — deterministic for a fixed `(threads, shards)` pair, and
-    /// counter-identical to the sequential engine for **any** pair
-    /// (each shard's pre-delta join work is identical, so only the lead
-    /// shard's `pre` probe count is accounted; post-delta work is
-    /// partitioned by the delta rows and summed).
-    ///
-    /// With provenance recording on, each `(rule, delta step)` group
-    /// instead merges its shards' staged rows in the sequential
-    /// engine's staging order (see [`Engine::merge_group_recorded`]), so
-    /// row ids and justifications are identical at every thread and
-    /// shard count.
-    fn run_parallel(&mut self, threads: usize, shards: usize) {
-        // Spawned on the first delta iteration (a fixpoint that converges
-        // on the seed rules never pays for threads) and dropped with this
-        // call: the spawn cost amortizes over the iterations of one
-        // evaluation. For sub-millisecond workloads the sequential
-        // strategy is the right tool; the counters are identical.
-        let mut pool: Option<ThreadPool> = None;
-        let mut scratch = Scratch::default();
-        let mut pending = PendingTuples::default();
-        // Recycled task slots: merged-out staging buffers and scratch
-        // space return here and are reused next iteration.
-        let mut spare: Vec<ShardTask> = Vec::new();
-        let mut first = true;
-        loop {
-            self.stats.iterations += 1;
-            self.extend_indexes();
-
-            let mut appended = 0u64;
-            if first {
-                // First iteration: only EDB-only rules fire (no deltas
-                // exist yet); identical to the sequential engine.
-                for pi in 0..self.plans.len() {
-                    if self.plans[pi].idb_steps.is_empty() {
-                        self.eval_rule(pi, None, &mut scratch, &mut pending);
-                    }
-                }
-                for &r in &self.idb_rels {
-                    self.old_hi[r] = self.rels[r].num_rows();
-                }
-                appended = Self::merge_pending(
-                    &mut self.rels,
-                    &mut pending,
-                    self.prov.as_mut(),
-                    &self.plans,
-                );
-            } else {
-                let mut tasks: Vec<ShardTask> = Vec::new();
-                for pi in 0..self.plans.len() {
-                    for di in 0..self.plans[pi].idb_steps.len() {
-                        let d = self.plans[pi].idb_steps[di];
-                        let rel = self.plans[pi].steps[d].rel;
-                        let (dlo, dhi) = (self.old_hi[rel], self.rels[rel].num_rows());
-                        for (si, &(lo, hi)) in
-                            shard_ranges(dlo, dhi, shards).iter().enumerate()
-                        {
-                            // The lead shard always runs (it accounts the
-                            // pre-delta probes even over an empty delta,
-                            // exactly like the sequential engine); empty
-                            // trailing shards contribute nothing.
-                            if si > 0 && lo == hi {
-                                continue;
-                            }
-                            let mut t = spare.pop().unwrap_or_default();
-                            t.plan_i = pi;
-                            t.delta_pos = d;
-                            t.range = (lo, hi);
-                            t.lead = si == 0;
-                            t.counters = Counters::default();
-                            // t.pending was cleared by the last merge;
-                            // t.scratch keeps its capacity.
-                            tasks.push(t);
-                        }
-                    }
-                }
-                {
-                    let plans = &self.plans;
-                    let rels = &self.rels;
-                    let idxs = &self.idxs;
-                    let old_hi = &self.old_hi;
-                    let record = self.prov.is_some();
-                    let pool = pool.get_or_insert_with(|| ThreadPool::new(threads));
-                    pool.scope(|s| {
-                        for t in tasks.iter_mut() {
-                            s.execute(move || {
-                                let ShardTask {
-                                    plan_i,
-                                    delta_pos,
-                                    range,
-                                    scratch,
-                                    pending,
-                                    counters,
-                                    ..
-                                } = t;
-                                eval_rule_shard(
-                                    plans,
-                                    rels,
-                                    idxs,
-                                    old_hi,
-                                    *plan_i,
-                                    Some(*delta_pos),
-                                    *range,
-                                    record,
-                                    scratch,
-                                    pending,
-                                    counters,
-                                );
-                            });
-                        }
-                    });
-                }
-                for t in &tasks {
-                    if t.lead {
-                        self.stats.join_probes += t.counters.pre;
-                    }
-                    self.stats.join_probes += t.counters.post;
-                    self.stats.rule_firings += t.counters.firings;
-                }
-                for &r in &self.idb_rels {
-                    self.old_hi[r] = self.rels[r].num_rows();
-                }
-                match self.prov.as_mut() {
-                    // Deterministic merge: staged buffers in task order =
-                    // (rule, delta step, shard top-down).
-                    None => {
-                        for t in &mut tasks {
-                            appended += Self::merge_pending(
-                                &mut self.rels,
-                                &mut t.pending,
-                                None,
-                                &self.plans,
-                            );
-                        }
-                    }
-                    // Provenance mode: each (rule, delta step) group
-                    // merges in the sequential engine's staging order,
-                    // so row ids and justifications are thread- and
-                    // shard-count independent.
-                    Some(prov) => {
-                        let mut i = 0;
-                        while i < tasks.len() {
-                            let key = (tasks[i].plan_i, tasks[i].delta_pos);
-                            let mut j = i + 1;
-                            while j < tasks.len()
-                                && (tasks[j].plan_i, tasks[j].delta_pos) == key
-                            {
-                                j += 1;
-                            }
-                            appended += Self::merge_group_recorded(
-                                &mut self.rels,
-                                prov,
-                                &self.plans,
-                                &mut tasks[i..j],
-                            );
-                            i = j;
-                        }
-                    }
-                }
-                spare.append(&mut tasks);
-            }
-            self.stats.tuples_derived += appended;
-            if appended == 0 {
-                break;
-            }
-            self.profile.push(appended);
-            first = false;
-        }
-    }
-
-    /// Merges the shards of one `(rule, delta step)` group in the
-    /// sequential engine's staging order.
-    ///
-    /// The join enumerates combinations in **lexicographic-descending
-    /// order of the per-step row coordinates** (every step — unkeyed
-    /// scan or newest-first index chain — visits rows in strictly
-    /// decreasing id order given the rows above it), and the shards
-    /// partition the delta coordinate. Merging the shards' staged rows
-    /// by largest-coordinates-first therefore reproduces exactly the
-    /// order the sequential engine would have staged them in, which is
-    /// what makes provenance thread- and shard-count independent. The
-    /// coordinates *are* the staged justification bodies, so the
-    /// comparison needs no extra bookkeeping.
-    fn merge_group_recorded(
-        rels: &mut [ColumnarRelation],
-        prov: &mut [RelJust],
-        plans: &[RulePlan],
-        group: &mut [ShardTask],
-    ) -> u64 {
-        let plan_i = group[0].plan_i;
-        let blen = plans[plan_i].steps.len();
-        let head_rel = plans[plan_i].head_rel;
-        let ar = rels[head_rel].arity();
-        let mut cursors = vec![0usize; group.len()];
-        let mut appended = 0u64;
-        loop {
-            let mut best: Option<(usize, &[u32])> = None;
-            for (gi, t) in group.iter().enumerate() {
-                let c = cursors[gi];
-                if c == t.pending.rels.len() {
-                    continue;
-                }
-                let coords = &t.pending.just_rows[c * blen..(c + 1) * blen];
-                if !matches!(best, Some((_, b)) if b >= coords) {
-                    best = Some((gi, coords));
-                }
-            }
-            let Some((gi, coords)) = best else { break };
-            let c = cursors[gi];
-            cursors[gi] += 1;
-            let tuple = &group[gi].pending.data[c * ar..(c + 1) * ar];
-            if rels[head_rel].insert(tuple) {
-                appended += 1;
-                prov[head_rel].push(plan_i as u32, coords);
-            }
-        }
-        for t in group.iter_mut() {
-            t.pending.data.clear();
-            t.pending.rels.clear();
-            t.pending.just_rule.clear();
-            t.pending.just_rows.clear();
-        }
-        appended
-    }
-
-    /// Evaluates one rule with an optional delta position over the full
-    /// delta range (the sequential engine's unit of work).
-    fn eval_rule(
-        &mut self,
-        plan_i: usize,
-        delta_pos: Option<usize>,
-        scratch: &mut Scratch,
-        pending: &mut PendingTuples,
-    ) {
-        let range = match delta_pos {
-            Some(d) => {
-                let rel = self.plans[plan_i].steps[d].rel;
-                (self.old_hi[rel], self.rels[rel].num_rows())
-            }
-            None => (0, 0),
-        };
-        let mut counters = Counters::default();
-        eval_rule_shard(
-            &self.plans,
-            &self.rels,
-            &self.idxs,
-            &self.old_hi,
-            plan_i,
-            delta_pos,
-            range,
-            self.prov.is_some(),
-            scratch,
-            pending,
-            &mut counters,
-        );
-        self.stats.join_probes += counters.pre + counters.post;
-        self.stats.rule_firings += counters.firings;
-    }
-
-    /// Applies the goal directly over the columnar rows of the goal
-    /// predicate (no intermediate `Database`).
-    fn goal_answer(&self, goal: &Atom) -> Relation {
-        let (ops, nvars) = goal_plan(goal);
-        match self.rel_of_pred.get(&goal.pred) {
-            Some(&rid) if self.idb_rels.contains(&rid) => {
-                select_project(&ops, nvars, self.rels[rid].rows_iter())
-            }
-            _ => Relation::new(nvars),
-        }
-    }
-
-    fn into_result(self) -> EvalResult {
-        let mut idb_db = Database::new();
-        for &r in &self.idb_rels {
-            let rel = &self.rels[r];
-            let out = idb_db.relation_mut(self.pred_of_rel[r], rel.arity());
-            for row in rel.rows_iter() {
-                out.insert(row.to_vec());
-            }
-        }
-        EvalResult {
-            idb: idb_db,
-            stats: self.stats,
-        }
-    }
-
-    fn into_provenance_result(self) -> ProvenanceResult {
-        // Per rule: the dense relation id of each body atom (what the
-        // justification body row ids index into).
-        let body_rels = self
-            .plans
-            .iter()
-            .map(|p| p.steps.iter().map(|s| s.rel as u32).collect())
-            .collect();
-        let provenance = Provenance::from_engine(
-            self.rels,
-            self.pred_of_rel,
-            self.rel_of_pred,
-            self.idb_rels,
-            body_rels,
-            self.prov.expect("provenance recording was on"),
-        );
-        ProvenanceResult {
-            stats: self.stats,
-            provenance,
-        }
-    }
-}
-
 /// Semi-naive convergence profile: new facts per productive iteration
 /// (the executable form of Section 8's boundedness measure). Stage-exact:
 /// iteration `k` derives precisely the facts first derivable at stage `k`
@@ -957,283 +271,13 @@ impl Engine {
 /// semi-naive-family strategy; the parallel engine produces the same
 /// per-stage deltas as the sequential one.
 pub(crate) fn seminaive_profile(program: &Program, db: &Database, strategy: Strategy) -> Vec<u64> {
-    let mut engine = Engine::new(program, db, false);
-    engine.run(match strategy {
+    let strategy = match strategy {
         Strategy::Naive => Strategy::SemiNaive,
         s => s,
-    });
-    engine.profile
-}
-
-/// Compiles one rule against the dense relation table, registering the
-/// `(relation, mask)` indexes it probes.
-///
-/// The slot numbering and mask (bound-position) computation mirror
-/// [`crate::reference`] exactly — the index masks determine the
-/// `join_probes` counter, which must stay bit-for-bit stable.
-fn compile_rule(
-    rule: &Rule,
-    idbs: &[Pred],
-    rel_of_pred: &FxHashMap<Pred, usize>,
-    idxs: &mut Vec<IncrementalIndex>,
-    idx_of: &mut FxHashMap<(usize, Vec<usize>), usize>,
-) -> RulePlan {
-    let mut slots: FxHashMap<Var, usize> = FxHashMap::default();
-    let mut bound_slots: Vec<bool> = Vec::new();
-    let mut steps = Vec::new();
-    let mut idb_steps = Vec::new();
-    for (ai, atom) in rule.body.iter().enumerate() {
-        let rel = rel_of_pred[&atom.pred];
-        let mut mask: Vec<usize> = Vec::new();
-        let mut key: Vec<KeyOp> = Vec::new();
-        let mut actions: Vec<Action> = Vec::new();
-        let mut seen_here: Vec<usize> = Vec::new();
-        for (i, t) in atom.args.iter().enumerate() {
-            match t {
-                Term::Const(c) => {
-                    mask.push(i);
-                    key.push(KeyOp::Const(*c));
-                }
-                Term::Var(v) => {
-                    let next = slots.len();
-                    let s = *slots.entry(*v).or_insert(next);
-                    if s >= bound_slots.len() {
-                        bound_slots.resize(s + 1, false);
-                    }
-                    if bound_slots[s] {
-                        // Bound by an earlier atom: part of the index key;
-                        // the probe guarantees equality, so no action.
-                        mask.push(i);
-                        key.push(KeyOp::Slot(s));
-                    } else if seen_here.contains(&s) {
-                        // Repeat within this atom: a filter, not a key
-                        // component (mirrors the reference mask exactly).
-                        actions.push(Action::Check { pos: i, slot: s });
-                    } else {
-                        seen_here.push(s);
-                        actions.push(Action::Bind { pos: i, slot: s });
-                    }
-                }
-            }
-        }
-        for &s in &seen_here {
-            bound_slots[s] = true;
-        }
-        // Unkeyed steps scan their snapshot range directly — an
-        // empty-mask index would never be extended or probed, so none
-        // is registered.
-        let idx = if mask.is_empty() {
-            NO_INDEX
-        } else {
-            *idx_of.entry((rel, mask.clone())).or_insert_with(|| {
-                idxs.push(IncrementalIndex::new(rel, mask));
-                idxs.len() - 1
-            })
-        };
-        let idb = idbs.contains(&atom.pred);
-        if idb {
-            idb_steps.push(ai);
-        }
-        steps.push(Step {
-            rel,
-            idx,
-            idb,
-            key: key.into_boxed_slice(),
-            actions: actions.into_boxed_slice(),
-        });
-    }
-    let head = rule
-        .head
-        .args
-        .iter()
-        .map(|t| match t {
-            Term::Const(c) => Out::Const(*c),
-            Term::Var(v) => Out::Slot(*slots.get(v).expect("safe rule binds head slots")),
-        })
-        .collect();
-    RulePlan {
-        head_rel: rel_of_pred[&rule.head.pred],
-        head,
-        steps: steps.into_boxed_slice(),
-        num_slots: slots.len(),
-        idb_steps: idb_steps.into_boxed_slice(),
-    }
-}
-
-/// Evaluates one rule with an optional delta position, with the delta
-/// step restricted to the row range `delta_range` (the full delta in
-/// the sequential engine, one shard in the parallel engine). Shared
-/// state is read-only, so any number of shards may run concurrently;
-/// derived rows go to the caller's staging buffer and counters.
-#[allow(clippy::too_many_arguments)]
-fn eval_rule_shard(
-    plans: &[RulePlan],
-    rels: &[ColumnarRelation],
-    idxs: &[IncrementalIndex],
-    old_hi: &[usize],
-    plan_i: usize,
-    delta_pos: Option<usize>,
-    delta_range: (usize, usize),
-    record: bool,
-    scratch: &mut Scratch,
-    pending: &mut PendingTuples,
-    counters: &mut Counters,
-) {
-    let plan = &plans[plan_i];
-    scratch.env.resize(plan.num_slots, Const(0));
-    scratch.rows.resize(plan.steps.len(), 0);
-    let ctx = JoinCtx {
-        rels,
-        idxs,
-        old_hi,
-        delta_pos,
-        delta_range,
-        plan_i,
-        record,
     };
-    descend(plan, 0, &ctx, scratch, pending, counters);
-}
-
-/// Borrowed engine state for one rule-evaluation pass.
-struct JoinCtx<'a> {
-    rels: &'a [ColumnarRelation],
-    idxs: &'a [IncrementalIndex],
-    old_hi: &'a [usize],
-    delta_pos: Option<usize>,
-    /// Row range the delta step reads (`[old_hi, len)` sequentially; one
-    /// shard of it in the parallel engine).
-    delta_range: (usize, usize),
-    /// Index of the plan being evaluated (= the rule index).
-    plan_i: usize,
-    /// Whether to stage justifications alongside derived tuples.
-    record: bool,
-}
-
-/// Recursive backtracking join over the plan steps. Slots are bound by
-/// overwriting (`Action::Bind`); no unbinding is needed on backtrack
-/// because the plan guarantees every slot read happens at a depth after
-/// its binding depth, and the next row at the binding depth overwrites.
-fn descend(
-    plan: &RulePlan,
-    depth: usize,
-    ctx: &JoinCtx<'_>,
-    scratch: &mut Scratch,
-    pending: &mut PendingTuples,
-    counters: &mut Counters,
-) {
-    if depth == plan.steps.len() {
-        counters.firings += 1;
-        scratch.head.clear();
-        for op in plan.head.iter() {
-            scratch.head.push(match *op {
-                Out::Const(c) => c,
-                Out::Slot(s) => scratch.env[s],
-            });
-        }
-        // Only buffer tuples not already in the relation (the merge
-        // dedups again; this keeps the pending buffer small).
-        if !ctx.rels[plan.head_rel].contains(&scratch.head) {
-            pending.data.extend_from_slice(&scratch.head);
-            pending.rels.push(plan.head_rel as u32);
-            if ctx.record {
-                // The justification: this rule, instantiated by the row
-                // matched at each join depth (body-atom order).
-                pending.just_rule.push(ctx.plan_i as u32);
-                pending.just_rows.extend_from_slice(&scratch.rows[..plan.steps.len()]);
-            }
-        }
-        return;
-    }
-    let step = &plan.steps[depth];
-    let rel = &ctx.rels[step.rel];
-
-    // Snapshot row range for this step ("last delta occurrence"
-    // convention: steps before the delta read the full relation, the
-    // delta step reads its delta range, steps after read [0, old_hi)).
-    let (lo, hi) = if !step.idb {
-        (0, rel.num_rows())
-    } else {
-        match ctx.delta_pos {
-            None => (0, rel.num_rows()),
-            Some(d) if depth == d => ctx.delta_range,
-            Some(d) if depth < d => (0, rel.num_rows()),
-            Some(_) => (0, ctx.old_hi[step.rel]),
-        }
-    };
-
-    // Probes at or before the delta step are identical across shards
-    // (`pre`, accounted once); probes after it are partitioned by the
-    // delta rows (`post`, summed across shards).
-    if ctx.delta_pos.is_none_or(|d| depth <= d) {
-        counters.pre += 1;
-    } else {
-        counters.post += 1;
-    }
-
-    if step.key.is_empty() {
-        // Unkeyed step: the empty-mask chain is exactly the rows in
-        // descending id order, so scan the range directly — no index
-        // traversal, and (for a sharded delta step) no walking through
-        // other shards' rows to reach this shard's.
-        for r in (lo..hi).rev() {
-            match_row(plan, step, rel, r, depth, ctx, scratch, pending, counters);
-        }
-        return;
-    }
-
-    let idx = &ctx.idxs[step.idx];
-    scratch.key.clear();
-    for op in step.key.iter() {
-        scratch.key.push(match *op {
-            KeyOp::Const(c) => c,
-            KeyOp::Slot(s) => scratch.env[s],
-        });
-    }
-    let mut row = idx.probe(rel, &scratch.key);
-    // Chains are newest-first (strictly decreasing row ids): skip rows
-    // above the snapshot, stop below it.
-    while row != NO_ROW && row as usize >= hi {
-        row = idx.next_row(row);
-    }
-    while row != NO_ROW {
-        let r = row as usize;
-        if r < lo {
-            break;
-        }
-        match_row(plan, step, rel, r, depth, ctx, scratch, pending, counters);
-        row = idx.next_row(row);
-    }
-}
-
-/// Applies one matched row's bind/check actions and, if they pass,
-/// descends to the next step. Returns whether the actions passed.
-#[allow(clippy::too_many_arguments)]
-fn match_row(
-    plan: &RulePlan,
-    step: &Step,
-    rel: &ColumnarRelation,
-    r: usize,
-    depth: usize,
-    ctx: &JoinCtx<'_>,
-    scratch: &mut Scratch,
-    pending: &mut PendingTuples,
-    counters: &mut Counters,
-) -> bool {
-    for a in step.actions.iter() {
-        match *a {
-            Action::Bind { pos, slot } => scratch.env[slot] = rel.value(r, pos),
-            Action::Check { pos, slot } => {
-                if scratch.env[slot] != rel.value(r, pos) {
-                    return false;
-                }
-            }
-        }
-    }
-    // Derivation coordinate for provenance staging (one word; cheaper
-    // than branching on the recording flag here).
-    scratch.rows[depth] = r as u32;
-    descend(plan, depth + 1, ctx, scratch, pending, counters);
-    true
+    Materialization::batch(program, db, strategy, false)
+        .profile()
+        .to_vec()
 }
 
 #[cfg(test)]
@@ -1568,16 +612,27 @@ mod tests {
     }
 
     #[test]
-    fn parallel_delta_at_front_matches_sequential_row_order() {
-        // When every recursive rule's delta step is its first body atom
-        // (Program A's shape), top-down shard order reproduces the
-        // sequential enumeration exactly, row ids included.
-        let mut p = program_a();
-        let db = chain_db(&mut p, 12);
-        let seq = evaluate(&p, &db, Strategy::SemiNaive);
-        let par = evaluate(&p, &db, Strategy::SemiNaiveParallel { threads: 4 });
-        assert_eq!(par.stats, seq.stats);
-        assert_eq!(raw_model(&par), raw_model(&seq));
+    fn parallel_matches_sequential_row_order_exactly() {
+        // Depth-0 sharding: shards are top-down subranges of the first
+        // step's descending enumeration, so the merged insertion order
+        // reproduces the sequential engine's row ids for EVERY rule
+        // shape — delta at the front (Program A), mid-body delta
+        // (Program B / E5's shape), and nonlinear (Program C).
+        let sources = [
+            "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).",
+            "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y).",
+            "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), anc(Z, Y).",
+        ];
+        for src in sources {
+            let mut p = parse_program(src).unwrap();
+            let db = chain_db(&mut p, 12);
+            let seq = evaluate(&p, &db, Strategy::SemiNaive);
+            for threads in [2, 4] {
+                let par = evaluate(&p, &db, Strategy::SemiNaiveParallel { threads });
+                assert_eq!(par.stats, seq.stats, "{src} threads={threads}");
+                assert_eq!(raw_model(&par), raw_model(&seq), "{src} threads={threads}");
+            }
+        }
     }
 
     #[test]
@@ -1605,8 +660,8 @@ mod tests {
 
     #[test]
     fn parallel_more_threads_than_delta_rows() {
-        // Shards beyond the delta size are empty and skipped; the lead
-        // shard still accounts the sequential probe counts.
+        // Shards beyond the first step's size are empty and skipped; the
+        // lead shard still accounts the sequential probe counts.
         let mut p = program_a();
         let db = chain_db(&mut p, 2);
         let seq = evaluate(&p, &db, Strategy::SemiNaive);

@@ -10,15 +10,23 @@
 //!   predicates), atoms, rules, programs with a distinguished goal;
 //! - [`parser`] — the Prolog-like surface syntax of the paper's examples;
 //! - [`db`] — databases as finite structures;
+//! - [`materialize`] — the **persistent incremental materialization
+//!   layer**: a [`materialize::Materialization`] keeps a program's
+//!   minimum model at fixpoint across updates —
+//!   [`materialize::Materialization::insert_facts`] resumes semi-naive
+//!   evaluation with the new rows as the delta (no recompute), and
+//!   [`materialize::Materialization::retract_facts`] removes facts by
+//!   delete–rederive over the recorded justifications. The join
+//!   machinery (flat columnar storage, watermark snapshots, compiled
+//!   rule plans, depth-0-sharded parallel rounds over the in-tree
+//!   [`pool`]) lives here;
 //! - [`eval`] — minimum-model semantics via instrumented **naive**,
 //!   **semi-naive**, and **parallel semi-naive** bottom-up fixpoints
-//!   (work counters power the experiment harness), running on the flat
-//!   columnar [`storage`] layer: watermark deltas instead of
-//!   per-iteration clones, and persistent incremental
-//!   `(relation, mask)` indexes; the parallel strategy range-shards
-//!   each iteration's delta across the in-tree [`pool`] and merges
-//!   deterministically, keeping [`eval::EvalStats`] bit-for-bit equal
-//!   to the sequential engine;
+//!   (work counters power the experiment harness). Batch evaluation is
+//!   a special case of the incremental engine: the entry points are
+//!   thin wrappers that build a materialization, run one fixpoint and
+//!   read the result out, keeping [`eval::EvalStats`] bit-for-bit equal
+//!   to the reference engine;
 //! - [`pool`] — a dependency-free scoped thread pool (persistent
 //!   workers, borrowing jobs, panic propagation);
 //! - [`storage`] — columnar relations (one flat `Vec<Const>` per
@@ -48,6 +56,7 @@ pub mod derivation;
 pub mod eval;
 pub mod hash;
 pub mod magic;
+pub mod materialize;
 pub mod parser;
 pub mod pool;
 pub mod reference;
@@ -57,4 +66,5 @@ pub use ast::{Atom, Const, Pred, Program, Rule, Symbols, Term, Var};
 pub use db::{Database, Relation};
 pub use derivation::{DerivationTree, GroundAtom, Provenance};
 pub use eval::{answer, evaluate, evaluate_with_provenance, EvalStats, ProvenanceResult, Strategy};
+pub use materialize::Materialization;
 pub use parser::parse_program;

@@ -1,0 +1,1887 @@
+//! The persistent incremental materialization layer.
+//!
+//! Everything PRs 2–4 built — per-predicate [`ColumnarRelation`]s,
+//! persistent [`IncrementalIndex`]es, compiled rule plans, semi-naive
+//! watermarks, work counters — used to be transient locals of
+//! `eval::evaluate`: one call, one fixpoint, state dropped. This module
+//! makes that state a first-class value. A [`Materialization`] is a
+//! program's minimum model **kept at fixpoint across updates**:
+//!
+//! - [`Materialization::insert_facts`] appends novel EDB rows and
+//!   resumes semi-naive evaluation with those rows as the next delta —
+//!   semi-naive *is* an incremental algorithm, so an update costs work
+//!   proportional to the new derivations, not the whole closure. The
+//!   first update round treats every body atom over a grown relation
+//!   (EDB included) as a delta position, with the same
+//!   "last delta occurrence" convention the batch engine uses.
+//! - [`Materialization::retract_facts`] removes EDB rows by
+//!   **delete–rederive** (DRed): tombstone the rows
+//!   ([`ColumnarRelation::tombstone`]), over-delete every derived row
+//!   whose recorded justification transitively uses a deleted row, then
+//!   re-derive survivors from the remaining store (a goal-directed
+//!   per-tuple check against lazily compiled re-derivation plans) and
+//!   propagate the rescues through the normal insert machinery.
+//! - Batch evaluation is now a *special case*: `eval::evaluate` builds a
+//!   materialization, bulk-loads the database, runs to fixpoint once and
+//!   reads the result out — same struct, same join code, same counters.
+//!
+//! A materialization always records justifications (one per derived
+//! row, exactly as [`crate::eval::evaluate_with_provenance`] does);
+//! that is what makes retraction possible, and it keeps
+//! [`Materialization::provenance`] valid across updates. Updates work
+//! unchanged under the parallel strategies: shards partition the first
+//! join step's row range top-down, so the staged rows merge in exactly
+//! the sequential engine's order and row ids, justifications and
+//! [`EvalStats`] are identical at every thread and shard count.
+//!
+//! The executable specification of every update sequence is a naive
+//! from-scratch re-evaluation ([`crate::reference`]) of the mirrored
+//! database; `tests/engine_equiv.rs` proptests random interleaved
+//! insert/retract/query sequences against it.
+
+use crate::ast::{Atom, Const, Pred, Program, Rule, Term, Var};
+use crate::db::{Database, Relation, Tuple};
+use crate::derivation::Provenance;
+use crate::eval::{self, EvalResult, EvalStats, ProvenanceResult, Strategy, OVERSHARD};
+use crate::hash::FxHashMap;
+use crate::pool::ThreadPool;
+use crate::storage::{shard_ranges, ColumnarRelation, IncrementalIndex, NO_ROW};
+
+/// Sentinel index id for unkeyed (empty-mask) steps: they scan rows
+/// directly, so no [`IncrementalIndex`] exists for them.
+const NO_INDEX: usize = usize::MAX;
+
+/// A key component of a join step: where the bound value comes from.
+#[derive(Clone, Copy, Debug)]
+enum KeyOp {
+    /// A constant from the rule text.
+    Const(Const),
+    /// A rule-local slot bound by an earlier step.
+    Slot(usize),
+}
+
+/// What to do with one *unguaranteed* argument position of a matched row.
+/// Positions covered by the index mask are skipped entirely: the probe
+/// already guaranteed them.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    /// First occurrence of a free slot in this atom: bind it.
+    Bind { pos: usize, slot: usize },
+    /// Repeated occurrence within this atom: must equal the bound value.
+    Check { pos: usize, slot: usize },
+}
+
+/// Where a head position comes from.
+#[derive(Clone, Copy, Debug)]
+enum Out {
+    /// A constant from the rule text.
+    Const(Const),
+    /// A bound slot.
+    Slot(usize),
+}
+
+/// One body atom, compiled: which relation/index to probe, how to build
+/// the probe key, and how to bind/check the remaining positions.
+#[derive(Clone, Debug)]
+struct Step {
+    rel: usize,
+    /// Index id, or [`NO_INDEX`] for unkeyed steps (empty mask): those
+    /// scan their row range directly and register no index at all.
+    idx: usize,
+    /// Whether the predicate is an IDB of the program (reads snapshots).
+    idb: bool,
+    key: Box<[KeyOp]>,
+    actions: Box<[Action]>,
+}
+
+/// A rule compiled to a flat join plan.
+#[derive(Clone, Debug)]
+struct RulePlan {
+    head_rel: usize,
+    head: Box<[Out]>,
+    steps: Box<[Step]>,
+    num_slots: usize,
+    /// Step positions whose predicate is an IDB (batch delta candidates).
+    idb_steps: Box<[usize]>,
+}
+
+/// One compiled head position of a re-derivation plan: how a candidate
+/// tuple binds (or constrains) the rule-local slots before the body runs.
+#[derive(Clone, Copy, Debug)]
+enum HeadOp {
+    /// The tuple value must equal this constant.
+    Const(Const),
+    /// First occurrence of a head variable: bind its slot.
+    First(usize),
+    /// Repeated head variable: must match the bound slot.
+    Repeat(usize),
+}
+
+/// A rule compiled for goal-directed re-derivation checks (DRed rescue
+/// phase): the head is *input*, so every head slot is bound from depth 0
+/// and the body step masks include them. Compiled lazily on the first
+/// [`Materialization::retract_facts`]; the extra `(relation, mask)`
+/// indexes it registers are extended incrementally like all others.
+#[derive(Clone, Debug)]
+struct RederivePlan {
+    /// The rule index (recorded as the rescued row's justification).
+    rule: u32,
+    head_rel: usize,
+    head: Box<[HeadOp]>,
+    steps: Box<[Step]>,
+    num_slots: usize,
+}
+
+/// Reusable scratch buffers for one evaluation (no per-tuple allocation).
+#[derive(Default)]
+struct Scratch {
+    /// Rule-local slot environment. Values are garbage until a `Bind` or
+    /// key-op write at the plan-determined depth; the plan guarantees
+    /// every read happens after the corresponding write.
+    env: Vec<Const>,
+    /// Probe-key buffer, refilled before every index probe.
+    key: Vec<Const>,
+    /// Head-tuple buffer.
+    head: Vec<Const>,
+    /// Row id matched at each join depth — the derivation coordinates.
+    /// Maintained unconditionally (one word store per matched row); read
+    /// only when provenance recording is on.
+    rows: Vec<u32>,
+}
+
+/// Tuples derived during one iteration, buffered flat until the merge
+/// (rules within an iteration must not see each other's output).
+///
+/// When provenance recording is on, every staged tuple also stages its
+/// justification as one packed `[rule, body row ids...]` entry in `just`
+/// (entry length = 1 + the rule's body length). The merge keeps only the
+/// justification of the staged copy that actually inserts the row — the
+/// first found in the deterministic merge order.
+#[derive(Default)]
+struct PendingTuples {
+    data: Vec<Const>,
+    rels: Vec<u32>,
+    /// Packed justifications, one `[rule, rows...]` entry per staged
+    /// tuple (empty when recording is off).
+    just: Vec<u32>,
+}
+
+/// Per-relation justification store: one packed `[rule, body row ids...]`
+/// entry per row, parallel to the relation's row ids, in **one flat
+/// buffer** (no per-row `Vec`s — the ROADMAP's recording-overhead item).
+/// EDB relations keep empty stores (their rows are leaves). Entries of
+/// tombstoned rows linger but are never read: every consumer skips dead
+/// rows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct RelJust {
+    /// Entry start offset per row.
+    off: Vec<u32>,
+    /// Flat entries: `[rule, body row ids...]` per row.
+    buf: Vec<u32>,
+}
+
+impl RelJust {
+    fn push(&mut self, rule: u32, body: &[u32]) {
+        self.off
+            .push(u32::try_from(self.buf.len()).expect("justification store overflow"));
+        self.buf.push(rule);
+        self.buf.extend_from_slice(body);
+    }
+
+    /// The `(rule, body row ids)` entry of row `r`.
+    pub(crate) fn entry(&self, r: usize) -> (u32, &[u32]) {
+        let lo = self.off[r] as usize;
+        let hi = self
+            .off
+            .get(r + 1)
+            .map_or(self.buf.len(), |&o| o as usize);
+        (self.buf[lo], &self.buf[lo + 1..hi])
+    }
+
+    /// Number of rows with entries (= the relation's row count for IDB
+    /// relations under recording).
+    pub(crate) fn len(&self) -> usize {
+        self.off.len()
+    }
+}
+
+/// Work counters for one rule-evaluation pass, with probes split at the
+/// sharded depth. `pre` counts the depth-0 probe — work every parallel
+/// shard repeats identically (each shard probes or scans its own
+/// subrange of the first step exactly once), so only the lead shard's
+/// `pre` enters [`EvalStats`]. `post` counts probes at depth ≥ 1 — work
+/// partitioned by the first step's rows, summed across shards.
+#[derive(Clone, Copy, Debug, Default)]
+struct Counters {
+    pre: u64,
+    post: u64,
+    firings: u64,
+}
+
+/// One parallel work item: rule `plan_i` with delta step `delta_pos`,
+/// the **first join step** restricted to the row subrange `range`,
+/// staging into its own buffer. `lead` marks the shard whose `pre`
+/// (depth-0) probe count is accounted. Tasks are recycled across
+/// iterations so the staging and scratch buffers keep their grown
+/// capacity instead of reallocating every iteration.
+#[derive(Default)]
+struct ShardTask {
+    plan_i: usize,
+    delta_pos: usize,
+    range: (usize, usize),
+    lead: bool,
+    counters: Counters,
+    pending: PendingTuples,
+    scratch: Scratch,
+}
+
+/// A program materialized to its minimum model, kept at fixpoint across
+/// EDB updates. See the module docs for the update algorithms; see
+/// [`crate::eval`] for the batch entry points built on top of this.
+///
+/// # Contract
+///
+/// - Only facts of **EDB predicates the program's rule bodies mention**
+///   are stored; [`Materialization::insert_facts`] /
+///   [`Materialization::retract_facts`] on any other predicate (unknown,
+///   or an IDB of the program) are no-ops returning 0 — exactly as both
+///   evaluators ignore database facts under IDB predicates.
+/// - [`EvalStats`] accumulate over the materialization's lifetime (the
+///   initial fixpoint plus every update), so the *difference* between
+///   two [`Materialization::stats`] readings is the work an update cost.
+/// - Update propagation is delta-driven (semi-naive) regardless of the
+///   construction strategy; a [`Strategy::Naive`] materialization only
+///   uses naive evaluation for its initial fixpoint.
+#[derive(Debug)]
+pub struct Materialization {
+    rels: Vec<ColumnarRelation>,
+    idxs: Vec<IncrementalIndex>,
+    plans: Vec<RulePlan>,
+    /// Dense relation ids of the program's IDB predicates.
+    idb_rels: Vec<usize>,
+    /// Per relation: whether it is an IDB of the program.
+    idb_flag: Vec<bool>,
+    pred_of_rel: Vec<Pred>,
+    rel_of_pred: FxHashMap<Pred, usize>,
+    /// Per relation: the semi-naive watermark — rows `[0, old_hi)` are the
+    /// previous iteration's `old` snapshot, `[old_hi, len)` the delta.
+    /// At fixpoint (between updates) `old_hi == num_rows` everywhere.
+    old_hi: Vec<usize>,
+    /// New facts appended per productive iteration (convergence profile).
+    profile: Vec<u64>,
+    /// Per-relation justification stores when provenance recording is
+    /// on (`Some` even if a relation never derives — empty is fine).
+    prov: Option<Vec<RelJust>>,
+    stats: EvalStats,
+    strategy: Strategy,
+    /// The program's goal (for [`Materialization::answer`]).
+    goal: Atom,
+    /// The program's rules (for lazy re-derivation-plan compilation).
+    rules: Vec<Rule>,
+    /// The `(relation, mask) → index id` registry, persisted so the
+    /// lazily compiled re-derivation plans share existing indexes.
+    idx_of: FxHashMap<(usize, Vec<usize>), usize>,
+    /// Goal-directed per-tuple derivability checkers, compiled on the
+    /// first retraction.
+    rederive: Option<Vec<RederivePlan>>,
+}
+
+impl Materialization {
+    /// Materializes `program` over an empty database (seed rules fire;
+    /// everything else waits for [`Materialization::insert_facts`]).
+    /// Justifications are recorded, so retraction is available.
+    pub fn new(program: &Program, strategy: Strategy) -> Self {
+        Self::from_database(program, &Database::new(), strategy)
+    }
+
+    /// Materializes `program` over `db`: bulk-loads the EDB facts and
+    /// runs the batch fixpoint once — the exact code path of
+    /// [`crate::eval::evaluate`] — then stands ready to absorb updates.
+    /// Justifications are recorded, so retraction is available.
+    pub fn from_database(program: &Program, db: &Database, strategy: Strategy) -> Self {
+        Self::batch(program, db, strategy, true)
+    }
+
+    /// The batch entry point the thin `eval` wrappers use: `record`
+    /// selects justification recording (off for plain `evaluate`, whose
+    /// callers immediately read the result out and drop the state).
+    pub(crate) fn batch(
+        program: &Program,
+        db: &Database,
+        strategy: Strategy,
+        record: bool,
+    ) -> Self {
+        let mut m = Self::build(program, db, strategy, record);
+        m.run_batch();
+        m
+    }
+
+    fn build(program: &Program, db: &Database, strategy: Strategy, record: bool) -> Self {
+        let idbs = program.idb_predicates();
+
+        // Arity resolution mirrors the reference evaluator: database
+        // relations first, then rule heads, then body atoms.
+        let mut arity: FxHashMap<Pred, usize> = FxHashMap::default();
+        for (p, r) in db.iter() {
+            arity.insert(p, r.arity());
+        }
+        for r in &program.rules {
+            arity.entry(r.head.pred).or_insert_with(|| r.head.arity());
+            for a in &r.body {
+                arity.entry(a.pred).or_insert_with(|| a.arity());
+            }
+        }
+
+        // Dense relation ids: IDB predicates first, then every EDB
+        // predicate referenced by a rule body.
+        let mut rels: Vec<ColumnarRelation> = Vec::new();
+        let mut pred_of_rel: Vec<Pred> = Vec::new();
+        let mut rel_of_pred: FxHashMap<Pred, usize> = FxHashMap::default();
+        let intern_rel = |p: Pred,
+                              rels: &mut Vec<ColumnarRelation>,
+                              pred_of_rel: &mut Vec<Pred>,
+                              rel_of_pred: &mut FxHashMap<Pred, usize>|
+         -> usize {
+            *rel_of_pred.entry(p).or_insert_with(|| {
+                let id = rels.len();
+                rels.push(ColumnarRelation::new(*arity.get(&p).unwrap_or(&0)));
+                pred_of_rel.push(p);
+                id
+            })
+        };
+        let mut idb_rels = Vec::new();
+        for &p in &idbs {
+            idb_rels.push(intern_rel(p, &mut rels, &mut pred_of_rel, &mut rel_of_pred));
+        }
+        for r in &program.rules {
+            for a in &r.body {
+                intern_rel(a.pred, &mut rels, &mut pred_of_rel, &mut rel_of_pred);
+            }
+        }
+
+        // Load EDB facts. Facts the database holds for IDB predicates are
+        // ignored, exactly as in the reference evaluator (IDB body atoms
+        // only ever read the derived snapshots).
+        for (p, r) in db.iter() {
+            if idbs.contains(&p) {
+                continue;
+            }
+            if let Some(&rid) = rel_of_pred.get(&p) {
+                for t in r.iter() {
+                    rels[rid].insert(t);
+                }
+            }
+        }
+
+        // Compile rules; register one index per (relation, mask).
+        let mut idxs: Vec<IncrementalIndex> = Vec::new();
+        let mut idx_of: FxHashMap<(usize, Vec<usize>), usize> = FxHashMap::default();
+        let plans = program
+            .rules
+            .iter()
+            .map(|r| compile_rule(r, &idbs, &rel_of_pred, &mut idxs, &mut idx_of))
+            .collect();
+
+        let mut idb_flag = vec![false; rels.len()];
+        for &r in &idb_rels {
+            idb_flag[r] = true;
+        }
+        let old_hi = vec![0; rels.len()];
+        let prov = record.then(|| vec![RelJust::default(); rels.len()]);
+        Self {
+            rels,
+            idxs,
+            plans,
+            idb_rels,
+            idb_flag,
+            pred_of_rel,
+            rel_of_pred,
+            old_hi,
+            profile: Vec::new(),
+            prov,
+            stats: EvalStats::default(),
+            strategy,
+            goal: program.goal.clone(),
+            rules: program.rules.clone(),
+            idx_of,
+            rederive: None,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Public state of the materialization
+    // -----------------------------------------------------------------
+
+    /// Work counters accumulated since construction (initial fixpoint
+    /// plus every update).
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// The strategy updates run under.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The IDB model as a [`Database`] (live rows only). O(model).
+    pub fn idb_database(&self) -> Database {
+        let mut out = Database::new();
+        for &r in &self.idb_rels {
+            let rel = &self.rels[r];
+            let dst = out.relation_mut(self.pred_of_rel[r], rel.arity());
+            for row in rel.rows_iter() {
+                dst.insert(row.to_vec());
+            }
+        }
+        out
+    }
+
+    /// Every tracked relation — the stored EDB facts *and* the IDB model
+    /// — as a [`Database`] (live rows only). This is the store the
+    /// retract-restores-the-store tests compare bit-for-bit.
+    pub fn database(&self) -> Database {
+        let mut out = Database::new();
+        for (r, rel) in self.rels.iter().enumerate() {
+            let dst = out.relation_mut(self.pred_of_rel[r], rel.arity());
+            for row in rel.rows_iter() {
+                dst.insert(row.to_vec());
+            }
+        }
+        out
+    }
+
+    /// The goal's answer relation over the current model: selection by
+    /// the goal's constants and repeated variables, projection onto its
+    /// distinct variables (no intermediate `Database`).
+    pub fn answer(&self) -> Relation {
+        self.goal_answer(&self.goal)
+    }
+
+    /// Number of live facts stored for `pred` (EDB or IDB), 0 if the
+    /// predicate is not tracked.
+    pub fn num_facts(&self, pred: Pred) -> usize {
+        self.rel_of_pred
+            .get(&pred)
+            .map_or(0, |&r| self.rels[r].num_live())
+    }
+
+    /// A snapshot of the recorded provenance (one justification per
+    /// derived live row), valid for the current state — justifications
+    /// recorded before an update stay valid afterwards because row ids
+    /// never move. O(store) clone.
+    pub fn provenance(&self) -> Provenance {
+        let body_rels = self
+            .plans
+            .iter()
+            .map(|p| p.steps.iter().map(|s| s.rel as u32).collect())
+            .collect();
+        Provenance::from_engine(
+            self.rels.clone(),
+            self.pred_of_rel.clone(),
+            self.rel_of_pred.clone(),
+            self.idb_rels.clone(),
+            body_rels,
+            self.prov
+                .clone()
+                .expect("Materialization always records justifications"),
+        )
+    }
+
+    // -----------------------------------------------------------------
+    // Updates
+    // -----------------------------------------------------------------
+
+    /// Inserts EDB facts and incrementally maintains the model: novel
+    /// rows become the next semi-naive delta and evaluation resumes from
+    /// the current fixpoint — no recompute. Returns the number of novel
+    /// rows stored. No-op (0) for predicates the program's rule bodies
+    /// do not mention, and for IDB predicates (both evaluators ignore
+    /// database facts under IDB predicates). Panics on arity mismatch.
+    pub fn insert_facts(&mut self, pred: Pred, rows: &[Tuple]) -> usize {
+        let Some(&rid) = self.rel_of_pred.get(&pred) else {
+            return 0;
+        };
+        if self.idb_flag[rid] {
+            return 0;
+        }
+        let mut novel = 0;
+        for t in rows {
+            if self.rels[rid].insert(t) {
+                novel += 1;
+            }
+        }
+        if novel > 0 {
+            self.run_update();
+        }
+        novel
+    }
+
+    /// Retracts EDB facts by delete–rederive (DRed) and incrementally
+    /// maintains the model. Returns the number of rows actually removed
+    /// (absent rows are skipped). No-op (0) for untracked or IDB
+    /// predicates.
+    ///
+    /// Over-deletion tombstones every derived row whose **recorded**
+    /// justification transitively uses a deleted row; rows that survive
+    /// have intact justification chains bottoming out in surviving EDB
+    /// rows, so they are genuinely still derivable. Each over-deleted
+    /// tuple is then checked for one-step derivability from the
+    /// remaining store (goal-directed, against lazily compiled
+    /// re-derivation plans); rescued tuples re-insert at fresh row ids
+    /// with their new justification and propagate through the normal
+    /// delta machinery, which re-derives any remaining consequences.
+    pub fn retract_facts(&mut self, pred: Pred, rows: &[Tuple]) -> usize {
+        let Some(&rid) = self.rel_of_pred.get(&pred) else {
+            return 0;
+        };
+        if self.idb_flag[rid] {
+            return 0;
+        }
+        // 1. Tombstone the EDB rows (the over-deletion seeds).
+        let mut worklist: Vec<(u32, u32)> = Vec::new();
+        for t in rows {
+            assert_eq!(t.len(), self.rels[rid].arity(), "tuple arity mismatch");
+            let r = self.rels[rid].find_row(t);
+            if r != NO_ROW && self.rels[rid].tombstone(r as usize) {
+                worklist.push((rid as u32, r));
+            }
+        }
+        let removed = worklist.len();
+        if removed == 0 {
+            return 0;
+        }
+
+        // 2. Over-delete: reverse-dependency closure over the recorded
+        // justifications. The reverse adjacency is built per call as a
+        // flat CSR over dense global row ids — two linear passes over
+        // the packed justification buffers, no hashing and no per-key
+        // allocation — so deep derivation chains close in one worklist
+        // pass. (Still O(total live justifications) per retract; a
+        // persistently maintained reverse index is a ROADMAP item.)
+        let mut candidates: Vec<(u32, u32)> = Vec::new();
+        {
+            let prov = self
+                .prov
+                .as_ref()
+                .expect("Materialization always records justifications");
+            // Dense global row ids: gid(rel, row) = base[rel] + row.
+            let mut base = Vec::with_capacity(self.rels.len());
+            let mut total = 0usize;
+            for rel in &self.rels {
+                base.push(total);
+                total += rel.num_rows();
+            }
+            // Pass 1: dependent count per body row → CSR offsets.
+            let mut off = vec![0u32; total + 1];
+            for &hrel in &self.idb_rels {
+                for hrow in 0..self.rels[hrel].num_rows() {
+                    if !self.rels[hrel].is_live(hrow) {
+                        continue;
+                    }
+                    let (rule, body) = prov[hrel].entry(hrow);
+                    for (k, &brow) in body.iter().enumerate() {
+                        let brel = self.plans[rule as usize].steps[k].rel;
+                        off[base[brel] + brow as usize + 1] += 1;
+                    }
+                }
+            }
+            for i in 1..off.len() {
+                off[i] += off[i - 1];
+            }
+            // Pass 2: fill the dependents, packed `(rel << 32) | row`.
+            let mut deps = vec![0u64; off[total] as usize];
+            let mut cur = off.clone();
+            for &hrel in &self.idb_rels {
+                for hrow in 0..self.rels[hrel].num_rows() {
+                    if !self.rels[hrel].is_live(hrow) {
+                        continue;
+                    }
+                    let (rule, body) = prov[hrel].entry(hrow);
+                    for (k, &brow) in body.iter().enumerate() {
+                        let brel = self.plans[rule as usize].steps[k].rel;
+                        let g = base[brel] + brow as usize;
+                        deps[cur[g] as usize] = ((hrel as u64) << 32) | u64::from(hrow as u32);
+                        cur[g] += 1;
+                    }
+                }
+            }
+            let mut i = 0;
+            while i < worklist.len() {
+                let (drel, drow) = worklist[i];
+                i += 1;
+                let g = base[drel as usize] + drow as usize;
+                for di in off[g]..off[g + 1] {
+                    let (hrel, hrow) = ((deps[di as usize] >> 32) as u32, deps[di as usize] as u32);
+                    if self.rels[hrel as usize].tombstone(hrow as usize) {
+                        worklist.push((hrel, hrow));
+                        candidates.push((hrel, hrow));
+                    }
+                }
+            }
+        }
+
+        // 3. Rescue: re-derive survivors from the remaining store. The
+        // watermarks already sit at the fixpoint (tombstoning changes no
+        // row count), so every rescued insert lands in the delta range
+        // and step 4 propagates it.
+        if !candidates.is_empty() {
+            self.ensure_rederive_plans();
+            self.extend_indexes();
+            let mut scratch = Scratch::default();
+            for &(crel, crow) in &candidates {
+                let tuple = self.rels[crel as usize].row(crow as usize).to_vec();
+                let mut probes = 0u64;
+                let found = self.rederive_row(crel as usize, &tuple, &mut scratch, &mut probes);
+                self.stats.join_probes += probes;
+                if let Some((rule, body_rows)) = found {
+                    self.rels[crel as usize].insert(&tuple);
+                    self.stats.rule_firings += 1;
+                    self.stats.tuples_derived += 1;
+                    self.prov.as_mut().expect("recording on")[crel as usize]
+                        .push(rule, &body_rows);
+                }
+            }
+        }
+
+        // 4. Propagate the rescues (re-deriving any remaining deleted
+        // consequences) through the normal update machinery.
+        self.run_update();
+        removed
+    }
+
+    // -----------------------------------------------------------------
+    // Fixpoint loops
+    // -----------------------------------------------------------------
+
+    /// The batch fixpoint (initial construction): identical code path —
+    /// and identical [`EvalStats`] — to the pre-materialization engine.
+    /// On exit every watermark is normalized to the store length, so
+    /// updates resume from "everything is old".
+    fn run_batch(&mut self) {
+        match self.strategy {
+            Strategy::SemiNaiveParallel { threads } if threads >= 2 => {
+                self.run_batch_parallel(threads, OVERSHARD * threads);
+            }
+            Strategy::SemiNaiveSharded { threads, shards } if threads >= 2 || shards >= 2 => {
+                self.run_batch_parallel(threads.max(1), shards.max(1));
+            }
+            // `threads <= 1` degenerates to the sequential code path,
+            // byte-for-byte: same loop, same buffers, same row ids.
+            s => self.run_batch_sequential(s.sequential_spec()),
+        }
+        for r in 0..self.rels.len() {
+            self.old_hi[r] = self.rels[r].num_rows();
+        }
+    }
+
+    fn run_batch_sequential(&mut self, strategy: Strategy) {
+        let mut scratch = Scratch::default();
+        let mut pending = PendingTuples::default();
+        let mut first = true;
+        loop {
+            self.stats.iterations += 1;
+            self.extend_indexes();
+
+            for pi in 0..self.plans.len() {
+                let plan = &self.plans[pi];
+                match strategy {
+                    Strategy::Naive => {
+                        self.eval_rule(pi, None, false, &mut scratch, &mut pending);
+                    }
+                    _ => {
+                        if plan.idb_steps.is_empty() {
+                            if first {
+                                self.eval_rule(pi, None, false, &mut scratch, &mut pending);
+                            }
+                        } else if !first {
+                            for di in 0..self.plans[pi].idb_steps.len() {
+                                let d = self.plans[pi].idb_steps[di];
+                                self.eval_rule(pi, Some(d), false, &mut scratch, &mut pending);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Merge: advance the watermarks to the current length, then
+            // append this iteration's new tuples — they become the delta.
+            for r in 0..self.rels.len() {
+                self.old_hi[r] = self.rels[r].num_rows();
+            }
+            let appended =
+                Self::merge_pending(&mut self.rels, &mut pending, self.prov.as_mut(), &self.plans);
+            self.stats.tuples_derived += appended;
+            if appended == 0 {
+                break;
+            }
+            self.profile.push(appended);
+            first = false;
+        }
+    }
+
+    /// The sharded batch fixpoint. Per iteration, every
+    /// `(rule, delta step)` pair becomes [`ShardTask`]s that partition
+    /// the **first join step's** row range (see
+    /// [`Materialization::shard0_range`]); the merge applies the staged
+    /// buffers in `(rule, delta, shard)` order, which — because shards
+    /// are top-down subranges of the first step's descending enumeration
+    /// — is exactly the sequential engine's staging order, so row ids,
+    /// justifications and [`EvalStats`] are identical at every thread
+    /// and shard count.
+    fn run_batch_parallel(&mut self, threads: usize, shards: usize) {
+        // Spawned on the first delta iteration (a fixpoint that converges
+        // on the seed rules never pays for threads) and dropped with this
+        // call: the spawn cost amortizes over the iterations of one
+        // evaluation. For sub-millisecond workloads the sequential
+        // strategy is the right tool; the counters are identical.
+        let mut pool: Option<ThreadPool> = None;
+        let mut scratch = Scratch::default();
+        let mut pending = PendingTuples::default();
+        // Recycled task slots: merged-out staging buffers and scratch
+        // space return here and are reused next iteration.
+        let mut spare: Vec<ShardTask> = Vec::new();
+        let mut first = true;
+        loop {
+            self.stats.iterations += 1;
+            self.extend_indexes();
+
+            let appended = if first {
+                // First iteration: only EDB-only rules fire (no deltas
+                // exist yet); identical to the sequential engine.
+                for pi in 0..self.plans.len() {
+                    if self.plans[pi].idb_steps.is_empty() {
+                        self.eval_rule(pi, None, false, &mut scratch, &mut pending);
+                    }
+                }
+                for r in 0..self.rels.len() {
+                    self.old_hi[r] = self.rels[r].num_rows();
+                }
+                Self::merge_pending(&mut self.rels, &mut pending, self.prov.as_mut(), &self.plans)
+            } else {
+                let items: Vec<(usize, usize)> = self
+                    .plans
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(pi, p)| p.idb_steps.iter().map(move |&d| (pi, d)))
+                    .collect();
+                self.parallel_round(&mut pool, threads, shards, &mut spare, &items, false)
+            };
+            self.stats.tuples_derived += appended;
+            if appended == 0 {
+                break;
+            }
+            self.profile.push(appended);
+            first = false;
+        }
+    }
+
+    /// The incremental fixpoint: resumes semi-naive evaluation from the
+    /// current watermarks. Delta candidates are **every** body step over
+    /// a relation that has grown — EDB steps included, which is how
+    /// freshly inserted facts (and DRed rescues) enter the join — under
+    /// the same "last delta occurrence" convention as the batch engine.
+    /// After the first round the EDB deltas are consumed and the loop is
+    /// ordinary semi-naive over the derived deltas.
+    fn run_update(&mut self) {
+        match self.strategy {
+            Strategy::SemiNaiveParallel { threads } if threads >= 2 => {
+                self.run_update_parallel(threads, OVERSHARD * threads);
+            }
+            Strategy::SemiNaiveSharded { threads, shards } if threads >= 2 || shards >= 2 => {
+                self.run_update_parallel(threads.max(1), shards.max(1));
+            }
+            // Updates are delta-driven by nature; a Naive-strategy
+            // materialization updates through the same machinery.
+            _ => self.run_update_sequential(),
+        }
+    }
+
+    /// The `(rule, body step)` pairs whose step relation has unconsumed
+    /// delta rows, in deterministic `(rule, step)` order.
+    fn update_items(&self) -> Vec<(usize, usize)> {
+        let mut items = Vec::new();
+        for (pi, plan) in self.plans.iter().enumerate() {
+            for (d, step) in plan.steps.iter().enumerate() {
+                if self.rels[step.rel].num_rows() > self.old_hi[step.rel] {
+                    items.push((pi, d));
+                }
+            }
+        }
+        items
+    }
+
+    fn run_update_sequential(&mut self) {
+        let mut scratch = Scratch::default();
+        let mut pending = PendingTuples::default();
+        loop {
+            let items = self.update_items();
+            if items.is_empty() {
+                break;
+            }
+            self.stats.iterations += 1;
+            self.extend_indexes();
+            for &(pi, d) in &items {
+                self.eval_rule(pi, Some(d), true, &mut scratch, &mut pending);
+            }
+            for r in 0..self.rels.len() {
+                self.old_hi[r] = self.rels[r].num_rows();
+            }
+            let appended =
+                Self::merge_pending(&mut self.rels, &mut pending, self.prov.as_mut(), &self.plans);
+            self.stats.tuples_derived += appended;
+            if appended == 0 {
+                break;
+            }
+            self.profile.push(appended);
+        }
+    }
+
+    fn run_update_parallel(&mut self, threads: usize, shards: usize) {
+        let mut pool: Option<ThreadPool> = None;
+        let mut spare: Vec<ShardTask> = Vec::new();
+        loop {
+            let items = self.update_items();
+            if items.is_empty() {
+                break;
+            }
+            self.stats.iterations += 1;
+            self.extend_indexes();
+            let appended =
+                self.parallel_round(&mut pool, threads, shards, &mut spare, &items, true);
+            self.stats.tuples_derived += appended;
+            if appended == 0 {
+                break;
+            }
+            self.profile.push(appended);
+        }
+    }
+
+    /// The row range the parallel shards partition for rule `pi` with
+    /// delta at step `d`: the delta range when the delta step is the
+    /// first body atom, the first step's **full** snapshot range
+    /// otherwise — so shards partition the pre-delta probe work instead
+    /// of duplicating it (the ROADMAP's mid-body delta item, E5's
+    /// shape). Either way the shards are top-down subranges of the
+    /// sequential engine's descending depth-0 enumeration, which is what
+    /// keeps the merge order — and hence row ids and justifications —
+    /// sequential-identical.
+    fn shard0_range(&self, pi: usize, d: usize) -> (usize, usize) {
+        let step0 = &self.plans[pi].steps[0];
+        if d == 0 {
+            (self.old_hi[step0.rel], self.rels[step0.rel].num_rows())
+        } else {
+            (0, self.rels[step0.rel].num_rows())
+        }
+    }
+
+    /// Runs one parallel iteration over `items`, returning the number of
+    /// rows appended. Builds shard tasks, executes them on the pool,
+    /// accounts counters (lead-shard `pre`, summed `post`), advances the
+    /// watermarks and merges in deterministic task order.
+    fn parallel_round(
+        &mut self,
+        pool: &mut Option<ThreadPool>,
+        threads: usize,
+        shards: usize,
+        spare: &mut Vec<ShardTask>,
+        items: &[(usize, usize)],
+        update: bool,
+    ) -> u64 {
+        let mut tasks: Vec<ShardTask> = Vec::new();
+        for &(pi, d) in items {
+            let (slo, shi) = self.shard0_range(pi, d);
+            for (si, &(lo, hi)) in shard_ranges(slo, shi, shards).iter().enumerate() {
+                // The lead shard always runs (it accounts the depth-0
+                // probe even over an empty range, exactly like the
+                // sequential engine); empty trailing shards contribute
+                // nothing.
+                if si > 0 && lo == hi {
+                    continue;
+                }
+                let mut t = spare.pop().unwrap_or_default();
+                t.plan_i = pi;
+                t.delta_pos = d;
+                t.range = (lo, hi);
+                t.lead = si == 0;
+                t.counters = Counters::default();
+                // t.pending was cleared by the last merge; t.scratch
+                // keeps its capacity.
+                tasks.push(t);
+            }
+        }
+        {
+            let plans = &self.plans;
+            let rels = &self.rels;
+            let idxs = &self.idxs;
+            let old_hi = &self.old_hi;
+            let record = self.prov.is_some();
+            let pool = pool.get_or_insert_with(|| ThreadPool::new(threads));
+            pool.scope(|s| {
+                for t in tasks.iter_mut() {
+                    s.execute(move || {
+                        let ShardTask {
+                            plan_i,
+                            delta_pos,
+                            range,
+                            scratch,
+                            pending,
+                            counters,
+                            ..
+                        } = t;
+                        eval_rule_shard(
+                            plans,
+                            rels,
+                            idxs,
+                            old_hi,
+                            *plan_i,
+                            Some(*delta_pos),
+                            Some(*range),
+                            update,
+                            record,
+                            scratch,
+                            pending,
+                            counters,
+                        );
+                    });
+                }
+            });
+        }
+        for t in &tasks {
+            if t.lead {
+                self.stats.join_probes += t.counters.pre;
+            }
+            self.stats.join_probes += t.counters.post;
+            self.stats.rule_firings += t.counters.firings;
+        }
+        for r in 0..self.rels.len() {
+            self.old_hi[r] = self.rels[r].num_rows();
+        }
+        // Deterministic merge: staged buffers in task order = (rule,
+        // delta step, shard top-down) = the sequential staging order, so
+        // the first staged copy of a row — whose justification the merge
+        // keeps — is the same one the sequential engine finds.
+        let mut appended = 0u64;
+        for t in &mut tasks {
+            appended +=
+                Self::merge_pending(&mut self.rels, &mut t.pending, self.prov.as_mut(), &self.plans);
+        }
+        spare.append(&mut tasks);
+        appended
+    }
+
+    /// Extends the per-`(relation, mask)` indexes over the rows that
+    /// became visible at the last merge (incremental: only the delta
+    /// rows are hashed). Unkeyed steps have no index at all
+    /// ([`NO_INDEX`]): the join scans their row range directly.
+    fn extend_indexes(&mut self) {
+        for idx in &mut self.idxs {
+            idx.extend(&self.rels[idx.rel()]);
+        }
+    }
+
+    /// Merges one staging buffer into the relations, deduplicating;
+    /// returns how many rows were actually appended. With provenance
+    /// recording on, the staged justification of each tuple that
+    /// actually inserts (the first staged copy in merge order) is
+    /// appended to the head relation's justification store.
+    fn merge_pending(
+        rels: &mut [ColumnarRelation],
+        pending: &mut PendingTuples,
+        prov: Option<&mut Vec<RelJust>>,
+        plans: &[RulePlan],
+    ) -> u64 {
+        let mut appended = 0u64;
+        let mut off = 0;
+        match prov {
+            None => {
+                for &rid in &pending.rels {
+                    let rel = &mut rels[rid as usize];
+                    let ar = rel.arity();
+                    if rel.insert(&pending.data[off..off + ar]) {
+                        appended += 1;
+                    }
+                    off += ar;
+                }
+            }
+            Some(prov) => {
+                let mut joff = 0;
+                for &rid in &pending.rels {
+                    let rel = &mut rels[rid as usize];
+                    let ar = rel.arity();
+                    let rule = pending.just[joff];
+                    let blen = plans[rule as usize].steps.len();
+                    if rel.insert(&pending.data[off..off + ar]) {
+                        appended += 1;
+                        prov[rid as usize]
+                            .push(rule, &pending.just[joff + 1..joff + 1 + blen]);
+                    }
+                    off += ar;
+                    joff += 1 + blen;
+                }
+                pending.just.clear();
+            }
+        }
+        pending.data.clear();
+        pending.rels.clear();
+        appended
+    }
+
+    /// Evaluates one rule with an optional delta position over the full
+    /// first-step range (the sequential engines' unit of work).
+    fn eval_rule(
+        &mut self,
+        plan_i: usize,
+        delta_pos: Option<usize>,
+        update: bool,
+        scratch: &mut Scratch,
+        pending: &mut PendingTuples,
+    ) {
+        let mut counters = Counters::default();
+        eval_rule_shard(
+            &self.plans,
+            &self.rels,
+            &self.idxs,
+            &self.old_hi,
+            plan_i,
+            delta_pos,
+            None,
+            update,
+            self.prov.is_some(),
+            scratch,
+            pending,
+            &mut counters,
+        );
+        self.stats.join_probes += counters.pre + counters.post;
+        self.stats.rule_firings += counters.firings;
+    }
+
+    // -----------------------------------------------------------------
+    // Re-derivation (the DRed rescue phase)
+    // -----------------------------------------------------------------
+
+    fn ensure_rederive_plans(&mut self) {
+        if self.rederive.is_some() {
+            return;
+        }
+        let plans = self
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(ri, r)| {
+                compile_rederive(ri, r, &self.rel_of_pred, &mut self.idxs, &mut self.idx_of)
+            })
+            .collect();
+        self.rederive = Some(plans);
+    }
+
+    /// Checks whether `tuple` (of relation `rel`) is derivable in one
+    /// rule application from the current live store; returns the rule
+    /// and body row ids of the first derivation found. Goal-directed:
+    /// the head binds the rule slots up front, so the body join is
+    /// keyed on them.
+    fn rederive_row(
+        &self,
+        rel: usize,
+        tuple: &[Const],
+        scratch: &mut Scratch,
+        probes: &mut u64,
+    ) -> Option<(u32, Vec<u32>)> {
+        let plans = self.rederive.as_ref().expect("compiled before rescue");
+        'plans: for plan in plans.iter().filter(|p| p.head_rel == rel) {
+            scratch.env.clear();
+            scratch.env.resize(plan.num_slots, Const(0));
+            for (i, op) in plan.head.iter().enumerate() {
+                match *op {
+                    HeadOp::Const(c) => {
+                        if tuple[i] != c {
+                            continue 'plans;
+                        }
+                    }
+                    HeadOp::First(s) => scratch.env[s] = tuple[i],
+                    HeadOp::Repeat(s) => {
+                        if scratch.env[s] != tuple[i] {
+                            continue 'plans;
+                        }
+                    }
+                }
+            }
+            scratch.rows.clear();
+            scratch.rows.resize(plan.steps.len(), 0);
+            if rederive_descend(
+                &plan.steps,
+                0,
+                &self.rels,
+                &self.idxs,
+                scratch,
+                probes,
+            ) {
+                return Some((plan.rule, scratch.rows[..plan.steps.len()].to_vec()));
+            }
+        }
+        None
+    }
+
+    // -----------------------------------------------------------------
+    // Read-out (used by the thin eval wrappers)
+    // -----------------------------------------------------------------
+
+    /// Applies a goal directly over the columnar rows of the goal
+    /// predicate (no intermediate `Database`).
+    pub(crate) fn goal_answer(&self, goal: &Atom) -> Relation {
+        let (ops, nvars) = eval::goal_plan(goal);
+        match self.rel_of_pred.get(&goal.pred) {
+            Some(&rid) if self.idb_flag[rid] => {
+                eval::select_project(&ops, nvars, self.rels[rid].rows_iter())
+            }
+            _ => Relation::new(nvars),
+        }
+    }
+
+    /// Per-iteration appended-fact counts (the convergence profile).
+    pub(crate) fn profile(&self) -> &[u64] {
+        &self.profile
+    }
+
+    pub(crate) fn into_result(self) -> EvalResult {
+        EvalResult {
+            idb: self.idb_database(),
+            stats: self.stats,
+        }
+    }
+
+    pub(crate) fn into_provenance_result(self) -> ProvenanceResult {
+        // Per rule: the dense relation id of each body atom (what the
+        // justification body row ids index into).
+        let body_rels = self
+            .plans
+            .iter()
+            .map(|p| p.steps.iter().map(|s| s.rel as u32).collect())
+            .collect();
+        let provenance = Provenance::from_engine(
+            self.rels,
+            self.pred_of_rel,
+            self.rel_of_pred,
+            self.idb_rels,
+            body_rels,
+            self.prov.expect("provenance recording was on"),
+        );
+        ProvenanceResult {
+            stats: self.stats,
+            provenance,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule compilation
+// ---------------------------------------------------------------------
+
+/// Compiles one body atom against the slot state: the index mask (bound
+/// positions), probe key ops and bind/check actions, registering the
+/// `(relation, mask)` index it probes. `bound_slots` is updated with the
+/// slots this atom binds.
+fn compile_step(
+    atom: &Atom,
+    rel: usize,
+    slots: &mut FxHashMap<Var, usize>,
+    bound_slots: &mut Vec<bool>,
+    idb: bool,
+    idxs: &mut Vec<IncrementalIndex>,
+    idx_of: &mut FxHashMap<(usize, Vec<usize>), usize>,
+) -> Step {
+    let mut mask: Vec<usize> = Vec::new();
+    let mut key: Vec<KeyOp> = Vec::new();
+    let mut actions: Vec<Action> = Vec::new();
+    let mut seen_here: Vec<usize> = Vec::new();
+    for (i, t) in atom.args.iter().enumerate() {
+        match t {
+            Term::Const(c) => {
+                mask.push(i);
+                key.push(KeyOp::Const(*c));
+            }
+            Term::Var(v) => {
+                let next = slots.len();
+                let s = *slots.entry(*v).or_insert(next);
+                if s >= bound_slots.len() {
+                    bound_slots.resize(s + 1, false);
+                }
+                if bound_slots[s] {
+                    // Bound by an earlier atom (or the re-derivation
+                    // head): part of the index key; the probe guarantees
+                    // equality, so no action.
+                    mask.push(i);
+                    key.push(KeyOp::Slot(s));
+                } else if seen_here.contains(&s) {
+                    // Repeat within this atom: a filter, not a key
+                    // component (mirrors the reference mask exactly).
+                    actions.push(Action::Check { pos: i, slot: s });
+                } else {
+                    seen_here.push(s);
+                    actions.push(Action::Bind { pos: i, slot: s });
+                }
+            }
+        }
+    }
+    for &s in &seen_here {
+        bound_slots[s] = true;
+    }
+    // Unkeyed steps scan their snapshot range directly — an empty-mask
+    // index would never be extended or probed, so none is registered.
+    let idx = if mask.is_empty() {
+        NO_INDEX
+    } else {
+        *idx_of.entry((rel, mask.clone())).or_insert_with(|| {
+            idxs.push(IncrementalIndex::new(rel, mask));
+            idxs.len() - 1
+        })
+    };
+    Step {
+        rel,
+        idx,
+        idb,
+        key: key.into_boxed_slice(),
+        actions: actions.into_boxed_slice(),
+    }
+}
+
+/// Compiles one rule against the dense relation table, registering the
+/// `(relation, mask)` indexes it probes.
+///
+/// The slot numbering and mask (bound-position) computation mirror
+/// [`crate::reference`] exactly — the index masks determine the
+/// `join_probes` counter, which must stay bit-for-bit stable.
+fn compile_rule(
+    rule: &Rule,
+    idbs: &[Pred],
+    rel_of_pred: &FxHashMap<Pred, usize>,
+    idxs: &mut Vec<IncrementalIndex>,
+    idx_of: &mut FxHashMap<(usize, Vec<usize>), usize>,
+) -> RulePlan {
+    let mut slots: FxHashMap<Var, usize> = FxHashMap::default();
+    let mut bound_slots: Vec<bool> = Vec::new();
+    let mut steps = Vec::new();
+    let mut idb_steps = Vec::new();
+    for (ai, atom) in rule.body.iter().enumerate() {
+        let rel = rel_of_pred[&atom.pred];
+        let idb = idbs.contains(&atom.pred);
+        if idb {
+            idb_steps.push(ai);
+        }
+        steps.push(compile_step(
+            atom,
+            rel,
+            &mut slots,
+            &mut bound_slots,
+            idb,
+            idxs,
+            idx_of,
+        ));
+    }
+    let head = rule
+        .head
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Out::Const(*c),
+            Term::Var(v) => Out::Slot(*slots.get(v).expect("safe rule binds head slots")),
+        })
+        .collect();
+    RulePlan {
+        head_rel: rel_of_pred[&rule.head.pred],
+        head,
+        steps: steps.into_boxed_slice(),
+        num_slots: slots.len(),
+        idb_steps: idb_steps.into_boxed_slice(),
+    }
+}
+
+/// Compiles one rule for goal-directed re-derivation: head variables are
+/// slots bound from depth 0 (the candidate tuple is the input), so the
+/// body step masks include them and the join is keyed on the head.
+fn compile_rederive(
+    rule_i: usize,
+    rule: &Rule,
+    rel_of_pred: &FxHashMap<Pred, usize>,
+    idxs: &mut Vec<IncrementalIndex>,
+    idx_of: &mut FxHashMap<(usize, Vec<usize>), usize>,
+) -> RederivePlan {
+    let mut slots: FxHashMap<Var, usize> = FxHashMap::default();
+    let mut bound_slots: Vec<bool> = Vec::new();
+    let head = rule
+        .head
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => HeadOp::Const(*c),
+            Term::Var(v) => {
+                let next = slots.len();
+                let s = *slots.entry(*v).or_insert(next);
+                if s >= bound_slots.len() {
+                    bound_slots.resize(s + 1, false);
+                }
+                if bound_slots[s] {
+                    HeadOp::Repeat(s)
+                } else {
+                    bound_slots[s] = true;
+                    HeadOp::First(s)
+                }
+            }
+        })
+        .collect();
+    let steps = rule
+        .body
+        .iter()
+        .map(|atom| {
+            // `idb` is irrelevant here (re-derivation always reads the
+            // full live store); pass false so snapshots never apply.
+            compile_step(
+                atom,
+                rel_of_pred[&atom.pred],
+                &mut slots,
+                &mut bound_slots,
+                false,
+                idxs,
+                idx_of,
+            )
+        })
+        .collect();
+    RederivePlan {
+        rule: rule_i as u32,
+        head_rel: rel_of_pred[&rule.head.pred],
+        head,
+        steps,
+        num_slots: slots.len(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The join
+// ---------------------------------------------------------------------
+
+/// Evaluates one rule with an optional delta position, the first join
+/// step optionally restricted to the row subrange `shard0` (the parallel
+/// engine's unit of work; `None` sequentially). `update` applies the
+/// watermark snapshot convention to EDB steps too (incremental rounds).
+/// Shared state is read-only, so any number of shards may run
+/// concurrently; derived rows go to the caller's staging buffer and
+/// counters.
+#[allow(clippy::too_many_arguments)]
+fn eval_rule_shard(
+    plans: &[RulePlan],
+    rels: &[ColumnarRelation],
+    idxs: &[IncrementalIndex],
+    old_hi: &[usize],
+    plan_i: usize,
+    delta_pos: Option<usize>,
+    shard0: Option<(usize, usize)>,
+    update: bool,
+    record: bool,
+    scratch: &mut Scratch,
+    pending: &mut PendingTuples,
+    counters: &mut Counters,
+) {
+    let plan = &plans[plan_i];
+    scratch.env.resize(plan.num_slots, Const(0));
+    scratch.rows.resize(plan.steps.len(), 0);
+    let ctx = JoinCtx {
+        rels,
+        idxs,
+        old_hi,
+        delta_pos,
+        shard0,
+        update,
+        plan_i,
+        record,
+    };
+    descend(plan, 0, &ctx, scratch, pending, counters);
+}
+
+/// Borrowed engine state for one rule-evaluation pass.
+struct JoinCtx<'a> {
+    rels: &'a [ColumnarRelation],
+    idxs: &'a [IncrementalIndex],
+    old_hi: &'a [usize],
+    delta_pos: Option<usize>,
+    /// Row-range restriction of the **first** join step (one shard of
+    /// the parallel engine's depth-0 partition; `None` sequentially).
+    shard0: Option<(usize, usize)>,
+    /// Incremental round: watermark snapshots apply to every step, EDB
+    /// included (the batch engine's EDB relations never change, so its
+    /// EDB steps always read the full relation).
+    update: bool,
+    /// Index of the plan being evaluated (= the rule index).
+    plan_i: usize,
+    /// Whether to stage justifications alongside derived tuples.
+    record: bool,
+}
+
+/// Recursive backtracking join over the plan steps. Slots are bound by
+/// overwriting (`Action::Bind`); no unbinding is needed on backtrack
+/// because the plan guarantees every slot read happens at a depth after
+/// its binding depth, and the next row at the binding depth overwrites.
+fn descend(
+    plan: &RulePlan,
+    depth: usize,
+    ctx: &JoinCtx<'_>,
+    scratch: &mut Scratch,
+    pending: &mut PendingTuples,
+    counters: &mut Counters,
+) {
+    if depth == plan.steps.len() {
+        counters.firings += 1;
+        scratch.head.clear();
+        for op in plan.head.iter() {
+            scratch.head.push(match *op {
+                Out::Const(c) => c,
+                Out::Slot(s) => scratch.env[s],
+            });
+        }
+        // Only buffer tuples not already in the relation (the merge
+        // dedups again; this keeps the pending buffer small).
+        if !ctx.rels[plan.head_rel].contains(&scratch.head) {
+            pending.data.extend_from_slice(&scratch.head);
+            pending.rels.push(plan.head_rel as u32);
+            if ctx.record {
+                // The justification, packed: this rule, then the row
+                // matched at each join depth (body-atom order).
+                pending.just.push(ctx.plan_i as u32);
+                pending
+                    .just
+                    .extend_from_slice(&scratch.rows[..plan.steps.len()]);
+            }
+        }
+        return;
+    }
+    let step = &plan.steps[depth];
+    let rel = &ctx.rels[step.rel];
+
+    // Snapshot row range for this step ("last delta occurrence"
+    // convention: steps before the delta read the full relation, the
+    // delta step reads its delta range, steps after read [0, old_hi)).
+    // Batch rounds apply it to IDB steps only; incremental rounds to
+    // every step.
+    let (lo, hi) = if !(step.idb || ctx.update) {
+        (0, rel.num_rows())
+    } else {
+        match ctx.delta_pos {
+            None => (0, rel.num_rows()),
+            Some(d) if depth == d => (ctx.old_hi[step.rel], rel.num_rows()),
+            Some(d) if depth < d => (0, rel.num_rows()),
+            Some(_) => (0, ctx.old_hi[step.rel]),
+        }
+    };
+    // A parallel shard restricts the first step to its subrange (the
+    // subranges partition exactly the range computed above).
+    let (lo, hi) = match ctx.shard0 {
+        Some(r) if depth == 0 => r,
+        _ => (lo, hi),
+    };
+
+    // The depth-0 probe is identical in every shard (`pre`, accounted
+    // once from the lead shard); deeper probes are partitioned by the
+    // first step's rows (`post`, summed across shards).
+    if depth == 0 {
+        counters.pre += 1;
+    } else {
+        counters.post += 1;
+    }
+
+    if step.key.is_empty() {
+        // Unkeyed step: the empty-mask chain is exactly the rows in
+        // descending id order, so scan the range directly — no index
+        // traversal, and (for a sharded first step) no walking through
+        // other shards' rows to reach this shard's.
+        for r in (lo..hi).rev() {
+            match_row(plan, step, rel, r, depth, ctx, scratch, pending, counters);
+        }
+        return;
+    }
+
+    let idx = &ctx.idxs[step.idx];
+    scratch.key.clear();
+    for op in step.key.iter() {
+        scratch.key.push(match *op {
+            KeyOp::Const(c) => c,
+            KeyOp::Slot(s) => scratch.env[s],
+        });
+    }
+    let mut row = idx.probe(rel, &scratch.key);
+    // Chains are newest-first (strictly decreasing row ids): skip rows
+    // above the snapshot, stop below it.
+    while row != NO_ROW && row as usize >= hi {
+        row = idx.next_row(row);
+    }
+    while row != NO_ROW {
+        let r = row as usize;
+        if r < lo {
+            break;
+        }
+        match_row(plan, step, rel, r, depth, ctx, scratch, pending, counters);
+        row = idx.next_row(row);
+    }
+}
+
+/// Applies one matched row's bind/check actions and, if they pass,
+/// descends to the next step. Returns whether the actions passed.
+/// Tombstoned rows never match (index chains keep addressing them, but
+/// they are no longer facts).
+#[allow(clippy::too_many_arguments)]
+fn match_row(
+    plan: &RulePlan,
+    step: &Step,
+    rel: &ColumnarRelation,
+    r: usize,
+    depth: usize,
+    ctx: &JoinCtx<'_>,
+    scratch: &mut Scratch,
+    pending: &mut PendingTuples,
+    counters: &mut Counters,
+) -> bool {
+    if !rel.is_live(r) {
+        return false;
+    }
+    for a in step.actions.iter() {
+        match *a {
+            Action::Bind { pos, slot } => scratch.env[slot] = rel.value(r, pos),
+            Action::Check { pos, slot } => {
+                if scratch.env[slot] != rel.value(r, pos) {
+                    return false;
+                }
+            }
+        }
+    }
+    // Derivation coordinate for provenance staging (one word; cheaper
+    // than branching on the recording flag here).
+    scratch.rows[depth] = r as u32;
+    descend(plan, depth + 1, ctx, scratch, pending, counters);
+    true
+}
+
+/// Backtracking search for **one** body instantiation of a re-derivation
+/// plan over the full live store; row ids land in `scratch.rows`.
+/// Returns on the first success. Body depths are small (rule body
+/// length), so recursion is fine here.
+fn rederive_descend(
+    steps: &[Step],
+    depth: usize,
+    rels: &[ColumnarRelation],
+    idxs: &[IncrementalIndex],
+    scratch: &mut Scratch,
+    probes: &mut u64,
+) -> bool {
+    if depth == steps.len() {
+        return true;
+    }
+    let step = &steps[depth];
+    let rel = &rels[step.rel];
+    *probes += 1;
+
+    let try_row = |r: usize, scratch: &mut Scratch| -> bool {
+        if !rel.is_live(r) {
+            return false;
+        }
+        for a in step.actions.iter() {
+            match *a {
+                Action::Bind { pos, slot } => scratch.env[slot] = rel.value(r, pos),
+                Action::Check { pos, slot } => {
+                    if scratch.env[slot] != rel.value(r, pos) {
+                        return false;
+                    }
+                }
+            }
+        }
+        scratch.rows[depth] = r as u32;
+        true
+    };
+
+    if step.key.is_empty() {
+        for r in (0..rel.num_rows()).rev() {
+            if try_row(r, scratch) && rederive_descend(steps, depth + 1, rels, idxs, scratch, probes)
+            {
+                return true;
+            }
+        }
+        return false;
+    }
+    scratch.key.clear();
+    for op in step.key.iter() {
+        scratch.key.push(match *op {
+            KeyOp::Const(c) => c,
+            KeyOp::Slot(s) => scratch.env[s],
+        });
+    }
+    // The key is only needed for the probe itself; deeper levels are
+    // free to reuse the buffer.
+    let mut row = idxs[step.idx].probe(rel, &scratch.key);
+    while row != NO_ROW {
+        let r = row as usize;
+        if try_row(r, scratch) && rederive_descend(steps, depth + 1, rels, idxs, scratch, probes) {
+            return true;
+        }
+        row = idxs[step.idx].next_row(row);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::reference;
+
+    const SRC_A: &str = "?- anc(john, Y).\n\
+                         anc(X, Y) :- par(X, Y).\n\
+                         anc(X, Y) :- anc(X, Z), par(Z, Y).";
+
+    fn chain_edges(p: &mut Program, n: usize) -> Vec<Tuple> {
+        let mut prev = p.symbols.constant("john");
+        (1..=n)
+            .map(|i| {
+                let c = p.symbols.constant(&format!("c{i}"));
+                let t = vec![prev, c];
+                prev = c;
+                t
+            })
+            .collect()
+    }
+
+    /// Sorted `(pred, tuples)` view of a Database for comparisons.
+    fn sorted_model(db: &Database) -> Vec<(Pred, Vec<Tuple>)> {
+        db.sorted_models()
+    }
+
+    /// The from-scratch executable spec: reference engine on the mirror.
+    fn spec_idb(p: &Program, db: &Database) -> Vec<(Pred, Vec<Tuple>)> {
+        reference::evaluate(p, db, Strategy::SemiNaive).idb.sorted_models()
+    }
+
+    #[test]
+    fn insert_resumes_instead_of_recomputing() {
+        let mut p = parse_program(SRC_A).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain_edges(&mut p, 6);
+        let mut db = Database::new();
+        for e in &edges[..3] {
+            db.insert(par, e.clone());
+        }
+        let mut m = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+        assert_eq!(m.answer().len(), 3);
+        let before = m.stats();
+
+        // Absorb the rest of the chain one edge at a time, and total up
+        // what a non-incremental system would pay: a full recompute
+        // after every update.
+        let mut mirror = db.clone();
+        let mut recompute_work = 0u64;
+        for e in &edges[3..] {
+            assert_eq!(m.insert_facts(par, std::slice::from_ref(e)), 1);
+            mirror.insert(par, e.clone());
+            assert_eq!(sorted_model(&m.idb_database()), spec_idb(&p, &mirror));
+            recompute_work += crate::eval::evaluate(&p, &mirror, Strategy::SemiNaive)
+                .stats
+                .work();
+        }
+        assert_eq!(m.answer().len(), 6);
+        // The updates resumed from the fixpoint instead of recomputing.
+        let update_work = m.stats().work() - before.work();
+        assert!(
+            update_work < recompute_work,
+            "update cost {update_work} should undercut per-update recomputes {recompute_work}"
+        );
+        // Duplicate inserts are no-ops.
+        assert_eq!(m.insert_facts(par, &edges), 0);
+        m.provenance().check(&p).expect("justifications stay valid");
+    }
+
+    #[test]
+    fn insert_on_idb_or_unknown_predicates_is_a_noop() {
+        let mut p = parse_program(SRC_A).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let anc = p.symbols.get_predicate("anc").unwrap();
+        let stranger = p.symbols.predicate("unrelated");
+        let a = p.symbols.constant("a");
+        let b = p.symbols.constant("b");
+        let mut m = Materialization::new(&p, Strategy::SemiNaive);
+        assert_eq!(m.insert_facts(anc, &[vec![a, b]]), 0, "IDB facts ignored");
+        assert_eq!(m.insert_facts(stranger, &[vec![a, b]]), 0, "untracked pred");
+        assert_eq!(m.retract_facts(anc, &[vec![a, b]]), 0);
+        assert_eq!(m.retract_facts(stranger, &[vec![a, b]]), 0);
+        assert_eq!(m.num_facts(anc), 0);
+        assert_eq!(m.insert_facts(par, &[vec![a, b]]), 1);
+        assert_eq!(m.num_facts(anc), 1);
+        assert_eq!(m.num_facts(par), 1);
+    }
+
+    #[test]
+    fn retract_cascades_through_derived_facts() {
+        let mut p = parse_program(SRC_A).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain_edges(&mut p, 5);
+        let mut db = Database::new();
+        for e in &edges {
+            db.insert(par, e.clone());
+        }
+        let mut m = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+        assert_eq!(m.answer().len(), 5);
+        // Cut the chain in the middle: everything past c2 is gone.
+        assert_eq!(m.retract_facts(par, std::slice::from_ref(&edges[2])), 1);
+        let mut mirror = db.clone();
+        mirror.remove(par, &edges[2]);
+        assert_eq!(sorted_model(&m.idb_database()), spec_idb(&p, &mirror));
+        assert_eq!(m.answer().len(), 2);
+        m.provenance().check(&p).expect("surviving justifications valid");
+        // Retracting an absent fact is a no-op.
+        assert_eq!(m.retract_facts(par, std::slice::from_ref(&edges[2])), 0);
+    }
+
+    #[test]
+    fn retract_rescues_facts_with_alternative_derivations() {
+        // The classic DRed diamond: p(a) holds via e(a) AND via f(a).
+        // Its recorded justification uses e(a); retracting e(a) must
+        // over-delete p(a) and then rescue it through f(a), with the
+        // new justification recorded.
+        let mut p = parse_program(
+            "?- p(Y).\n\
+             p(X) :- e(X).\n\
+             p(X) :- f(X).\n\
+             q(X) :- p(X), g(X).",
+        )
+        .unwrap();
+        let e = p.symbols.get_predicate("e").unwrap();
+        let f = p.symbols.get_predicate("f").unwrap();
+        let g = p.symbols.get_predicate("g").unwrap();
+        let pp = p.symbols.get_predicate("p").unwrap();
+        let q = p.symbols.get_predicate("q").unwrap();
+        let a = p.symbols.constant("a");
+        let mut db = Database::new();
+        db.insert(e, vec![a]);
+        db.insert(f, vec![a]);
+        db.insert(g, vec![a]);
+        let mut m = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+        let prov = m.provenance();
+        let pa = crate::derivation::GroundAtom { pred: pp, args: vec![a] };
+        assert_eq!(prov.justification(&pa).map(|(r, _)| r), Some(0), "via e");
+
+        assert_eq!(m.retract_facts(e, &[vec![a]]), 1);
+        let mut mirror = db.clone();
+        mirror.remove(e, &vec![a]);
+        assert_eq!(sorted_model(&m.idb_database()), spec_idb(&p, &mirror));
+        let idb = m.idb_database();
+        assert!(idb.relation(pp).unwrap().contains(&[a]), "p(a) rescued");
+        assert!(idb.relation(q).unwrap().contains(&[a]), "q(a) survives too");
+        let prov = m.provenance();
+        prov.check(&p).expect("rescued justification is valid");
+        assert_eq!(prov.justification(&pa).map(|(r, _)| r), Some(1), "now via f");
+
+        // Retract the second support: now everything goes.
+        assert_eq!(m.retract_facts(f, &[vec![a]]), 1);
+        mirror.remove(f, &vec![a]);
+        assert_eq!(sorted_model(&m.idb_database()), spec_idb(&p, &mirror));
+        assert_eq!(m.num_facts(pp), 0);
+        assert_eq!(m.num_facts(q), 0);
+    }
+
+    #[test]
+    fn insert_then_retract_restores_the_store() {
+        let mut p = parse_program(SRC_A).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain_edges(&mut p, 8);
+        let mut db = Database::new();
+        for e in &edges[..4] {
+            db.insert(par, e.clone());
+        }
+        let mut m = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+        let snapshot = sorted_model(&m.database());
+        m.insert_facts(par, &edges[4..]);
+        assert_ne!(sorted_model(&m.database()), snapshot);
+        m.retract_facts(par, &edges[4..]);
+        assert_eq!(
+            sorted_model(&m.database()),
+            snapshot,
+            "retracting the inserted rows restores the pre-insert store"
+        );
+        m.provenance().check(&p).expect("valid after the round trip");
+    }
+
+    #[test]
+    fn update_sequences_are_strategy_independent() {
+        // The same op sequence under every strategy yields the same
+        // store — and, because shards merge in sequential order, the
+        // same provenance bit-for-bit for the semi-naive family.
+        let mut p = parse_program(SRC_A).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain_edges(&mut p, 9);
+        let mut db = Database::new();
+        for e in &edges[..5] {
+            db.insert(par, e.clone());
+        }
+        let run = |strategy: Strategy| {
+            let mut m = Materialization::from_database(&p, &db, strategy);
+            m.insert_facts(par, &edges[5..]);
+            m.retract_facts(par, &edges[2..4]);
+            m.insert_facts(par, &edges[2..3]);
+            m
+        };
+        let seq = run(Strategy::SemiNaive);
+        let seq_model = sorted_model(&seq.database());
+        let seq_prov = seq.provenance();
+        for strategy in [
+            Strategy::Naive,
+            Strategy::SemiNaiveParallel { threads: 2 },
+            Strategy::SemiNaiveParallel { threads: 4 },
+            Strategy::SemiNaiveSharded { threads: 2, shards: 7 },
+        ] {
+            let m = run(strategy);
+            assert_eq!(sorted_model(&m.database()), seq_model, "{strategy:?}");
+            m.provenance().check(&p).expect("valid under every strategy");
+            if strategy != Strategy::Naive {
+                assert_eq!(
+                    m.provenance(),
+                    seq_prov,
+                    "{strategy:?}: provenance thread/shard independent"
+                );
+                assert_eq!(m.stats(), seq.stats(), "{strategy:?} counters");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_wrappers_are_the_materialization_special_case() {
+        let mut p = parse_program(SRC_A).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain_edges(&mut p, 7);
+        let mut db = Database::new();
+        for e in &edges {
+            db.insert(par, e.clone());
+        }
+        let wrapped = crate::eval::evaluate(&p, &db, Strategy::SemiNaive);
+        let m = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+        assert_eq!(m.stats(), wrapped.stats, "recording changes no counter");
+        assert_eq!(sorted_model(&m.idb_database()), sorted_model(&wrapped.idb));
+        let (ans, _) = crate::eval::answer(&p, &db, Strategy::SemiNaive);
+        assert_eq!(m.answer().sorted(), ans.sorted());
+    }
+
+    #[test]
+    fn empty_materialization_fires_seed_rules() {
+        // Magic-style seed rules (empty body) fire during the initial
+        // fixpoint of an empty materialization; stream inserts build on
+        // them.
+        let mut p = parse_program(
+            "?- reach(Y).\n\
+             seed(c).\n\
+             reach(Y) :- seed(X), e(X, Y).\n\
+             reach(Y) :- reach(X), e(X, Y).",
+        )
+        .unwrap();
+        let e = p.symbols.get_predicate("e").unwrap();
+        let seed = p.symbols.get_predicate("seed").unwrap();
+        let c = p.symbols.get_constant("c").unwrap();
+        let d = p.symbols.constant("d");
+        let mut m = Materialization::new(&p, Strategy::SemiNaive);
+        assert_eq!(m.num_facts(seed), 1, "seed(c) fired on the empty store");
+        assert_eq!(m.insert_facts(e, &[vec![c, d]]), 1);
+        assert_eq!(m.answer().len(), 1);
+        m.provenance().check(&p).expect("valid");
+    }
+}

@@ -29,6 +29,12 @@ use crate::hash::hash_ids;
 /// Sentinel row id: "no row" / end of an index chain.
 pub const NO_ROW: u32 = u32::MAX;
 
+/// Dedup-table sentinel for a slot whose row was tombstoned. Probes
+/// continue past it (the slot may sit mid-chain); inserts may reuse it.
+/// Never a valid row id ([`ColumnarRelation::insert`] asserts ids stay
+/// below it).
+const TOMB_SLOT: u32 = u32::MAX - 1;
+
 /// Partitions the row range `[lo, hi)` into `shards` contiguous
 /// subranges for the parallel evaluator, returned **top-down**: the
 /// first subrange covers the newest (highest-id) rows. Subrange sizes
@@ -61,6 +67,16 @@ pub fn shard_ranges(lo: usize, hi: usize, shards: usize) -> Vec<(usize, usize)> 
 ///
 /// Equality compares the full insertion-ordered contents (row ids
 /// included), which is what the provenance determinism tests assert.
+///
+/// # Tombstones
+///
+/// Rows can be **tombstoned** ([`ColumnarRelation::tombstone`]) for the
+/// incremental maintenance layer's delete–rederive: the row's data stays
+/// in place (row ids never shift — index chains and recorded
+/// justifications keep referencing them), but it leaves the dedup table
+/// (`contains`/`find_row` report it absent; re-inserting the same tuple
+/// appends a **new** row id) and [`ColumnarRelation::is_live`] turns
+/// false, which the join machinery checks before matching a row.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ColumnarRelation {
     arity: usize,
@@ -69,8 +85,13 @@ pub struct ColumnarRelation {
     /// Number of rows (kept explicitly so 0-ary relations work).
     rows: usize,
     /// Open-addressing dedup table over row ids (capacity is a power of
-    /// two; `NO_ROW` marks an empty slot).
+    /// two; `NO_ROW` marks an empty slot, [`TOMB_SLOT`] a deleted one).
     slots: Vec<u32>,
+    /// Tombstone bitset, allocated lazily on the first
+    /// [`ColumnarRelation::tombstone`]; empty means every row is live.
+    dead: Vec<u64>,
+    /// Number of tombstoned rows.
+    dead_rows: usize,
 }
 
 impl ColumnarRelation {
@@ -81,6 +102,8 @@ impl ColumnarRelation {
             data: Vec::new(),
             rows: 0,
             slots: Vec::new(),
+            dead: Vec::new(),
+            dead_rows: 0,
         }
     }
 
@@ -114,9 +137,28 @@ impl ColumnarRelation {
         self.data[r * self.arity + col]
     }
 
-    /// Iterates over the rows in insertion order.
+    /// Number of live (non-tombstoned) rows.
+    #[inline]
+    pub fn num_live(&self) -> usize {
+        self.rows - self.dead_rows
+    }
+
+    /// Whether row `r` is live (not tombstoned). Cheap: one bounds check
+    /// when the relation has never been tombstoned (the bitset is empty,
+    /// and rows appended after a tombstone may also lie past its end).
+    #[inline]
+    pub fn is_live(&self, r: usize) -> bool {
+        match self.dead.get(r >> 6) {
+            None => true,
+            Some(w) => (w >> (r & 63)) & 1 == 0,
+        }
+    }
+
+    /// Iterates over the **live** rows in insertion order.
     pub fn rows_iter(&self) -> impl Iterator<Item = &[Const]> {
-        (0..self.rows).map(move |r| self.row(r))
+        (0..self.rows)
+            .filter(move |&r| self.is_live(r))
+            .map(move |r| self.row(r))
     }
 
     fn hash_row_slice(row: &[Const]) -> u64 {
@@ -143,15 +185,17 @@ impl ColumnarRelation {
             if s == NO_ROW {
                 return NO_ROW;
             }
-            if self.row(s as usize) == row {
+            if s != TOMB_SLOT && self.row(s as usize) == row {
                 return s;
             }
             i = (i + 1) & mask;
         }
     }
 
-    /// Appends a row if it is not already present; returns whether it was
-    /// new. Row ids are dense and assigned in insertion order.
+    /// Appends a row if it is not already present **and live**; returns
+    /// whether it was new. Row ids are dense and assigned in insertion
+    /// order; re-inserting a tombstoned tuple appends a fresh row id
+    /// (the dead row stays dead).
     pub fn insert(&mut self, row: &[Const]) -> bool {
         assert_eq!(row.len(), self.arity, "tuple arity mismatch");
         if (self.rows + 1) * 2 > self.slots.len() {
@@ -159,18 +203,53 @@ impl ColumnarRelation {
         }
         let mask = self.slots.len() - 1;
         let mut i = (Self::hash_row_slice(row) as usize) & mask;
+        // First reusable (tombstoned) slot on the probe path, if any.
+        let mut reuse: Option<usize> = None;
         loop {
             let s = self.slots[i];
             if s == NO_ROW {
                 let id = u32::try_from(self.rows).expect("relation row-id overflow");
-                assert_ne!(id, NO_ROW, "relation row-id overflow");
-                self.slots[i] = id;
+                assert!(id < TOMB_SLOT, "relation row-id overflow");
+                self.slots[reuse.unwrap_or(i)] = id;
                 self.data.extend_from_slice(row);
                 self.rows += 1;
                 return true;
             }
-            if self.row(s as usize) == row {
+            if s == TOMB_SLOT {
+                reuse.get_or_insert(i);
+            } else if self.row(s as usize) == row {
                 return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Tombstones a live row: removes it from the dedup table and marks
+    /// it dead. Returns whether the row was live. The row data and id
+    /// stay in place — index chains and recorded justifications keep
+    /// addressing it; only [`ColumnarRelation::is_live`] flips.
+    pub fn tombstone(&mut self, r: usize) -> bool {
+        assert!(r < self.rows, "tombstone of nonexistent row");
+        if !self.is_live(r) {
+            return false;
+        }
+        if self.dead.is_empty() {
+            self.dead = vec![0; self.rows.div_ceil(64)];
+        } else if self.dead.len() < self.rows.div_ceil(64) {
+            self.dead.resize(self.rows.div_ceil(64), 0);
+        }
+        self.dead[r >> 6] |= 1 << (r & 63);
+        self.dead_rows += 1;
+        // Unlink from the dedup table (the slot may sit mid-probe-chain,
+        // so it becomes TOMB_SLOT, not NO_ROW).
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash_row_slice(self.row(r)) as usize) & mask;
+        loop {
+            let s = self.slots[i];
+            debug_assert_ne!(s, NO_ROW, "live row must be in the dedup table");
+            if s == r as u32 {
+                self.slots[i] = TOMB_SLOT;
+                return true;
             }
             i = (i + 1) & mask;
         }
@@ -181,6 +260,9 @@ impl ColumnarRelation {
         self.slots = vec![NO_ROW; cap];
         let mask = cap - 1;
         for r in 0..self.rows {
+            if !self.is_live(r) {
+                continue; // tombstoned rows stay out of the dedup table
+            }
             let mut i = (Self::hash_row_slice(self.row(r)) as usize) & mask;
             while self.slots[i] != NO_ROW {
                 i = (i + 1) & mask;
@@ -453,6 +535,66 @@ mod tests {
             let sizes: Vec<usize> = shards.iter().map(|(a, b)| b - a).collect();
             let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
             assert!(max - min <= 1, "{lo}..{hi} x{k}: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn tombstone_removes_membership_and_reinsert_gets_new_id() {
+        let mut rel = ColumnarRelation::new(2);
+        rel.insert(&[c(1), c(2)]);
+        rel.insert(&[c(3), c(4)]);
+        assert!(rel.tombstone(0));
+        assert!(!rel.tombstone(0), "already dead");
+        assert!(!rel.contains(&[c(1), c(2)]));
+        assert_eq!(rel.find_row(&[c(1), c(2)]), NO_ROW);
+        assert!(rel.contains(&[c(3), c(4)]));
+        assert!(!rel.is_live(0));
+        assert!(rel.is_live(1));
+        assert_eq!(rel.num_live(), 1);
+        assert_eq!(rel.num_rows(), 2, "row ids never shift");
+        // Re-insert appends a fresh id; the dead row stays dead.
+        assert!(rel.insert(&[c(1), c(2)]));
+        assert_eq!(rel.find_row(&[c(1), c(2)]), 2);
+        assert!(!rel.is_live(0));
+        assert_eq!(rel.num_live(), 2);
+        let live: Vec<_> = rel.rows_iter().collect();
+        assert_eq!(live, vec![&[c(3), c(4)][..], &[c(1), c(2)][..]]);
+    }
+
+    #[test]
+    fn tombstones_survive_growth_and_mass_churn() {
+        let mut rel = ColumnarRelation::new(1);
+        for i in 0..500u32 {
+            rel.insert(&[c(i)]);
+        }
+        for i in (0..500u32).step_by(2) {
+            assert!(rel.tombstone(i as usize));
+        }
+        // Growth rebuilds the dedup table from live rows only.
+        for i in 500..1500u32 {
+            assert!(rel.insert(&[c(i)]));
+        }
+        for i in 0..500u32 {
+            assert_eq!(rel.contains(&[c(i)]), i % 2 == 1, "{i}");
+        }
+        assert_eq!(rel.num_live(), 250 + 1000);
+        // Dead tuples re-insert at fresh ids, exactly once.
+        for i in (0..500u32).step_by(2) {
+            assert!(rel.insert(&[c(i)]));
+            assert!(!rel.insert(&[c(i)]));
+        }
+        assert_eq!(rel.num_live(), 1500);
+        assert_eq!(rel.num_rows(), 1750);
+    }
+
+    #[test]
+    fn rows_appended_after_a_tombstone_are_live() {
+        let mut rel = ColumnarRelation::new(1);
+        rel.insert(&[c(0)]);
+        rel.tombstone(0);
+        for i in 1..200u32 {
+            rel.insert(&[c(i)]);
+            assert!(rel.is_live(i as usize), "{i}");
         }
     }
 

@@ -1,0 +1,57 @@
+//! The example runner: every runnable walkthrough in `examples/` is
+//! executed end-to-end as part of `cargo test`. The examples carry
+//! their own assertions (e.g. `live_updates` cross-checks incremental
+//! maintenance against a from-scratch recompute), so a nonzero exit —
+//! or a panic — here means a walkthrough regressed.
+//!
+//! `cargo test` builds the package's examples before running tests, so
+//! the binaries are guaranteed to exist next to the test executable
+//! (`target/<profile>/examples/`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every example target of the umbrella crate, by name.
+const EXAMPLES: &[&str] = &[
+    "ancestor_four_ways",
+    "inf_model",
+    "live_updates",
+    "magic_sets",
+    "negation_boundary",
+    "quickstart",
+    "selection_propagation",
+    "ws1s_explorer",
+];
+
+/// The example binary path, derived from the test executable's own
+/// location (`target/<profile>/deps/<test>-<hash>`).
+fn example_bin(name: &str) -> PathBuf {
+    let mut p = std::env::current_exe().expect("test binary path");
+    p.pop(); // deps/
+    p.pop(); // <profile>/
+    p.push("examples");
+    p.push(name);
+    p
+}
+
+#[test]
+fn all_examples_run_to_completion() {
+    for name in EXAMPLES {
+        let bin = example_bin(name);
+        assert!(
+            bin.exists(),
+            "example binary missing: {} (cargo builds examples with tests)",
+            bin.display()
+        );
+        let out = Command::new(&bin)
+            .output()
+            .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "example {name} failed ({}):\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
