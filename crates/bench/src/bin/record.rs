@@ -34,7 +34,7 @@ use selprop_datalog::eval::{
 };
 use selprop_datalog::magic::magic_transform;
 use selprop_datalog::parser::parse_program;
-use selprop_datalog::{reference, Materialization, Program};
+use selprop_datalog::{reference, Materialization, Program, Server, UpdateRound};
 
 struct Row {
     experiment: &'static str,
@@ -599,6 +599,228 @@ fn incremental_rows(rows: &mut Vec<Row>, smoke: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// The serving group: (a) one batched mixed [`UpdateRound`] against the
+/// equivalent sequence of single-fact calls on the same store — the
+/// batch must be cheaper (it builds the reverse-dependency CSR once,
+/// asserted via [`Materialization::csr_builds`]) and leave the
+/// bit-identical store, cross-checked against a from-scratch evaluation;
+/// (b) concurrent read throughput of epoch-pinned [`Server`] snapshots
+/// under live write load, every read checked against the precomputed
+/// reference answer of its pinned round prefix. Any drift propagates as
+/// `Err` (→ process exit 2).
+fn server_rows(rows: &mut Vec<Row>, smoke: bool) -> Result<(), String> {
+    const SRC_A: &str =
+        "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).";
+    // Non-smoke: the headline 10^6-tuple closure, as in the incremental
+    // group; the round touches a fresh chain off the root.
+    let (layers, width, k) = if smoke { (6, 4, 8) } else { (72, 20, 32) };
+    let mut p = parse_program(SRC_A).unwrap();
+    let par = p.symbols.get_predicate("par").unwrap();
+    let db = workload::layered_dag(&mut p, "par", "john", layers, width);
+    let config = format!("A/layered_dag({layers},{width})");
+
+    // Prep: a 2k-edge live chain off the root, present in both stores.
+    let mut chain: Vec<Tuple> = Vec::with_capacity(2 * k);
+    let mut prev = p.symbols.get_constant("john").unwrap();
+    for i in 0..2 * k {
+        let c = p.symbols.constant(&format!("live{i}"));
+        chain.push(vec![prev, c]);
+        prev = c;
+    }
+    // The mixed round: retract the chain's tail half, insert a fresh
+    // branch of k edges off the surviving tip.
+    let retracts: Vec<Tuple> = chain[k..].to_vec();
+    let mut inserts: Vec<Tuple> = Vec::with_capacity(k);
+    let mut prev = chain[k - 1][1];
+    for i in 0..k {
+        let c = p.symbols.constant(&format!("branch{i}"));
+        inserts.push(vec![prev, c]);
+        prev = c;
+    }
+
+    let make_store = || {
+        let mut m = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+        m.insert_facts(par, &chain);
+        m
+    };
+    let mut batched = make_store();
+    let mut single = make_store();
+    let round = {
+        let mut r = UpdateRound::new();
+        for t in &retracts {
+            r = r.retract(par, t.clone());
+        }
+        for t in &inserts {
+            r = r.insert(par, t.clone());
+        }
+        r
+    };
+
+    let csr0 = batched.csr_builds();
+    let stats0 = batched.stats();
+    let (batched_ms, report) = timed(1, || batched.apply(&round));
+    if report.retracted != retracts.len() || report.inserted != inserts.len() {
+        return Err(format!(
+            "server/{config}/batched: round report drift (retracted {}, inserted {})",
+            report.retracted, report.inserted
+        ));
+    }
+    if batched.csr_builds() - csr0 != 1 {
+        return Err(format!(
+            "server/{config}/batched: {} CSR builds for one round (want 1)",
+            batched.csr_builds() - csr0
+        ));
+    }
+    let batched_stats = diff_stats(batched.stats(), stats0);
+
+    let csr0 = single.csr_builds();
+    let stats0 = single.stats();
+    let (single_ms, ()) = timed(1, || {
+        for t in &retracts {
+            single.retract_facts(par, std::slice::from_ref(t));
+        }
+        for t in &inserts {
+            single.insert_facts(par, std::slice::from_ref(t));
+        }
+    });
+    if single.csr_builds() - csr0 != retracts.len() as u64 {
+        return Err(format!(
+            "server/{config}/single: {} CSR builds for {} retract calls",
+            single.csr_builds() - csr0,
+            retracts.len()
+        ));
+    }
+    let single_stats = diff_stats(single.stats(), stats0);
+
+    // The two stores must be bit-identical, and both must equal the
+    // from-scratch model of the mutated database.
+    models_equal(
+        &format!("server/{config}/batched-vs-single"),
+        &batched.database(),
+        &single.database(),
+    )?;
+    let mut db_after = db.clone();
+    for t in &chain[..k] {
+        db_after.insert(par, t.clone());
+    }
+    for t in &inserts {
+        db_after.insert(par, t.clone());
+    }
+    let scratch = evaluate(&p, &db_after, Strategy::SemiNaive);
+    models_equal(
+        &format!("server/{config}/batched(scratch)"),
+        &batched.idb_database(),
+        &scratch.idb,
+    )?;
+    let answers = batched.answer().len();
+    for (mode, wall, stats) in [
+        ("batched", batched_ms, batched_stats),
+        ("single_fact", single_ms, single_stats),
+    ] {
+        println!(
+            "srv  {:<28} answers={answers:<8} tuples={:<9} work={:<11} storage={wall:>9.2}ms",
+            format!("{config}/round={mode}"),
+            stats.tuples_derived,
+            stats.work(),
+        );
+        rows.push(Row {
+            experiment: "server",
+            config: format!("{config}/round({k}ins+{k}ret)/{mode}"),
+            threads: 1,
+            answers,
+            stats,
+            wall_ms: wall,
+            reference_wall_ms: None,
+        });
+    }
+    println!(
+        "     {config:<28} batched round vs single-fact calls: {:.2}x cheaper",
+        single_ms / batched_ms
+    );
+
+    // (b) Read throughput under write load: readers take epoch-pinned
+    // snapshots while the writer applies the same round split into
+    // per-edge rounds; every read is checked against the reference
+    // answer count of its prefix.
+    let rounds: Vec<UpdateRound> = retracts
+        .iter()
+        .map(|t| UpdateRound::new().retract(par, t.clone()))
+        .chain(inserts.iter().map(|t| UpdateRound::new().insert(par, t.clone())))
+        .collect();
+    let replay = Server::from_database(&p, &db, Strategy::SemiNaive);
+    replay.insert_facts(par, &chain);
+    let mut expected = vec![replay.answer().len()];
+    for r in &rounds {
+        replay.apply(r);
+        expected.push(replay.answer().len());
+    }
+    let expected = std::sync::Arc::new(expected);
+
+    let server = Server::from_database(&p, &db, Strategy::SemiNaive);
+    server.insert_facts(par, &chain);
+    let base_epoch = server.current_epoch();
+    let base_stats = server.stats();
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers = 4usize;
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let server = server.clone();
+            let expected = std::sync::Arc::clone(&expected);
+            let done = std::sync::Arc::clone(&done);
+            std::thread::spawn(move || -> Result<usize, String> {
+                let mut reads = 0usize;
+                while !done.load(std::sync::atomic::Ordering::Acquire) {
+                    let snap = server.snapshot();
+                    let e = (snap.epoch() - base_epoch) as usize;
+                    let got = snap.answer().len();
+                    if e >= expected.len() || got != expected[e] {
+                        return Err(format!(
+                            "read at prefix {e}: {got} answers, want {:?}",
+                            expected.get(e)
+                        ));
+                    }
+                    reads += 1;
+                }
+                Ok(reads)
+            })
+        })
+        .collect();
+    for r in &rounds {
+        server.apply(r);
+    }
+    done.store(true, std::sync::atomic::Ordering::Release);
+    let mut total_reads = 0usize;
+    for h in handles {
+        total_reads += h
+            .join()
+            .map_err(|_| "server reader thread panicked".to_owned())?
+            .map_err(|e| format!("server/{config}/reads: consistency drift: {e}"))?;
+    }
+    let churn_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    models_equal(
+        &format!("server/{config}/post-churn"),
+        &server.snapshot().database(),
+        &batched.database(),
+    )?;
+    println!(
+        "srv  {:<28} reads={total_reads:<7} rounds={:<3} wall={churn_wall_ms:>9.2}ms ({:.0} reads/s under write load)",
+        format!("{config}/readers={readers}"),
+        rounds.len(),
+        total_reads as f64 / (churn_wall_ms / 1e3),
+    );
+    rows.push(Row {
+        experiment: "server",
+        config: format!("{config}/readers={readers}/rounds={}/reads={total_reads}", rounds.len()),
+        threads: readers,
+        answers,
+        stats: diff_stats(server.stats(), base_stats),
+        wall_ms: churn_wall_ms,
+        reference_wall_ms: None,
+    });
+    Ok(())
+}
+
 /// Per-op stats: the counter delta between two cumulative readings of a
 /// materialization's lifetime stats.
 fn diff_stats(after: EvalStats, before: EvalStats) -> EvalStats {
@@ -654,6 +876,7 @@ fn record(smoke: bool) -> Result<String, String> {
     e5_rows(&mut rows, smoke)?;
     prov_and_shard_rows(&mut rows, smoke)?;
     incremental_rows(&mut rows, smoke)?;
+    server_rows(&mut rows, smoke)?;
     let json = render_json(&rows);
     let path = if smoke {
         // Per-process name: concurrent smoke runs must not race on one file.

@@ -1,0 +1,221 @@
+//! The CI server smoke: a short multi-threaded churn run against the
+//! live materialization server with a full consistency cross-check.
+//!
+//! Reader threads pin epoch snapshots and query while the writer
+//! applies a randomized round stream (inserts, retracts, mixed rounds,
+//! one rule drop/re-add pair). Every read is compared against the
+//! from-scratch reference model of its pinned round prefix; **any
+//! drift terminates the process with exit code 2** — mirroring the
+//! `record` binary's cross-check discipline, so CI can rely on it.
+//!
+//! ```text
+//! cargo run --release -p selprop-bench --bin server_churn -- --smoke
+//! ```
+//!
+//! Flags (used by `tests/server_churn_check.rs`):
+//!
+//! - `--smoke`: fewer rounds (the CI configuration; the default run is
+//!   already short, smoke halves it);
+//! - `--corrupt-consistency`: deliberately perturbs one expected
+//!   prefix model before the run, proving drift really propagates to
+//!   exit 2.
+//!
+//! The writer strategy follows `SELPROP_THREADS` (see
+//! [`selprop_bench::strategy_from_env`]), so CI can sweep thread
+//! counts with the same binary.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use selprop_bench::strategy_from_env;
+use selprop_datalog::db::Tuple;
+use selprop_datalog::eval::Strategy;
+use selprop_datalog::reference;
+use selprop_datalog::{parse_program, Database, Pred, Program, RuleId, Server, UpdateRound};
+
+const READERS: usize = 4;
+
+/// Deterministic xorshift64* stream for the churn schedule.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Sorted nonempty `(pred, tuples)` canonical form shared by snapshot
+/// databases and reference models.
+fn canon(db: &Database) -> Vec<(Pred, Vec<Tuple>)> {
+    db.sorted_models().into_iter().filter(|(_, rows)| !rows.is_empty()).collect()
+}
+
+/// Stored EDB facts plus the from-scratch reference IDB model.
+fn expected_state(program: &Program, edb: &Database) -> Vec<(Pred, Vec<Tuple>)> {
+    let spec = reference::evaluate(program, edb, Strategy::SemiNaive);
+    let mut merged = edb.clone();
+    for (p, r) in spec.idb.iter() {
+        for t in r.sorted() {
+            merged.insert(p, t);
+        }
+    }
+    canon(&merged)
+}
+
+fn churn(rounds_n: usize, strategy: Strategy, corrupt: bool) -> Result<(usize, usize), String> {
+    let mut p = parse_program(
+        "?- anc(john, Y).\n\
+         anc(X, Y) :- par(X, Y).\n\
+         anc(X, Y) :- anc(X, Z), par(Z, Y).",
+    )
+    .expect("valid program");
+    let par = p.symbols.get_predicate("par").unwrap();
+    let mut p_minus = p.clone();
+    p_minus.rules = vec![p.rules[0].clone()];
+
+    let names: Vec<_> = (0..=6 * rounds_n)
+        .map(|i| {
+            if i == 0 {
+                p.symbols.constant("john")
+            } else {
+                p.symbols.constant(&format!("c{i}"))
+            }
+        })
+        .collect();
+    let edge = |i: usize| -> Tuple { vec![names[i], names[i + 1]] };
+
+    // Bulk load, then precompute the stream and the per-prefix oracle.
+    let mut db0 = Database::new();
+    let mut len = 8usize;
+    for i in 0..len {
+        db0.insert(par, edge(i));
+    }
+    let mut rng = Rng(0xC0FF_EE01);
+    let mut rounds: Vec<UpdateRound> = Vec::new();
+    let mut expected: Vec<Vec<(Pred, Vec<Tuple>)>> = vec![expected_state(&p, &db0)];
+    let mut mirror = db0.clone();
+    let mut closure_active = true;
+    for r in 0..rounds_n {
+        let mut round = UpdateRound::new();
+        if r == rounds_n / 3 {
+            round = round.drop_rule(RuleId(1));
+            closure_active = false;
+        } else if r == 2 * rounds_n / 3 {
+            round = round.add_rule(p.rules[1].clone());
+            closure_active = true;
+        }
+        match rng.below(3) {
+            0 => {
+                for _ in 0..=rng.below(4) {
+                    round = round.insert(par, edge(len));
+                    mirror.insert(par, edge(len));
+                    len += 1;
+                }
+            }
+            1 if len > 4 => {
+                len -= 1;
+                round = round.retract(par, edge(len));
+                assert!(mirror.remove(par, &edge(len)));
+            }
+            _ => {
+                len -= 1;
+                round = round.retract(par, edge(len));
+                assert!(mirror.remove(par, &edge(len)));
+                for _ in 0..2 {
+                    round = round.insert(par, edge(len));
+                    mirror.insert(par, edge(len));
+                    len += 1;
+                }
+            }
+        }
+        rounds.push(round);
+        let variant = if closure_active { &p } else { &p_minus };
+        expected.push(expected_state(variant, &mirror));
+    }
+    if corrupt {
+        // Deliberate drift in the oracle for the final prefix: the
+        // post-churn check (and any reader landing there) must fail.
+        let last = expected.last_mut().expect("nonempty stream");
+        let john = p.symbols.get_constant("john").unwrap();
+        last.push((Pred(u32::MAX), vec![vec![john]]));
+    }
+    let expected = Arc::new(expected);
+
+    let server = Server::from_database(&p, &db0, strategy);
+    let done = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..READERS)
+        .map(|_| {
+            let server = server.clone();
+            let expected = Arc::clone(&expected);
+            let done = Arc::clone(&done);
+            thread::spawn(move || -> Result<usize, String> {
+                let mut reads = 0usize;
+                let mut last_epoch = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let snap = server.snapshot();
+                    let e = snap.epoch() as usize;
+                    if snap.epoch() < last_epoch {
+                        return Err(format!("epochs went backwards ({last_epoch} -> {e})"));
+                    }
+                    last_epoch = snap.epoch();
+                    if e >= expected.len() || canon(&snap.database()) != expected[e] {
+                        return Err(format!("read at epoch {e} diverges from its prefix model"));
+                    }
+                    reads += 1;
+                }
+                Ok(reads)
+            })
+        })
+        .collect();
+
+    for round in &rounds {
+        server.apply(round);
+    }
+    done.store(true, Ordering::Release);
+    let mut reads = 0usize;
+    for h in handles {
+        reads += h.join().map_err(|_| "reader thread panicked".to_owned())??;
+    }
+    // The writer's own post-churn check: the final store must equal the
+    // full-stream oracle (this is what --corrupt-consistency trips even
+    // if every reader finished before the corrupted prefix).
+    let final_state = canon(&server.snapshot().database());
+    if final_state != expected[rounds_n] {
+        return Err(format!(
+            "post-churn store diverges from the full-stream reference model \
+             ({} relations vs {})",
+            final_state.len(),
+            expected[rounds_n].len()
+        ));
+    }
+    Ok((reads, rounds_n))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let corrupt = args.iter().any(|a| a == "--corrupt-consistency");
+    let rounds = if args.iter().any(|a| a == "--smoke") { 12 } else { 24 };
+    let strategy = strategy_from_env();
+    match churn(rounds, strategy, corrupt) {
+        Ok((reads, rounds)) => {
+            if corrupt {
+                eprintln!("consistency check FAILED to detect deliberate corruption");
+                std::process::exit(3);
+            }
+            println!(
+                "server churn OK: {READERS} readers made {reads} prefix-consistent reads \
+                 across {rounds} rounds ({strategy:?})"
+            );
+        }
+        Err(e) => {
+            eprintln!("consistency drift: {e}");
+            std::process::exit(2);
+        }
+    }
+}

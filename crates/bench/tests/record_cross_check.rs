@@ -60,4 +60,9 @@ fn smoke_run_exits_zero_and_writes_json() {
     for row in ["incremental", "/build", "/insert(", "/recompute_after_insert", "/retract("] {
         assert!(json.contains(row), "missing incremental row {row} in:\n{json}");
     }
+    // The serving group ran and was cross-checked: the batched vs
+    // single-fact round pair and the concurrent-read row are present.
+    for row in ["\"server\"", "/batched", "/single_fact", "/readers="] {
+        assert!(json.contains(row), "missing server row {row} in:\n{json}");
+    }
 }

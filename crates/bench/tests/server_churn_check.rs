@@ -1,0 +1,49 @@
+//! The `server_churn` binary's contract (the CI server smoke step): a
+//! consistency drift between concurrent epoch-pinned reads and the
+//! from-scratch reference model of their round prefix must terminate
+//! the process with exit code 2, and the healthy multi-threaded churn
+//! run must exit zero — at sequential *and* parallel writer strategies.
+//! Both paths are driven end-to-end through the real binary.
+
+use std::process::Command;
+
+#[test]
+fn corrupt_consistency_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_server_churn"))
+        .args(["--smoke", "--corrupt-consistency"])
+        .output()
+        .expect("spawn server_churn binary");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "deliberately corrupted oracle must exit 2; stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("consistency drift"),
+        "stderr should describe the drift:\n{stderr}"
+    );
+}
+
+#[test]
+fn smoke_churn_exits_zero_across_strategies() {
+    for threads in ["1", "2", "4"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_server_churn"))
+            .arg("--smoke")
+            .env("SELPROP_THREADS", threads)
+            .output()
+            .expect("spawn server_churn binary");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            out.status.success(),
+            "smoke churn (SELPROP_THREADS={threads}) must pass:\n{stdout}\n{stderr}"
+        );
+        assert!(
+            stdout.contains("prefix-consistent reads"),
+            "summary line missing (SELPROP_THREADS={threads}):\n{stdout}"
+        );
+    }
+}

@@ -46,7 +46,15 @@
 //!   computes size/height **iteratively**, so the 10⁵-deep proofs of
 //!   the chain workloads cannot overflow the stack;
 //! - [`magic`] — adornments and the generalized magic-sets rewriting (ref.\[5\]),
-//!   which Section 7 of the paper interprets as language quotients.
+//!   which Section 7 of the paper interprets as language quotients;
+//! - [`server`] — the **concurrent live materialization server**: a
+//!   [`server::Server`] shares one materialization between many reader
+//!   threads and a writer applying batched
+//!   [`materialize::UpdateRound`]s (fact churn + rule hot-swap).
+//!   Readers pin epoch-tagged snapshots ([`server::Snapshot`]) that
+//!   keep serving their exact pinned fixpoint — never a stale mix,
+//!   never a mid-round state — while unobservable epochs are reclaimed
+//!   compaction-free.
 
 #![warn(missing_docs)]
 
@@ -60,11 +68,13 @@ pub mod materialize;
 pub mod parser;
 pub mod pool;
 pub mod reference;
+pub mod server;
 pub mod storage;
 
 pub use ast::{Atom, Const, Pred, Program, Rule, Symbols, Term, Var};
 pub use db::{Database, Relation};
 pub use derivation::{DerivationTree, GroundAtom, Provenance};
 pub use eval::{answer, evaluate, evaluate_with_provenance, EvalStats, ProvenanceResult, Strategy};
-pub use materialize::Materialization;
+pub use materialize::{Materialization, RoundReport, RuleId, UpdateRound};
 pub use parser::parse_program;
+pub use server::{Server, Snapshot};

@@ -21,6 +21,17 @@
 //!   re-derive survivors from the remaining store (a goal-directed
 //!   per-tuple check against lazily compiled re-derivation plans) and
 //!   propagate the rescues through the normal insert machinery.
+//! - [`Materialization::apply`] batches a whole mixed round — EDB
+//!   inserts, retracts, **rule adds** and **rule drops** — into one
+//!   DRed pass (a single reverse-dependency CSR build, however much the
+//!   round mixes) plus one semi-naive resume. `insert_facts`,
+//!   `retract_facts`, [`Materialization::add_rule`] and
+//!   [`Materialization::drop_rule`] are thin single-phase wrappers.
+//!   Rule hot-swap works at fixpoint: an added rule seeds its delta
+//!   from the existing rows; a dropped rule's derivations are found by
+//!   their recorded justification rule ids and over-deleted like any
+//!   retraction. Rule ids ([`RuleId`]) are stable plan slots, never
+//!   reused.
 //! - Batch evaluation is now a *special case*: `eval::evaluate` builds a
 //!   materialization, bulk-loads the database, runs to fixpoint once and
 //!   reads the result out — same struct, same join code, same counters.
@@ -235,9 +246,105 @@ struct ShardTask {
     scratch: Scratch,
 }
 
+/// Stable identifier of a rule inside a [`Materialization`]: the rule's
+/// plan slot. Slots are assigned in program order at construction, then
+/// in [`UpdateRound::add_rule`] order, and are **never reused** — a
+/// dropped rule leaves its slot behind (recorded justifications index
+/// rule slots, so reindexing would corrupt provenance).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u32);
+
+/// A batched update round: EDB inserts and retracts plus rule adds and
+/// drops, applied by [`Materialization::apply`] as **one** mixed batch —
+/// one over-deletion pass (a single reverse-dependency CSR build for the
+/// whole round), one rescue pass, one semi-naive resume to fixpoint.
+///
+/// Within a round the phases are ordered: rule drops, rule adds, EDB
+/// retracts, EDB inserts, then propagation. In particular a tuple both
+/// retracted and inserted in the same round ends up **present**.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateRound {
+    /// EDB facts to insert (applied after the retracts).
+    pub inserts: Vec<(Pred, Tuple)>,
+    /// EDB facts to retract (applied before the inserts).
+    pub retracts: Vec<(Pred, Tuple)>,
+    /// Rules to add at fixpoint: compiled to fresh [`RuleId`]s and
+    /// delta-seeded from the existing rows.
+    pub rule_adds: Vec<Rule>,
+    /// Rules to drop at fixpoint: every row whose justification names a
+    /// dropped rule is over-deleted and then eligible for rescue through
+    /// the surviving rules.
+    pub rule_drops: Vec<RuleId>,
+}
+
+impl UpdateRound {
+    /// An empty round (applying it is a no-op).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one fact insertion.
+    pub fn insert(mut self, pred: Pred, tuple: Tuple) -> Self {
+        self.inserts.push((pred, tuple));
+        self
+    }
+
+    /// Adds fact insertions.
+    pub fn insert_all(mut self, pred: Pred, tuples: &[Tuple]) -> Self {
+        self.inserts.extend(tuples.iter().map(|t| (pred, t.clone())));
+        self
+    }
+
+    /// Adds one fact retraction.
+    pub fn retract(mut self, pred: Pred, tuple: Tuple) -> Self {
+        self.retracts.push((pred, tuple));
+        self
+    }
+
+    /// Adds fact retractions.
+    pub fn retract_all(mut self, pred: Pred, tuples: &[Tuple]) -> Self {
+        self.retracts.extend(tuples.iter().map(|t| (pred, t.clone())));
+        self
+    }
+
+    /// Adds a rule addition.
+    pub fn add_rule(mut self, rule: Rule) -> Self {
+        self.rule_adds.push(rule);
+        self
+    }
+
+    /// Adds a rule drop.
+    pub fn drop_rule(mut self, id: RuleId) -> Self {
+        self.rule_drops.push(id);
+        self
+    }
+
+    /// Whether the round contains no work at all.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty()
+            && self.retracts.is_empty()
+            && self.rule_adds.is_empty()
+            && self.rule_drops.is_empty()
+    }
+}
+
+/// What one [`Materialization::apply`] round actually did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundReport {
+    /// Novel EDB rows stored (duplicates and untracked predicates skip).
+    pub inserted: usize,
+    /// EDB rows actually removed (absent tuples skip).
+    pub retracted: usize,
+    /// Rules compiled in (= `rule_adds.len()` unless a panic aborted).
+    pub rules_added: usize,
+    /// Rules deactivated (unknown or already-dropped ids skip).
+    pub rules_dropped: usize,
+}
+
 /// A program materialized to its minimum model, kept at fixpoint across
 /// EDB updates. See the module docs for the update algorithms; see
-/// [`crate::eval`] for the batch entry points built on top of this.
+/// [`crate::eval`] for the batch entry points built on top of this, and
+/// [`crate::server`] for the concurrent serving layer.
 ///
 /// # Contract
 ///
@@ -284,6 +391,18 @@ pub struct Materialization {
     /// Goal-directed per-tuple derivability checkers, compiled on the
     /// first retraction.
     rederive: Option<Vec<RederivePlan>>,
+    /// Per rule slot: whether the rule is active. Dropped rules keep
+    /// their plan (justification rule ids index plan slots) but stop
+    /// firing, rescuing and appearing in update items.
+    rule_active: Vec<bool>,
+    /// How many times the reverse-dependency CSR was built — exactly one
+    /// per [`Materialization::apply`] round with any over-deletion work,
+    /// however many retracts and rule drops the round mixes (the
+    /// regression handle for the once-per-round amortization).
+    csr_builds: u64,
+    /// The serving layer's epoch (0 = epoch mode off): forwarded to
+    /// every relation so tombstones are tagged for snapshot readers.
+    epoch: u64,
 }
 
 impl Materialization {
@@ -388,6 +507,7 @@ impl Materialization {
         }
         let old_hi = vec![0; rels.len()];
         let prov = record.then(|| vec![RelJust::default(); rels.len()]);
+        let rule_active = vec![true; program.rules.len()];
         Self {
             rels,
             idxs,
@@ -405,6 +525,9 @@ impl Materialization {
             rules: program.rules.clone(),
             idx_of,
             rederive: None,
+            rule_active,
+            csr_builds: 0,
+            epoch: 0,
         }
     }
 
@@ -497,23 +620,11 @@ impl Materialization {
     /// rows stored. No-op (0) for predicates the program's rule bodies
     /// do not mention, and for IDB predicates (both evaluators ignore
     /// database facts under IDB predicates). Panics on arity mismatch.
+    ///
+    /// A thin wrapper over [`Materialization::apply`] — one call is one
+    /// single-phase round.
     pub fn insert_facts(&mut self, pred: Pred, rows: &[Tuple]) -> usize {
-        let Some(&rid) = self.rel_of_pred.get(&pred) else {
-            return 0;
-        };
-        if self.idb_flag[rid] {
-            return 0;
-        }
-        let mut novel = 0;
-        for t in rows {
-            if self.rels[rid].insert(t) {
-                novel += 1;
-            }
-        }
-        if novel > 0 {
-            self.run_update();
-        }
-        novel
+        self.apply(&UpdateRound::new().insert_all(pred, rows)).inserted
     }
 
     /// Retracts EDB facts by delete–rederive (DRed) and incrementally
@@ -521,45 +632,149 @@ impl Materialization {
     /// (absent rows are skipped). No-op (0) for untracked or IDB
     /// predicates.
     ///
-    /// Over-deletion tombstones every derived row whose **recorded**
-    /// justification transitively uses a deleted row; rows that survive
-    /// have intact justification chains bottoming out in surviving EDB
-    /// rows, so they are genuinely still derivable. Each over-deleted
-    /// tuple is then checked for one-step derivability from the
-    /// remaining store (goal-directed, against lazily compiled
-    /// re-derivation plans); rescued tuples re-insert at fresh row ids
-    /// with their new justification and propagate through the normal
-    /// delta machinery, which re-derives any remaining consequences.
+    /// A thin wrapper over [`Materialization::apply`] — one call is one
+    /// single-phase round (and pays one reverse-CSR build; batch mixed
+    /// work into one [`UpdateRound`] to amortize it).
     pub fn retract_facts(&mut self, pred: Pred, rows: &[Tuple]) -> usize {
-        let Some(&rid) = self.rel_of_pred.get(&pred) else {
-            return 0;
-        };
-        if self.idb_flag[rid] {
-            return 0;
+        self.apply(&UpdateRound::new().retract_all(pred, rows)).retracted
+    }
+
+    /// Adds one rule at fixpoint and seeds its derivations from the
+    /// existing rows; returns its stable [`RuleId`]. A thin wrapper over
+    /// [`Materialization::apply`].
+    ///
+    /// # Panics
+    ///
+    /// If the rule's head predicate is a stored EDB relation of this
+    /// materialization (the IDB/EDB partition is fixed at construction),
+    /// or on an arity mismatch with an existing relation.
+    pub fn add_rule(&mut self, rule: Rule) -> RuleId {
+        let id = RuleId(self.plans.len() as u32);
+        self.apply(&UpdateRound::new().add_rule(rule));
+        id
+    }
+
+    /// Drops a rule at fixpoint: every row whose recorded justification
+    /// names it is over-deleted and then re-derived through the
+    /// surviving rules where possible. Returns whether `id` named an
+    /// active rule. A thin wrapper over [`Materialization::apply`].
+    pub fn drop_rule(&mut self, id: RuleId) -> bool {
+        self.apply(&UpdateRound::new().drop_rule(id)).rules_dropped == 1
+    }
+
+    /// Applies one batched update round — EDB inserts and retracts plus
+    /// rule adds and drops — as a single mixed batch: **one**
+    /// over-deletion pass over one reverse-dependency CSR build, one
+    /// rescue pass, one semi-naive resume to fixpoint. Equivalent to any
+    /// sequential order of the corresponding single-item calls whenever
+    /// the round's insert and retract sets don't overlap (a tuple both
+    /// retracted and inserted in one round ends up present: retracts
+    /// apply first).
+    ///
+    /// The phases, in order:
+    ///
+    /// 1. **Rule drops** deactivate their plan slots; live rows whose
+    ///    recorded justification names a dropped rule become
+    ///    over-deletion seeds *and* rescue candidates (another rule may
+    ///    still derive them).
+    /// 2. **Rule adds** compile to fresh plan slots (stable
+    ///    [`RuleId`]s). A brand-new head predicate becomes a fresh IDB
+    ///    relation; new body predicates become fresh (empty, trackable)
+    ///    EDB relations.
+    /// 3. **Retracts** tombstone their EDB rows; the over-deletion
+    ///    closure for *all* seeds (drops + retracts) runs over a single
+    ///    CSR of the recorded justifications ([`Materialization::csr_builds`]
+    ///    counts exactly one build however much the round mixes).
+    /// 4. **Inserts** append novel EDB rows — into the delta range, the
+    ///    watermarks still sit at the old fixpoint.
+    /// 5. Added rules **seed** their deltas with one full-range
+    ///    evaluation pass each over the settled store.
+    /// 6. Over-deleted candidates are **rescued** by goal-directed
+    ///    one-step re-derivation against the surviving active rules
+    ///    (added rules participate, dropped rules don't).
+    /// 7. One semi-naive resume propagates every delta — inserted,
+    ///    seeded and rescued rows — to the new fixpoint.
+    ///
+    /// # Panics
+    ///
+    /// On tuple/relation arity mismatches, and if an added rule's head
+    /// predicate is a stored EDB relation of this materialization.
+    pub fn apply(&mut self, round: &UpdateRound) -> RoundReport {
+        let mut report = RoundReport::default();
+
+        // 1. Rule drops: deactivate, then seed over-deletion with every
+        // live row justified by a dropped rule. Unlike EDB retract seeds
+        // these are rescue candidates — the tuples may well survive via
+        // other rules.
+        let mut dropped: Vec<u32> = Vec::new();
+        for &RuleId(id) in &round.rule_drops {
+            let i = id as usize;
+            if i < self.plans.len() && self.rule_active[i] {
+                self.rule_active[i] = false;
+                dropped.push(id);
+                report.rules_dropped += 1;
+            }
         }
-        // 1. Tombstone the EDB rows (the over-deletion seeds).
+
+        // 2. Rule adds: compile to fresh stable slots. Seeding waits
+        // until the round's EDB changes have settled (phase 5).
+        let first_new_plan = self.plans.len();
+        for rule in &round.rule_adds {
+            self.compile_added_rule(rule);
+            report.rules_added += 1;
+        }
+
         let mut worklist: Vec<(u32, u32)> = Vec::new();
-        for t in rows {
+        let mut candidates: Vec<(u32, u32)> = Vec::new();
+        if !dropped.is_empty() {
+            let prov = self
+                .prov
+                .as_ref()
+                .expect("Materialization always records justifications");
+            let mut seeds: Vec<(u32, u32)> = Vec::new();
+            for &hrel in &self.idb_rels {
+                for hrow in 0..self.rels[hrel].num_rows() {
+                    if self.rels[hrel].is_live(hrow)
+                        && dropped.contains(&prov[hrel].entry(hrow).0)
+                    {
+                        seeds.push((hrel as u32, hrow as u32));
+                    }
+                }
+            }
+            for &(srel, srow) in &seeds {
+                if self.rels[srel as usize].tombstone(srow as usize) {
+                    worklist.push((srel, srow));
+                    candidates.push((srel, srow));
+                }
+            }
+        }
+
+        // 3. EDB retract seeds (deliberate removals: not rescuable).
+        for (pred, t) in &round.retracts {
+            let Some(&rid) = self.rel_of_pred.get(pred) else {
+                continue;
+            };
+            if self.idb_flag[rid] {
+                continue;
+            }
             assert_eq!(t.len(), self.rels[rid].arity(), "tuple arity mismatch");
             let r = self.rels[rid].find_row(t);
             if r != NO_ROW && self.rels[rid].tombstone(r as usize) {
                 worklist.push((rid as u32, r));
+                report.retracted += 1;
             }
         }
-        let removed = worklist.len();
-        if removed == 0 {
-            return 0;
-        }
 
-        // 2. Over-delete: reverse-dependency closure over the recorded
-        // justifications. The reverse adjacency is built per call as a
-        // flat CSR over dense global row ids — two linear passes over
-        // the packed justification buffers, no hashing and no per-key
-        // allocation — so deep derivation chains close in one worklist
-        // pass. (Still O(total live justifications) per retract; a
-        // persistently maintained reverse index is a ROADMAP item.)
-        let mut candidates: Vec<(u32, u32)> = Vec::new();
-        {
+        // Over-delete: reverse-dependency closure over the recorded
+        // justifications, one CSR build for the whole round's seeds. The
+        // reverse adjacency is a flat CSR over dense global row ids —
+        // two linear passes over the packed justification buffers, no
+        // hashing and no per-key allocation — so deep derivation chains
+        // close in one worklist pass. (Still O(total live
+        // justifications) per round; a persistently maintained reverse
+        // index is a ROADMAP item.)
+        if !worklist.is_empty() {
+            self.csr_builds += 1;
             let prov = self
                 .prov
                 .as_ref()
@@ -620,10 +835,40 @@ impl Materialization {
             }
         }
 
-        // 3. Rescue: re-derive survivors from the remaining store. The
-        // watermarks already sit at the fixpoint (tombstoning changes no
-        // row count), so every rescued insert lands in the delta range
-        // and step 4 propagates it.
+        // 4. EDB inserts: novel rows land above the watermarks (the
+        // fixpoint's row counts), i.e. in the delta ranges.
+        for (pred, t) in &round.inserts {
+            let Some(&rid) = self.rel_of_pred.get(pred) else {
+                continue;
+            };
+            if self.idb_flag[rid] {
+                continue;
+            }
+            if self.rels[rid].insert(t) {
+                report.inserted += 1;
+            }
+        }
+
+        // 5. Seed added rules: one full-range pass each over the settled
+        // store. The merged rows also land in the delta ranges, so the
+        // final resume chains everything — a second added rule reading
+        // the first one's head catches up there.
+        if first_new_plan < self.plans.len() {
+            self.extend_indexes();
+            let mut scratch = Scratch::default();
+            let mut pending = PendingTuples::default();
+            for pi in first_new_plan..self.plans.len() {
+                self.eval_rule(pi, None, false, &mut scratch, &mut pending);
+            }
+            let appended =
+                Self::merge_pending(&mut self.rels, &mut pending, self.prov.as_mut(), &self.plans);
+            self.stats.tuples_derived += appended;
+        }
+
+        // 6. Rescue: re-derive over-deleted survivors from the remaining
+        // store (inserted and seeded rows included). The watermarks
+        // still sit at the old fixpoint, so every rescued insert lands
+        // in the delta range and phase 7 propagates it.
         if !candidates.is_empty() {
             self.ensure_rederive_plans();
             self.extend_indexes();
@@ -643,10 +888,189 @@ impl Materialization {
             }
         }
 
-        // 4. Propagate the rescues (re-deriving any remaining deleted
-        // consequences) through the normal update machinery.
+        // 7. Propagate every delta — inserted, seeded and rescued rows —
+        // through the normal update machinery to the new fixpoint.
         self.run_update();
-        removed
+        report
+    }
+
+    /// Compiles one added rule into a fresh plan slot, interning any
+    /// brand-new predicates (head → fresh IDB relation, body → fresh
+    /// EDB relations).
+    fn compile_added_rule(&mut self, rule: &Rule) {
+        match self.rel_of_pred.get(&rule.head.pred) {
+            Some(&r) => {
+                assert!(
+                    self.idb_flag[r],
+                    "added rule's head must not be a stored EDB relation \
+                     (the IDB/EDB partition is fixed at construction)"
+                );
+                assert_eq!(self.rels[r].arity(), rule.head.arity(), "tuple arity mismatch");
+            }
+            None => {
+                self.intern_new_rel(rule.head.pred, rule.head.arity(), true);
+            }
+        }
+        for a in &rule.body {
+            match self.rel_of_pred.get(&a.pred) {
+                Some(&r) => {
+                    assert_eq!(self.rels[r].arity(), a.arity(), "tuple arity mismatch");
+                }
+                None => {
+                    self.intern_new_rel(a.pred, a.arity(), false);
+                }
+            }
+        }
+        let idbs: Vec<Pred> = self.idb_rels.iter().map(|&r| self.pred_of_rel[r]).collect();
+        let plan = compile_rule(rule, &idbs, &self.rel_of_pred, &mut self.idxs, &mut self.idx_of);
+        let slot = self.plans.len();
+        self.plans.push(plan);
+        self.rules.push(rule.clone());
+        self.rule_active.push(true);
+        if let Some(rd) = &mut self.rederive {
+            rd.push(compile_rederive(
+                slot,
+                rule,
+                &self.rel_of_pred,
+                &mut self.idxs,
+                &mut self.idx_of,
+            ));
+        }
+    }
+
+    /// Interns a relation for a predicate first seen in an added rule.
+    fn intern_new_rel(&mut self, pred: Pred, arity: usize, idb: bool) -> usize {
+        let r = self.rels.len();
+        let mut rel = ColumnarRelation::new(arity);
+        if self.epoch > 0 {
+            rel.set_epoch(self.epoch);
+        }
+        self.rels.push(rel);
+        self.pred_of_rel.push(pred);
+        self.rel_of_pred.insert(pred, r);
+        self.idb_flag.push(idb);
+        if idb {
+            self.idb_rels.push(r);
+        }
+        self.old_hi.push(0);
+        if let Some(prov) = &mut self.prov {
+            prov.push(RelJust::default());
+        }
+        r
+    }
+
+    // -----------------------------------------------------------------
+    // Rule-slot and serving-layer state
+    // -----------------------------------------------------------------
+
+    /// The active rules, as `(id, rule)` in slot order. Slot order is
+    /// program order at construction followed by add order, so a
+    /// [`Program`] whose `rules` vector lists every rule ever held (in
+    /// that order, dropped ones included) aligns with the recorded
+    /// justifications for [`Provenance::check`].
+    pub fn active_rules(&self) -> Vec<(RuleId, &Rule)> {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.rule_active[i])
+            .map(|(i, r)| (RuleId(i as u32), r))
+            .collect()
+    }
+
+    /// Total number of rule slots ever allocated (dropped ones
+    /// included); the next added rule gets this id.
+    pub fn num_rule_slots(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether `id` names an active rule.
+    pub fn is_rule_active(&self, id: RuleId) -> bool {
+        (id.0 as usize) < self.rule_active.len() && self.rule_active[id.0 as usize]
+    }
+
+    /// How many times the reverse-dependency CSR was built — exactly one
+    /// per [`Materialization::apply`] round with any over-deletion work.
+    pub fn csr_builds(&self) -> u64 {
+        self.csr_builds
+    }
+
+    /// Moves the store into epoch mode for the serving layer: tombstones
+    /// from now on are tagged `epoch` so readers pinned at earlier
+    /// epochs keep seeing the rows (see
+    /// [`ColumnarRelation::set_epoch`]). Called by the server before
+    /// each round, with the epoch the round will publish.
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        for rel in &mut self.rels {
+            rel.set_epoch(epoch);
+        }
+    }
+
+    /// Drops tombstone tags at or below `min_epoch` (no reader pinned
+    /// there any more) — compaction-free reclamation.
+    pub(crate) fn reclaim_epochs(&mut self, min_epoch: u64) {
+        for rel in &mut self.rels {
+            rel.reclaim_tombstones(min_epoch);
+        }
+    }
+
+    /// The per-relation live-row frontiers (current row counts): what a
+    /// snapshot pin captures.
+    pub(crate) fn frontiers(&self) -> Vec<usize> {
+        self.rels.iter().map(ColumnarRelation::num_rows).collect()
+    }
+
+    /// [`Materialization::database`] as of a pinned snapshot: rows below
+    /// the frontier, visible at `epoch`. Relations interned after the
+    /// pin (by rule adds) fall off the end of `frontier` and are
+    /// invisible.
+    pub(crate) fn database_at(&self, frontier: &[usize], epoch: u64) -> Database {
+        let mut out = Database::new();
+        for (r, (&f, rel)) in frontier.iter().zip(&self.rels).enumerate() {
+            let dst = out.relation_mut(self.pred_of_rel[r], rel.arity());
+            for row in rel.rows_iter_at(f, epoch) {
+                dst.insert(row.to_vec());
+            }
+        }
+        out
+    }
+
+    /// [`Materialization::idb_database`] as of a pinned snapshot.
+    pub(crate) fn idb_database_at(&self, frontier: &[usize], epoch: u64) -> Database {
+        let mut out = Database::new();
+        for (r, (&f, rel)) in frontier.iter().zip(&self.rels).enumerate() {
+            if !self.idb_flag[r] {
+                continue;
+            }
+            let dst = out.relation_mut(self.pred_of_rel[r], rel.arity());
+            for row in rel.rows_iter_at(f, epoch) {
+                dst.insert(row.to_vec());
+            }
+        }
+        out
+    }
+
+    /// [`Materialization::answer`] as of a pinned snapshot.
+    pub(crate) fn answer_at(&self, frontier: &[usize], epoch: u64) -> Relation {
+        let (ops, nvars) = eval::goal_plan(&self.goal);
+        match self.rel_of_pred.get(&self.goal.pred) {
+            Some(&rid) if self.idb_flag[rid] && rid < frontier.len() => eval::select_project(
+                &ops,
+                nvars,
+                self.rels[rid].rows_iter_at(frontier[rid], epoch),
+            ),
+            _ => Relation::new(nvars),
+        }
+    }
+
+    /// [`Materialization::num_facts`] as of a pinned snapshot.
+    pub(crate) fn num_facts_at(&self, pred: Pred, frontier: &[usize], epoch: u64) -> usize {
+        match self.rel_of_pred.get(&pred) {
+            Some(&r) if r < frontier.len() => {
+                self.rels[r].rows_iter_at(frontier[r], epoch).count()
+            }
+            _ => 0,
+        }
     }
 
     // -----------------------------------------------------------------
@@ -797,10 +1221,14 @@ impl Materialization {
     }
 
     /// The `(rule, body step)` pairs whose step relation has unconsumed
-    /// delta rows, in deterministic `(rule, step)` order.
+    /// delta rows, in deterministic `(rule, step)` order. Dropped rules
+    /// never fire again.
     fn update_items(&self) -> Vec<(usize, usize)> {
         let mut items = Vec::new();
         for (pi, plan) in self.plans.iter().enumerate() {
+            if !self.rule_active[pi] {
+                continue;
+            }
             for (d, step) in plan.steps.iter().enumerate() {
                 if self.rels[step.rel].num_rows() > self.old_hi[step.rel] {
                     items.push((pi, d));
@@ -1087,7 +1515,10 @@ impl Materialization {
         probes: &mut u64,
     ) -> Option<(u32, Vec<u32>)> {
         let plans = self.rederive.as_ref().expect("compiled before rescue");
-        'plans: for plan in plans.iter().filter(|p| p.head_rel == rel) {
+        'plans: for plan in plans
+            .iter()
+            .filter(|p| p.head_rel == rel && self.rule_active[p.rule as usize])
+        {
             scratch.env.clear();
             scratch.env.resize(plan.num_slots, Const(0));
             for (i, op) in plan.head.iter().enumerate() {
@@ -1764,7 +2195,7 @@ mod tests {
 
         assert_eq!(m.retract_facts(e, &[vec![a]]), 1);
         let mut mirror = db.clone();
-        mirror.remove(e, &vec![a]);
+        mirror.remove(e, &[a]);
         assert_eq!(sorted_model(&m.idb_database()), spec_idb(&p, &mirror));
         let idb = m.idb_database();
         assert!(idb.relation(pp).unwrap().contains(&[a]), "p(a) rescued");
@@ -1775,7 +2206,7 @@ mod tests {
 
         // Retract the second support: now everything goes.
         assert_eq!(m.retract_facts(f, &[vec![a]]), 1);
-        mirror.remove(f, &vec![a]);
+        mirror.remove(f, &[a]);
         assert_eq!(sorted_model(&m.idb_database()), spec_idb(&p, &mirror));
         assert_eq!(m.num_facts(pp), 0);
         assert_eq!(m.num_facts(q), 0);
@@ -1860,6 +2291,248 @@ mod tests {
         assert_eq!(sorted_model(&m.idb_database()), sorted_model(&wrapped.idb));
         let (ans, _) = crate::eval::answer(&p, &db, Strategy::SemiNaive);
         assert_eq!(m.answer().sorted(), ans.sorted());
+    }
+
+    #[test]
+    fn one_csr_build_per_apply_round() {
+        // The satellite regression: a batched round with many retracts
+        // (and a rule drop mixed in) costs exactly one CSR build; the
+        // same work as single-fact calls costs one per call.
+        let mut p = parse_program(SRC_A).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain_edges(&mut p, 10);
+        let mut db = Database::new();
+        for e in &edges {
+            db.insert(par, e.clone());
+        }
+        let mut m = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+        assert_eq!(m.csr_builds(), 0, "construction never over-deletes");
+
+        let round = UpdateRound::new()
+            .retract_all(par, &edges[6..])
+            .drop_rule(RuleId(1));
+        let report = m.apply(&round);
+        assert_eq!(report.retracted, 4);
+        assert_eq!(report.rules_dropped, 1);
+        assert_eq!(m.csr_builds(), 1, "one build for the whole mixed round");
+
+        // Insert-only and empty rounds never build the CSR.
+        m.apply(&UpdateRound::new().insert(par, edges[6].clone()));
+        m.apply(&UpdateRound::new());
+        assert_eq!(m.csr_builds(), 1);
+
+        // The single-fact path pays one build per call.
+        let mut m2 = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+        for e in &edges[6..] {
+            m2.retract_facts(par, std::slice::from_ref(e));
+        }
+        assert_eq!(m2.csr_builds(), 4);
+    }
+
+    #[test]
+    fn batched_mixed_round_matches_sequential_calls() {
+        let mut p = parse_program(SRC_A).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain_edges(&mut p, 10);
+        let mut db = Database::new();
+        for e in &edges[..6] {
+            db.insert(par, e.clone());
+        }
+        let mut batched = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+        let report = batched.apply(
+            &UpdateRound::new()
+                .retract_all(par, &edges[2..4])
+                .insert_all(par, &edges[6..]),
+        );
+        assert_eq!(report.inserted, 4);
+        assert_eq!(report.retracted, 2);
+
+        let mut sequential = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+        for e in &edges[6..] {
+            sequential.insert_facts(par, std::slice::from_ref(e));
+        }
+        for e in &edges[2..4] {
+            sequential.retract_facts(par, std::slice::from_ref(e));
+        }
+        assert_eq!(
+            sorted_model(&batched.database()),
+            sorted_model(&sequential.database()),
+            "one mixed round ≡ any order of the single-fact calls"
+        );
+        // And both match the from-scratch spec of the edited database.
+        let mut mirror = db.clone();
+        for e in &edges[6..] {
+            mirror.insert(par, e.clone());
+        }
+        for e in &edges[2..4] {
+            mirror.remove(par, e);
+        }
+        assert_eq!(sorted_model(&batched.idb_database()), spec_idb(&p, &mirror));
+        batched.provenance().check(&p).expect("valid after a mixed round");
+    }
+
+    #[test]
+    fn drop_rule_overdeletes_and_rescues_via_surviving_rules() {
+        // The DRed diamond again, but cutting a *rule* instead of a
+        // fact: p(a) is justified via rule 0 (p :- e); dropping rule 0
+        // must rescue p(a) through rule 1 (p :- f) and keep q(a).
+        let mut p = parse_program(
+            "?- p(Y).\n\
+             p(X) :- e(X).\n\
+             p(X) :- f(X).\n\
+             q(X) :- p(X), g(X).",
+        )
+        .unwrap();
+        let e = p.symbols.get_predicate("e").unwrap();
+        let f = p.symbols.get_predicate("f").unwrap();
+        let g = p.symbols.get_predicate("g").unwrap();
+        let pp = p.symbols.get_predicate("p").unwrap();
+        let q = p.symbols.get_predicate("q").unwrap();
+        let a = p.symbols.constant("a");
+        let mut db = Database::new();
+        db.insert(e, vec![a]);
+        db.insert(f, vec![a]);
+        db.insert(g, vec![a]);
+        let mut m = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+        assert!(m.is_rule_active(RuleId(0)));
+
+        assert!(m.drop_rule(RuleId(0)));
+        assert!(!m.is_rule_active(RuleId(0)));
+        assert!(!m.drop_rule(RuleId(0)), "double drop is a no-op");
+        assert_eq!(m.num_facts(pp), 1, "p(a) rescued via rule 1");
+        assert_eq!(m.num_facts(q), 1, "q(a) survives");
+        let prov = m.provenance();
+        // Check against the full original program: rule slots align.
+        prov.check(&p).expect("rescued justification valid");
+        let pa = crate::derivation::GroundAtom { pred: pp, args: vec![a] };
+        assert_eq!(prov.justification(&pa).map(|(r, _)| r), Some(1), "via f now");
+
+        // The edited program is the spec: dropping the last support of
+        // p kills everything derived.
+        assert!(m.drop_rule(RuleId(1)));
+        assert_eq!(m.num_facts(pp), 0);
+        assert_eq!(m.num_facts(q), 0);
+        // e/f/g facts are untouched.
+        assert_eq!(m.num_facts(e), 1);
+    }
+
+    #[test]
+    fn add_rule_seeds_from_existing_rows() {
+        let mut p = parse_program(SRC_A).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let anc = p.symbols.get_predicate("anc").unwrap();
+        let edges = chain_edges(&mut p, 5);
+        let mut db = Database::new();
+        for e in &edges {
+            db.insert(par, e.clone());
+        }
+        let mut m = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+        assert_eq!(m.num_rule_slots(), 2);
+
+        // Hot-add: sib(X, Y) :- par(Z, X), par(Z, Y) over a new IDB.
+        let extra = parse_program(
+            "?- sib(X, Y).\n\
+             sib(X, Y) :- par(Z, X), par(Z, Y).",
+        )
+        .unwrap();
+        // Predicate/constant ids are interned per-Symbols; rebuild the
+        // rule against p's symbol table for a like-for-like comparison.
+        let mut p_plus = p.clone();
+        let sib = p_plus.symbols.predicate("sib");
+        let rule = {
+            let mut r = extra.rules[0].clone();
+            r.head.pred = sib;
+            for (a, src) in r.body.iter_mut().zip(&extra.rules[0].body) {
+                assert_eq!(extra.symbols.pred_name(src.pred), "par");
+                a.pred = par;
+            }
+            r
+        };
+        p_plus.rules.push(rule.clone());
+
+        let id = m.add_rule(rule);
+        assert_eq!(id, RuleId(2));
+        assert!(m.is_rule_active(id));
+        assert_eq!(m.active_rules().len(), 3);
+        // Chain graph: each parent has one child, so sib is the diagonal.
+        assert_eq!(m.num_facts(sib), 5, "seeded from the existing rows");
+        assert_eq!(
+            sorted_model(&m.idb_database()),
+            spec_idb(&p_plus, &{
+                let mut mirror = Database::new();
+                for e in &edges {
+                    mirror.insert(par, e.clone());
+                }
+                mirror
+            }),
+            "incrementally seeded ≡ from-scratch on the edited program"
+        );
+        m.provenance().check(&p_plus).expect("seeded justifications valid");
+
+        // New facts keep flowing through the added rule.
+        let john = p.symbols.get_constant("john").unwrap();
+        let x = p_plus.symbols.constant("x");
+        m.insert_facts(par, &[vec![john, x]]);
+        assert_eq!(m.num_facts(sib), 5 + 3, "sib(c1,x), sib(x,c1) and sib(x,x)");
+        let _ = anc;
+    }
+
+    #[test]
+    #[should_panic(expected = "head must not be a stored EDB relation")]
+    fn add_rule_rejects_edb_heads() {
+        let p = parse_program(SRC_A).unwrap();
+        let mut m = Materialization::new(&p, Strategy::SemiNaive);
+        // par is a stored EDB relation: deriving into it would break the
+        // fixed IDB/EDB partition. par(X, Y) :- anc(X, Y).
+        let par = p.symbols.get_predicate("par").unwrap();
+        let anc = p.symbols.get_predicate("anc").unwrap();
+        let args = vec![Term::Var(Var(0)), Term::Var(Var(1))];
+        m.add_rule(Rule {
+            head: Atom { pred: par, args: args.clone() },
+            body: vec![Atom { pred: anc, args }],
+        });
+    }
+
+    #[test]
+    fn apply_round_with_new_predicates_tracks_them() {
+        // An added rule may introduce brand-new body predicates; the
+        // same round can already insert facts for them.
+        let mut p = parse_program(SRC_A).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain_edges(&mut p, 3);
+        let mut db = Database::new();
+        for e in &edges {
+            db.insert(par, e.clone());
+        }
+        let mut m = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+
+        let mut p_plus = p.clone();
+        let anc = p_plus.symbols.get_predicate("anc").unwrap();
+        let step = p_plus.symbols.predicate("step");
+        let rule = Rule {
+            head: Atom {
+                pred: anc,
+                args: vec![Term::Var(Var(90)), Term::Var(Var(91))],
+            },
+            body: vec![Atom {
+                pred: step,
+                args: vec![Term::Var(Var(90)), Term::Var(Var(91))],
+            }],
+        };
+        p_plus.rules.push(rule.clone());
+        let a = p_plus.symbols.constant("zz1");
+        let b = p_plus.symbols.constant("zz2");
+        let report = m.apply(
+            &UpdateRound::new()
+                .add_rule(rule)
+                .insert(step, vec![a, b]),
+        );
+        assert_eq!(report.rules_added, 1);
+        assert_eq!(report.inserted, 1, "the new EDB predicate is tracked");
+        let mut mirror = db.clone();
+        mirror.insert(step, vec![a, b]);
+        assert_eq!(sorted_model(&m.idb_database()), spec_idb(&p_plus, &mirror));
+        m.provenance().check(&p_plus).expect("valid");
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! The concurrent live materialization server.
+//!
+//! A [`Server`] wraps a [`Materialization`] for the many-readers /
+//! one-round-at-a-time-writer pattern the paper's selection-propagation
+//! machinery ultimately serves: readers keep querying the maintained
+//! fixpoint while batched [`UpdateRound`]s — fact churn and rule
+//! hot-swap — stream in. Two guarantees, proved adversarially by
+//! `tests/server_stress.rs`:
+//!
+//! - **No mid-round reads.** A round is applied under the store's write
+//!   lock and its epoch is published only after the round reaches
+//!   fixpoint, so every read observes the result of a whole *prefix* of
+//!   the applied rounds — never a half-propagated state (linearizable
+//!   at round granularity).
+//! - **Epoch-pinned snapshot reads.** [`Server::snapshot`] pins the
+//!   current epoch with a cheap handle: a per-relation live-row
+//!   **frontier** (the append-only store's row counts) plus the pinned
+//!   epoch number. Later rounds keep appending rows (above every
+//!   pinned frontier) and tombstoning rows (tagged with the round's
+//!   epoch — see [`crate::storage::ColumnarRelation::set_epoch`]), so a
+//!   pinned [`Snapshot`] keeps reading its exact state-as-of-pin for as
+//!   long as it lives, without cloning any data.
+//!
+//! Reclamation is compaction-free: when the last reader below an epoch
+//! unpins, the writer (or the unpinning reader itself, opportunistically)
+//! drops the tombstone tags nothing can observe any more — dead rows
+//! simply stay dead, and pinned frontiers/tags are the only per-epoch
+//! cost.
+//!
+//! Lock order is `store → epochs` everywhere that takes both (the
+//! unpinning path takes `epochs` first but only ever *tries* the store
+//! lock, so it cannot deadlock).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::ast::{Pred, Program, Rule};
+use crate::db::{Database, Relation, Tuple};
+use crate::derivation::Provenance;
+use crate::eval::{EvalStats, Strategy};
+use crate::materialize::{Materialization, RoundReport, RuleId, UpdateRound};
+
+/// The shared state behind one server and all of its snapshots.
+struct Shared {
+    /// The maintained fixpoint. Readers pin and query under the read
+    /// lock; the writer applies whole rounds under the write lock.
+    store: RwLock<Materialization>,
+    /// The epoch table: the published epoch plus reader pin counts.
+    epochs: Mutex<EpochTable>,
+}
+
+/// The published epoch and the readers pinned per epoch.
+struct EpochTable {
+    /// The epoch of the last published round (0 = the initial fixpoint).
+    current: u64,
+    /// Pin count per pinned epoch (absent = zero). A `BTreeMap` so the
+    /// minimum pinned epoch — the reclamation horizon — is the first
+    /// key.
+    pins: BTreeMap<u64, usize>,
+}
+
+impl EpochTable {
+    /// The reclamation horizon: every tombstone tag at or below this
+    /// epoch is unobservable. With no pins that is the published epoch
+    /// itself (tags are never issued above it).
+    fn min_observable(&self) -> u64 {
+        self.pins.keys().next().copied().unwrap_or(self.current)
+    }
+}
+
+/// A concurrent handle on a live materialization: cheap to clone, safe
+/// to share across threads. Any thread may take snapshots and read;
+/// [`Server::apply`] serializes writers (rounds are atomic — see the
+/// module docs).
+#[derive(Clone)]
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Serves `program` materialized over an empty database.
+    pub fn new(program: &Program, strategy: Strategy) -> Self {
+        Self::from_database(program, &Database::new(), strategy)
+    }
+
+    /// Serves `program` materialized over `db`: runs the initial batch
+    /// fixpoint (epoch 0), then stands ready for readers and rounds.
+    pub fn from_database(program: &Program, db: &Database, strategy: Strategy) -> Self {
+        let store = Materialization::from_database(program, db, strategy);
+        Self {
+            shared: Arc::new(Shared {
+                store: RwLock::new(store),
+                epochs: Mutex::new(EpochTable {
+                    current: 0,
+                    pins: BTreeMap::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Applies one batched [`UpdateRound`] and publishes the resulting
+    /// epoch. The round runs under the write lock — readers either see
+    /// the epoch before it or the epoch after it, never the middle —
+    /// and unobservable tombstone tags are reclaimed on the way out.
+    ///
+    /// Writer calls are serialized by the write lock; each applied
+    /// round increments the published epoch by one.
+    pub fn apply(&self, round: &UpdateRound) -> RoundReport {
+        let mut store = self.shared.store.write().expect("store lock poisoned");
+        let next = {
+            let epochs = self.shared.epochs.lock().expect("epoch lock poisoned");
+            epochs.current + 1
+        };
+        // Tombstones of this round are tagged `next`: dead at `next`,
+        // still visible to every reader pinned at `< next`.
+        store.set_epoch(next);
+        let report = store.apply(round);
+        // Publish, then reclaim what no reader can observe any more.
+        let horizon = {
+            let mut epochs = self.shared.epochs.lock().expect("epoch lock poisoned");
+            epochs.current = next;
+            epochs.min_observable()
+        };
+        store.reclaim_epochs(horizon);
+        report
+    }
+
+    /// Convenience single-phase rounds (each one applied round).
+    pub fn insert_facts(&self, pred: Pred, rows: &[Tuple]) -> usize {
+        self.apply(&UpdateRound::new().insert_all(pred, rows)).inserted
+    }
+
+    /// See [`Server::insert_facts`].
+    pub fn retract_facts(&self, pred: Pred, rows: &[Tuple]) -> usize {
+        self.apply(&UpdateRound::new().retract_all(pred, rows)).retracted
+    }
+
+    /// Adds one rule as a round of its own; returns its stable id.
+    pub fn add_rule(&self, rule: Rule) -> RuleId {
+        let id = {
+            let store = self.shared.store.read().expect("store lock poisoned");
+            RuleId(store.num_rule_slots() as u32)
+        };
+        self.apply(&UpdateRound::new().add_rule(rule));
+        id
+    }
+
+    /// Drops one rule as a round of its own; returns whether it was
+    /// active.
+    pub fn drop_rule(&self, id: RuleId) -> bool {
+        self.apply(&UpdateRound::new().drop_rule(id)).rules_dropped == 1
+    }
+
+    /// Pins the current epoch and returns a read handle on it: a
+    /// per-relation frontier plus the epoch number — no data is cloned.
+    /// The snapshot keeps serving its exact pinned state however many
+    /// rounds the writer applies afterwards; dropping it unpins (and
+    /// opportunistically reclaims).
+    pub fn snapshot(&self) -> Snapshot {
+        // Hold the read lock across the pin: the writer can neither be
+        // mid-round (the frontier is a published fixpoint) nor publish
+        // and reclaim between reading `current` and pinning it.
+        let store = self.shared.store.read().expect("store lock poisoned");
+        let epoch = {
+            let mut epochs = self.shared.epochs.lock().expect("epoch lock poisoned");
+            let current = epochs.current;
+            *epochs.pins.entry(current).or_insert(0) += 1;
+            current
+        };
+        let frontier = store.frontiers();
+        drop(store);
+        Snapshot {
+            shared: Arc::clone(&self.shared),
+            epoch,
+            frontier,
+        }
+    }
+
+    /// The published epoch (= number of rounds applied so far).
+    pub fn current_epoch(&self) -> u64 {
+        self.shared.epochs.lock().expect("epoch lock poisoned").current
+    }
+
+    /// Work counters accumulated by the underlying materialization.
+    pub fn stats(&self) -> EvalStats {
+        self.shared.store.read().expect("store lock poisoned").stats()
+    }
+
+    /// The goal's answer over the **current** model (an unpinned read:
+    /// equivalent to `snapshot().answer()` but cheaper).
+    pub fn answer(&self) -> Relation {
+        self.shared.store.read().expect("store lock poisoned").answer()
+    }
+
+    /// A provenance snapshot of the current model (O(store) clone; see
+    /// [`Materialization::provenance`]).
+    pub fn provenance(&self) -> Provenance {
+        self.shared
+            .store
+            .read()
+            .expect("store lock poisoned")
+            .provenance()
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("epoch", &self.current_epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A pinned point-in-time view of a [`Server`]'s store: the state after
+/// exactly the first `epoch` applied rounds. Reads take the store's
+/// read lock briefly but never block on (or observe) the writer's
+/// in-progress round. Dropping the snapshot unpins its epoch.
+pub struct Snapshot {
+    shared: Arc<Shared>,
+    epoch: u64,
+    /// Per-relation row counts at pin time: rows at or above the
+    /// frontier (and whole relations interned later) are invisible.
+    frontier: Vec<usize>,
+}
+
+impl Snapshot {
+    /// The pinned epoch (= how many applied rounds this view includes).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The goal's answer relation as of the pinned state.
+    pub fn answer(&self) -> Relation {
+        self.shared
+            .store
+            .read()
+            .expect("store lock poisoned")
+            .answer_at(&self.frontier, self.epoch)
+    }
+
+    /// The IDB model as of the pinned state.
+    pub fn idb_database(&self) -> Database {
+        self.shared
+            .store
+            .read()
+            .expect("store lock poisoned")
+            .idb_database_at(&self.frontier, self.epoch)
+    }
+
+    /// Every tracked relation (stored EDB facts and the IDB model) as of
+    /// the pinned state.
+    pub fn database(&self) -> Database {
+        self.shared
+            .store
+            .read()
+            .expect("store lock poisoned")
+            .database_at(&self.frontier, self.epoch)
+    }
+
+    /// Number of facts stored for `pred` as of the pinned state.
+    pub fn num_facts(&self, pred: Pred) -> usize {
+        self.shared
+            .store
+            .read()
+            .expect("store lock poisoned")
+            .num_facts_at(pred, &self.frontier, self.epoch)
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        let horizon = {
+            let mut epochs = self.shared.epochs.lock().expect("epoch lock poisoned");
+            if let Some(n) = epochs.pins.get_mut(&self.epoch) {
+                *n -= 1;
+                if *n == 0 {
+                    epochs.pins.remove(&self.epoch);
+                }
+            }
+            epochs.min_observable()
+        };
+        // Opportunistic reclamation: only if the store is idle right now
+        // (try_write never blocks, so the epochs→store order here cannot
+        // deadlock against the store→epochs order elsewhere). If the
+        // store is busy, the writer reclaims at its next round instead.
+        if let Ok(mut store) = self.shared.store.try_write() {
+            store.reclaim_epochs(horizon);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const SRC: &str = "?- anc(john, Y).\n\
+                       anc(X, Y) :- par(X, Y).\n\
+                       anc(X, Y) :- anc(X, Z), par(Z, Y).";
+
+    fn chain(p: &mut Program, n: usize) -> Vec<Tuple> {
+        let mut prev = p.symbols.constant("john");
+        (1..=n)
+            .map(|i| {
+                let c = p.symbols.constant(&format!("c{i}"));
+                let t = vec![prev, c];
+                prev = c;
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshots_pin_their_epoch_across_churn() {
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain(&mut p, 6);
+        let server = Server::new(&p, Strategy::SemiNaive);
+
+        assert_eq!(server.insert_facts(par, &edges[..3]), 3);
+        assert_eq!(server.current_epoch(), 1);
+        let pinned = server.snapshot();
+        assert_eq!(pinned.epoch(), 1);
+        assert_eq!(pinned.answer().len(), 3);
+
+        // Churn after the pin: grow, then cut the chain at the root.
+        server.insert_facts(par, &edges[3..]);
+        server.retract_facts(par, &edges[..1]);
+        assert_eq!(server.current_epoch(), 3);
+
+        // The pinned snapshot still serves its exact state...
+        assert_eq!(pinned.answer().len(), 3, "pinned reads don't move");
+        assert_eq!(pinned.num_facts(par), 3);
+        // ...while fresh snapshots see the current state.
+        let fresh = server.snapshot();
+        assert_eq!(fresh.epoch(), 3);
+        assert_eq!(fresh.answer().len(), 0, "root edge retracted");
+        assert_eq!(fresh.num_facts(par), 5);
+        drop(pinned);
+
+        // After the unpin the next round reclaims; the current state is
+        // unaffected.
+        server.insert_facts(par, &edges[..1]);
+        assert_eq!(server.answer().len(), 6);
+    }
+
+    #[test]
+    fn rounds_are_atomic_for_overlapping_snapshots() {
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain(&mut p, 8);
+        let mut db = Database::new();
+        for e in &edges[..4] {
+            db.insert(par, e.clone());
+        }
+        let server = Server::from_database(&p, &db, Strategy::SemiNaive);
+        let before = server.snapshot();
+        // One mixed round: retract the tail edge, insert the rest.
+        server.apply(
+            &UpdateRound::new()
+                .retract(par, edges[3].clone())
+                .insert_all(par, &edges[4..]),
+        );
+        let after = server.snapshot();
+        assert_eq!(before.answer().len(), 4);
+        assert_eq!(after.answer().len(), 3, "chain cut at edge 3");
+        assert_eq!(after.epoch(), before.epoch() + 1);
+        // Snapshot databases are exactly the two fixpoints.
+        assert_eq!(
+            before.database().sorted_models(),
+            {
+                let m = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+                m.database().sorted_models()
+            },
+            "pinned = the pre-round fixpoint"
+        );
+        let mut db2 = db.clone();
+        db2.remove(par, &edges[3]);
+        for e in &edges[4..] {
+            db2.insert(par, e.clone());
+        }
+        assert_eq!(
+            after.database().sorted_models(),
+            {
+                let m = Materialization::from_database(&p, &db2, Strategy::SemiNaive);
+                m.database().sorted_models()
+            },
+            "published = the post-round fixpoint"
+        );
+    }
+
+    #[test]
+    fn rule_hot_swap_through_the_server() {
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let anc = p.symbols.get_predicate("anc").unwrap();
+        let edges = chain(&mut p, 4);
+        let server = Server::new(&p, Strategy::SemiNaive);
+        server.insert_facts(par, &edges);
+        let pinned = server.snapshot();
+        assert_eq!(pinned.num_facts(anc), 10, "4+3+2+1 ancestor pairs");
+
+        // Drop the transitive rule: only direct parents remain.
+        assert!(server.drop_rule(RuleId(1)));
+        assert_eq!(server.snapshot().num_facts(anc), 4);
+        assert_eq!(pinned.num_facts(anc), 10, "pinned view unaffected");
+
+        // Re-add it (fresh slot) — the model is restored.
+        let readd = p.rules[1].clone();
+        let id = server.add_rule(readd);
+        assert_eq!(id, RuleId(2));
+        assert_eq!(server.snapshot().num_facts(anc), 10);
+        assert_eq!(pinned.num_facts(anc), 10);
+    }
+
+    #[test]
+    fn server_is_shareable_across_threads() {
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain(&mut p, 32);
+        let server = Server::new(&p, Strategy::SemiNaive);
+        server.insert_facts(par, &edges[..1]);
+
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    let mut reads = 0usize;
+                    while last < 8 {
+                        let snap = server.snapshot();
+                        // Answers are a function of the pinned epoch:
+                        // epoch e = e edges inserted (one per round).
+                        assert_eq!(snap.answer().len() as u64, snap.epoch());
+                        assert!(snap.epoch() >= last, "epochs are monotone");
+                        last = snap.epoch();
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+        for e in &edges[1..8] {
+            server.insert_facts(par, std::slice::from_ref(e));
+        }
+        for r in readers {
+            assert!(r.join().expect("reader thread") > 0);
+        }
+    }
+}

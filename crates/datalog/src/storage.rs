@@ -24,7 +24,7 @@
 //! remaining suffix.
 
 use crate::ast::Const;
-use crate::hash::hash_ids;
+use crate::hash::{hash_ids, FxHashMap};
 
 /// Sentinel row id: "no row" / end of an index chain.
 pub const NO_ROW: u32 = u32::MAX;
@@ -77,6 +77,23 @@ pub fn shard_ranges(lo: usize, hi: usize, shards: usize) -> Vec<(usize, usize)> 
 /// (`contains`/`find_row` report it absent; re-inserting the same tuple
 /// appends a **new** row id) and [`ColumnarRelation::is_live`] turns
 /// false, which the join machinery checks before matching a row.
+///
+/// # Epoch-tagged tombstones (snapshot reads)
+///
+/// The serving layer ([`crate::server`]) needs point-in-time reads while
+/// the writer keeps mutating. Append-only row ids make the *insert* side
+/// of a snapshot free — a per-relation row-count frontier bounds what a
+/// reader may see — but tombstones mutate in place. So a relation can be
+/// moved into **epoch mode** ([`ColumnarRelation::set_epoch`] with a
+/// nonzero epoch): from then on each tombstone records the epoch it died
+/// in, and [`ColumnarRelation::visible_at`] resurrects rows that died
+/// *after* a reader's pinned epoch. Relations that never enter epoch mode
+/// (every plain [`crate::materialize::Materialization`]) pay nothing: the
+/// side table stays empty and untouched.
+///
+/// Reclamation is compaction-free: once no reader is pinned below epoch
+/// `e`, [`ColumnarRelation::reclaim_tombstones`] drops the tags `<= e` —
+/// an untagged dead row is simply dead at every pinnable epoch.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ColumnarRelation {
     arity: usize,
@@ -92,6 +109,12 @@ pub struct ColumnarRelation {
     dead: Vec<u64>,
     /// Number of tombstoned rows.
     dead_rows: usize,
+    /// The epoch new tombstones are tagged with; 0 = epoch mode off.
+    epoch: u64,
+    /// Death epoch per tombstoned row, populated only in epoch mode. A
+    /// dead row absent from this table died "before memory": invisible
+    /// at every epoch still pinnable.
+    tomb_at: FxHashMap<u32, u64>,
 }
 
 impl ColumnarRelation {
@@ -104,6 +127,8 @@ impl ColumnarRelation {
             slots: Vec::new(),
             dead: Vec::new(),
             dead_rows: 0,
+            epoch: 0,
+            tomb_at: FxHashMap::default(),
         }
     }
 
@@ -159,6 +184,41 @@ impl ColumnarRelation {
         (0..self.rows)
             .filter(move |&r| self.is_live(r))
             .map(move |r| self.row(r))
+    }
+
+    /// Enters (or advances) epoch mode: tombstones created from now on
+    /// are tagged with `epoch`, so [`ColumnarRelation::visible_at`] can
+    /// serve reads pinned at earlier epochs. Epochs must be nonzero and
+    /// non-decreasing across calls (the serving layer's round counter).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        debug_assert!(epoch >= self.epoch, "epochs never go backwards");
+        self.epoch = epoch;
+    }
+
+    /// Whether row `r` is visible to a reader pinned at `epoch`: live, or
+    /// tombstoned in a *later* epoch (the reader pinned before the row
+    /// died). Rows at ids `>= frontier` of the reader's pinned snapshot
+    /// must be excluded by the caller — this checks liveness only.
+    #[inline]
+    pub fn visible_at(&self, r: usize, epoch: u64) -> bool {
+        self.is_live(r) || self.tomb_at.get(&(r as u32)).is_some_and(|&te| te > epoch)
+    }
+
+    /// Iterates the rows of the pinned snapshot `(frontier, epoch)`:
+    /// row ids below `frontier` (the relation's row count when the
+    /// snapshot was pinned) that are visible at `epoch`, in insertion
+    /// order.
+    pub fn rows_iter_at(&self, frontier: usize, epoch: u64) -> impl Iterator<Item = &[Const]> {
+        (0..frontier.min(self.rows))
+            .filter(move |&r| self.visible_at(r, epoch))
+            .map(move |r| self.row(r))
+    }
+
+    /// Drops the death-epoch tags `<= min_epoch` (no reader is pinned at
+    /// or below it any more): the rows stay dead, just untagged — dead at
+    /// every epoch still pinnable. Compaction-free reclamation.
+    pub fn reclaim_tombstones(&mut self, min_epoch: u64) {
+        self.tomb_at.retain(|_, te| *te > min_epoch);
     }
 
     fn hash_row_slice(row: &[Const]) -> u64 {
@@ -240,6 +300,9 @@ impl ColumnarRelation {
         }
         self.dead[r >> 6] |= 1 << (r & 63);
         self.dead_rows += 1;
+        if self.epoch > 0 {
+            self.tomb_at.insert(r as u32, self.epoch);
+        }
         // Unlink from the dedup table (the slot may sit mid-probe-chain,
         // so it becomes TOMB_SLOT, not NO_ROW).
         let mask = self.slots.len() - 1;
@@ -596,6 +659,73 @@ mod tests {
             rel.insert(&[c(i)]);
             assert!(rel.is_live(i as usize), "{i}");
         }
+    }
+
+    #[test]
+    fn epoch_tags_resurrect_rows_for_pinned_readers() {
+        let mut rel = ColumnarRelation::new(1);
+        rel.insert(&[c(0)]); // row 0, alive from epoch 0
+        // Round producing epoch 1: insert row 1.
+        rel.set_epoch(1);
+        rel.insert(&[c(1)]);
+        // Round producing epoch 2: retract row 0.
+        rel.set_epoch(2);
+        rel.tombstone(0);
+        // Round producing epoch 3: re-insert the tuple (fresh row id 2).
+        rel.set_epoch(3);
+        rel.insert(&[c(0)]);
+
+        // A reader pinned at epoch 1 (frontier 2) sees rows 0 and 1: row
+        // 0 died in epoch 2 (> 1), row 2 is past the frontier.
+        let snap: Vec<Vec<Const>> =
+            rel.rows_iter_at(2, 1).map(|r| r.to_vec()).collect();
+        assert_eq!(snap, vec![vec![c(0)], vec![c(1)]]);
+        // A reader pinned at epoch 2 (frontier 2) no longer sees row 0.
+        let snap: Vec<Vec<Const>> =
+            rel.rows_iter_at(2, 2).map(|r| r.to_vec()).collect();
+        assert_eq!(snap, vec![vec![c(1)]]);
+        // A reader at the current epoch (frontier 3) sees the re-insert.
+        let snap: Vec<Vec<Const>> =
+            rel.rows_iter_at(3, 3).map(|r| r.to_vec()).collect();
+        assert_eq!(snap, vec![vec![c(1)], vec![c(0)]]);
+        // A frontier beyond the store clamps.
+        assert_eq!(rel.rows_iter_at(100, 3).count(), 2);
+    }
+
+    #[test]
+    fn reclaim_drops_only_unpinnable_tags() {
+        let mut rel = ColumnarRelation::new(1);
+        for i in 0..4u32 {
+            rel.insert(&[c(i)]);
+        }
+        rel.set_epoch(1);
+        rel.tombstone(0);
+        rel.set_epoch(2);
+        rel.tombstone(1);
+        rel.set_epoch(3);
+        rel.tombstone(2);
+        // Readers pinned at >= 1 remain: tags <= 1 are reclaimable.
+        rel.reclaim_tombstones(1);
+        // The epoch-1 death (row 0) lost its tag — dead at every epoch.
+        assert!(!rel.visible_at(0, 0), "untagged dead row is dead everywhere");
+        // Later deaths still resurrect for earlier pins.
+        assert!(rel.visible_at(1, 1), "row 1 died in epoch 2");
+        assert!(!rel.visible_at(1, 2));
+        assert!(rel.visible_at(2, 2), "row 2 died in epoch 3");
+        // Full reclamation: nothing resurrects any more.
+        rel.reclaim_tombstones(3);
+        assert!(!rel.visible_at(1, 1));
+        assert!(!rel.visible_at(2, 2));
+        assert!(rel.visible_at(3, 0), "live rows are visible at any epoch");
+    }
+
+    #[test]
+    fn plain_relations_never_populate_the_epoch_table() {
+        let mut rel = ColumnarRelation::new(1);
+        rel.insert(&[c(7)]);
+        rel.tombstone(0); // epoch mode off: no tag
+        assert!(!rel.visible_at(0, 0), "dead without a tag is just dead");
+        assert_eq!(rel.rows_iter_at(1, 0).count(), 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@ const EXAMPLES: &[&str] = &[
     "negation_boundary",
     "quickstart",
     "selection_propagation",
+    "server",
     "ws1s_explorer",
 ];
 

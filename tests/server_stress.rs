@@ -1,0 +1,251 @@
+//! Reader/writer stress: N reader threads pin epoch snapshots and
+//! query while the writer applies a randomized churn stream of batched
+//! update rounds (fact inserts, retractions, mixed rounds, and a rule
+//! drop/re-add pair).
+//!
+//! The consistency contract, asserted on **every** read:
+//!
+//! - the observed database equals the from-scratch `reference`
+//!   evaluation of exactly the applied-round prefix named by the
+//!   snapshot's epoch (linearizable at round granularity — a mid-round
+//!   state matches no prefix and would fail);
+//! - epochs observed by one reader never go backwards;
+//! - a snapshot held across arbitrary churn keeps serving its pinned
+//!   prefix.
+//!
+//! The acceptance bar is ≥1000 such reads across the strategy × reader
+//! sweep; the run prints its tally and asserts it.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use selprop_datalog::db::Tuple;
+use selprop_datalog::eval::Strategy;
+use selprop_datalog::reference;
+use selprop_datalog::{parse_program, Database, Pred, Program, RuleId, Server, UpdateRound};
+
+const ROUNDS: usize = 24;
+const READERS: usize = 4;
+const MIN_READS_PER_READER: usize = 100;
+
+/// Deterministic xorshift64* stream for the churn schedule.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Sorted nonempty `(pred, tuples)` view — the canonical form both the
+/// snapshot database and the reference model are reduced to (stores
+/// keep every relation they ever tracked; the reference only the
+/// program's).
+fn canon(db: &Database) -> Vec<(Pred, Vec<Tuple>)> {
+    db.sorted_models().into_iter().filter(|(_, rows)| !rows.is_empty()).collect()
+}
+
+/// The full expected state for one prefix: stored EDB facts plus the
+/// from-scratch reference IDB model of the prefix's program variant.
+fn expected_state(program: &Program, edb: &Database) -> Vec<(Pred, Vec<Tuple>)> {
+    let spec = reference::evaluate(program, edb, Strategy::SemiNaive);
+    let mut merged = edb.clone();
+    for (p, r) in spec.idb.iter() {
+        for t in r.sorted() {
+            merged.insert(p, t);
+        }
+    }
+    canon(&merged)
+}
+
+/// One strategy's full stress run; returns the number of consistent
+/// concurrent reads it performed.
+fn stress_one_strategy(strategy: Strategy, seed: u64) -> usize {
+    let mut p = parse_program(
+        "?- anc(john, Y).\n\
+         anc(X, Y) :- par(X, Y).\n\
+         anc(X, Y) :- anc(X, Z), par(Z, Y).",
+    )
+    .expect("valid program");
+    let par = p.symbols.get_predicate("par").unwrap();
+    // The edited program variant for prefixes where the transitive rule
+    // is dropped.
+    let mut p_minus = p.clone();
+    p_minus.rules = vec![p.rules[0].clone()];
+
+    // A pool of chain edges rooted at john; rounds draw from it.
+    let names: Vec<_> = (0..=6 * ROUNDS)
+        .map(|i| {
+            if i == 0 {
+                p.symbols.constant("john")
+            } else {
+                p.symbols.constant(&format!("c{i}"))
+            }
+        })
+        .collect();
+    let edge = |i: usize| -> Tuple { vec![names[i], names[i + 1]] };
+
+    // Bulk-load a prefix of the chain, then build the randomized churn
+    // stream AND the expected state per applied-round prefix, up front.
+    let mut db0 = Database::new();
+    let mut len = 8usize;
+    for i in 0..len {
+        db0.insert(par, edge(i));
+    }
+    let mut rng = Rng(seed | 1);
+    let mut rounds: Vec<UpdateRound> = Vec::new();
+    let mut expected: Vec<Vec<(Pred, Vec<Tuple>)>> = Vec::new();
+    let mut mirror = db0.clone();
+    let mut closure_active = true;
+    // The rule drop and its re-add land at two fixed rounds mid-stream.
+    let drop_at = ROUNDS / 3;
+    let readd_at = 2 * ROUNDS / 3;
+    expected.push(expected_state(&p, &mirror)); // epoch 0
+    for r in 0..ROUNDS {
+        let mut round = UpdateRound::new();
+        if r == drop_at {
+            round = round.drop_rule(RuleId(1));
+            closure_active = false;
+        } else if r == readd_at {
+            round = round.add_rule(p.rules[1].clone());
+            closure_active = true;
+        }
+        // Fact churn rides along in the same round.
+        match rng.below(3) {
+            0 => {
+                // Grow the chain by 1–4 edges.
+                for _ in 0..=rng.below(4) {
+                    round = round.insert(par, edge(len));
+                    mirror.insert(par, edge(len));
+                    len += 1;
+                }
+            }
+            1 if len > 4 => {
+                // Cut 1–2 edges off the tail.
+                for _ in 0..=rng.below(2).min(len - 4) {
+                    len -= 1;
+                    round = round.retract(par, edge(len));
+                    assert!(mirror.remove(par, &edge(len)));
+                }
+            }
+            _ => {
+                // Mixed: cut the tail edge and grow two — one DRed +
+                // one resume pass for the whole batch.
+                len -= 1;
+                round = round.retract(par, edge(len));
+                assert!(mirror.remove(par, &edge(len)));
+                for _ in 0..2 {
+                    round = round.insert(par, edge(len));
+                    mirror.insert(par, edge(len));
+                    len += 1;
+                }
+            }
+        }
+        rounds.push(round);
+        let variant = if closure_active { &p } else { &p_minus };
+        expected.push(expected_state(variant, &mirror));
+    }
+    let expected = Arc::new(expected);
+
+    let server = Server::from_database(&p, &db0, strategy);
+    let writer_done = Arc::new(AtomicBool::new(false));
+    let concurrent_reads = Arc::new(AtomicUsize::new(0));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let server = server.clone();
+            let expected = Arc::clone(&expected);
+            let writer_done = Arc::clone(&writer_done);
+            let concurrent_reads = Arc::clone(&concurrent_reads);
+            thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut reads = 0usize;
+                loop {
+                    let was_concurrent = !writer_done.load(Ordering::Acquire);
+                    let snap = server.snapshot();
+                    let e = snap.epoch() as usize;
+                    assert!(e < expected.len(), "epoch beyond the stream");
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "per-reader epochs must be monotone ({last_epoch} -> {e})"
+                    );
+                    last_epoch = snap.epoch();
+                    // The read IS a from-scratch-checked prefix: full
+                    // database equality against the precomputed
+                    // reference model of applied-round prefix `e`.
+                    assert_eq!(
+                        canon(&snap.database()),
+                        expected[e],
+                        "read at epoch {e} must equal the reference model of that prefix"
+                    );
+                    reads += 1;
+                    if was_concurrent {
+                        concurrent_reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if reads >= MIN_READS_PER_READER && writer_done.load(Ordering::Acquire) {
+                        return reads;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // The writer: apply the stream, holding one snapshot pinned across
+    // the whole second half (including the rule re-add) to prove
+    // reclamation never disturbs a pinned view.
+    let mut held: Option<selprop_datalog::Snapshot> = None;
+    for (i, round) in rounds.iter().enumerate() {
+        server.apply(round);
+        if i == ROUNDS / 2 {
+            held = Some(server.snapshot());
+        }
+    }
+    let held = held.expect("pinned mid-stream");
+    assert_eq!(
+        canon(&held.database()),
+        expected[held.epoch() as usize],
+        "a snapshot held across churn still serves its pinned prefix"
+    );
+    writer_done.store(true, Ordering::Release);
+
+    let total: usize = readers
+        .into_iter()
+        .map(|r| r.join().expect("reader thread panicked"))
+        .sum();
+    // The pinned snapshot survives every later round and reclamation.
+    assert_eq!(canon(&held.database()), expected[held.epoch() as usize]);
+    assert_eq!(server.current_epoch() as usize, ROUNDS);
+    assert_eq!(
+        canon(&server.snapshot().database()),
+        expected[ROUNDS],
+        "final state = the full-stream reference model"
+    );
+    println!(
+        "{strategy:?}: {total} reads ({} while the writer was live), all prefix-consistent",
+        concurrent_reads.load(Ordering::Relaxed)
+    );
+    total
+}
+
+#[test]
+fn concurrent_reads_are_prefix_consistent_across_strategies() {
+    let mut total = 0usize;
+    for (strategy, seed) in [
+        (Strategy::SemiNaive, 0xA5A5_0001u64),
+        (Strategy::SemiNaiveParallel { threads: 2 }, 0xA5A5_0002),
+        (Strategy::SemiNaiveParallel { threads: 4 }, 0xA5A5_0003),
+    ] {
+        total += stress_one_strategy(strategy, seed);
+    }
+    assert!(
+        total >= 1000,
+        "acceptance bar: ≥1000 randomized reads under churn (got {total})"
+    );
+    println!("total consistent reads across strategies: {total}");
+}

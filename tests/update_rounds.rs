@@ -1,0 +1,324 @@
+//! Batched update rounds and rule hot-swap, property-tested.
+//!
+//! Two contracts from the serving layer, checked over the paper's
+//! program gallery (and its magic-transformed closure) with randomized
+//! workloads:
+//!
+//! - **Batch ≡ any sequential order.** One mixed
+//!   [`UpdateRound`] (disjoint inserts ∉ store, retracts ⊆ store) must
+//!   leave exactly the store that the equivalent single-fact
+//!   `insert_facts`/`retract_facts` calls leave in a seed-shuffled
+//!   order — sorted-relation equality on the full database plus
+//!   [`Provenance::check`] — across strategies × threads ∈ {1, 2, 4}.
+//! - **Hot-swap ≡ from-scratch on the edited program.** Dropping a
+//!   random subset of rules at fixpoint must leave the model of the
+//!   program-without-those-rules; re-adding them must restore the
+//!   original model — both against from-scratch reference evaluation.
+//!
+//! [`Provenance::check`]: selprop_datalog::Provenance::check
+
+use proptest::prelude::*;
+use selprop_core::gallery::gallery;
+use selprop_core::workload;
+use selprop_datalog::db::Tuple;
+use selprop_datalog::eval::Strategy;
+use selprop_datalog::reference;
+use selprop_datalog::{Database, Materialization, Pred, Program, RuleId, Term, UpdateRound};
+
+/// The goal's bound constant if any (workload root), else "c".
+fn root_of(program: &Program) -> String {
+    program
+        .goal
+        .args
+        .iter()
+        .find_map(|t| match t {
+            Term::Const(c) => Some(program.symbols.const_name(*c).to_owned()),
+            Term::Var(_) => None,
+        })
+        .unwrap_or_else(|| "c".to_owned())
+}
+
+/// Builds one of the workload-generator shapes, selected by `shape`.
+fn build_db(program: &mut Program, shape: u8, n: usize, seed: u64) -> Database {
+    let root = root_of(program);
+    let names: Vec<String> = program
+        .edb_predicates()
+        .iter()
+        .map(|&p| program.symbols.pred_name(p).to_owned())
+        .collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    match shape % 4 {
+        0 => workload::random_labeled_digraph(program, &name_refs, &root, n, 2 * n, seed),
+        1 => workload::random_forest(program, name_refs[0], &root, n.max(2), seed),
+        2 => workload::cycles(program, name_refs[0], &[3, n.max(1), n / 2 + 1]),
+        _ => workload::wide(program, name_refs[0], &root, n / 2, 3, n / 3 + 1),
+    }
+}
+
+/// Sorted `(pred, sorted tuples)` view of a Database, empty relations
+/// dropped (stores track every relation they ever saw; from-scratch
+/// evaluation only the ones of the program at hand).
+fn nonempty_sorted(db: &Database) -> Vec<(Pred, Vec<Tuple>)> {
+    db.sorted_models().into_iter().filter(|(_, rows)| !rows.is_empty()).collect()
+}
+
+/// A deterministic Fisher–Yates shuffle (xorshift64*), so "any
+/// sequential order" is driven by the proptest seed.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    seed |= 1;
+    for i in (1..items.len()).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        items.swap(i, (seed as usize) % (i + 1));
+    }
+}
+
+/// One single-fact update operation of the shuffled sequential replay.
+#[derive(Clone)]
+enum Op {
+    Insert(Pred, Tuple),
+    Retract(Pred, Tuple),
+}
+
+/// Batched mixed round vs a seed-shuffled order of the equivalent
+/// single-fact calls: identical stores, identical report counts, valid
+/// justifications on both sides.
+fn assert_batch_matches_sequential(
+    program: &Program,
+    db0: &Database,
+    pool: &Database,
+    order_seed: u64,
+    strategy: Strategy,
+) {
+    // Inserts: pool facts genuinely absent from db0. Retracts: every
+    // third stored fact. Disjoint by construction, so any interleaving
+    // of the single-fact calls is equivalent to the batch.
+    let mut inserts: Vec<(Pred, Tuple)> = Vec::new();
+    for (pred, rel) in pool.iter() {
+        for t in rel.sorted() {
+            if !db0.relation(pred).is_some_and(|r| r.contains(&t)) {
+                inserts.push((pred, t));
+            }
+        }
+    }
+    inserts.sort_by(|a, b| (a.0 .0, &a.1).cmp(&(b.0 .0, &b.1)));
+    inserts.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+    let mut retracts: Vec<(Pred, Tuple)> = Vec::new();
+    {
+        let mut all: Vec<(Pred, Vec<Tuple>)> = db0.iter().map(|(p, r)| (p, r.sorted())).collect();
+        all.sort_by_key(|(p, _)| p.0);
+        for (pred, tuples) in all {
+            retracts.extend(tuples.into_iter().step_by(3).map(|t| (pred, t)));
+        }
+    }
+
+    let mut round = UpdateRound::new();
+    for (p, t) in &inserts {
+        round = round.insert(*p, t.clone());
+    }
+    for (p, t) in &retracts {
+        round = round.retract(*p, t.clone());
+    }
+
+    let mut batched = Materialization::from_database(program, db0, strategy);
+    let report = batched.apply(&round);
+    assert_eq!(report.inserted, inserts.len(), "every insert was novel");
+    assert_eq!(report.retracted, retracts.len(), "every retract was stored");
+
+    let mut ops: Vec<Op> = inserts
+        .iter()
+        .map(|(p, t)| Op::Insert(*p, t.clone()))
+        .chain(retracts.iter().map(|(p, t)| Op::Retract(*p, t.clone())))
+        .collect();
+    shuffle(&mut ops, order_seed);
+    let mut sequential = Materialization::from_database(program, db0, strategy);
+    for op in &ops {
+        match op {
+            Op::Insert(p, t) => {
+                assert_eq!(sequential.insert_facts(*p, std::slice::from_ref(t)), 1);
+            }
+            Op::Retract(p, t) => {
+                assert_eq!(sequential.retract_facts(*p, std::slice::from_ref(t)), 1);
+            }
+        }
+    }
+
+    assert_eq!(
+        batched.database().sorted_models(),
+        sequential.database().sorted_models(),
+        "one mixed round ≡ the shuffled single-fact sequence"
+    );
+    assert_eq!(batched.answer().sorted(), sequential.answer().sorted(), "goal answers");
+    batched.provenance().check(program).expect("batched justifications valid");
+    sequential.provenance().check(program).expect("sequential justifications valid");
+
+    // The batch also matches the from-scratch model of the mutated db.
+    let mut mirror = db0.clone();
+    for (p, t) in &retracts {
+        assert!(mirror.remove(*p, t));
+    }
+    for (p, t) in &inserts {
+        mirror.insert(*p, t.clone());
+    }
+    let spec = reference::evaluate(program, &mirror, Strategy::SemiNaive);
+    assert_eq!(
+        nonempty_sorted(&batched.idb_database()),
+        nonempty_sorted(&spec.idb),
+        "batched round ≡ from-scratch on the mutated database"
+    );
+}
+
+/// Rule hot-swap vs from-scratch: drop a random subset at fixpoint,
+/// compare against the edited program; re-add, compare against the
+/// original (and validate justifications across the whole swap).
+fn assert_hot_swap_matches_reference(
+    program: &Program,
+    db: &Database,
+    drop_mask: u32,
+    strategy: Strategy,
+) {
+    let dropped: Vec<usize> = (0..program.rules.len())
+        .filter(|i| drop_mask & (1 << (i % 32)) != 0)
+        .collect();
+    let mut m = Materialization::from_database(program, db, strategy);
+
+    // Drop the subset in one round.
+    let mut round = UpdateRound::new();
+    for &i in &dropped {
+        round = round.drop_rule(RuleId(i as u32));
+    }
+    let report = m.apply(&round);
+    assert_eq!(report.rules_dropped, dropped.len());
+    for &i in &dropped {
+        assert!(!m.is_rule_active(RuleId(i as u32)));
+    }
+
+    // The edited program: same goal, surviving rules only.
+    let mut p_minus = program.clone();
+    p_minus.rules = program
+        .rules
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !dropped.contains(i))
+        .map(|(_, r)| r.clone())
+        .collect();
+    let spec_minus = reference::evaluate(&p_minus, db, Strategy::SemiNaive);
+    assert_eq!(
+        nonempty_sorted(&m.idb_database()),
+        nonempty_sorted(&spec_minus.idb),
+        "after drops: incrementally maintained ≡ from-scratch on the edited program"
+    );
+
+    // Re-add the dropped rules (fresh slots, in original order).
+    let mut p_check = program.clone(); // rule slots 0..n, re-adds appended
+    for &i in &dropped {
+        let id = m.add_rule(program.rules[i].clone());
+        assert!(m.is_rule_active(id));
+        p_check.rules.push(program.rules[i].clone());
+    }
+    let spec_full = reference::evaluate(program, db, Strategy::SemiNaive);
+    assert_eq!(
+        nonempty_sorted(&m.idb_database()),
+        nonempty_sorted(&spec_full.idb),
+        "after re-adds: the original model is restored"
+    );
+    let (spec_ans, _) = reference::answer(program, db, Strategy::SemiNaive);
+    assert_eq!(m.answer().sorted(), spec_ans.sorted(), "goal answers restored");
+    // Justifications may now name re-added slots; `p_check` lists every
+    // slot ever allocated, in slot order.
+    m.provenance().check(&p_check).expect("justifications valid across the swap");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn batched_round_matches_any_sequential_order_on_gallery(
+        which in 0usize..10,
+        shape in 0u8..4,
+        n in 3usize..10,
+        seed in 0u64..10_000,
+        order_seed in 0u64..u64::MAX,
+        strat in 0usize..4,
+    ) {
+        let strategy = [
+            Strategy::SemiNaive,
+            Strategy::SemiNaiveParallel { threads: 1 },
+            Strategy::SemiNaiveParallel { threads: 2 },
+            Strategy::SemiNaiveParallel { threads: 4 },
+        ][strat];
+        let entries = gallery();
+        let entry = &entries[which % entries.len()];
+        let mut program = entry.chain().program;
+        let db0 = build_db(&mut program, shape, n, seed);
+        let pool = build_db(&mut program, shape.wrapping_add(1), n, seed ^ 0x9e37);
+        assert_batch_matches_sequential(&program, &db0, &pool, order_seed, strategy);
+    }
+
+    #[test]
+    fn batched_round_matches_any_sequential_order_on_magic_programs(
+        which in 0usize..10,
+        n in 3usize..8,
+        seed in 0u64..10_000,
+        order_seed in 0u64..u64::MAX,
+        strat in 0usize..3,
+    ) {
+        let strategy = [
+            Strategy::SemiNaive,
+            Strategy::SemiNaiveParallel { threads: 2 },
+            Strategy::SemiNaiveParallel { threads: 4 },
+        ][strat];
+        let entries = gallery();
+        let entry = &entries[which % entries.len()];
+        let original = entry.chain().program;
+        let Ok(magic) = selprop_datalog::magic::magic_transform(&original) else {
+            return Ok(()); // diagonal goals reject magic; nothing to test
+        };
+        let mut program = magic.program;
+        let db0 = build_db(&mut program, 0, n, seed);
+        let pool = build_db(&mut program, 0, n, seed ^ 0x517c);
+        assert_batch_matches_sequential(&program, &db0, &pool, order_seed, strategy);
+    }
+
+    #[test]
+    fn rule_hot_swap_matches_from_scratch_on_gallery(
+        which in 0usize..10,
+        shape in 0u8..4,
+        n in 3usize..10,
+        seed in 0u64..10_000,
+        drop_mask in 0u32..u32::MAX,
+        strat in 0usize..3,
+    ) {
+        let strategy = [
+            Strategy::SemiNaive,
+            Strategy::SemiNaiveParallel { threads: 2 },
+            Strategy::SemiNaiveParallel { threads: 4 },
+        ][strat];
+        let entries = gallery();
+        let entry = &entries[which % entries.len()];
+        let mut program = entry.chain().program;
+        let db = build_db(&mut program, shape, n, seed);
+        assert_hot_swap_matches_reference(&program, &db, drop_mask, strategy);
+    }
+
+    #[test]
+    fn rule_hot_swap_matches_from_scratch_on_magic_programs(
+        which in 0usize..10,
+        n in 3usize..8,
+        seed in 0u64..10_000,
+        drop_mask in 0u32..u32::MAX,
+    ) {
+        // Magic-transformed programs stress 0-ary magic predicates and
+        // empty-body seed rules under drop/re-add.
+        let entries = gallery();
+        let entry = &entries[which % entries.len()];
+        let original = entry.chain().program;
+        let Ok(magic) = selprop_datalog::magic::magic_transform(&original) else {
+            return Ok(()); // diagonal goals reject magic; nothing to test
+        };
+        let mut program = magic.program;
+        let db = build_db(&mut program, 0, n, seed);
+        assert_hot_swap_matches_reference(&program, &db, drop_mask, Strategy::SemiNaive);
+    }
+}
