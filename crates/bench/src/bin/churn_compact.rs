@@ -1,0 +1,226 @@
+//! The CI durability smoke: a long interleaved insert/retract churn
+//! loop over the E1 ancestor closure, with policy-driven compaction,
+//! gating the bounded-memory and no-drift contracts. **Any violation
+//! terminates the process with exit code 2** — mirroring the `record`
+//! and `server_churn` cross-check discipline, so CI can rely on it.
+//!
+//! ```text
+//! cargo run --release -p selprop-bench --bin churn_compact
+//! ```
+//!
+//! What one run proves:
+//!
+//! - **bounded memory**: across every churn round, peak
+//!   tuple + index + justification words stay within 2x of a freshly
+//!   evaluated store of the same final state;
+//! - **no drift**: after the full loop the store equals the
+//!   from-scratch reference model, and its recorded justifications
+//!   still pass `Provenance::check`;
+//! - **durable snapshots**: the final store round-trips through the
+//!   snapshot codec bit-for-bit;
+//! - **the control**: the same churn with compaction disabled grows
+//!   past the gate — the growth compaction is there to prevent.
+//!
+//! Flags (used by `tests/churn_compact_check.rs`):
+//!
+//! - `--smoke`: fewer rounds and a smaller chain (the CI
+//!   configuration);
+//! - `--corrupt-growth`: applies the 2x gate to the no-compaction
+//!   control run, proving the gate really propagates to exit 2.
+//!
+//! The strategy follows `SELPROP_THREADS` (see
+//! [`selprop_bench::strategy_from_env`]), so CI can sweep thread counts
+//! with the same binary.
+
+use selprop_bench::strategy_from_env;
+use selprop_datalog::db::Tuple;
+use selprop_datalog::eval::Strategy;
+use selprop_datalog::reference;
+use selprop_datalog::{parse_program, CompactionPolicy, Database, Materialization, Program};
+
+const SRC_A: &str =
+    "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).";
+
+struct ChurnReport {
+    peak_words: usize,
+    quarter_words: usize,
+    end_words: usize,
+    compactions: u64,
+    rounds: usize,
+}
+
+/// Runs `rounds` interleaved retract/insert rounds (each round kills
+/// one chain edge and immediately restores it, churning the closure
+/// span above it) and tracks the peak row-addressed footprint.
+fn churn_loop(
+    p: &Program,
+    db0: &Database,
+    edges: &[Tuple],
+    rounds: usize,
+    policy: Option<CompactionPolicy>,
+    strategy: Strategy,
+) -> Result<(Materialization, ChurnReport), String> {
+    let par = p.symbols.get_predicate("par").unwrap();
+    let mut m = Materialization::from_database(p, db0, strategy);
+    m.set_compaction_policy(policy);
+    let n = edges.len();
+    let mut peak = 0usize;
+    let mut quarter = 0usize;
+    let mut end = 0usize;
+    for i in 0..rounds {
+        // Rotate the victim through the chain's tail region so the
+        // killed closure span varies round to round.
+        let victim = n - 1 - (i % 4);
+        if m.retract_facts(par, &edges[victim..=victim]) != 1 {
+            return Err(format!("round {i}: edge {victim} was not live to retract"));
+        }
+        if m.insert_facts(par, &edges[victim..=victim]) != 1 {
+            return Err(format!("round {i}: edge {victim} did not re-insert"));
+        }
+        let words = m.mem_stats().row_words();
+        peak = peak.max(words);
+        if i == rounds / 4 {
+            quarter = words;
+        }
+        end = words;
+    }
+    let compactions = m.compactions();
+    Ok((
+        m,
+        ChurnReport {
+            peak_words: peak,
+            quarter_words: quarter,
+            end_words: end,
+            compactions,
+            rounds,
+        },
+    ))
+}
+
+fn run(rounds: usize, n: usize, corrupt_growth: bool) -> Result<(), String> {
+    let strategy = strategy_from_env();
+    let mut p = parse_program(SRC_A).expect("valid program");
+    let par = p.symbols.get_predicate("par").unwrap();
+    let mut prev = p.symbols.constant("john");
+    let edges: Vec<Tuple> = (1..=n)
+        .map(|i| {
+            let c = p.symbols.constant(&format!("c{i}"));
+            let t = vec![prev, c];
+            prev = c;
+            t
+        })
+        .collect();
+    let mut db0 = Database::new();
+    for e in &edges {
+        db0.insert(par, e.clone());
+    }
+
+    // The gate's baseline: a freshly evaluated store of the same state
+    // (every churn round restores the edge it kills, so the final EDB
+    // is db0 again).
+    let fresh = Materialization::from_database(&p, &db0, strategy);
+    let fresh_words = fresh.mem_stats().row_words();
+
+    let policy = CompactionPolicy {
+        min_dead_rows: 32,
+        dead_percent: 30,
+    };
+    let (m, with) = churn_loop(&p, &db0, &edges, rounds, Some(policy), strategy)?;
+
+    // The no-compaction control: capped rounds (its cost grows with its
+    // footprint), still enough to show the growth.
+    let control_rounds = rounds.min(1_000);
+    let (_, without) = churn_loop(&p, &db0, &edges, control_rounds, None, strategy)?;
+
+    // No drift: the churned store equals the from-scratch reference of
+    // the (restored) original database, justifications included.
+    let spec = reference::evaluate(&p, &db0, Strategy::SemiNaive);
+    if m.idb_database().sorted_models() != spec.idb.sorted_models() {
+        return Err("post-churn IDB model diverges from the from-scratch reference".into());
+    }
+    if m.answer().sorted() != reference::answer(&p, &db0, Strategy::SemiNaive).0.sorted() {
+        return Err("post-churn goal answer diverges from the reference".into());
+    }
+    m.provenance()
+        .check(&p)
+        .map_err(|e| format!("post-churn justifications invalid: {e:?}"))?;
+
+    // Durable snapshots: the final store round-trips bit-for-bit.
+    let bytes = m.to_bytes();
+    let m2 = Materialization::from_bytes(&bytes)
+        .map_err(|e| format!("self-produced snapshot failed to restore: {e}"))?;
+    if m2.to_bytes() != bytes {
+        return Err("snapshot round-trip is not bit-for-bit".into());
+    }
+
+    // Bounded memory: the 2x gate (optionally aimed at the control to
+    // self-test the failure path).
+    let gated = if corrupt_growth { &without } else { &with };
+    let ratio = gated.peak_words as f64 / fresh_words as f64;
+    println!(
+        "churn_compact: rounds={} chain={n} strategy={strategy:?}\n\
+         fresh store:        {fresh_words} words\n\
+         with compaction:    peak={} words (ratio {:.2}x), {} compactions\n\
+         without compaction: peak={} words over {} rounds (quarter={} end={})",
+        with.rounds,
+        with.peak_words,
+        with.peak_words as f64 / fresh_words as f64,
+        with.compactions,
+        without.peak_words,
+        without.rounds,
+        without.quarter_words,
+        without.end_words,
+    );
+    if ratio > 2.0 {
+        return Err(format!(
+            "peak churn footprint {} words exceeds 2x the fresh store ({fresh_words} words): {ratio:.2}x",
+            gated.peak_words
+        ));
+    }
+    if with.compactions == 0 {
+        return Err("the policy never triggered a compaction across the churn loop".into());
+    }
+    // The control demonstrates the growth compaction prevents: strictly
+    // above the compacting run's peak, and still growing between the
+    // quarter mark and the end.
+    if without.peak_words <= with.peak_words {
+        return Err(format!(
+            "control (no compaction, {} rounds) peaked at {} words, not above the compacting run's {} — growth not demonstrated",
+            without.rounds, without.peak_words, with.peak_words
+        ));
+    }
+    if without.end_words <= without.quarter_words {
+        return Err(
+            "control footprint stopped growing between the quarter mark and the end".into(),
+        );
+    }
+    println!(
+        "churn_compact OK: bounded at {:.2}x of fresh with compaction; control grew to {:.2}x without",
+        with.peak_words as f64 / fresh_words as f64,
+        without.peak_words as f64 / fresh_words as f64,
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let corrupt_growth = args.iter().any(|a| a == "--corrupt-growth");
+    let (rounds, n) = if smoke { (400, 32) } else { (10_000, 64) };
+    match run(rounds, n, corrupt_growth) {
+        Ok(()) => {
+            if corrupt_growth {
+                eprintln!("growth gate FAILED to reject the no-compaction control");
+                std::process::exit(3);
+            }
+        }
+        Err(e) => {
+            if corrupt_growth {
+                eprintln!("growth gate rejection (expected by --corrupt-growth): {e}");
+                std::process::exit(2);
+            }
+            eprintln!("durability violation: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -34,7 +34,9 @@ use selprop_datalog::eval::{
 };
 use selprop_datalog::magic::magic_transform;
 use selprop_datalog::parser::parse_program;
-use selprop_datalog::{reference, Materialization, Program, Server, UpdateRound};
+use selprop_datalog::{
+    reference, CompactionPolicy, Materialization, Program, Server, UpdateRound,
+};
 
 struct Row {
     experiment: &'static str,
@@ -683,9 +685,11 @@ fn server_rows(rows: &mut Vec<Row>, smoke: bool) -> Result<(), String> {
             single.insert_facts(par, std::slice::from_ref(t));
         }
     });
-    if single.csr_builds() - csr0 != retracts.len() as u64 {
+    // The persistent reverse index makes even the single-fact sequence
+    // pay at most one lazy from-scratch build (not one per call).
+    if single.csr_builds() - csr0 > 1 {
         return Err(format!(
-            "server/{config}/single: {} CSR builds for {} retract calls",
+            "server/{config}/single: {} reverse-index builds for {} retract calls (want ≤1)",
             single.csr_builds() - csr0,
             retracts.len()
         ));
@@ -821,6 +825,151 @@ fn server_rows(rows: &mut Vec<Row>, smoke: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// One row of the durability group: free-form numeric metrics (memory
+/// footprints, latencies, ratios) keyed by name, rendered into the
+/// `"durability"` section of `BENCH_eval.json`.
+struct DurRow {
+    config: String,
+    metrics: Vec<(&'static str, f64)>,
+}
+
+/// The durability group: (a) the churn-loop memory table — ≥10^4
+/// interleaved insert/retract rounds on the E1 closure with and without
+/// compaction, gating peak row-addressed words at 2x of a fresh store —
+/// and (b) snapshot save/restore latency against a full recompute of
+/// the same closure, gating restore at ≥20x faster (non-smoke). Every
+/// run is cross-checked for drift against the from-scratch reference,
+/// and the snapshot round-trip must be bit-for-bit. Any violation
+/// propagates as `Err` (→ process exit 2).
+fn durability_rows(smoke: bool) -> Result<Vec<DurRow>, String> {
+    const SRC_A: &str =
+        "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).";
+    let mut out = Vec::new();
+
+    // (a) The churn loop: every round kills one chain edge (rotating
+    // through the tail region) and restores it — steady live state,
+    // maximal tombstone pressure.
+    let (n, rounds) = if smoke { (32usize, 200usize) } else { (64, 10_000) };
+    let mut p = parse_program(SRC_A).unwrap();
+    let par = p.symbols.get_predicate("par").unwrap();
+    let mut prev = p.symbols.constant("john");
+    let edges: Vec<Tuple> = (1..=n)
+        .map(|i| {
+            let c = p.symbols.constant(&format!("c{i}"));
+            let t = vec![prev, c];
+            prev = c;
+            t
+        })
+        .collect();
+    let mut db0 = Database::new();
+    for e in &edges {
+        db0.insert(par, e.clone());
+    }
+    let fresh_words = Materialization::from_database(&p, &db0, Strategy::SemiNaive)
+        .mem_stats()
+        .row_words();
+    for (policy, label, rds) in [
+        (
+            Some(CompactionPolicy { min_dead_rows: 32, dead_percent: 30 }),
+            "on",
+            rounds,
+        ),
+        // The control's footprint grows with every round, so cap it.
+        (None, "off", rounds.min(1_000)),
+    ] {
+        let mut m = Materialization::from_database(&p, &db0, Strategy::SemiNaive);
+        m.set_compaction_policy(policy);
+        let mut peak = 0usize;
+        let t0 = Instant::now();
+        for i in 0..rds {
+            let victim = n - 1 - (i % 4);
+            if m.retract_facts(par, &edges[victim..=victim]) != 1 {
+                return Err(format!("durability/churn: round {i} retracted nothing"));
+            }
+            if m.insert_facts(par, &edges[victim..=victim]) != 1 {
+                return Err(format!("durability/churn: round {i} re-inserted nothing"));
+            }
+            peak = peak.max(m.mem_stats().row_words());
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // No drift: every round restored what it killed, so the final
+        // store must equal the from-scratch model of the original EDB.
+        let spec = reference::evaluate(&p, &db0, Strategy::SemiNaive);
+        models_equal(
+            &format!("durability/churn/compaction={label}"),
+            &m.idb_database(),
+            &spec.idb,
+        )?;
+        let ratio = peak as f64 / fresh_words as f64;
+        if policy.is_some() {
+            if ratio > 2.0 {
+                return Err(format!(
+                    "durability/churn: peak {peak} words exceeds 2x the fresh store ({fresh_words} words): {ratio:.2}x"
+                ));
+            }
+            if m.compactions() == 0 {
+                return Err("durability/churn: the policy never compacted".into());
+            }
+        }
+        println!(
+            "dur  {:<28} peak={peak:<8} fresh={fresh_words:<8} ratio={ratio:<5.2} compactions={:<5} wall={wall_ms:>9.2}ms",
+            format!("churn({rds})/compaction={label}"),
+            m.compactions(),
+        );
+        out.push(DurRow {
+            config: format!("A/chain({n})/churn({rds})/compaction={label}"),
+            metrics: vec![
+                ("rounds", rds as f64),
+                ("peak_words", peak as f64),
+                ("fresh_words", fresh_words as f64),
+                ("peak_over_fresh", ratio),
+                ("compactions", m.compactions() as f64),
+                ("wall_ms", wall_ms),
+            ],
+        });
+    }
+
+    // (b) Restore vs recompute on the headline closure (>10^6 derived
+    // tuples non-smoke): loading the snapshot must beat re-running the
+    // fixpoint by ≥20x.
+    let (layers, width) = if smoke { (6usize, 4usize) } else { (72, 20) };
+    let mut p = parse_program(SRC_A).unwrap();
+    let db = workload::layered_dag(&mut p, "par", "john", layers, width);
+    let (recompute_ms, m) = timed(1, || {
+        Materialization::from_database(&p, &db, Strategy::SemiNaive)
+    });
+    let path = std::env::temp_dir().join(format!("selprop_record_{}.snap", std::process::id()));
+    let (save_ms, ()) = timed(1, || m.save(&path).expect("snapshot save"));
+    let (restore_ms, m2) = timed(1, || Materialization::restore(&path).expect("snapshot restore"));
+    let snapshot_bytes = std::fs::metadata(&path).map(|md| md.len()).unwrap_or(0);
+    std::fs::remove_file(&path).ok();
+    if m2.to_bytes() != m.to_bytes() {
+        return Err("durability/restore: round-trip is not bit-for-bit".into());
+    }
+    let speedup = recompute_ms / restore_ms;
+    if !smoke && speedup < 20.0 {
+        return Err(format!(
+            "durability/restore: {restore_ms:.2}ms vs recompute {recompute_ms:.2}ms — only {speedup:.1}x, want ≥20x"
+        ));
+    }
+    println!(
+        "dur  {:<28} restore={restore_ms:>9.2}ms save={save_ms:>9.2}ms recompute={recompute_ms:>9.2}ms speedup={speedup:>5.1}x ({snapshot_bytes} bytes)",
+        format!("layered_dag({layers},{width})/restore"),
+    );
+    out.push(DurRow {
+        config: format!("A/layered_dag({layers},{width})/restore"),
+        metrics: vec![
+            ("tuples_derived", m.stats().tuples_derived as f64),
+            ("snapshot_bytes", snapshot_bytes as f64),
+            ("save_ms", save_ms),
+            ("restore_ms", restore_ms),
+            ("recompute_ms", recompute_ms),
+            ("restore_speedup", speedup),
+        ],
+    });
+    Ok(out)
+}
+
 /// Per-op stats: the counter delta between two cumulative readings of a
 /// materialization's lifetime stats.
 fn diff_stats(after: EvalStats, before: EvalStats) -> EvalStats {
@@ -832,7 +981,7 @@ fn diff_stats(after: EvalStats, before: EvalStats) -> EvalStats {
     }
 }
 
-fn render_json(rows: &[Row]) -> String {
+fn render_json(rows: &[Row], durability: &[DurRow]) -> String {
     let mut json = String::from("{\n  \"generated_by\": \"cargo run --release -p selprop-bench --bin record\",\n  \"engine\": \"columnar-watermark\",\n  \"experiments\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -852,6 +1001,15 @@ fn render_json(rows: &[Row]) -> String {
             let _ = write!(json, ", \"wall_ms_reference\": {ref_ms:.3}");
         }
         let _ = write!(json, "}}{}", if i + 1 == rows.len() { "" } else { "," });
+        json.push('\n');
+    }
+    json.push_str("  ],\n  \"durability\": [\n");
+    for (i, r) in durability.iter().enumerate() {
+        let _ = write!(json, "    {{\"config\": \"{}\"", r.config);
+        for (name, value) in &r.metrics {
+            let _ = write!(json, ", \"{name}\": {value:.3}");
+        }
+        let _ = write!(json, "}}{}", if i + 1 == durability.len() { "" } else { "," });
         json.push('\n');
     }
     json.push_str("  ]\n}\n");
@@ -877,7 +1035,8 @@ fn record(smoke: bool) -> Result<String, String> {
     prov_and_shard_rows(&mut rows, smoke)?;
     incremental_rows(&mut rows, smoke)?;
     server_rows(&mut rows, smoke)?;
-    let json = render_json(&rows);
+    let durability = durability_rows(smoke)?;
+    let json = render_json(&rows, &durability);
     let path = if smoke {
         // Per-process name: concurrent smoke runs must not race on one file.
         std::env::temp_dir()

@@ -1,0 +1,49 @@
+//! The `churn_compact` binary's contract (the CI durability smoke
+//! step): the healthy churn loop — bounded memory under compaction, no
+//! drift, bit-for-bit snapshot round-trip — must exit zero, and the
+//! bounded-memory gate must really reject unbounded growth (exercised
+//! by aiming it at the no-compaction control) with exit code 2. Both
+//! paths are driven end-to-end through the real binary.
+
+use std::process::Command;
+
+#[test]
+fn corrupt_growth_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_churn_compact"))
+        .args(["--smoke", "--corrupt-growth"])
+        .output()
+        .expect("spawn churn_compact binary");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "the no-compaction control must trip the 2x gate; stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("exceeds 2x"),
+        "stderr should describe the growth violation:\n{stderr}"
+    );
+}
+
+#[test]
+fn smoke_churn_compact_exits_zero_across_strategies() {
+    for threads in ["1", "2", "4"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_churn_compact"))
+            .arg("--smoke")
+            .env("SELPROP_THREADS", threads)
+            .output()
+            .expect("spawn churn_compact binary");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            out.status.success(),
+            "durability smoke (SELPROP_THREADS={threads}) must pass:\n{stdout}\n{stderr}"
+        );
+        assert!(
+            stdout.contains("churn_compact OK"),
+            "summary line missing (SELPROP_THREADS={threads}):\n{stdout}"
+        );
+    }
+}

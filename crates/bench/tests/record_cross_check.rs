@@ -65,4 +65,16 @@ fn smoke_run_exits_zero_and_writes_json() {
     for row in ["\"server\"", "/batched", "/single_fact", "/readers="] {
         assert!(json.contains(row), "missing server row {row} in:\n{json}");
     }
+    // The durability group ran and was gated: the churn memory table
+    // (both compaction settings) and the restore-vs-recompute row.
+    for row in [
+        "\"durability\"",
+        "/compaction=on",
+        "/compaction=off",
+        "\"peak_over_fresh\"",
+        "/restore\"",
+        "\"restore_speedup\"",
+    ] {
+        assert!(json.contains(row), "missing durability row {row} in:\n{json}");
+    }
 }

@@ -47,6 +47,18 @@
 //!   the chain workloads cannot overflow the stack;
 //! - [`magic`] — adornments and the generalized magic-sets rewriting (ref.\[5\]),
 //!   which Section 7 of the paper interprets as language quotients;
+//! - [`persist`] — **durability**: a versioned, length-prefixed,
+//!   checksummed snapshot format (in-tree binary codec, FNV-1a 64) with
+//!   atomic writes; [`materialize::Materialization::save`] /
+//!   [`materialize::Materialization::restore`] round-trip the complete
+//!   materialized state bit-for-bit, so a store (or a whole
+//!   [`server::Server`]) comes back at its persisted fixpoint without
+//!   re-evaluation, and truncated or corrupted snapshot files always
+//!   fail cleanly ([`persist::PersistError`]) instead of restoring a
+//!   wrong store. Bounded memory under churn comes from
+//!   [`materialize::Materialization::compact`] (tombstone reclamation
+//!   with dense row-id remapping, policy-triggered via
+//!   [`materialize::CompactionPolicy`]);
 //! - [`server`] — the **concurrent live materialization server**: a
 //!   [`server::Server`] shares one materialization between many reader
 //!   threads and a writer applying batched
@@ -66,6 +78,7 @@ pub mod hash;
 pub mod magic;
 pub mod materialize;
 pub mod parser;
+pub mod persist;
 pub mod pool;
 pub mod reference;
 pub mod server;
@@ -75,6 +88,9 @@ pub use ast::{Atom, Const, Pred, Program, Rule, Symbols, Term, Var};
 pub use db::{Database, Relation};
 pub use derivation::{DerivationTree, GroundAtom, Provenance};
 pub use eval::{answer, evaluate, evaluate_with_provenance, EvalStats, ProvenanceResult, Strategy};
-pub use materialize::{Materialization, RoundReport, RuleId, UpdateRound};
+pub use materialize::{
+    CompactionPolicy, Materialization, MemStats, RoundReport, RuleId, UpdateRound,
+};
 pub use parser::parse_program;
+pub use persist::PersistError;
 pub use server::{Server, Snapshot};

@@ -21,24 +21,45 @@
 //!   pinned [`Snapshot`] keeps reading its exact state-as-of-pin for as
 //!   long as it lives, without cloning any data.
 //!
-//! Reclamation is compaction-free: when the last reader below an epoch
-//! unpins, the writer (or the unpinning reader itself, opportunistically)
-//! drops the tombstone tags nothing can observe any more — dead rows
-//! simply stay dead, and pinned frontiers/tags are the only per-epoch
-//! cost.
+//! Reclamation and compaction are **deferred maintenance**: when the
+//! last reader below an epoch unpins, the new horizon is recorded in
+//! the epoch table (`reclaim_to`) and applied by whoever holds — or
+//! next takes — the store's write lock. The unpinning reader drains it
+//! itself when the store is idle (`try_write` succeeds); under write
+//! contention the horizon is *handed off*, never lost: every write-lock
+//! holder drains the table inside the epochs critical section as its
+//! very last act before releasing the store, so an unpin that loses the
+//! `try_write` race has either already recorded its horizon (the holder
+//! drains it) or is still blocked on the epochs lock and will retry the
+//! idle store right after. Dead rows stay dead either way; pinned
+//! frontiers/tags are the only per-epoch cost.
+//!
+//! [`Materialization::compact`] rides the same protocol: a
+//! policy-triggered compaction (see
+//! [`crate::materialize::CompactionPolicy`]) would clear the epoch tags
+//! and remap the row ids pinned snapshots rely on, so while any pin
+//! exists it is only *queued* (`compact_pending`) — the drain after the
+//! last unpin runs it.
 //!
 //! Lock order is `store → epochs` everywhere that takes both (the
 //! unpinning path takes `epochs` first but only ever *tries* the store
-//! lock, so it cannot deadlock).
+//! lock, so it cannot deadlock). Durability: [`Server::save`] writes the
+//! store's checksummed snapshot file at the published epoch, and
+//! [`Server::restore`] resumes serving from it — same fixpoint, same
+//! epoch counter, no re-evaluation.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 
 use crate::ast::{Pred, Program, Rule};
 use crate::db::{Database, Relation, Tuple};
 use crate::derivation::Provenance;
 use crate::eval::{EvalStats, Strategy};
-use crate::materialize::{Materialization, RoundReport, RuleId, UpdateRound};
+use crate::materialize::{
+    CompactionPolicy, Materialization, MemStats, RoundReport, RuleId, UpdateRound,
+};
+use crate::persist::PersistError;
 
 /// The shared state behind one server and all of its snapshots.
 struct Shared {
@@ -49,7 +70,8 @@ struct Shared {
     epochs: Mutex<EpochTable>,
 }
 
-/// The published epoch and the readers pinned per epoch.
+/// The published epoch, the readers pinned per epoch, and the deferred
+/// maintenance ledger (see the module docs).
 struct EpochTable {
     /// The epoch of the last published round (0 = the initial fixpoint).
     current: u64,
@@ -57,6 +79,15 @@ struct EpochTable {
     /// minimum pinned epoch — the reclamation horizon — is the first
     /// key.
     pins: BTreeMap<u64, usize>,
+    /// Highest reclamation horizon recorded but possibly not yet applied
+    /// to the store. An unpin that cannot take the write lock records
+    /// its horizon here; the current (or next) write-lock holder drains
+    /// it. Monotone.
+    reclaim_to: u64,
+    /// A policy-triggered compaction queued while snapshots were pinned
+    /// (compaction clears epoch tags and remaps row ids, so it must
+    /// wait for the last unpin).
+    compact_pending: bool,
 }
 
 impl EpochTable {
@@ -65,6 +96,36 @@ impl EpochTable {
     /// itself (tags are never issued above it).
     fn min_observable(&self) -> u64 {
         self.pins.keys().next().copied().unwrap_or(self.current)
+    }
+
+    fn new(current: u64) -> Self {
+        EpochTable {
+            current,
+            pins: BTreeMap::new(),
+            reclaim_to: current,
+            compact_pending: false,
+        }
+    }
+
+    /// Applies all deferred maintenance to a write-locked store:
+    /// reclaims every unobservable tombstone tag and runs (or queues)
+    /// the policy-triggered compaction. Callers must hold the epochs
+    /// lock for the *remainder* of their write-lock tenure — the store
+    /// guard is dropped inside the critical section — so no horizon
+    /// recorded by a contending unpin can slip between the drain and
+    /// the release.
+    fn drain(&mut self, store: &mut Materialization) {
+        let horizon = self.reclaim_to.max(self.min_observable());
+        self.reclaim_to = horizon;
+        store.reclaim_epochs(horizon);
+        if self.pins.is_empty() {
+            if self.compact_pending || store.needs_compaction() {
+                store.compact();
+            }
+            self.compact_pending = false;
+        } else if store.needs_compaction() {
+            self.compact_pending = true;
+        }
     }
 }
 
@@ -90,12 +151,68 @@ impl Server {
         Self {
             shared: Arc::new(Shared {
                 store: RwLock::new(store),
-                epochs: Mutex::new(EpochTable {
-                    current: 0,
-                    pins: BTreeMap::new(),
-                }),
+                epochs: Mutex::new(EpochTable::new(0)),
             }),
         }
+    }
+
+    /// Saves the published fixpoint to a checksummed snapshot file (see
+    /// [`Materialization::save`]). Runs under the read lock, so it
+    /// captures a whole round boundary — never a mid-round state — and
+    /// the atomic write leaves any previous snapshot at `path` intact if
+    /// the save dies partway.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
+        self.shared.store.read().expect("store lock poisoned").save(path)
+    }
+
+    /// Resumes serving from a snapshot file written by [`Server::save`]
+    /// (or [`Materialization::save`]): the store comes back at its
+    /// persisted fixpoint and the server republishes the persisted
+    /// epoch, so rounds applied after the restart keep numbering where
+    /// the saved process left off. No reader survives a restart, so
+    /// every retained tombstone tag is reclaimed on the way in.
+    pub fn restore<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
+        let mut store = Materialization::restore(path)?;
+        let epoch = store.epoch();
+        store.reclaim_epochs(epoch);
+        Ok(Self {
+            shared: Arc::new(Shared {
+                store: RwLock::new(store),
+                epochs: Mutex::new(EpochTable::new(epoch)),
+            }),
+        })
+    }
+
+    /// Sets (or clears) the compaction policy of the underlying store.
+    /// If the new policy already holds, the compaction runs right away
+    /// when no snapshot is pinned, and is queued for the last unpin
+    /// otherwise — exactly like a round-triggered compaction.
+    pub fn set_compaction_policy(&self, policy: Option<CompactionPolicy>) {
+        let mut store = self.shared.store.write().expect("store lock poisoned");
+        store.set_compaction_policy(policy);
+        let mut epochs = self.shared.epochs.lock().expect("epoch lock poisoned");
+        epochs.drain(&mut store);
+        drop(store);
+    }
+
+    /// Number of compactions the underlying store has run (policy- or
+    /// drain-triggered).
+    pub fn compactions(&self) -> u64 {
+        self.shared
+            .store
+            .read()
+            .expect("store lock poisoned")
+            .compactions()
+    }
+
+    /// Memory footprint counters of the underlying store (see
+    /// [`Materialization::mem_stats`]).
+    pub fn mem_stats(&self) -> MemStats {
+        self.shared
+            .store
+            .read()
+            .expect("store lock poisoned")
+            .mem_stats()
     }
 
     /// Applies one batched [`UpdateRound`] and publishes the resulting
@@ -115,13 +232,16 @@ impl Server {
         // still visible to every reader pinned at `< next`.
         store.set_epoch(next);
         let report = store.apply(round);
-        // Publish, then reclaim what no reader can observe any more.
-        let horizon = {
-            let mut epochs = self.shared.epochs.lock().expect("epoch lock poisoned");
-            epochs.current = next;
-            epochs.min_observable()
-        };
-        store.reclaim_epochs(horizon);
+        // Publish, then drain deferred maintenance (tag reclamation and
+        // any queued compaction). The store guard is released *inside*
+        // the epochs critical section: an unpin that lost the
+        // `try_write` race against this round has either recorded its
+        // horizon already (we drain it here) or is still waiting on the
+        // epochs lock and will retry the idle store right after.
+        let mut epochs = self.shared.epochs.lock().expect("epoch lock poisoned");
+        epochs.current = next;
+        epochs.drain(&mut store);
+        drop(store);
         report
     }
 
@@ -277,22 +397,28 @@ impl std::fmt::Debug for Snapshot {
 
 impl Drop for Snapshot {
     fn drop(&mut self) {
-        let horizon = {
-            let mut epochs = self.shared.epochs.lock().expect("epoch lock poisoned");
-            if let Some(n) = epochs.pins.get_mut(&self.epoch) {
-                *n -= 1;
-                if *n == 0 {
-                    epochs.pins.remove(&self.epoch);
-                }
+        let mut epochs = self.shared.epochs.lock().expect("epoch lock poisoned");
+        if let Some(n) = epochs.pins.get_mut(&self.epoch) {
+            *n -= 1;
+            if *n == 0 {
+                epochs.pins.remove(&self.epoch);
             }
-            epochs.min_observable()
-        };
-        // Opportunistic reclamation: only if the store is idle right now
-        // (try_write never blocks, so the epochs→store order here cannot
-        // deadlock against the store→epochs order elsewhere). If the
-        // store is busy, the writer reclaims at its next round instead.
+        }
+        // Record the new horizon *before* trying the store lock: if the
+        // store is busy, the ledger — not this thread — carries the
+        // reclamation (and any queued compaction) to whoever holds or
+        // next takes the write lock. Without the ledger, an unpin that
+        // lost this race leaked its tags until some unrelated later
+        // round.
+        let horizon = epochs.min_observable();
+        epochs.reclaim_to = epochs.reclaim_to.max(horizon);
+        // Opportunistic drain while still inside the epochs critical
+        // section, only if the store is idle right now (`try_write`
+        // never blocks, so the epochs→store order here cannot deadlock
+        // against the store→epochs order elsewhere: holders of both
+        // only ever block on epochs, never on the store).
         if let Ok(mut store) = self.shared.store.try_write() {
-            store.reclaim_epochs(horizon);
+            epochs.drain(&mut store);
         }
     }
 }
@@ -454,5 +580,137 @@ mod tests {
         for r in readers {
             assert!(r.join().expect("reader thread") > 0);
         }
+    }
+
+    /// Count of retained (pinned-reader) tombstone tags in the store.
+    fn tags(server: &Server) -> usize {
+        server
+            .shared
+            .store
+            .read()
+            .unwrap()
+            .tagged_tombstones()
+    }
+
+    #[test]
+    fn idle_unpin_reclaims_immediately_without_another_round() {
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain(&mut p, 4);
+        let server = Server::new(&p, Strategy::SemiNaive);
+        server.insert_facts(par, &edges);
+        let pinned = server.snapshot();
+        server.retract_facts(par, &edges[..1]);
+        assert!(tags(&server) > 0, "tags retained for the pinned reader");
+        // The store is idle: the unpinning Drop reclaims on the spot —
+        // no later round needed.
+        drop(pinned);
+        assert_eq!(tags(&server), 0, "last unpin reclaimed immediately");
+    }
+
+    #[test]
+    fn unpin_under_write_contention_hands_off_reclamation() {
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain(&mut p, 4);
+        let server = Server::new(&p, Strategy::SemiNaive);
+        server.insert_facts(par, &edges); // epoch 1
+        let pinned = server.snapshot(); // pins epoch 1
+        server.retract_facts(par, &edges[..1]); // epoch 2: tags kept for the pin
+        assert!(tags(&server) > 0);
+
+        // A writer holds the store's write lock while the last unpin
+        // happens. `Drop`'s try_write must lose this race — but the
+        // horizon is recorded in the ledger, not lost.
+        let writer = server.shared.store.write().unwrap();
+        drop(pinned);
+        {
+            let epochs = server.shared.epochs.lock().unwrap();
+            assert!(epochs.pins.is_empty(), "unpinned despite the contention");
+            assert_eq!(epochs.reclaim_to, 2, "horizon handed off via the ledger");
+        }
+
+        // The write-lock holder drains on its way out — the exact
+        // sequence `Server::apply` runs after publishing.
+        {
+            let mut store = writer;
+            let mut epochs = server.shared.epochs.lock().unwrap();
+            epochs.drain(&mut store);
+            drop(store);
+        }
+        assert_eq!(tags(&server), 0, "handed-off horizon was applied");
+    }
+
+    #[test]
+    fn compaction_defers_until_the_last_unpin() {
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain(&mut p, 16);
+        let server = Server::new(&p, Strategy::SemiNaive);
+        server.set_compaction_policy(Some(CompactionPolicy {
+            min_dead_rows: 1,
+            dead_percent: 1,
+        }));
+        server.insert_facts(par, &edges);
+        let pinned = server.snapshot();
+        let pinned_len = pinned.answer().len();
+
+        // Heavy churn far past the policy bounds: compaction would clear
+        // the tags and remap the rows the pin relies on, so it queues.
+        server.retract_facts(par, &edges[8..]);
+        assert_eq!(server.compactions(), 0, "compaction deferred under a pin");
+        assert!(server.shared.epochs.lock().unwrap().compact_pending);
+        assert_eq!(pinned.answer().len(), pinned_len, "pinned view intact");
+        let live = server.answer().len();
+
+        // Last unpin over an idle store: the queued compaction runs.
+        drop(pinned);
+        assert_eq!(server.compactions(), 1, "queued compaction ran at unpin");
+        assert_eq!(tags(&server), 0);
+        assert_eq!(server.answer().len(), live, "model unchanged by compaction");
+
+        // The pin machinery still works over the rebuilt store.
+        let snap = server.snapshot();
+        server.insert_facts(par, &edges[8..10]);
+        assert_eq!(snap.answer().len(), live);
+        assert_eq!(server.answer().len(), live + 2);
+    }
+
+    #[test]
+    fn server_restore_resumes_at_the_persisted_epoch() {
+        let dir = std::env::temp_dir().join(format!("selprop-srv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.snap");
+
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain(&mut p, 8);
+        let server = Server::new(&p, Strategy::SemiNaive);
+        server.insert_facts(par, &edges); // epoch 1
+        server.retract_facts(par, &edges[4..5]); // epoch 2
+        assert_eq!(server.current_epoch(), 2);
+        server.save(&path).unwrap();
+
+        let restored = Server::restore(&path).unwrap();
+        assert_eq!(restored.current_epoch(), 2, "epoch counter survives restart");
+        assert_eq!(
+            restored.snapshot().database().sorted_models(),
+            server.snapshot().database().sorted_models(),
+            "restored fixpoint is the saved fixpoint"
+        );
+        assert_eq!(tags(&restored), 0, "no reader survives a restart");
+
+        // Rounds keep numbering where the saved process left off, and
+        // incremental maintenance picks up without re-evaluation.
+        restored.insert_facts(par, &edges[4..5]);
+        assert_eq!(restored.current_epoch(), 3);
+        server.insert_facts(par, &edges[4..5]);
+        assert_eq!(
+            restored.snapshot().database().sorted_models(),
+            server.snapshot().database().sorted_models(),
+            "same round on both sides of the restart, same fixpoint"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -333,6 +333,114 @@ impl ColumnarRelation {
             self.slots[i] = r as u32;
         }
     }
+
+    /// Rebuilds the dedup table from scratch over the live rows, sized
+    /// for the current row count (used after compaction and restore —
+    /// the probe-history-dependent slot layout is not serialized).
+    fn rebuild_slots(&mut self) {
+        if self.rows == 0 {
+            self.slots = Vec::new();
+            return;
+        }
+        let mut cap = 8usize;
+        while (self.rows + 1) * 2 > cap {
+            cap *= 2;
+        }
+        self.slots = vec![NO_ROW; cap];
+        let mask = cap - 1;
+        for r in 0..self.rows {
+            if !self.is_live(r) {
+                continue;
+            }
+            let mut i = (Self::hash_row_slice(self.row(r)) as usize) & mask;
+            while self.slots[i] != NO_ROW {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = r as u32;
+        }
+    }
+
+    /// Number of tombstoned rows.
+    #[inline]
+    pub fn num_dead(&self) -> usize {
+        self.dead_rows
+    }
+
+    /// **Compacts** the relation: drops every tombstoned row, renumbers
+    /// the survivors densely in their original order, and rebuilds the
+    /// dedup table. Returns the old→new row-id map (`remap[old]`, with
+    /// [`NO_ROW`] for dropped rows); callers must remap every structure
+    /// that addresses rows by id (index chains, recorded justifications).
+    ///
+    /// Epoch tags are cleared: compaction is only legal when no reader
+    /// is pinned below the current epoch (the serving layer defers it
+    /// until the last unpin), at which point every tag is unobservable.
+    /// The epoch itself is preserved.
+    pub fn compact(&mut self) -> Vec<u32> {
+        let mut remap = vec![NO_ROW; self.rows];
+        let mut data = Vec::with_capacity((self.rows - self.dead_rows) * self.arity.max(1));
+        let mut next = 0u32;
+        for (r, slot) in remap.iter_mut().enumerate() {
+            if self.is_live(r) {
+                *slot = next;
+                data.extend_from_slice(self.row(r));
+                next += 1;
+            }
+        }
+        self.data = data;
+        self.rows = next as usize;
+        self.dead = Vec::new();
+        self.dead_rows = 0;
+        self.tomb_at = FxHashMap::default();
+        self.rebuild_slots();
+        remap
+    }
+
+    // -----------------------------------------------------------------
+    // Serialization support (crate::persist)
+    // -----------------------------------------------------------------
+
+    /// The tombstone bitset words (may be shorter than `rows/64`; missing
+    /// words mean live).
+    pub(crate) fn dead_words(&self) -> &[u64] {
+        &self.dead
+    }
+
+    /// The epoch new tombstones are tagged with (0 = epoch mode off).
+    pub(crate) fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The death-epoch tags still held (serving-layer metadata).
+    pub(crate) fn tomb_tags(&self) -> &FxHashMap<u32, u64> {
+        &self.tomb_at
+    }
+
+    /// Reassembles a relation from its serialized parts, rebuilding the
+    /// dedup table (slot layout is probe-history dependent and is not
+    /// persisted). `dead_rows` must equal the popcount of `dead`.
+    pub(crate) fn from_persist(
+        arity: usize,
+        data: Vec<Const>,
+        rows: usize,
+        dead: Vec<u64>,
+        dead_rows: usize,
+        epoch: u64,
+        tomb_at: FxHashMap<u32, u64>,
+    ) -> Self {
+        let mut rel = Self {
+            arity,
+            data,
+            rows,
+            slots: Vec::new(),
+            dead,
+            dead_rows,
+            epoch,
+            tomb_at,
+        };
+        rel.rebuild_slots();
+        rel
+    }
 }
 
 /// A persistent hash index over one [`ColumnarRelation`] and one column
@@ -473,6 +581,22 @@ impl IncrementalIndex {
     #[inline]
     pub fn next_row(&self, r: u32) -> u32 {
         self.next[r as usize]
+    }
+
+    /// Forgets every indexed row (chains, key table, watermark). The
+    /// next [`IncrementalIndex::extend`] re-indexes the relation from
+    /// row 0 — used after compaction renumbers the rows.
+    pub fn reset(&mut self) {
+        self.slots = Vec::new();
+        self.next = Vec::new();
+        self.keys = 0;
+        self.watermark = 0;
+    }
+
+    /// Words held by the chain and key tables (the memory-accounting
+    /// hook for [`crate::materialize::Materialization::mem_stats`]).
+    pub(crate) fn footprint_words(&self) -> usize {
+        self.next.len() + self.slots.len()
     }
 }
 
@@ -726,6 +850,115 @@ mod tests {
         rel.tombstone(0); // epoch mode off: no tag
         assert!(!rel.visible_at(0, 0), "dead without a tag is just dead");
         assert_eq!(rel.rows_iter_at(1, 0).count(), 0);
+    }
+
+    #[test]
+    fn compact_renumbers_survivors_and_rebuilds_dedup() {
+        let mut rel = ColumnarRelation::new(2);
+        for i in 0..300u32 {
+            rel.insert(&[c(i), c(i + 1)]);
+        }
+        for i in (0..300).step_by(3) {
+            rel.tombstone(i);
+        }
+        let remap = rel.compact();
+        assert_eq!(remap.len(), 300);
+        assert_eq!(rel.num_rows(), 200);
+        assert_eq!(rel.num_dead(), 0);
+        let mut expect = 0u32;
+        for (old, &new) in remap.iter().enumerate() {
+            if old % 3 == 0 {
+                assert_eq!(new, NO_ROW, "dead row {old} dropped");
+            } else {
+                assert_eq!(new, expect, "dense, order-preserving");
+                expect += 1;
+            }
+        }
+        for i in 0..300u32 {
+            let present = i % 3 != 0;
+            assert_eq!(rel.contains(&[c(i), c(i + 1)]), present, "{i}");
+            if present {
+                assert_eq!(rel.find_row(&[c(i), c(i + 1)]), remap[i as usize]);
+            }
+        }
+        // Inserts keep working after the rebuild, at dense fresh ids.
+        assert!(rel.insert(&[c(0), c(1)]));
+        assert_eq!(rel.find_row(&[c(0), c(1)]), 200);
+        assert!(!rel.insert(&[c(1), c(2)]), "survivor still deduped");
+    }
+
+    #[test]
+    fn compact_clears_epoch_tags_but_keeps_the_epoch() {
+        let mut rel = ColumnarRelation::new(1);
+        rel.insert(&[c(0)]);
+        rel.insert(&[c(1)]);
+        rel.set_epoch(5);
+        rel.tombstone(0);
+        assert_eq!(rel.tomb_tags().len(), 1);
+        let remap = rel.compact();
+        assert_eq!(remap, vec![NO_ROW, 0]);
+        assert_eq!(rel.tomb_tags().len(), 0);
+        assert_eq!(rel.current_epoch(), 5);
+        // New tombstones keep getting tagged with the preserved epoch.
+        rel.tombstone(0);
+        assert_eq!(rel.tomb_tags().get(&0), Some(&5));
+    }
+
+    #[test]
+    fn from_persist_round_trips_contents_and_liveness() {
+        let mut rel = ColumnarRelation::new(2);
+        for i in 0..100u32 {
+            rel.insert(&[c(i), c(i * 2)]);
+        }
+        rel.set_epoch(3);
+        for i in (0..100).step_by(7) {
+            rel.tombstone(i);
+        }
+        let rebuilt = ColumnarRelation::from_persist(
+            rel.arity(),
+            rel.data().to_vec(),
+            rel.num_rows(),
+            rel.dead_words().to_vec(),
+            rel.num_dead(),
+            rel.current_epoch(),
+            rel.tomb_tags().clone(),
+        );
+        assert_eq!(rebuilt.num_rows(), rel.num_rows());
+        assert_eq!(rebuilt.num_live(), rel.num_live());
+        for i in 0..100u32 {
+            let t = [c(i), c(i * 2)];
+            assert_eq!(rebuilt.contains(&t), rel.contains(&t), "{i}");
+            assert_eq!(rebuilt.find_row(&t), rel.find_row(&t), "{i}");
+            assert_eq!(rebuilt.is_live(i as usize), rel.is_live(i as usize));
+            assert_eq!(rebuilt.visible_at(i as usize, 2), rel.visible_at(i as usize, 2));
+        }
+    }
+
+    #[test]
+    fn index_reset_then_extend_matches_fresh() {
+        let mut rel = ColumnarRelation::new(2);
+        for i in 0..100u32 {
+            rel.insert(&[c(i % 5), c(i)]);
+        }
+        let mut idx = IncrementalIndex::new(0, vec![0]);
+        idx.extend(&rel);
+        idx.reset();
+        assert_eq!(idx.watermark(), 0);
+        idx.extend(&rel);
+        let mut fresh = IncrementalIndex::new(0, vec![0]);
+        fresh.extend(&rel);
+        for k in 0..5u32 {
+            let collect = |ix: &IncrementalIndex| {
+                let mut rows = Vec::new();
+                let mut r = ix.probe(&rel, &[c(k)]);
+                while r != NO_ROW {
+                    rows.push(r);
+                    r = ix.next_row(r);
+                }
+                rows
+            };
+            assert_eq!(collect(&idx), collect(&fresh), "key {k}");
+        }
     }
 
     #[test]

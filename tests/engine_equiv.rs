@@ -14,7 +14,7 @@ use selprop_core::workload;
 use selprop_datalog::db::Tuple;
 use selprop_datalog::eval::{self, EvalStats, Strategy};
 use selprop_datalog::reference;
-use selprop_datalog::{Database, Materialization, Pred, Program, Term};
+use selprop_datalog::{CompactionPolicy, Database, Materialization, Pred, Program, Term};
 
 /// The goal's bound constant if any (workload root), else "c".
 fn root_of(program: &Program) -> String {
@@ -281,6 +281,117 @@ fn assert_update_sequence_matches_reference(
         .expect("justifications stay valid across updates");
 }
 
+/// The compaction contract: interleaved churn with an explicit
+/// compaction and a policy-triggered one must leave the store
+/// indistinguishable — after **every** compaction — from a from-scratch
+/// reference evaluation of the mirrored database, with valid recorded
+/// justifications throughout, and the snapshot codec must round-trip
+/// the store bit-for-bit at the end.
+fn assert_churn_compact_churn_matches_reference(
+    program: &Program,
+    db0: &Database,
+    pool: &Database,
+    strategy: Strategy,
+) {
+    let mut m = Materialization::from_database(program, db0, strategy);
+    m.set_compaction_policy(None); // phase 1 compacts explicitly
+    let mut mirror = db0.clone();
+
+    let check = |m: &Materialization, mirror: &Database| {
+        let spec = reference::evaluate(program, mirror, Strategy::SemiNaive);
+        assert_eq!(
+            sorted_db(&m.idb_database()),
+            sorted_db(&spec.idb),
+            "IDB model must equal the from-scratch spec"
+        );
+        let (spec_ans, _) = reference::answer(program, mirror, Strategy::SemiNaive);
+        assert_eq!(m.answer().sorted(), spec_ans.sorted(), "goal answers");
+        m.provenance()
+            .check(program)
+            .expect("justifications stay valid across compactions");
+    };
+
+    // Churn 1: add the whole pool, then retract every second fact.
+    let mut pool_facts: Vec<(Pred, Vec<Tuple>)> =
+        pool.iter().map(|(p, r)| (p, r.sorted())).collect();
+    pool_facts.sort_by_key(|(p, _)| p.0);
+    for (pred, tuples) in &pool_facts {
+        m.insert_facts(*pred, tuples);
+        for t in tuples {
+            mirror.insert(*pred, t.clone());
+        }
+    }
+    let mut all: Vec<(Pred, Vec<Tuple>)> = mirror.iter().map(|(p, r)| (p, r.sorted())).collect();
+    all.sort_by_key(|(p, _)| p.0);
+    let mut churned = 0usize;
+    for (pred, tuples) in &all {
+        let victims: Vec<Tuple> = tuples.iter().step_by(2).cloned().collect();
+        churned += m.retract_facts(*pred, &victims);
+        for t in &victims {
+            mirror.remove(*pred, t);
+        }
+    }
+    check(&m, &mirror);
+
+    // Explicit compaction: reclaims every tombstone, drops no live row,
+    // changes nothing observable.
+    let before = m.mem_stats();
+    m.compact();
+    let after = m.mem_stats();
+    assert_eq!(after.live_rows, after.total_rows, "no tombstones survive a compaction");
+    assert_eq!(after.live_rows, before.live_rows, "no live row is lost");
+    check(&m, &mirror);
+
+    // Churn 2 over the remapped store: resurrect the victims, then let
+    // an aggressive policy trigger the second compaction on its own.
+    m.set_compaction_policy(Some(CompactionPolicy {
+        min_dead_rows: 1,
+        dead_percent: 1,
+    }));
+    for (pred, tuples) in &all {
+        let victims: Vec<Tuple> = tuples.iter().step_by(2).cloned().collect();
+        m.insert_facts(*pred, &victims);
+        for t in &victims {
+            mirror.insert(*pred, t.clone());
+        }
+    }
+    let compactions_before = m.compactions();
+    let mut churned2 = 0usize;
+    for (pred, tuples) in &all {
+        let victims: Vec<Tuple> = tuples.iter().skip(1).step_by(2).cloned().collect();
+        churned2 += m.retract_facts(*pred, &victims);
+        for t in &victims {
+            mirror.remove(*pred, t);
+        }
+    }
+    if churned2 > 0 {
+        assert!(
+            m.compactions() > compactions_before,
+            "the policy must have compacted during churn 2"
+        );
+        let stats = m.mem_stats();
+        assert_eq!(stats.live_rows, stats.total_rows, "policy compaction reclaimed all");
+    }
+    check(&m, &mirror);
+
+    // Updates keep working over the twice-compacted store.
+    if let Some((pred, tuples)) = all.first() {
+        let back: Vec<Tuple> = tuples.iter().skip(1).step_by(2).cloned().collect();
+        m.insert_facts(*pred, &back);
+        for t in &back {
+            mirror.insert(*pred, t.clone());
+        }
+        check(&m, &mirror);
+    }
+    let _ = churned;
+
+    // And the snapshot codec round-trips the final state bit-for-bit.
+    let bytes = m.to_bytes();
+    let m2 = Materialization::from_bytes(&bytes).expect("self-produced snapshot restores");
+    assert_eq!(m2.to_bytes(), bytes, "snapshot round-trip is bit-for-bit");
+    assert_eq!(sorted_db(&m2.database()), sorted_db(&m.database()));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -450,6 +561,32 @@ proptest! {
             snapshot,
             "insert-then-retract must restore the pre-insert store bit-for-bit"
         );
+    }
+
+    #[test]
+    fn churn_compact_churn_matches_from_scratch(
+        which in 0usize..10,
+        shape in 0u8..4,
+        n in 3usize..10,
+        seed in 0u64..10_000,
+        strat in 0usize..5,
+    ) {
+        // Random churn → compact → churn sequences against the
+        // from-scratch reference, across the strategy family and
+        // threads ∈ {1, 2, 4}.
+        let strategy = [
+            Strategy::SemiNaive,
+            Strategy::Naive,
+            Strategy::SemiNaiveParallel { threads: 1 },
+            Strategy::SemiNaiveParallel { threads: 2 },
+            Strategy::SemiNaiveParallel { threads: 4 },
+        ][strat];
+        let entries = gallery();
+        let entry = &entries[which % entries.len()];
+        let mut program = entry.chain().program;
+        let db0 = build_db(&mut program, shape, n, seed);
+        let pool = build_db(&mut program, shape.wrapping_add(3), n, seed ^ 0x71f3);
+        assert_churn_compact_churn_matches_reference(&program, &db0, &pool, strategy);
     }
 
     #[test]

@@ -21,6 +21,7 @@ const EXAMPLES: &[&str] = &[
     "quickstart",
     "selection_propagation",
     "server",
+    "snapshot_restore",
     "ws1s_explorer",
 ];
 

@@ -23,7 +23,9 @@ use std::thread;
 use selprop_datalog::db::Tuple;
 use selprop_datalog::eval::Strategy;
 use selprop_datalog::reference;
-use selprop_datalog::{parse_program, Database, Pred, Program, RuleId, Server, UpdateRound};
+use selprop_datalog::{
+    parse_program, CompactionPolicy, Database, Pred, Program, RuleId, Server, UpdateRound,
+};
 
 const ROUNDS: usize = 24;
 const READERS: usize = 4;
@@ -65,8 +67,10 @@ fn expected_state(program: &Program, edb: &Database) -> Vec<(Pred, Vec<Tuple>)> 
 }
 
 /// One strategy's full stress run; returns the number of consistent
-/// concurrent reads it performed.
-fn stress_one_strategy(strategy: Strategy, seed: u64) -> usize {
+/// concurrent reads it performed. With `policy` set, churn keeps
+/// tripping the compaction bounds, so compactions interleave with the
+/// pinned readers (queued while pins exist, run at drain points).
+fn stress_one_strategy(strategy: Strategy, seed: u64, policy: Option<CompactionPolicy>) -> usize {
     let mut p = parse_program(
         "?- anc(john, Y).\n\
          anc(X, Y) :- par(X, Y).\n\
@@ -154,6 +158,9 @@ fn stress_one_strategy(strategy: Strategy, seed: u64) -> usize {
     let expected = Arc::new(expected);
 
     let server = Server::from_database(&p, &db0, strategy);
+    if let Some(pol) = policy {
+        server.set_compaction_policy(Some(pol));
+    }
     let writer_done = Arc::new(AtomicBool::new(false));
     let concurrent_reads = Arc::new(AtomicUsize::new(0));
 
@@ -218,9 +225,22 @@ fn stress_one_strategy(strategy: Strategy, seed: u64) -> usize {
         .into_iter()
         .map(|r| r.join().expect("reader thread panicked"))
         .sum();
-    // The pinned snapshot survives every later round and reclamation.
+    // The pinned snapshot survives every later round, reclamation, and
+    // however many compactions were queued and drained around it.
     assert_eq!(canon(&held.database()), expected[held.epoch() as usize]);
     assert_eq!(server.current_epoch() as usize, ROUNDS);
+    drop(held);
+    if policy.is_some() {
+        // The last unpin drained over the idle store: whatever
+        // compaction the churn queued has run, and memory is bounded by
+        // the live rows again.
+        let ms = server.mem_stats();
+        assert_eq!(ms.live_rows, ms.total_rows, "final drain left tombstones behind");
+        assert!(
+            server.compactions() >= 1,
+            "churn under an aggressive policy must have compacted"
+        );
+    }
     assert_eq!(
         canon(&server.snapshot().database()),
         expected[ROUNDS],
@@ -241,11 +261,38 @@ fn concurrent_reads_are_prefix_consistent_across_strategies() {
         (Strategy::SemiNaiveParallel { threads: 2 }, 0xA5A5_0002),
         (Strategy::SemiNaiveParallel { threads: 4 }, 0xA5A5_0003),
     ] {
-        total += stress_one_strategy(strategy, seed);
+        total += stress_one_strategy(strategy, seed, None);
     }
     assert!(
         total >= 1000,
         "acceptance bar: ≥1000 randomized reads under churn (got {total})"
     );
     println!("total consistent reads across strategies: {total}");
+}
+
+#[test]
+fn compaction_under_pinned_readers_stays_prefix_consistent() {
+    // Same harness, but an aggressive policy keeps tripping the
+    // compaction bounds on every retracting round: compactions queue
+    // while readers hold pins, run whenever a drain finds the table
+    // unpinned, and must never disturb a pinned view or a concurrent
+    // read. Every read is still checked against the from-scratch
+    // reference model of its exact epoch prefix.
+    let aggressive = CompactionPolicy {
+        min_dead_rows: 1,
+        dead_percent: 1,
+    };
+    let mut total = 0usize;
+    for (strategy, seed) in [
+        (Strategy::SemiNaive, 0xC0DE_0001u64),
+        (Strategy::SemiNaiveParallel { threads: 2 }, 0xC0DE_0002),
+        (Strategy::SemiNaiveParallel { threads: 4 }, 0xC0DE_0003),
+    ] {
+        total += stress_one_strategy(strategy, seed, Some(aggressive));
+    }
+    assert!(
+        total >= 1000,
+        "acceptance bar: ≥1000 randomized reads under compacting churn (got {total})"
+    );
+    println!("total consistent reads across compacting strategies: {total}");
 }
