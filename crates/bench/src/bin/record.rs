@@ -970,6 +970,221 @@ fn durability_rows(smoke: bool) -> Result<Vec<DurRow>, String> {
     Ok(out)
 }
 
+/// The query-cache group: per-query latency of the cached magic views
+/// ([`Server::query`]) against the cold batch magic transform on the
+/// headline >10^6-tuple E1/E5 workloads, plus view memory against the
+/// full base materialization. Every served answer — cold, cached, and
+/// after churn rounds — is compared bit-for-bit against a from-scratch
+/// magic transform of the current EDB; non-smoke runs additionally gate
+/// cached-after-churn at ≥10x faster than the cold batch and view
+/// memory at <10% of the base store. Any violation propagates as `Err`
+/// (→ process exit 2).
+fn query_cache_rows(smoke: bool) -> Result<Vec<DurRow>, String> {
+    let mut out = Vec::new();
+
+    // The from-scratch oracle: the goal is already baked into `p`, so
+    // transform and batch-evaluate over the mirrored EDB.
+    let oracle = |p: &Program, edb: &Database| -> Vec<Tuple> {
+        let magic = magic_transform(p).expect("transformable goal");
+        answer(&magic.program, edb, Strategy::SemiNaive).0.sorted()
+    };
+    let runs = if smoke { 2 } else { 3 };
+
+    // One workload's sweep: cold batch / cold view / cached hit, then
+    // per-churn-round (apply + post-churn query latency + oracle).
+    let mut sweep = |experiment: &'static str,
+                     config: String,
+                     p: &Program,
+                     edb: &mut Database,
+                     server: &Server,
+                     rounds: Vec<(UpdateRound, Vec<(selprop_datalog::ast::Pred, Tuple, bool)>)>|
+     -> Result<(), String> {
+        let goal = p.goal.clone();
+        let (cold_batch_ms, want) = timed(runs, || oracle(p, edb));
+
+        let (cold_view_ms, got) = timed(1, || server.query(&goal).sorted());
+        if got != want {
+            return Err(format!("query_cache/{config}/cold: answers drift from batch magic"));
+        }
+        let s = server.cache_stats();
+        if s.template_compiles != 1 || s.misses != 1 {
+            return Err(format!(
+                "query_cache/{config}/cold: want one compile and one miss, got {} / {}",
+                s.template_compiles, s.misses
+            ));
+        }
+        let (cached_ms, got) = timed(runs, || server.query(&goal).sorted());
+        if got != want {
+            return Err(format!("query_cache/{config}/cached: answers drift from batch magic"));
+        }
+
+        // Churn rounds: the writer's round syncs the views, so the
+        // post-churn query must be a read-path hit (no new miss), and
+        // its answers must match a fresh transform of the mutated EDB.
+        let mut churn_ms = 0.0;
+        let mut after_ms = 0.0;
+        for (i, (round, mirror)) in rounds.iter().enumerate() {
+            let (apply_ms, _) = timed(1, || server.apply(round));
+            for (pred, t, insert) in mirror {
+                if *insert {
+                    edb.insert(*pred, t.clone());
+                } else {
+                    edb.remove(*pred, t);
+                }
+            }
+            let misses0 = server.cache_stats().misses;
+            let want = oracle(p, edb);
+            let (q_ms, got) = timed(runs, || server.query(&goal).sorted());
+            if got != want {
+                return Err(format!(
+                    "query_cache/{config}/churn{i}: answers drift from batch magic"
+                ));
+            }
+            if server.cache_stats().misses != misses0 {
+                return Err(format!(
+                    "query_cache/{config}/churn{i}: post-churn query rebuilt the view \
+                     (want a read-path hit — rounds sync views in-line)"
+                ));
+            }
+            churn_ms += apply_ms;
+            after_ms = q_ms; // last round's post-churn latency
+        }
+
+        let view_words = server.cache_view_words();
+        let base_words = server.mem_stats().total_words();
+        let view_frac = view_words as f64 / base_words as f64;
+        let speedup = cold_batch_ms / after_ms;
+        if !smoke {
+            if speedup < 10.0 {
+                return Err(format!(
+                    "query_cache/{config}: cached-after-churn {after_ms:.3}ms vs cold batch \
+                     {cold_batch_ms:.3}ms — only {speedup:.1}x, want ≥10x"
+                ));
+            }
+            if view_frac >= 0.10 {
+                return Err(format!(
+                    "query_cache/{config}: views hold {view_words} words vs base {base_words} \
+                     ({:.1}%), want <10%",
+                    view_frac * 100.0
+                ));
+            }
+        }
+        let s = server.cache_stats();
+        println!(
+            "qc   {config:<28} answers={:<8} cold_batch={cold_batch_ms:>9.2}ms cold_view={cold_view_ms:>9.2}ms cached={cached_ms:>9.3}ms after_churn={after_ms:>9.3}ms speedup={speedup:>7.1}x views={:.1}%",
+            want.len(),
+            view_frac * 100.0,
+        );
+        out.push(DurRow {
+            config: format!("{experiment}/{config}"),
+            metrics: vec![
+                ("answers", want.len() as f64),
+                ("cold_batch_ms", cold_batch_ms),
+                ("cold_view_ms", cold_view_ms),
+                ("cached_ms", cached_ms),
+                ("churn_rounds", rounds.len() as f64),
+                ("churn_apply_ms", churn_ms),
+                ("cached_after_churn_ms", after_ms),
+                ("speedup_vs_cold_batch", speedup),
+                ("view_words", view_words as f64),
+                ("base_words", base_words as f64),
+                ("view_over_base", view_frac),
+                ("template_compiles", s.template_compiles as f64),
+                ("hits", s.hits as f64),
+                ("syncs", s.syncs as f64),
+            ],
+        });
+        Ok(())
+    };
+
+    // E1: the >10^6-tuple closure; the bound view holds only
+    // `anc(john, ·)`. Churn: a fresh 1%-of-input chain off the root,
+    // inserted then half-retracted (exercising DRed in the views).
+    {
+        let (layers, width, k) = if smoke { (6usize, 4usize, 4usize) } else { (72, 20, 288) };
+        let src = "?- anc(john, Y).\n\
+                   anc(X, Y) :- par(X, Y).\n\
+                   anc(X, Y) :- anc(X, Z), par(Z, Y).";
+        let mut p = parse_program(src).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let mut edb = workload::layered_dag(&mut p, "par", "john", layers, width);
+        let mut chain: Vec<Tuple> = Vec::with_capacity(k);
+        let mut prev = p.symbols.get_constant("john").unwrap();
+        for i in 0..k {
+            let c = p.symbols.constant(&format!("live{i}"));
+            chain.push(vec![prev, c]);
+            prev = c;
+        }
+        let server = Server::from_database(&p, &edb, Strategy::SemiNaive);
+        let mut insert_round = UpdateRound::new();
+        let mut insert_mirror = Vec::new();
+        for t in &chain {
+            insert_round = insert_round.insert(par, t.clone());
+            insert_mirror.push((par, t.clone(), true));
+        }
+        let mut retract_round = UpdateRound::new();
+        let mut retract_mirror = Vec::new();
+        for t in &chain[k / 2..] {
+            retract_round = retract_round.retract(par, t.clone());
+            retract_mirror.push((par, t.clone(), false));
+        }
+        sweep(
+            "e1",
+            format!("A/layered_dag({layers},{width})"),
+            &p,
+            &mut edb,
+            &server,
+            vec![(insert_round, insert_mirror), (retract_round, retract_mirror)],
+        )?;
+    }
+
+    // E5: 10^6 noise pairs the magic views never touch; the full base
+    // materialization derives a p fact per pair. Churn: cut the b1
+    // chain's last link (answers vanish), then splice it back alongside
+    // fresh noise (answers return; the views skip the noise).
+    {
+        let (layers, noise, k) = if smoke { (8usize, 40usize, 4usize) } else { (20, 1_000_000, 64) };
+        let src = "?- p(c, Y).\n\
+                   p(X, Y) :- b1(X, X1), b2(X1, Y).\n\
+                   p(X, Y) :- b1(X, X1), p(X1, Y1), b2(Y1, Y).";
+        let mut p = parse_program(src).unwrap();
+        let b1 = p.symbols.get_predicate("b1").unwrap();
+        let b2 = p.symbols.get_predicate("b2").unwrap();
+        let mut edb = workload::layered_b1_b2(&mut p, "c", layers, noise);
+        let cut: Tuple = vec![
+            p.symbols.get_constant(&format!("u{}", layers - 1)).unwrap(),
+            p.symbols.get_constant(&format!("u{layers}")).unwrap(),
+        ];
+        let mut fresh: Vec<(selprop_datalog::ast::Pred, Tuple)> = Vec::with_capacity(2 * k);
+        for i in 0..k {
+            let a = p.symbols.constant(&format!("qa{i}"));
+            let b = p.symbols.constant(&format!("qb{i}"));
+            fresh.push((b1, vec![a, b]));
+            fresh.push((b2, vec![b, a]));
+        }
+        let server = Server::from_database(&p, &edb, Strategy::SemiNaive);
+        let cut_round = UpdateRound::new().retract(b1, cut.clone());
+        let mut splice_round = UpdateRound::new().insert(b1, cut.clone());
+        let mut splice_mirror = vec![(b1, cut.clone(), true)];
+        for (pred, t) in &fresh {
+            splice_round = splice_round.insert(*pred, t.clone());
+            splice_mirror.push((*pred, t.clone(), true));
+        }
+        sweep(
+            "e5",
+            format!("magic_view/{layers}x{noise}"),
+            &p,
+            &mut edb,
+            &server,
+            vec![
+                (cut_round, vec![(b1, cut, false)]),
+                (splice_round, splice_mirror),
+            ],
+        )?;
+    }
+    Ok(out)
+}
+
 /// Per-op stats: the counter delta between two cumulative readings of a
 /// materialization's lifetime stats.
 fn diff_stats(after: EvalStats, before: EvalStats) -> EvalStats {
@@ -981,7 +1196,7 @@ fn diff_stats(after: EvalStats, before: EvalStats) -> EvalStats {
     }
 }
 
-fn render_json(rows: &[Row], durability: &[DurRow]) -> String {
+fn render_json(rows: &[Row], durability: &[DurRow], query_cache: &[DurRow]) -> String {
     let mut json = String::from("{\n  \"generated_by\": \"cargo run --release -p selprop-bench --bin record\",\n  \"engine\": \"columnar-watermark\",\n  \"experiments\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -1003,14 +1218,16 @@ fn render_json(rows: &[Row], durability: &[DurRow]) -> String {
         let _ = write!(json, "}}{}", if i + 1 == rows.len() { "" } else { "," });
         json.push('\n');
     }
-    json.push_str("  ],\n  \"durability\": [\n");
-    for (i, r) in durability.iter().enumerate() {
-        let _ = write!(json, "    {{\"config\": \"{}\"", r.config);
-        for (name, value) in &r.metrics {
-            let _ = write!(json, ", \"{name}\": {value:.3}");
+    for (section, group) in [("durability", durability), ("query_cache", query_cache)] {
+        let _ = write!(json, "  ],\n  \"{section}\": [\n");
+        for (i, r) in group.iter().enumerate() {
+            let _ = write!(json, "    {{\"config\": \"{}\"", r.config);
+            for (name, value) in &r.metrics {
+                let _ = write!(json, ", \"{name}\": {value:.3}");
+            }
+            let _ = write!(json, "}}{}", if i + 1 == group.len() { "" } else { "," });
+            json.push('\n');
         }
-        let _ = write!(json, "}}{}", if i + 1 == durability.len() { "" } else { "," });
-        json.push('\n');
     }
     json.push_str("  ]\n}\n");
     json
@@ -1036,7 +1253,8 @@ fn record(smoke: bool) -> Result<String, String> {
     incremental_rows(&mut rows, smoke)?;
     server_rows(&mut rows, smoke)?;
     let durability = durability_rows(smoke)?;
-    let json = render_json(&rows, &durability);
+    let query_cache = query_cache_rows(smoke)?;
+    let json = render_json(&rows, &durability, &query_cache);
     let path = if smoke {
         // Per-process name: concurrent smoke runs must not race on one file.
         std::env::temp_dir()

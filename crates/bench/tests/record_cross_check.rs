@@ -77,4 +77,16 @@ fn smoke_run_exits_zero_and_writes_json() {
     ] {
         assert!(json.contains(row), "missing durability row {row} in:\n{json}");
     }
+    // The query-cache group ran and was oracle-checked: both headline
+    // workloads' rows are present with the latency and memory metrics.
+    for row in [
+        "\"query_cache\"",
+        "e1/A/layered_dag(",
+        "e5/magic_view/",
+        "\"cached_after_churn_ms\"",
+        "\"speedup_vs_cold_batch\"",
+        "\"view_over_base\"",
+    ] {
+        assert!(json.contains(row), "missing query_cache row {row} in:\n{json}");
+    }
 }

@@ -120,6 +120,11 @@ impl Symbols {
         self.consts.names.len()
     }
 
+    /// Number of interned predicates.
+    pub fn num_predicates(&self) -> usize {
+        self.preds.names.len()
+    }
+
     /// Makes a fresh constant that does not collide with existing names.
     pub fn fresh_constant(&mut self, hint: &str) -> Const {
         let mut name = hint.to_owned();

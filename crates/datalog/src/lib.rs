@@ -46,7 +46,16 @@
 //!   computes size/height **iteratively**, so the 10⁵-deep proofs of
 //!   the chain workloads cannot overflow the stack;
 //! - [`magic`] — adornments and the generalized magic-sets rewriting (ref.\[5\]),
-//!   which Section 7 of the paper interprets as language quotients;
+//!   which Section 7 of the paper interprets as language quotients; a
+//!   [`magic::MagicTemplate`] is the constant-free form compiled once
+//!   per (predicate, binding pattern) and instantiated per constant
+//!   vector through a seed predicate;
+//! - [`cache`] — **selection propagation as a service**: a
+//!   [`cache::QueryCache`] holds small magic-template materializations
+//!   ("views") keyed by (predicate, binding pattern, bound constants)
+//!   that share the base store's EDB rows and are kept at fixpoint
+//!   incrementally as the base churns — so a bound query pays the
+//!   magic-pruned cost once and near-zero afterwards;
 //! - [`persist`] — **durability**: a versioned, length-prefixed,
 //!   checksummed snapshot format (in-tree binary codec, FNV-1a 64) with
 //!   atomic writes; [`materialize::Materialization::save`] /
@@ -71,6 +80,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cache;
 pub mod db;
 pub mod derivation;
 pub mod eval;
@@ -85,6 +95,7 @@ pub mod server;
 pub mod storage;
 
 pub use ast::{Atom, Const, Pred, Program, Rule, Symbols, Term, Var};
+pub use cache::{CacheConfig, CacheStats, QueryCache};
 pub use db::{Database, Relation};
 pub use derivation::{DerivationTree, GroundAtom, Provenance};
 pub use eval::{answer, evaluate, evaluate_with_provenance, EvalStats, ProvenanceResult, Strategy};

@@ -45,22 +45,167 @@ pub struct MagicProgram {
     /// The transformed program (adorned rules + magic rules + seed).
     pub program: Program,
     /// Map from (original IDB, adornment) to the adorned predicate.
+    /// Empty when the all-free goal short-circuited to the identity.
     pub adorned: FxHashMap<(Pred, String), Pred>,
     /// Map from (original IDB, adornment) to its magic predicate.
+    /// Empty when the all-free goal short-circuited to the identity.
     pub magic: FxHashMap<(Pred, String), Pred>,
+}
+
+/// A constant-free magic program for one `(predicate, adornment)` pair.
+///
+/// Where [`magic_transform`] bakes the goal's bound constants into a
+/// seed *fact*, the template routes them through a fresh EDB *seed
+/// predicate*: `m_goal(B..) :- seed(B..)`. Compile the template once
+/// per binding pattern, then instantiate it for any constant vector by
+/// inserting a single `seed` row — the query cache's memoization unit.
+#[derive(Clone, Debug)]
+pub struct MagicTemplate {
+    /// Adorned + magic rules plus the seed-forwarding rule; the goal is
+    /// the adorned predicate over distinct fresh variables.
+    pub program: Program,
+    /// The adorned goal predicate (answers accumulate here).
+    pub goal_pred: Pred,
+    /// The fresh seed EDB predicate (arity = number of bound positions).
+    pub seed_pred: Pred,
+}
+
+/// The adornment-driven rewrite shared by [`magic_transform`] and
+/// [`magic_template`]: the reachable-adornment queue walk that emits
+/// magic rules and guarded adorned rules, without any goal seed.
+struct TransformCore {
+    symbols: crate::ast::Symbols,
+    rules: Vec<Rule>,
+    adorned: FxHashMap<(Pred, String), Pred>,
+    magic: FxHashMap<(Pred, String), Pred>,
 }
 
 /// Applies the generalized magic-sets transformation with a left-to-right
 /// sideways-information-passing strategy.
+///
+/// A goal with no bound argument (all arguments distinct variables, or a
+/// propositional goal) short-circuits to the identity: the magic set
+/// would degenerate to a 0-ary "always true" guard, so the original
+/// program is returned unchanged (with empty adornment maps).
 pub fn magic_transform(original: &Program) -> Result<MagicProgram, String> {
     original.validate()?;
+    let goal_adn = goal_adornment(&original.goal);
+    if !goal_adn.iter().any(|&b| b) {
+        return Ok(MagicProgram {
+            program: original.clone(),
+            adorned: FxHashMap::default(),
+            magic: FxHashMap::default(),
+        });
+    }
+
+    // The seed is only a fact when the bound arguments are constants
+    // (true for goal forms with constants; for p(X,X) the second
+    // occurrence is "bound by equality" and the seed must range over the
+    // active domain — handled by leaving such goals to the caller).
+    let seed_args: Vec<Term> = original
+        .goal
+        .args
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| goal_adn[*i])
+        .map(|(_, &t)| t)
+        .collect();
+    if seed_args.iter().any(|t| matches!(t, Term::Var(_))) {
+        return Err(
+            "magic seed requires ground bindings (goal with repeated variables \
+             needs domain enumeration; use the original program instead)"
+                .to_owned(),
+        );
+    }
+
+    let mut core = transform_core(original, original.goal.pred, &goal_adn);
+    let goal_key = (original.goal.pred, render_adornment(&goal_adn));
+    core.rules
+        .push(Rule::new(Atom::new(core.magic[&goal_key], seed_args), Vec::new()));
+
+    let new_goal = Atom::new(core.adorned[&goal_key], original.goal.args.clone());
+    let program = Program {
+        rules: core.rules,
+        goal: new_goal,
+        symbols: core.symbols,
+    };
+    program.validate()?;
+    Ok(MagicProgram {
+        program,
+        adorned: core.adorned,
+        magic: core.magic,
+    })
+}
+
+/// Compiles the constant-free magic template for `pred` under binding
+/// pattern `adn` (see [`MagicTemplate`]). The goal of `original` is
+/// ignored — only its rules and symbols matter — so one template serves
+/// every concrete goal with this pattern. Errs on an all-free pattern
+/// (no magic set to build; evaluate the original program), an unknown
+/// or non-IDB predicate, or an arity mismatch.
+pub fn magic_template(
+    original: &Program,
+    pred: Pred,
+    adn: &Adornment,
+) -> Result<MagicTemplate, String> {
+    if !adn.iter().any(|&b| b) {
+        return Err("all-free adornment has no magic template; evaluate the original".to_owned());
+    }
+    let arity = original
+        .rules
+        .iter()
+        .find(|r| r.head.pred == pred)
+        .map(|r| r.head.arity())
+        .ok_or_else(|| {
+            format!(
+                "magic template: predicate {} heads no rule",
+                original.symbols.pred_name(pred)
+            )
+        })?;
+    if adn.len() != arity {
+        return Err(format!(
+            "magic template: adornment length {} != arity {arity} of {}",
+            adn.len(),
+            original.symbols.pred_name(pred)
+        ));
+    }
+
+    let mut core = transform_core(original, pred, adn);
+    let goal_key = (pred, render_adornment(adn));
+    let seed_name = format!("{}_{}_seed", core.symbols.pred_name(pred), render_adornment(adn));
+    let seed_pred = core.symbols.fresh_predicate(&seed_name);
+    let bound_vars: Vec<Term> = (0..adn.iter().filter(|&&b| b).count())
+        .map(|i| Term::Var(core.symbols.fresh_variable(&format!("MB{i}"))))
+        .collect();
+    core.rules.push(Rule::new(
+        Atom::new(core.magic[&goal_key], bound_vars.clone()),
+        vec![Atom::new(seed_pred, bound_vars)],
+    ));
+
+    let goal_pred = core.adorned[&goal_key];
+    let goal_args: Vec<Term> = (0..arity)
+        .map(|i| Term::Var(core.symbols.fresh_variable(&format!("MQ{i}"))))
+        .collect();
+    let program = Program {
+        rules: core.rules,
+        goal: Atom::new(goal_pred, goal_args),
+        symbols: core.symbols,
+    };
+    program.validate()?;
+    Ok(MagicTemplate {
+        program,
+        goal_pred,
+        seed_pred,
+    })
+}
+
+fn transform_core(original: &Program, goal_pred: Pred, goal_adn: &Adornment) -> TransformCore {
     let mut symbols = original.symbols.clone();
     let idbs = original.idb_predicates();
 
-    let goal_adn = goal_adornment(&original.goal);
     let mut adorned: FxHashMap<(Pred, String), Pred> = FxHashMap::default();
     let mut magic: FxHashMap<(Pred, String), Pred> = FxHashMap::default();
-    let mut queue: Vec<(Pred, Adornment)> = vec![(original.goal.pred, goal_adn.clone())];
+    let mut queue: Vec<(Pred, Adornment)> = vec![(goal_pred, goal_adn.clone())];
     let mut processed: FxHashSet<(Pred, String)> = FxHashSet::default();
     let mut rules: Vec<Rule> = Vec::new();
 
@@ -81,13 +226,7 @@ pub fn magic_transform(original: &Program) -> Result<MagicProgram, String> {
                 magic.insert(key, mp);
             }
         };
-    ensure_preds(
-        original.goal.pred,
-        &goal_adn,
-        &mut symbols,
-        &mut adorned,
-        &mut magic,
-    );
+    ensure_preds(goal_pred, goal_adn, &mut symbols, &mut adorned, &mut magic);
 
     while let Some((pred, adn)) = queue.pop() {
         let key = (pred, render_adornment(&adn));
@@ -177,41 +316,12 @@ pub fn magic_transform(original: &Program) -> Result<MagicProgram, String> {
         }
     }
 
-    // seed: magic of the goal with its bound constants
-    let goal_key = (original.goal.pred, render_adornment(&goal_adn));
-    let seed_args: Vec<Term> = original
-        .goal
-        .args
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| goal_adn[*i])
-        .map(|(_, &t)| t)
-        .collect();
-    // The seed is only a fact when the bound arguments are constants
-    // (true for goal forms with constants; for p(X,X) the second
-    // occurrence is "bound by equality" and the seed must range over the
-    // active domain — handled by leaving such goals to the caller).
-    if seed_args.iter().any(|t| matches!(t, Term::Var(_))) {
-        return Err(
-            "magic seed requires ground bindings (goal with repeated variables \
-             needs domain enumeration; use the original program instead)"
-                .to_owned(),
-        );
-    }
-    rules.push(Rule::new(Atom::new(magic[&goal_key], seed_args), Vec::new()));
-
-    let new_goal = Atom::new(adorned[&goal_key], original.goal.args.clone());
-    let program = Program {
-        rules,
-        goal: new_goal,
+    TransformCore {
         symbols,
-    };
-    program.validate()?;
-    Ok(MagicProgram {
-        program,
+        rules,
         adorned,
         magic,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -366,8 +476,8 @@ mod tests {
 
     #[test]
     fn magic_all_free_goal_is_correct() {
-        // No bound argument at all: the magic set degenerates to a 0-ary
-        // "true" seed and the rewrite must not lose (or invent) answers.
+        // No bound argument at all: the transform short-circuits to the
+        // identity and must not lose (or invent) answers.
         let src = "?- anc(X, Y).\n\
                    anc(X, Y) :- par(X, Y).\n\
                    anc(X, Y) :- anc(X, Z), par(Z, Y).";
@@ -484,6 +594,80 @@ mod tests {
         let (got, _) = answer(&magic.program, &db, Strategy::SemiNaive);
         assert_eq!(got.sorted(), want.sorted());
         assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn all_free_goal_short_circuits_to_identity() {
+        // The regression the query cache relies on: an unbound goal must
+        // not pay for (or be distorted by) a degenerate 0-ary magic
+        // guard. The transform returns the original program verbatim.
+        let src = "?- anc(X, Y).\n\
+                   anc(X, Y) :- par(X, Y).\n\
+                   anc(X, Y) :- anc(X, Z), par(Z, Y).";
+        let mut p = parse_program(src).unwrap();
+        let magic = magic_transform(&p).unwrap();
+        assert_eq!(magic.program.rules.len(), p.rules.len());
+        assert_eq!(magic.program.goal.pred, p.goal.pred);
+        assert!(magic.adorned.is_empty() && magic.magic.is_empty());
+        // and a 0-ary goal likewise
+        let prop = parse_program("?- yes.\nyes :- e(X, X).").unwrap();
+        let m2 = magic_transform(&prop).unwrap();
+        assert_eq!(m2.program.goal.pred, prop.goal.pred);
+        assert_eq!(m2.program.rules.len(), prop.rules.len());
+        // model equivalence (apply_goal contract) on a concrete database
+        let db = wide_db(&mut p, 4, 3);
+        assert_magic_model_matches(src, &db);
+    }
+
+    #[test]
+    fn template_matches_constant_seeded_transform() {
+        use crate::eval::evaluate;
+        let src = "?- p(c, Y).\n\
+                   p(X, Y) :- b1(X, X1), b2(X1, Y).\n\
+                   p(X, Y) :- b1(X, X1), p(X1, Y1), b2(Y1, Y).";
+        let mut orig = parse_program(src).unwrap();
+        let b1 = orig.symbols.get_predicate("b1").unwrap();
+        let b2 = orig.symbols.get_predicate("b2").unwrap();
+        let p = orig.symbols.get_predicate("p").unwrap();
+        let cs: Vec<_> = ["c", "u", "v", "w", "z"]
+            .iter()
+            .map(|n| orig.symbols.constant(n))
+            .collect();
+        let mut db = Database::new();
+        db.insert(b1, vec![cs[0], cs[1]]);
+        db.insert(b1, vec![cs[1], cs[2]]);
+        db.insert(b2, vec![cs[2], cs[3]]);
+        db.insert(b2, vec![cs[1], cs[4]]);
+        let (want, _) = answer(&magic_transform(&orig).unwrap().program, &db, Strategy::SemiNaive);
+
+        // template: compiled without any constant, instantiated by a seed row
+        let tpl = magic_template(&orig, p, &vec![true, false]).unwrap();
+        let mut tdb = db.clone();
+        tdb.insert(tpl.seed_pred, vec![cs[0]]);
+        let result = evaluate(&tpl.program, &tdb, Strategy::SemiNaive);
+        let rel = result
+            .idb
+            .relation(tpl.goal_pred)
+            .cloned()
+            .unwrap_or_else(|| crate::db::Relation::new(2));
+        // select p(c, Y) out of the adorned relation
+        let goal = Atom::new(
+            tpl.goal_pred,
+            vec![Term::Const(cs[0]), orig.goal.args[1]],
+        );
+        let got = crate::eval::apply_goal(&goal, &rel);
+        assert_eq!(got.sorted(), want.sorted());
+    }
+
+    #[test]
+    fn template_rejects_all_free_and_unknown_preds() {
+        let src = "?- p(c, Y).\np(X, Y) :- b(X, Y).";
+        let orig = parse_program(src).unwrap();
+        let p = orig.symbols.get_predicate("p").unwrap();
+        let b = orig.symbols.get_predicate("b").unwrap();
+        assert!(magic_template(&orig, p, &vec![false, false]).is_err());
+        assert!(magic_template(&orig, b, &vec![true, false]).is_err());
+        assert!(magic_template(&orig, p, &vec![true]).is_err());
     }
 
     #[test]

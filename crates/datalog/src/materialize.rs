@@ -493,6 +493,19 @@ pub struct RoundReport {
     pub rules_dropped: usize,
 }
 
+/// The slot pairing between a shared-EDB view and its base store,
+/// computed once per magic template by
+/// [`Materialization::link_external`] and replayed by every
+/// [`Materialization::swap_external`] round trip.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ExtLinks {
+    /// `(view rel id, base rel id)` per external relation.
+    rels: Vec<(usize, usize)>,
+    /// `(view idx slot, base idx slot, view rel id, base rel id)` per
+    /// shared index over an external relation.
+    idxs: Vec<(usize, usize, usize, usize)>,
+}
+
 /// A program materialized to its minimum model, kept at fixpoint across
 /// EDB updates. See the module docs for the update algorithms; see
 /// [`crate::eval`] for the batch entry points built on top of this, and
@@ -511,7 +524,7 @@ pub struct RoundReport {
 /// - Update propagation is delta-driven (semi-naive) regardless of the
 ///   construction strategy; a [`Strategy::Naive`] materialization only
 ///   uses naive evaluation for its initial fixpoint.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Materialization {
     rels: Vec<ColumnarRelation>,
     idxs: Vec<IncrementalIndex>,
@@ -564,6 +577,22 @@ pub struct Materialization {
     policy: Option<CompactionPolicy>,
     /// How many compaction passes have run (automatic or manual).
     compactions: u64,
+    /// Update-round counter: bumped once per [`Materialization::apply`].
+    /// Runtime-only (not persisted), so a freshly restored store reads 0
+    /// — which is exactly how the query cache detects that its row-level
+    /// links into this store are stale.
+    version: u64,
+    /// Cumulative count of EDB rows actually retracted (runtime-only).
+    /// Lets the query cache skip the delete-rederive scan on insert-only
+    /// churn.
+    edb_retracts: u64,
+    /// Per relation: `true` if the relation is *external* — owned by a
+    /// base store and only swapped in for maintenance rounds (see
+    /// [`Materialization::link_external`]). Empty in ordinary stores.
+    /// External rows are never recorded in the reverse-dependency index
+    /// (their per-row edge chains would cost O(base) memory per view);
+    /// deletion seeds for them come from the justification scan instead.
+    ext_flag: Vec<bool>,
 }
 
 impl Materialization {
@@ -692,6 +721,9 @@ impl Materialization {
             rev: None,
             policy: Some(CompactionPolicy::default()),
             compactions: 0,
+            version: 0,
+            edb_retracts: 0,
+            ext_flag: Vec::new(),
         }
     }
 
@@ -998,6 +1030,7 @@ impl Materialization {
                 self.prov.as_mut(),
                 self.rev.as_mut(),
                 &self.plans,
+                &self.ext_flag,
             );
             self.stats.tuples_derived += appended;
         }
@@ -1025,6 +1058,9 @@ impl Materialization {
                         let hrow = (self.rels[crel as usize].num_rows() - 1) as u32;
                         for (k, &brow) in body_rows.iter().enumerate() {
                             let brel = self.plans[rule as usize].steps[k].rel;
+                            if self.ext_flag.get(brel).copied().unwrap_or(false) {
+                                continue;
+                            }
                             rev.add(brel, brow, crel, hrow);
                         }
                     }
@@ -1042,6 +1078,8 @@ impl Materialization {
         if self.epoch == 0 && self.needs_compaction() {
             self.compact();
         }
+        self.version = self.version.wrapping_add(1);
+        self.edb_retracts += report.retracted as u64;
         report
     }
 
@@ -1104,6 +1142,9 @@ impl Materialization {
             self.idb_rels.push(r);
         }
         self.old_hi.push(0);
+        if !self.ext_flag.is_empty() {
+            self.ext_flag.push(false);
+        }
         if let Some(prov) = &mut self.prov {
             prov.push(RelJust::default());
         }
@@ -1157,10 +1198,20 @@ impl Materialization {
             .as_ref()
             .expect("Materialization always records justifications");
         let mut rev = RevIndex {
+            // External relations get no edge chains (their dense per-row
+            // heads would cost O(base store) per view); deletion seeds
+            // for external rows come from the justification scan.
             head: self
                 .rels
                 .iter()
-                .map(|r| vec![NO_EDGE; r.num_rows()])
+                .enumerate()
+                .map(|(i, r)| {
+                    if self.ext_flag.get(i).copied().unwrap_or(false) {
+                        Vec::new()
+                    } else {
+                        vec![NO_EDGE; r.num_rows()]
+                    }
+                })
                 .collect(),
             edges: Vec::new(),
         };
@@ -1172,6 +1223,9 @@ impl Materialization {
                 let (rule, body) = prov[hrel].entry(hrow);
                 for (k, &brow) in body.iter().enumerate() {
                     let brel = self.plans[rule as usize].steps[k].rel;
+                    if self.ext_flag.get(brel).copied().unwrap_or(false) {
+                        continue;
+                    }
                     rev.add(brel, brow, hrel as u32, hrow as u32);
                 }
             }
@@ -1727,6 +1781,9 @@ impl Materialization {
             rev: None,
             policy,
             compactions,
+            version: 0,
+            edb_retracts: 0,
+            ext_flag: Vec::new(),
         };
         m.extend_indexes();
         // A store that had ever over-deleted carried a reverse index;
@@ -1850,6 +1907,265 @@ impl Materialization {
     }
 
     // -----------------------------------------------------------------
+    // Shared-EDB views (the query cache's storage layer)
+    //
+    // A *view* is an ordinary `Materialization` of a magic template
+    // whose non-IDB relations are marked **external**: they belong to a
+    // base store, and the view holds empty placeholders for them. For
+    // every maintenance round the base's relation objects — and the
+    // shared incremental indexes over them — are `mem::swap`ped into the
+    // view's slots, the standard update machinery runs (the view's
+    // `old_hi` watermarks over external slots persist between rounds, so
+    // base rows appended since the last sync are exactly the delta), and
+    // everything is swapped back. The view therefore stores only its
+    // *derived* rows; base EDB rows are never copied.
+    // -----------------------------------------------------------------
+
+    /// Update-round counter (bumped once per [`Materialization::apply`];
+    /// runtime-only, so a restored store restarts at 0).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Cumulative EDB rows actually retracted over this store's lifetime
+    /// (runtime-only, like [`Materialization::version`]).
+    pub fn edb_retracts(&self) -> u64 {
+        self.edb_retracts
+    }
+
+    /// Applies an arbitrary goal atom over the current live rows of its
+    /// predicate — EDB or IDB. Unlike [`Materialization::answer`] this
+    /// is not tied to the program's own goal; an untracked predicate
+    /// yields the empty relation.
+    pub fn answer_goal(&self, goal: &Atom) -> Relation {
+        let (ops, nvars) = eval::goal_plan(goal);
+        match self.rel_of_pred.get(&goal.pred) {
+            Some(&rid) => eval::select_project(&ops, nvars, self.rels[rid].rows_iter()),
+            None => Relation::new(nvars),
+        }
+    }
+
+    /// [`Materialization::answer_goal`] as of a pinned snapshot.
+    pub(crate) fn answer_goal_at(&self, goal: &Atom, frontier: &[usize], epoch: u64) -> Relation {
+        let (ops, nvars) = eval::goal_plan(goal);
+        match self.rel_of_pred.get(&goal.pred) {
+            Some(&rid) if rid < frontier.len() => eval::select_project(
+                &ops,
+                nvars,
+                self.rels[rid].rows_iter_at(frontier[rid], epoch),
+            ),
+            _ => Relation::new(nvars),
+        }
+    }
+
+    /// Replaces the goal this store answers (used when a cloned template
+    /// prototype is instantiated for one concrete bound query).
+    pub(crate) fn set_goal(&mut self, goal: Atom) {
+        self.goal = goal;
+    }
+
+    /// Live and total stored rows over the store's *own* (non-external)
+    /// relations — the view-eviction signal.
+    pub(crate) fn own_rows(&self) -> (usize, usize) {
+        let mut live = 0;
+        let mut total = 0;
+        for (r, rel) in self.rels.iter().enumerate() {
+            if self.ext_flag.get(r).copied().unwrap_or(false) {
+                continue;
+            }
+            live += rel.num_live();
+            total += rel.num_rows();
+        }
+        (live, total)
+    }
+
+    /// Builds an empty view for a magic-template program: semi-naive,
+    /// justification recording on, re-derivation plans compiled
+    /// **eagerly** — every index the view will ever probe must exist
+    /// before [`Materialization::link_external`] maps index slots, or a
+    /// later lazy compile would register a private index over an
+    /// external relation and fill it with the whole base store — and
+    /// automatic compaction off (a view's recorded justifications hold
+    /// base-store row ids, which row-remapping compaction of either side
+    /// would corrupt; the cache drops and rebuilds dead-heavy views
+    /// instead).
+    pub(crate) fn new_view(program: &Program) -> Self {
+        let mut m = Self::build(program, &Database::new(), Strategy::SemiNaive, true);
+        m.ensure_rederive_plans();
+        m.policy = None;
+        m
+    }
+
+    /// Registers (or reuses) an index over `(rel, mask)` and brings it
+    /// up to the relation's current rows. Used by
+    /// [`Materialization::link_external`] to give views shared access to
+    /// base-store indexes.
+    pub(crate) fn ensure_index(&mut self, rel: usize, mask: Vec<usize>) -> usize {
+        let id = match self.idx_of.get(&(rel, mask.clone())) {
+            Some(&i) => i,
+            None => {
+                let i = self.idxs.len();
+                self.idxs.push(IncrementalIndex::new(rel, mask.clone()));
+                self.idx_of.insert((rel, mask), i);
+                i
+            }
+        };
+        self.idxs[id].extend(&self.rels[rel]);
+        id
+    }
+
+    /// Marks every non-IDB relation of this view that `base` also stores
+    /// as external and computes the slot pairing for
+    /// [`Materialization::swap_external`]. Relations the base does not
+    /// track (notably the template's seed predicate) stay view-owned.
+    pub(crate) fn link_external(&mut self, base: &mut Materialization) -> Result<ExtLinks, String> {
+        let mut links = ExtLinks::default();
+        let mut ext = vec![false; self.rels.len()];
+        let mut base_of_rel = vec![usize::MAX; self.rels.len()];
+        for vr in 0..self.rels.len() {
+            if self.idb_flag[vr] {
+                continue;
+            }
+            let pred = self.pred_of_rel[vr];
+            let Some(&br) = base.rel_of_pred.get(&pred) else {
+                continue;
+            };
+            if base.idb_flag[br] {
+                return Err(
+                    "view treats a base IDB predicate as external EDB (program mismatch)"
+                        .to_owned(),
+                );
+            }
+            if self.rels[vr].arity() != base.rels[br].arity() {
+                return Err("view/base arity mismatch on shared relation".to_owned());
+            }
+            ext[vr] = true;
+            base_of_rel[vr] = br;
+            links.rels.push((vr, br));
+        }
+        for vi in 0..self.idxs.len() {
+            let vr = self.idxs[vi].rel();
+            if !ext[vr] {
+                continue;
+            }
+            let bi = base.ensure_index(base_of_rel[vr], self.idxs[vi].mask().to_vec());
+            links.idxs.push((vi, bi, vr, base_of_rel[vr]));
+        }
+        self.ext_flag = ext;
+        Ok(links)
+    }
+
+    /// Swaps the base's external relation objects (and the shared
+    /// indexes over them) into this view's slots — or back out again;
+    /// the operation is an involution. The caller must hold both stores
+    /// exclusively and must pair every swap-in with a swap-out before
+    /// the base is used again.
+    pub(crate) fn swap_external(&mut self, base: &mut Materialization, links: &ExtLinks) {
+        for &(vr, br) in &links.rels {
+            std::mem::swap(&mut self.rels[vr], &mut base.rels[br]);
+        }
+        for &(vi, bi, vr, br) in &links.idxs {
+            std::mem::swap(&mut self.idxs[vi], &mut base.idxs[bi]);
+            // Each side numbers the shared relation differently; fix the
+            // id so `extend_indexes` reads the right slot.
+            self.idxs[vi].set_rel(vr);
+            base.idxs[bi].set_rel(br);
+        }
+    }
+
+    /// Catches a view up with its (swapped-in) external relations:
+    /// delete-rederive for base rows that died since the last sync, then
+    /// one semi-naive resume over the appended base rows (the external
+    /// `old_hi` watermarks make them exactly the delta).
+    ///
+    /// `check_retracts` gates the deletion pass: external rows are
+    /// tombstoned in place by the base, so a justification scan of the
+    /// view's derived rows finds every casualty; the cascade and rescue
+    /// then mirror [`Materialization::apply`]'s phases over the view's
+    /// own reverse index (external rows carry no reverse chains — see
+    /// `ext_flag`).
+    pub(crate) fn sync_external(&mut self, check_retracts: bool) {
+        if check_retracts {
+            let prov = self
+                .prov
+                .as_ref()
+                .expect("views record justifications");
+            let mut seeds: Vec<(u32, u32)> = Vec::new();
+            for &hrel in &self.idb_rels {
+                for hrow in 0..self.rels[hrel].num_rows() {
+                    if !self.rels[hrel].is_live(hrow) {
+                        continue;
+                    }
+                    let (rule, body) = prov[hrel].entry(hrow);
+                    let dead = body.iter().enumerate().any(|(k, &brow)| {
+                        let brel = self.plans[rule as usize].steps[k].rel;
+                        !self.rels[brel].is_live(brow as usize)
+                    });
+                    if dead {
+                        seeds.push((hrel as u32, hrow as u32));
+                    }
+                }
+            }
+            if !seeds.is_empty() {
+                let mut worklist: Vec<(u32, u32)> = Vec::new();
+                let mut candidates: Vec<(u32, u32)> = Vec::new();
+                for &(srel, srow) in &seeds {
+                    if self.rels[srel as usize].tombstone(srow as usize) {
+                        worklist.push((srel, srow));
+                        candidates.push((srel, srow));
+                    }
+                }
+                self.ensure_rev_index();
+                let rev = self.rev.take().expect("just ensured");
+                let mut i = 0;
+                while i < worklist.len() {
+                    let (drel, drow) = worklist[i];
+                    i += 1;
+                    let mut e = rev.chain(drel as usize, drow);
+                    while e != NO_EDGE {
+                        let RevEdge { hrel, hrow, next } = rev.edges[e as usize];
+                        if self.rels[hrel as usize].tombstone(hrow as usize) {
+                            worklist.push((hrel, hrow));
+                            candidates.push((hrel, hrow));
+                        }
+                        e = next;
+                    }
+                }
+                self.rev = Some(rev);
+
+                self.extend_indexes();
+                let mut scratch = Scratch::default();
+                for &(crel, crow) in &candidates {
+                    let tuple = self.rels[crel as usize].row(crow as usize).to_vec();
+                    let mut probes = 0u64;
+                    let found =
+                        self.rederive_row(crel as usize, &tuple, &mut scratch, &mut probes);
+                    self.stats.join_probes += probes;
+                    if let Some((rule, body_rows)) = found {
+                        self.rels[crel as usize].insert(&tuple);
+                        self.stats.rule_firings += 1;
+                        self.stats.tuples_derived += 1;
+                        self.prov.as_mut().expect("recording on")[crel as usize]
+                            .push(rule, &body_rows);
+                        if let Some(rev) = self.rev.as_mut() {
+                            let hrow = (self.rels[crel as usize].num_rows() - 1) as u32;
+                            for (k, &brow) in body_rows.iter().enumerate() {
+                                let brel = self.plans[rule as usize].steps[k].rel;
+                                if self.ext_flag.get(brel).copied().unwrap_or(false) {
+                                    continue;
+                                }
+                                rev.add(brel, brow, crel, hrow);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.run_update();
+        self.version = self.version.wrapping_add(1);
+    }
+
+    // -----------------------------------------------------------------
     // Fixpoint loops
     // -----------------------------------------------------------------
 
@@ -1915,6 +2231,7 @@ impl Materialization {
                 self.prov.as_mut(),
                 self.rev.as_mut(),
                 &self.plans,
+                &self.ext_flag,
             );
             self.stats.tuples_derived += appended;
             if appended == 0 {
@@ -1968,6 +2285,7 @@ impl Materialization {
                 self.prov.as_mut(),
                 self.rev.as_mut(),
                 &self.plans,
+                &self.ext_flag,
             )
             } else {
                 let items: Vec<(usize, usize)> = self
@@ -2049,6 +2367,7 @@ impl Materialization {
                 self.prov.as_mut(),
                 self.rev.as_mut(),
                 &self.plans,
+                &self.ext_flag,
             );
             self.stats.tuples_derived += appended;
             if appended == 0 {
@@ -2190,6 +2509,7 @@ impl Materialization {
                 self.prov.as_mut(),
                 self.rev.as_mut(),
                 &self.plans,
+                &self.ext_flag,
             );
         }
         spare.append(&mut tasks);
@@ -2219,6 +2539,7 @@ impl Materialization {
         prov: Option<&mut Vec<RelJust>>,
         mut rev: Option<&mut RevIndex>,
         plans: &[RulePlan],
+        ext_flag: &[bool],
     ) -> u64 {
         let mut appended = 0u64;
         let mut off = 0;
@@ -2248,6 +2569,9 @@ impl Materialization {
                             let hrow = (rel.num_rows() - 1) as u32;
                             for (k, &brow) in body.iter().enumerate() {
                                 let brel = plans[rule as usize].steps[k].rel;
+                                if ext_flag.get(brel).copied().unwrap_or(false) {
+                                    continue;
+                                }
                                 rev.add(brel, brow, rid, hrow);
                             }
                         }

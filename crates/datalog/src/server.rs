@@ -4,8 +4,8 @@
 //! one-round-at-a-time-writer pattern the paper's selection-propagation
 //! machinery ultimately serves: readers keep querying the maintained
 //! fixpoint while batched [`UpdateRound`]s — fact churn and rule
-//! hot-swap — stream in. Two guarantees, proved adversarially by
-//! `tests/server_stress.rs`:
+//! hot-swap — stream in. Three guarantees, proved adversarially by
+//! `tests/server_stress.rs` and `tests/query_cache_props.rs`:
 //!
 //! - **No mid-round reads.** A round is applied under the store's write
 //!   lock and its epoch is published only after the round reaches
@@ -20,6 +20,15 @@
 //!   epoch — see [`crate::storage::ColumnarRelation::set_epoch`]), so a
 //!   pinned [`Snapshot`] keeps reading its exact state-as-of-pin for as
 //!   long as it lives, without cloning any data.
+//! - **Coherent cached queries.** [`Server::query`] routes bound goals
+//!   through a [`QueryCache`] of incrementally-maintained magic-set
+//!   views (see [`crate::cache`]). Views are caught up *inside* the
+//!   writer's round — after the base reaches its new fixpoint, before
+//!   the round's epoch is published — so the base facts and every
+//!   cached answer always come from the same fixpoint, and a pinned
+//!   snapshot's [`Snapshot::query`] answers as of its pin (from the
+//!   pinned view when it survives, by filtering the pinned base state
+//!   otherwise — identical answers either way).
 //!
 //! Reclamation and compaction are **deferred maintenance**: when the
 //! last reader below an epoch unpins, the new horizon is recorded in
@@ -39,20 +48,25 @@
 //! [`crate::materialize::CompactionPolicy`]) would clear the epoch tags
 //! and remap the row ids pinned snapshots rely on, so while any pin
 //! exists it is only *queued* (`compact_pending`) — the drain after the
-//! last unpin runs it.
+//! last unpin runs it. A compaction also remaps the base row ids cached
+//! views reference, so the cache drops its views at the next
+//! validation and rebuilds on demand (templates survive).
 //!
-//! Lock order is `store → epochs` everywhere that takes both (the
-//! unpinning path takes `epochs` first but only ever *tries* the store
+//! Lock order is `state → epochs` everywhere that takes both (the
+//! unpinning path takes `epochs` first but only ever *tries* the state
 //! lock, so it cannot deadlock). Durability: [`Server::save`] writes the
 //! store's checksummed snapshot file at the published epoch, and
 //! [`Server::restore`] resumes serving from it — same fixpoint, same
-//! epoch counter, no re-evaluation.
+//! epoch counter, no re-evaluation. A restored server starts with a
+//! **disabled** cache (the snapshot format persists the store, not the
+//! source program); [`Server::enable_query_cache`] re-arms it.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 
-use crate::ast::{Pred, Program, Rule};
+use crate::ast::{Atom, Pred, Program, Rule};
+use crate::cache::{CacheConfig, CacheStats, QueryCache, ViewPin};
 use crate::db::{Database, Relation, Tuple};
 use crate::derivation::Provenance;
 use crate::eval::{EvalStats, Strategy};
@@ -61,11 +75,20 @@ use crate::materialize::{
 };
 use crate::persist::PersistError;
 
+/// Everything guarded by the server's writer lock: the base store and
+/// the query cache whose views must advance in lockstep with it.
+struct ServerState {
+    /// The maintained fixpoint.
+    store: Materialization,
+    /// The magic-set view cache over `store` (see [`crate::cache`]).
+    cache: QueryCache,
+}
+
 /// The shared state behind one server and all of its snapshots.
 struct Shared {
-    /// The maintained fixpoint. Readers pin and query under the read
+    /// The store + cache pair. Readers pin and query under the read
     /// lock; the writer applies whole rounds under the write lock.
-    store: RwLock<Materialization>,
+    state: RwLock<ServerState>,
     /// The epoch table: the published epoch plus reader pin counts.
     epochs: Mutex<EpochTable>,
 }
@@ -107,23 +130,24 @@ impl EpochTable {
         }
     }
 
-    /// Applies all deferred maintenance to a write-locked store:
-    /// reclaims every unobservable tombstone tag and runs (or queues)
-    /// the policy-triggered compaction. Callers must hold the epochs
-    /// lock for the *remainder* of their write-lock tenure — the store
-    /// guard is dropped inside the critical section — so no horizon
-    /// recorded by a contending unpin can slip between the drain and
-    /// the release.
-    fn drain(&mut self, store: &mut Materialization) {
+    /// Applies all deferred maintenance to a write-locked state:
+    /// reclaims every unobservable tombstone tag (in the base store and
+    /// every cached view) and runs (or queues) the policy-triggered
+    /// compaction. Callers must hold the epochs lock for the
+    /// *remainder* of their write-lock tenure — the state guard is
+    /// dropped inside the critical section — so no horizon recorded by
+    /// a contending unpin can slip between the drain and the release.
+    fn drain(&mut self, state: &mut ServerState) {
         let horizon = self.reclaim_to.max(self.min_observable());
         self.reclaim_to = horizon;
-        store.reclaim_epochs(horizon);
+        state.store.reclaim_epochs(horizon);
+        state.cache.reclaim_epochs(horizon);
         if self.pins.is_empty() {
-            if self.compact_pending || store.needs_compaction() {
-                store.compact();
+            if self.compact_pending || state.store.needs_compaction() {
+                state.store.compact();
             }
             self.compact_pending = false;
-        } else if store.needs_compaction() {
+        } else if state.store.needs_compaction() {
             self.compact_pending = true;
         }
     }
@@ -146,11 +170,13 @@ impl Server {
 
     /// Serves `program` materialized over `db`: runs the initial batch
     /// fixpoint (epoch 0), then stands ready for readers and rounds.
+    /// The query cache is armed from the start.
     pub fn from_database(program: &Program, db: &Database, strategy: Strategy) -> Self {
         let store = Materialization::from_database(program, db, strategy);
+        let cache = QueryCache::new(program);
         Self {
             shared: Arc::new(Shared {
-                store: RwLock::new(store),
+                state: RwLock::new(ServerState { store, cache }),
                 epochs: Mutex::new(EpochTable::new(0)),
             }),
         }
@@ -160,9 +186,15 @@ impl Server {
     /// [`Materialization::save`]). Runs under the read lock, so it
     /// captures a whole round boundary — never a mid-round state — and
     /// the atomic write leaves any previous snapshot at `path` intact if
-    /// the save dies partway.
+    /// the save dies partway. Cached views are derived state and are
+    /// not persisted; a restored server rebuilds them on demand.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
-        self.shared.store.read().expect("store lock poisoned").save(path)
+        self.shared
+            .state
+            .read()
+            .expect("state lock poisoned")
+            .store
+            .save(path)
     }
 
     /// Resumes serving from a snapshot file written by [`Server::save`]
@@ -171,16 +203,80 @@ impl Server {
     /// epoch, so rounds applied after the restart keep numbering where
     /// the saved process left off. No reader survives a restart, so
     /// every retained tombstone tag is reclaimed on the way in.
+    ///
+    /// The query cache comes back **disabled** — the snapshot persists
+    /// the store, not the source program the magic transform needs — so
+    /// every query filters the base model (correct, just uncached)
+    /// until [`Server::enable_query_cache`] re-arms it.
     pub fn restore<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
         let mut store = Materialization::restore(path)?;
         let epoch = store.epoch();
         store.reclaim_epochs(epoch);
         Ok(Self {
             shared: Arc::new(Shared {
-                store: RwLock::new(store),
+                state: RwLock::new(ServerState {
+                    store,
+                    cache: QueryCache::disabled(),
+                }),
                 epochs: Mutex::new(EpochTable::new(epoch)),
             }),
         })
+    }
+
+    /// Arms (or re-arms) the query cache with the program the store
+    /// materializes — the restore path's second half. Existing views
+    /// are discarded. If `program`'s rules don't match the store's live
+    /// rule slots (e.g. rules were hot-swapped before the save), the
+    /// cache detects the mismatch on first use and stays in direct
+    /// mode, so a wrong program can cost performance but never
+    /// correctness.
+    pub fn enable_query_cache(&self, program: &Program) {
+        let mut state = self.shared.state.write().expect("state lock poisoned");
+        state.cache = QueryCache::new(program);
+    }
+
+    /// Whether bound queries can currently be cached (`false` on a
+    /// restored server before [`Server::enable_query_cache`], or after
+    /// the cache detected an unannounced rule change).
+    pub fn cache_enabled(&self) -> bool {
+        self.shared
+            .state
+            .read()
+            .expect("state lock poisoned")
+            .cache
+            .is_enabled()
+    }
+
+    /// The query cache's observability counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared
+            .state
+            .read()
+            .expect("state lock poisoned")
+            .cache
+            .stats()
+    }
+
+    /// Replaces the cache's eviction limits (see [`CacheConfig`]).
+    pub fn set_cache_config(&self, config: CacheConfig) {
+        self.shared
+            .state
+            .write()
+            .expect("state lock poisoned")
+            .cache
+            .set_config(config);
+    }
+
+    /// Total words resident in cached views (tuples, indexes,
+    /// justifications). Base rows are shared with the store, not
+    /// copied, so this is the cache's real marginal footprint.
+    pub fn cache_view_words(&self) -> usize {
+        self.shared
+            .state
+            .read()
+            .expect("state lock poisoned")
+            .cache
+            .view_words()
     }
 
     /// Sets (or clears) the compaction policy of the underlying store.
@@ -188,20 +284,21 @@ impl Server {
     /// when no snapshot is pinned, and is queued for the last unpin
     /// otherwise — exactly like a round-triggered compaction.
     pub fn set_compaction_policy(&self, policy: Option<CompactionPolicy>) {
-        let mut store = self.shared.store.write().expect("store lock poisoned");
-        store.set_compaction_policy(policy);
+        let mut state = self.shared.state.write().expect("state lock poisoned");
+        state.store.set_compaction_policy(policy);
         let mut epochs = self.shared.epochs.lock().expect("epoch lock poisoned");
-        epochs.drain(&mut store);
-        drop(store);
+        epochs.drain(&mut state);
+        drop(state);
     }
 
     /// Number of compactions the underlying store has run (policy- or
     /// drain-triggered).
     pub fn compactions(&self) -> u64 {
         self.shared
-            .store
+            .state
             .read()
-            .expect("store lock poisoned")
+            .expect("state lock poisoned")
+            .store
             .compactions()
     }
 
@@ -209,9 +306,10 @@ impl Server {
     /// [`Materialization::mem_stats`]).
     pub fn mem_stats(&self) -> MemStats {
         self.shared
-            .store
+            .state
             .read()
-            .expect("store lock poisoned")
+            .expect("state lock poisoned")
+            .store
             .mem_stats()
     }
 
@@ -219,29 +317,46 @@ impl Server {
     /// epoch. The round runs under the write lock — readers either see
     /// the epoch before it or the epoch after it, never the middle —
     /// and unobservable tombstone tags are reclaimed on the way out.
+    /// Cached views are caught up before the epoch is published, so the
+    /// new epoch's base facts and cached answers come from the same
+    /// fixpoint.
     ///
     /// Writer calls are serialized by the write lock; each applied
     /// round increments the published epoch by one.
     pub fn apply(&self, round: &UpdateRound) -> RoundReport {
-        let mut store = self.shared.store.write().expect("store lock poisoned");
+        let mut state = self.shared.state.write().expect("state lock poisoned");
         let next = {
             let epochs = self.shared.epochs.lock().expect("epoch lock poisoned");
             epochs.current + 1
         };
-        // Tombstones of this round are tagged `next`: dead at `next`,
-        // still visible to every reader pinned at `< next`.
-        store.set_epoch(next);
-        let report = store.apply(round);
+        let report = {
+            let ServerState { store, cache } = &mut *state;
+            // Tombstones of this round are tagged `next`: dead at
+            // `next`, still visible to every reader pinned at `< next`.
+            store.set_epoch(next);
+            let report = store.apply(round);
+            // Mirror the round's rule changes into the cache (its
+            // templates are compiled against the rule set), then catch
+            // every surviving view up with the new fixpoint.
+            for rule in &round.rule_adds {
+                cache.note_rule_added(rule);
+            }
+            for &id in &round.rule_drops {
+                cache.note_rule_dropped(id);
+            }
+            cache.sync_all(store, next);
+            report
+        };
         // Publish, then drain deferred maintenance (tag reclamation and
-        // any queued compaction). The store guard is released *inside*
+        // any queued compaction). The state guard is released *inside*
         // the epochs critical section: an unpin that lost the
         // `try_write` race against this round has either recorded its
         // horizon already (we drain it here) or is still waiting on the
         // epochs lock and will retry the idle store right after.
         let mut epochs = self.shared.epochs.lock().expect("epoch lock poisoned");
         epochs.current = next;
-        epochs.drain(&mut store);
-        drop(store);
+        epochs.drain(&mut state);
+        drop(state);
         report
     }
 
@@ -258,8 +373,8 @@ impl Server {
     /// Adds one rule as a round of its own; returns its stable id.
     pub fn add_rule(&self, rule: Rule) -> RuleId {
         let id = {
-            let store = self.shared.store.read().expect("store lock poisoned");
-            RuleId(store.num_rule_slots() as u32)
+            let state = self.shared.state.read().expect("state lock poisoned");
+            RuleId(state.store.num_rule_slots() as u32)
         };
         self.apply(&UpdateRound::new().add_rule(rule));
         id
@@ -271,6 +386,27 @@ impl Server {
         self.apply(&UpdateRound::new().drop_rule(id)).rules_dropped == 1
     }
 
+    /// Answers an ad-hoc `goal` over the current model, through the
+    /// magic-set view cache when the goal has usable bindings (see
+    /// [`crate::cache`] for the routing rules) and by filtering the
+    /// base model otherwise. Answers are always exact — the cache only
+    /// changes cost.
+    ///
+    /// The fast path (an up-to-date view, or a direct route) runs under
+    /// the read lock and blocks no readers. Only a query that must
+    /// build or catch up a view takes the write lock.
+    pub fn query(&self, goal: &Atom) -> Relation {
+        {
+            let state = self.shared.state.read().expect("state lock poisoned");
+            if let Some(answer) = state.cache.lookup(&state.store, goal) {
+                return answer;
+            }
+        }
+        let mut state = self.shared.state.write().expect("state lock poisoned");
+        let ServerState { store, cache } = &mut *state;
+        cache.query(store, goal)
+    }
+
     /// Pins the current epoch and returns a read handle on it: a
     /// per-relation frontier plus the epoch number — no data is cloned.
     /// The snapshot keeps serving its exact pinned state however many
@@ -280,19 +416,21 @@ impl Server {
         // Hold the read lock across the pin: the writer can neither be
         // mid-round (the frontier is a published fixpoint) nor publish
         // and reclaim between reading `current` and pinning it.
-        let store = self.shared.store.read().expect("store lock poisoned");
+        let state = self.shared.state.read().expect("state lock poisoned");
         let epoch = {
             let mut epochs = self.shared.epochs.lock().expect("epoch lock poisoned");
             let current = epochs.current;
             *epochs.pins.entry(current).or_insert(0) += 1;
             current
         };
-        let frontier = store.frontiers();
-        drop(store);
+        let frontier = state.store.frontiers();
+        let views = state.cache.view_pins();
+        drop(state);
         Snapshot {
             shared: Arc::clone(&self.shared),
             epoch,
             frontier,
+            views,
         }
     }
 
@@ -303,22 +441,33 @@ impl Server {
 
     /// Work counters accumulated by the underlying materialization.
     pub fn stats(&self) -> EvalStats {
-        self.shared.store.read().expect("store lock poisoned").stats()
+        self.shared
+            .state
+            .read()
+            .expect("state lock poisoned")
+            .store
+            .stats()
     }
 
     /// The goal's answer over the **current** model (an unpinned read:
     /// equivalent to `snapshot().answer()` but cheaper).
     pub fn answer(&self) -> Relation {
-        self.shared.store.read().expect("store lock poisoned").answer()
+        self.shared
+            .state
+            .read()
+            .expect("state lock poisoned")
+            .store
+            .answer()
     }
 
     /// A provenance snapshot of the current model (O(store) clone; see
     /// [`Materialization::provenance`]).
     pub fn provenance(&self) -> Provenance {
         self.shared
-            .store
+            .state
             .read()
-            .expect("store lock poisoned")
+            .expect("state lock poisoned")
+            .store
             .provenance()
     }
 }
@@ -341,6 +490,11 @@ pub struct Snapshot {
     /// Per-relation row counts at pin time: rows at or above the
     /// frontier (and whole relations interned later) are invisible.
     frontier: Vec<usize>,
+    /// Cached-view pins: key, instance and row frontier per view live
+    /// at pin time. [`Snapshot::query`] answers from a pinned view
+    /// while it survives, and falls back to filtering the pinned base
+    /// state when it doesn't — same fixpoint, identical answers.
+    views: Vec<ViewPin>,
 }
 
 impl Snapshot {
@@ -352,18 +506,32 @@ impl Snapshot {
     /// The goal's answer relation as of the pinned state.
     pub fn answer(&self) -> Relation {
         self.shared
-            .store
+            .state
             .read()
-            .expect("store lock poisoned")
+            .expect("state lock poisoned")
+            .store
             .answer_at(&self.frontier, self.epoch)
+    }
+
+    /// Answers an ad-hoc `goal` as of the pinned state. Bound goals
+    /// whose cached view was live at pin time are answered from the
+    /// view at its pinned frontier; everything else filters the base
+    /// store at the snapshot's own frontier. Both read the same pinned
+    /// fixpoint, so the route never changes the answer.
+    pub fn query(&self, goal: &Atom) -> Relation {
+        let state = self.shared.state.read().expect("state lock poisoned");
+        state
+            .cache
+            .answer_pinned(&state.store, goal, &self.views, &self.frontier, self.epoch)
     }
 
     /// The IDB model as of the pinned state.
     pub fn idb_database(&self) -> Database {
         self.shared
-            .store
+            .state
             .read()
-            .expect("store lock poisoned")
+            .expect("state lock poisoned")
+            .store
             .idb_database_at(&self.frontier, self.epoch)
     }
 
@@ -371,18 +539,20 @@ impl Snapshot {
     /// the pinned state.
     pub fn database(&self) -> Database {
         self.shared
-            .store
+            .state
             .read()
-            .expect("store lock poisoned")
+            .expect("state lock poisoned")
+            .store
             .database_at(&self.frontier, self.epoch)
     }
 
     /// Number of facts stored for `pred` as of the pinned state.
     pub fn num_facts(&self, pred: Pred) -> usize {
         self.shared
-            .store
+            .state
             .read()
-            .expect("store lock poisoned")
+            .expect("state lock poisoned")
+            .store
             .num_facts_at(pred, &self.frontier, self.epoch)
     }
 }
@@ -404,7 +574,7 @@ impl Drop for Snapshot {
                 epochs.pins.remove(&self.epoch);
             }
         }
-        // Record the new horizon *before* trying the store lock: if the
+        // Record the new horizon *before* trying the state lock: if the
         // store is busy, the ledger — not this thread — carries the
         // reclamation (and any queued compaction) to whoever holds or
         // next takes the write lock. Without the ledger, an unpin that
@@ -414,11 +584,11 @@ impl Drop for Snapshot {
         epochs.reclaim_to = epochs.reclaim_to.max(horizon);
         // Opportunistic drain while still inside the epochs critical
         // section, only if the store is idle right now (`try_write`
-        // never blocks, so the epochs→store order here cannot deadlock
-        // against the store→epochs order elsewhere: holders of both
-        // only ever block on epochs, never on the store).
-        if let Ok(mut store) = self.shared.store.try_write() {
-            epochs.drain(&mut store);
+        // never blocks, so the epochs→state order here cannot deadlock
+        // against the state→epochs order elsewhere: holders of both
+        // only ever block on epochs, never on the state).
+        if let Ok(mut state) = self.shared.state.try_write() {
+            epochs.drain(&mut state);
         }
     }
 }
@@ -426,6 +596,7 @@ impl Drop for Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::Term;
     use crate::parser::parse_program;
 
     const SRC: &str = "?- anc(john, Y).\n\
@@ -586,9 +757,10 @@ mod tests {
     fn tags(server: &Server) -> usize {
         server
             .shared
-            .store
+            .state
             .read()
             .unwrap()
+            .store
             .tagged_tombstones()
     }
 
@@ -619,10 +791,10 @@ mod tests {
         server.retract_facts(par, &edges[..1]); // epoch 2: tags kept for the pin
         assert!(tags(&server) > 0);
 
-        // A writer holds the store's write lock while the last unpin
+        // A writer holds the state's write lock while the last unpin
         // happens. `Drop`'s try_write must lose this race — but the
         // horizon is recorded in the ledger, not lost.
-        let writer = server.shared.store.write().unwrap();
+        let writer = server.shared.state.write().unwrap();
         drop(pinned);
         {
             let epochs = server.shared.epochs.lock().unwrap();
@@ -633,10 +805,10 @@ mod tests {
         // The write-lock holder drains on its way out — the exact
         // sequence `Server::apply` runs after publishing.
         {
-            let mut store = writer;
+            let mut state = writer;
             let mut epochs = server.shared.epochs.lock().unwrap();
-            epochs.drain(&mut store);
-            drop(store);
+            epochs.drain(&mut state);
+            drop(state);
         }
         assert_eq!(tags(&server), 0, "handed-off horizon was applied");
     }
@@ -712,5 +884,206 @@ mod tests {
         );
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // ------------------------------------------------------------------
+    // The magic-set query cache through the server
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn query_serves_bound_goals_through_views() {
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let anc = p.symbols.get_predicate("anc").unwrap();
+        let edges = chain(&mut p, 12);
+        let server = Server::new(&p, Strategy::SemiNaive);
+        server.insert_facts(par, &edges);
+
+        // The program goal, asked ad hoc: the cached view must agree
+        // with the store's own full-model answer.
+        let goal = p.goal.clone(); // anc(john, Y)
+        let full = server.answer().sorted();
+        assert_eq!(server.query(&goal).sorted(), full);
+        let s1 = server.cache_stats();
+        assert_eq!((s1.misses, s1.template_compiles, s1.views), (1, 1, 1));
+
+        // Same query again: pure read-path hit, no new view.
+        assert_eq!(server.query(&goal).sorted(), full);
+        let s2 = server.cache_stats();
+        assert!(s2.hits >= 1);
+        assert_eq!(s2.misses, 1);
+
+        // A different constant under the same binding pattern reuses
+        // the memoized template (one compile per pattern).
+        let c3 = p.symbols.constant("c3");
+        let y = p.symbols.variable("Y");
+        let goal3 = Atom::new(anc, vec![Term::Const(c3), Term::Var(y)]);
+        assert_eq!(server.query(&goal3).len(), edges.len() - 3, "c3's descendants");
+        let s3 = server.cache_stats();
+        assert_eq!((s3.misses, s3.template_compiles, s3.views), (2, 1, 2));
+
+        // All-free goals route direct — exact, uncached.
+        let x = p.symbols.variable("X");
+        let free = Atom::new(anc, vec![Term::Var(x), Term::Var(y)]);
+        let n = edges.len();
+        assert_eq!(server.query(&free).len(), n * (n + 1) / 2);
+        assert!(server.cache_stats().direct >= 1);
+
+        // EDB goals route direct too.
+        let bound_par = Atom::new(par, vec![Term::Const(c3), Term::Var(y)]);
+        assert_eq!(server.query(&bound_par).len(), 1);
+        assert_eq!(server.cache_stats().views, 2, "no view for an EDB goal");
+    }
+
+    #[test]
+    fn cached_views_advance_inside_update_rounds() {
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain(&mut p, 10);
+        let server = Server::new(&p, Strategy::SemiNaive);
+        server.insert_facts(par, &edges[..6]);
+
+        let goal = p.goal.clone();
+        assert_eq!(server.query(&goal).len(), 6);
+
+        // Growth, then a cut, each a round of its own: the view is
+        // caught up inside `apply`, so these are read-path hits.
+        server.insert_facts(par, &edges[6..]);
+        let hits_before = server.cache_stats().hits;
+        assert_eq!(server.query(&goal).len(), 10);
+        server.retract_facts(par, &edges[4..5]);
+        assert_eq!(server.query(&goal).len(), 4, "chain cut at edge 4");
+        let s = server.cache_stats();
+        assert_eq!(s.misses, 1, "the view was built exactly once");
+        assert!(s.syncs >= 2, "rounds advanced the live view");
+        assert!(s.hits >= hits_before + 2, "post-round queries hit");
+
+        // At every point the view agrees with the full-model filter.
+        assert_eq!(server.query(&goal).sorted(), server.answer().sorted());
+    }
+
+    #[test]
+    fn snapshot_queries_answer_as_of_their_pin() {
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain(&mut p, 5);
+        let server = Server::new(&p, Strategy::SemiNaive);
+        server.insert_facts(par, &edges);
+
+        let goal = p.goal.clone();
+        // Pinned before any view exists: queries filter the pinned base.
+        let early = server.snapshot();
+        assert_eq!(server.query(&goal).len(), 5);
+        // Pinned with the view live.
+        let pinned = server.snapshot();
+
+        server.retract_facts(par, &edges[..1]);
+        assert_eq!(server.query(&goal).len(), 0, "current model: root cut");
+        assert_eq!(early.query(&goal).len(), 5, "pre-view pin: base fallback");
+        assert_eq!(pinned.query(&goal).len(), 5, "pinned view answer");
+        assert_eq!(
+            pinned.query(&goal).sorted(),
+            pinned.answer().sorted(),
+            "pinned view agrees with the pinned base filter"
+        );
+    }
+
+    #[test]
+    fn rule_changes_rebuild_cached_views() {
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain(&mut p, 4);
+        let server = Server::new(&p, Strategy::SemiNaive);
+        server.insert_facts(par, &edges);
+
+        let goal = p.goal.clone();
+        assert_eq!(server.query(&goal).len(), 4);
+
+        // Dropping the transitive rule invalidates the view; the next
+        // query recompiles against the surviving rules.
+        assert!(server.drop_rule(RuleId(1)));
+        assert_eq!(server.query(&goal).len(), 1, "only the direct parent");
+
+        // Re-adding it (fresh slot) recompiles again.
+        let id = server.add_rule(p.rules[1].clone());
+        assert_eq!(id, RuleId(2));
+        assert_eq!(server.query(&goal).len(), 4, "closure restored");
+        let s = server.cache_stats();
+        assert!(s.invalidations >= 2);
+        assert_eq!(s.template_compiles, 3, "one compile per rule-set era");
+        assert!(server.cache_enabled(), "announced changes keep the cache on");
+    }
+
+    #[test]
+    fn restored_server_reenables_caching_on_request() {
+        let dir = std::env::temp_dir().join(format!("selprop-srvqc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.snap");
+
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain(&mut p, 6);
+        let server = Server::new(&p, Strategy::SemiNaive);
+        server.insert_facts(par, &edges);
+        let goal = p.goal.clone();
+        assert_eq!(server.query(&goal).len(), 6, "views live before the save");
+        server.save(&path).unwrap();
+
+        // Restored: cache disabled, queries still exact (direct).
+        let restored = Server::restore(&path).unwrap();
+        assert!(!restored.cache_enabled());
+        assert_eq!(restored.query(&goal).sorted(), restored.answer().sorted());
+        let s = restored.cache_stats();
+        assert!(s.direct >= 1);
+        assert_eq!(s.views, 0, "no views while disabled");
+
+        // Re-armed with the source program: views come back and stay
+        // live through churn.
+        restored.enable_query_cache(&p);
+        assert!(restored.cache_enabled());
+        assert_eq!(restored.query(&goal).len(), 6);
+        assert_eq!(restored.cache_stats().views, 1);
+        restored.retract_facts(par, &edges[2..3]);
+        assert_eq!(restored.query(&goal).len(), 2, "chain cut at edge 2");
+        assert_eq!(restored.query(&goal).sorted(), restored.answer().sorted());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_bound_queries_under_churn() {
+        let mut p = parse_program(SRC).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        let edges = chain(&mut p, 16);
+        let server = Server::new(&p, Strategy::SemiNaive);
+        server.insert_facts(par, &edges[..1]);
+        let goal = p.goal.clone();
+        assert_eq!(server.query(&goal).len(), 1, "view built up front");
+
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let server = server.clone();
+                let goal = goal.clone();
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    while last < 8 {
+                        // Each query sees some whole round prefix; the
+                        // writer only grows the chain, so lengths are
+                        // monotone in real time.
+                        let n = server.query(&goal).len();
+                        assert!(n >= last, "query answers move forward only");
+                        last = n;
+                    }
+                })
+            })
+            .collect();
+        for e in &edges[1..8] {
+            server.insert_facts(par, std::slice::from_ref(e));
+        }
+        for r in readers {
+            r.join().expect("reader thread");
+        }
+        // All that concurrency built exactly one view.
+        assert_eq!(server.cache_stats().misses, 1);
     }
 }

@@ -484,6 +484,15 @@ impl IncrementalIndex {
         self.rel
     }
 
+    /// Re-targets the index at a different relation id without touching
+    /// its contents. Used when an index object is swapped between two
+    /// engines that share the underlying relation but number it
+    /// differently (the query cache's external-relation swap); the rows
+    /// it describes must be the same on both sides.
+    pub(crate) fn set_rel(&mut self, rel: usize) {
+        self.rel = rel;
+    }
+
     /// The indexed column positions.
     #[inline]
     pub fn mask(&self) -> &[usize] {

@@ -1,0 +1,176 @@
+//! Property tests for the magic-set query cache ([`selprop_datalog::cache`]):
+//! random interleavings of EDB inserts, retracts and bound queries
+//! against a live [`QueryCache`] must agree, at every step, with a
+//! from-scratch magic transform of the *current* EDB — across the
+//! sequential and parallel evaluation strategies — and eviction
+//! pressure must never change an answer, only the cost of producing it.
+
+use proptest::prelude::*;
+use selprop_datalog::ast::{Atom, Const, Program, Term, Var};
+use selprop_datalog::db::{Database, Tuple};
+use selprop_datalog::eval::{answer, Strategy as EvalStrategy};
+use selprop_datalog::magic::magic_transform;
+use selprop_datalog::materialize::Materialization;
+use selprop_datalog::parser::parse_program;
+use selprop_datalog::{CacheConfig, QueryCache};
+
+/// The recursive ancestor variants of Example 1.1 plus same-generation
+/// — linear, right-linear and nonlinear recursion shapes.
+fn program(idx: usize) -> Program {
+    let sources = [
+        "?- anc(c0, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).",
+        "?- anc(c0, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y).",
+        "?- sg(c0, Y).\nsg(X, Y) :- par(X, Y).\nsg(X, Y) :- par(X, U), sg(U, V), par(V, Y).",
+    ];
+    parse_program(sources[idx]).unwrap()
+}
+
+fn strategy(threads: usize) -> EvalStrategy {
+    if threads <= 1 {
+        EvalStrategy::SemiNaive
+    } else {
+        EvalStrategy::SemiNaiveParallel { threads }
+    }
+}
+
+/// The from-scratch reference: bake the concrete goal into the program,
+/// magic-transform, and batch-evaluate over the current EDB.
+fn oracle(p: &Program, goal: &Atom, edb: &Database) -> Vec<Tuple> {
+    let mut pg = p.clone();
+    pg.goal = goal.clone();
+    let m = magic_transform(&pg).expect("transformable goal");
+    let (ans, _) = answer(&m.program, edb, EvalStrategy::SemiNaive);
+    ans.sorted()
+}
+
+/// Interns the node constants and the query variable up front so every
+/// later `Const`/`Var` id is stable across program clones.
+fn setup(p: &mut Program, n: usize) -> (Vec<Const>, Var) {
+    let nodes = (0..n)
+        .map(|i| p.symbols.constant(&format!("c{i}")))
+        .collect();
+    let qy = p.symbols.variable("QY");
+    (nodes, qy)
+}
+
+/// Deduplicated random edge pool over `nodes` (one mirror slot per
+/// distinct edge, so the present/absent bookkeeping stays exact).
+fn dedup_pool(nodes: &[Const], raw: &[(u8, u8)]) -> Vec<(Const, Const)> {
+    let mut pool: Vec<(Const, Const)> = raw
+        .iter()
+        .map(|&(a, b)| (nodes[a as usize % nodes.len()], nodes[b as usize % nodes.len()]))
+        .collect();
+    pool.sort();
+    pool.dedup();
+    pool
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole property: however inserts, retracts and bound
+    /// queries interleave — and whatever strategy maintains the base —
+    /// every cached answer is bit-identical to rebuilding the magic
+    /// program from scratch on the current EDB.
+    #[test]
+    fn interleaved_churn_matches_scratch_oracle(
+        idx in 0usize..3,
+        tsel in 0usize..3,
+        raw_pool in proptest::collection::vec((0u8..6, 0u8..6), 4..16),
+        ops in proptest::collection::vec((0u8..3, 0u8..16, 0u8..6), 1..20),
+    ) {
+        let threads = [1usize, 2, 4][tsel];
+        let mut p = program(idx);
+        let (nodes, qy) = setup(&mut p, 6);
+        let par = p.symbols.get_predicate("par").unwrap();
+        let goal_pred = p.goal.pred;
+        let pool = dedup_pool(&nodes, &raw_pool);
+
+        let mut present = vec![false; pool.len()];
+        let mut edb = Database::new();
+        let mut base = Materialization::from_database(&p, &edb, strategy(threads));
+        let mut cache = QueryCache::new(&p);
+
+        for (kind, ei, node) in ops {
+            let ei = ei as usize % pool.len();
+            let edge: Tuple = vec![pool[ei].0, pool[ei].1];
+            match kind {
+                0 => {
+                    if !present[ei] {
+                        present[ei] = true;
+                        base.insert_facts(par, std::slice::from_ref(&edge));
+                        edb.insert(par, edge);
+                    }
+                }
+                1 => {
+                    if present[ei] {
+                        present[ei] = false;
+                        base.retract_facts(par, std::slice::from_ref(&edge));
+                        edb.remove(par, &edge);
+                    }
+                }
+                _ => {
+                    let c = nodes[node as usize];
+                    let goal = Atom::new(goal_pred, vec![Term::Const(c), Term::Var(qy)]);
+                    prop_assert_eq!(
+                        cache.query(&mut base, &goal).sorted(),
+                        oracle(&p, &goal, &edb)
+                    );
+                }
+            }
+        }
+
+        // Final sweep: every binding constant, plus the all-free goal
+        // (routed direct — must equal the full model's projection).
+        for &c in &nodes {
+            let goal = Atom::new(goal_pred, vec![Term::Const(c), Term::Var(qy)]);
+            prop_assert_eq!(
+                cache.query(&mut base, &goal).sorted(),
+                oracle(&p, &goal, &edb)
+            );
+        }
+        let qx = p.symbols.variable("QX");
+        let free = Atom::new(goal_pred, vec![Term::Var(qx), Term::Var(qy)]);
+        prop_assert_eq!(
+            cache.query(&mut base, &free).sorted(),
+            oracle(&p, &free, &edb)
+        );
+    }
+
+    /// Eviction-then-requery equivalence: a cache squeezed to a single
+    /// view slot thrashes across six keys and still answers every query
+    /// exactly like the from-scratch transform.
+    #[test]
+    fn eviction_never_changes_answers(
+        idx in 0usize..3,
+        raw_pool in proptest::collection::vec((0u8..6, 0u8..6), 6..18),
+        rounds in 1usize..4,
+    ) {
+        let mut p = program(idx);
+        let (nodes, qy) = setup(&mut p, 6);
+        let par = p.symbols.get_predicate("par").unwrap();
+        let goal_pred = p.goal.pred;
+        let pool = dedup_pool(&nodes, &raw_pool);
+
+        let mut edb = Database::new();
+        for &(a, b) in &pool {
+            edb.insert(par, vec![a, b]);
+        }
+        let mut base = Materialization::from_database(&p, &edb, EvalStrategy::SemiNaive);
+        let mut cache =
+            QueryCache::with_config(&p, CacheConfig { max_views: 1, max_rows: 1 << 20 });
+
+        for _ in 0..rounds {
+            for &c in &nodes {
+                let goal = Atom::new(goal_pred, vec![Term::Const(c), Term::Var(qy)]);
+                prop_assert_eq!(
+                    cache.query(&mut base, &goal).sorted(),
+                    oracle(&p, &goal, &edb)
+                );
+            }
+        }
+        let s = cache.stats();
+        prop_assert!(s.evictions > 0, "six keys through one slot must evict");
+        prop_assert!(s.views <= 1);
+    }
+}

@@ -18,6 +18,7 @@ const EXAMPLES: &[&str] = &[
     "live_updates",
     "magic_sets",
     "negation_boundary",
+    "query_cache",
     "quickstart",
     "selection_propagation",
     "server",
