@@ -19,6 +19,9 @@
 //!
 //! - `--smoke`: tiny configs only, output to a temp path — exercises the
 //!   full pipeline (including thread rows) in seconds;
+//! - `--planner-only`: runs just the join-planner A/B group (combine
+//!   with `--smoke` for the CI-sized variant) and exits 2 on any drift
+//!   or gate violation, without touching `BENCH_eval.json`;
 //! - `--corrupt-cross-check`: deliberately corrupts one reference
 //!   counter before the comparison, proving the failure path really
 //!   propagates to a nonzero exit.
@@ -26,16 +29,16 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use selprop_bench::THREAD_SWEEP;
+use selprop_bench::{strategy_from_env, THREAD_SWEEP};
 use selprop_core::workload;
 use selprop_datalog::db::{Database, Tuple};
 use selprop_datalog::eval::{
-    answer, apply_goal, evaluate, evaluate_with_provenance, EvalStats, Strategy,
+    answer, apply_goal, evaluate, evaluate_cfg, evaluate_with_provenance, EvalStats, Strategy,
 };
 use selprop_datalog::magic::magic_transform;
 use selprop_datalog::parser::parse_program;
 use selprop_datalog::{
-    reference, CompactionPolicy, Materialization, Program, Server, UpdateRound,
+    reference, CompactionPolicy, Materialization, PlannerConfig, Program, Server, UpdateRound,
 };
 
 struct Row {
@@ -825,6 +828,10 @@ fn server_rows(rows: &mut Vec<Row>, smoke: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// One churn round paired with its per-fact `(pred, tuple, inserted)`
+/// mirror script — the query-cache sweep's unit of work.
+type ChurnRound = (UpdateRound, Vec<(selprop_datalog::ast::Pred, Tuple, bool)>);
+
 /// One row of the durability group: free-form numeric metrics (memory
 /// footprints, latencies, ratios) keyed by name, rendered into the
 /// `"durability"` section of `BENCH_eval.json`.
@@ -997,7 +1004,7 @@ fn query_cache_rows(smoke: bool) -> Result<Vec<DurRow>, String> {
                      p: &Program,
                      edb: &mut Database,
                      server: &Server,
-                     rounds: Vec<(UpdateRound, Vec<(selprop_datalog::ast::Pred, Tuple, bool)>)>|
+                     rounds: Vec<ChurnRound>|
      -> Result<(), String> {
         let goal = p.goal.clone();
         let (cold_batch_ms, want) = timed(runs, || oracle(p, edb));
@@ -1187,6 +1194,128 @@ fn query_cache_rows(smoke: bool) -> Result<Vec<DurRow>, String> {
 
 /// Per-op stats: the counter delta between two cumulative readings of a
 /// materialization's lifetime stats.
+/// The join-planner group: an A/B of [`PlannerConfig::default`]
+/// (selectivity-planned body order, staged-head pruning, productive
+/// firing counting, TC kernel) against [`PlannerConfig::legacy`] (the
+/// pre-planner engine, bit-for-bit) on the two 10⁶-tuple headline
+/// workloads. Each side is cross-checked against the reference
+/// evaluator *under the same config*, and the two sides' models are
+/// checked against each other. Gates (non-smoke): firings per distinct
+/// tuple on the E1 closure must drop ≥3x under the planner, and the
+/// planner must not regress wall time on either workload. Any
+/// violation propagates as `Err` (→ process exit 2).
+fn planner_rows(smoke: bool) -> Result<Vec<DurRow>, String> {
+    const SRC_A: &str =
+        "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).";
+    const SRC_E5: &str = "?- p(c, Y).\n\
+                          p(X, Y) :- b1(X, X1), b2(X1, Y).\n\
+                          p(X, Y) :- b1(X, X1), p(X1, Y1), b2(Y1, Y).";
+    let runs = if smoke { 1 } else { 2 };
+    let mut out = Vec::new();
+
+    let mut cases: Vec<(String, Program, Database, bool)> = Vec::new();
+    {
+        let (layers, width) = if smoke { (6, 4) } else { (72, 20) };
+        let mut p = parse_program(SRC_A).unwrap();
+        let db = workload::layered_dag(&mut p, "par", "john", layers, width);
+        cases.push((format!("e1/A/layered_dag({layers},{width})"), p, db, true));
+    }
+    {
+        let (layers, noise) = if smoke { (8, 40) } else { (20, 1_000_000) };
+        let mut p = parse_program(SRC_E5).unwrap();
+        let db = workload::layered_b1_b2(&mut p, "c", layers, noise);
+        cases.push((format!("e5/original/{layers}x{noise}"), p, db, false));
+    }
+
+    for (config, p, db, e1_firings_gate) in cases {
+        // The engine side follows `SELPROP_THREADS` (CI runs this group
+        // sequentially and at 4 threads); the reference side is always
+        // sequential — the parallel engine is specified to be
+        // counter-identical, so the cross-check holds either way.
+        let strat = strategy_from_env();
+        let side = |tag: &str,
+                        cfg: PlannerConfig|
+         -> Result<(f64, EvalStats, Database), String> {
+            let label = format!("planner/{config}/{tag}");
+            let (wall_ms, result) = timed(runs, || evaluate_cfg(&p, &db, strat, cfg));
+            let spec = reference::evaluate_cfg(&p, &db, Strategy::SemiNaive, cfg);
+            if result.stats != spec.stats {
+                return Err(format!(
+                    "{label}: counter drift vs reference\n  got:  {:?}\n  want: {:?}",
+                    result.stats, spec.stats
+                ));
+            }
+            models_equal(&label, &result.idb, &spec.idb)?;
+            Ok((wall_ms, result.stats, result.idb))
+        };
+        let (off_wall, off, off_model) = side("off", PlannerConfig::legacy())?;
+        let (on_wall, on, on_model) = side("on", PlannerConfig::default())?;
+        models_equal(&format!("planner/{config}/on-vs-off"), &on_model, &off_model)?;
+
+        // TC-kernel observability: one instrumented build under the
+        // default config (`evaluate_cfg` does not expose the report).
+        let m = Materialization::from_database_with(&p, &db, Strategy::SemiNaive, PlannerConfig::default());
+        let report = m.planner_report();
+
+        let off_fpd = off.rule_firings as f64 / off.tuples_derived as f64;
+        let on_fpd = on.rule_firings as f64 / on.tuples_derived as f64;
+        let reduction = off_fpd / on_fpd;
+        println!(
+            "plan {config:<34} firings/distinct off={off_fpd:>6.2} on={on_fpd:>6.2} ({reduction:>5.1}x) probes off={:<9} on={:<9} tc_hits={} wall off={off_wall:>8.2}ms on={on_wall:>8.2}ms",
+            off.join_probes, on.join_probes, report.tc_hits,
+        );
+        out.push(DurRow {
+            config,
+            metrics: vec![
+                ("firings_off", off.rule_firings as f64),
+                ("firings_on", on.rule_firings as f64),
+                ("probes_off", off.join_probes as f64),
+                ("probes_on", on.join_probes as f64),
+                ("tuples_derived", on.tuples_derived as f64),
+                ("firings_per_distinct_off", off_fpd),
+                ("firings_per_distinct_on", on_fpd),
+                ("firings_reduction", reduction),
+                ("wall_ms_off", off_wall),
+                ("wall_ms_on", on_wall),
+                ("tc_kernel_hits", report.tc_hits as f64),
+                ("tc_kernel_rows", report.tc_rows as f64),
+                ("index_keys", report.index_keys as f64),
+                ("index_rows", report.index_rows as f64),
+            ],
+        });
+        let gated = &out.last().expect("just pushed").config;
+        if !smoke {
+            if e1_firings_gate && reduction < 3.0 {
+                return Err(format!(
+                    "planner/{gated}: firings-per-distinct reduction {reduction:.2}x below the 3x gate (off {off_fpd:.2}, on {on_fpd:.2})"
+                ));
+            }
+            if on_wall > off_wall * 1.25 {
+                return Err(format!(
+                    "planner/{gated}: wall-time regression ({on_wall:.1}ms planned vs {off_wall:.1}ms legacy)"
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Detected CPU resources: logical count from `available_parallelism`
+/// and the affinity mask from `/proc/self/status` (`Cpus_allowed_list`),
+/// so the long-standing "thread rows measured on a 1-CPU box" caveat is
+/// machine-readable next to the wall-clock numbers it qualifies.
+fn cpu_info() -> (usize, String) {
+    let count = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let affinity = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Cpus_allowed_list:").map(|v| v.trim().to_owned()))
+        })
+        .unwrap_or_else(|| "unknown".to_owned());
+    (count, affinity)
+}
+
 fn diff_stats(after: EvalStats, before: EvalStats) -> EvalStats {
     EvalStats {
         iterations: after.iterations - before.iterations,
@@ -1196,8 +1325,16 @@ fn diff_stats(after: EvalStats, before: EvalStats) -> EvalStats {
     }
 }
 
-fn render_json(rows: &[Row], durability: &[DurRow], query_cache: &[DurRow]) -> String {
-    let mut json = String::from("{\n  \"generated_by\": \"cargo run --release -p selprop-bench --bin record\",\n  \"engine\": \"columnar-watermark\",\n  \"experiments\": [\n");
+fn render_json(
+    rows: &[Row],
+    durability: &[DurRow],
+    query_cache: &[DurRow],
+    planner: &[DurRow],
+) -> String {
+    let (cpus, affinity) = cpu_info();
+    let mut json = format!(
+        "{{\n  \"generated_by\": \"cargo run --release -p selprop-bench --bin record\",\n  \"engine\": \"columnar-watermark\",\n  \"machine\": {{\"cpus\": {cpus}, \"cpus_allowed_list\": \"{affinity}\"}},\n  \"experiments\": [\n"
+    );
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
@@ -1218,7 +1355,11 @@ fn render_json(rows: &[Row], durability: &[DurRow], query_cache: &[DurRow]) -> S
         let _ = write!(json, "}}{}", if i + 1 == rows.len() { "" } else { "," });
         json.push('\n');
     }
-    for (section, group) in [("durability", durability), ("query_cache", query_cache)] {
+    for (section, group) in [
+        ("durability", durability),
+        ("query_cache", query_cache),
+        ("planner", planner),
+    ] {
         let _ = write!(json, "  ],\n  \"{section}\": [\n");
         for (i, r) in group.iter().enumerate() {
             let _ = write!(json, "    {{\"config\": \"{}\"", r.config);
@@ -1254,7 +1395,8 @@ fn record(smoke: bool) -> Result<String, String> {
     server_rows(&mut rows, smoke)?;
     let durability = durability_rows(smoke)?;
     let query_cache = query_cache_rows(smoke)?;
-    let json = render_json(&rows, &durability, &query_cache);
+    let planner = planner_rows(smoke)?;
+    let json = render_json(&rows, &durability, &query_cache, &planner);
     let path = if smoke {
         // Per-process name: concurrent smoke runs must not race on one file.
         std::env::temp_dir()
@@ -1284,6 +1426,18 @@ fn main() {
         }
     }
     let smoke = args.iter().any(|a| a == "--smoke");
+    if args.iter().any(|a| a == "--planner-only") {
+        match planner_rows(smoke) {
+            Ok(_) => {
+                println!("\nplanner group OK");
+                return;
+            }
+            Err(e) => {
+                eprintln!("cross-check mismatch: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     match record(smoke) {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => {

@@ -89,4 +89,18 @@ fn smoke_run_exits_zero_and_writes_json() {
     ] {
         assert!(json.contains(row), "missing query_cache row {row} in:\n{json}");
     }
+    // The join-planner A/B group ran (legacy vs planned, both
+    // reference-checked) and the CPU/affinity annotation that qualifies
+    // every wall-clock number is machine-readable.
+    for row in [
+        "\"planner\"",
+        "\"firings_per_distinct_off\"",
+        "\"firings_reduction\"",
+        "\"tc_kernel_hits\"",
+        "\"machine\"",
+        "\"cpus\"",
+        "\"cpus_allowed_list\"",
+    ] {
+        assert!(json.contains(row), "missing planner row {row} in:\n{json}");
+    }
 }

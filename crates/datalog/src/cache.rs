@@ -556,7 +556,7 @@ impl QueryCache {
             symbols: p.symbols.clone(),
         };
         let tpl = magic_template(&active, pred, adn).ok()?;
-        let mut prototype = Materialization::new_view(&tpl.program);
+        let mut prototype = Materialization::new_view(&tpl.program, base.planner_config());
         let links = prototype.link_external(base).ok()?;
         Some(Template {
             prototype,

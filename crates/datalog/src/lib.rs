@@ -27,6 +27,13 @@
 //!   thin wrappers that build a materialization, run one fixpoint and
 //!   read the result out, keeping [`eval::EvalStats`] bit-for-bit equal
 //!   to the reference engine;
+//! - [`plan`] — compiled join plans and the **cost-based join
+//!   planner**: selectivity-aware body reordering from live relation
+//!   cardinalities, staged-head existence pruning, and structural
+//!   recognition of the transitive-closure shape for the specialized
+//!   kernel. One planning entry point serves the engine, the magic-set
+//!   views and rule hot-swap; [`plan::PlannerConfig::legacy`] restores
+//!   the pre-planner behavior bit-for-bit;
 //! - [`pool`] — a dependency-free scoped thread pool (persistent
 //!   workers, borrowing jobs, panic propagation);
 //! - [`storage`] — columnar relations (one flat `Vec<Const>` per
@@ -89,6 +96,7 @@ pub mod magic;
 pub mod materialize;
 pub mod parser;
 pub mod persist;
+pub mod plan;
 pub mod pool;
 pub mod reference;
 pub mod server;
@@ -98,10 +106,14 @@ pub use ast::{Atom, Const, Pred, Program, Rule, Symbols, Term, Var};
 pub use cache::{CacheConfig, CacheStats, QueryCache};
 pub use db::{Database, Relation};
 pub use derivation::{DerivationTree, GroundAtom, Provenance};
-pub use eval::{answer, evaluate, evaluate_with_provenance, EvalStats, ProvenanceResult, Strategy};
+pub use eval::{
+    answer, evaluate, evaluate_cfg, evaluate_with_provenance, evaluate_with_provenance_cfg,
+    EvalStats, ProvenanceResult, Strategy,
+};
 pub use materialize::{
     CompactionPolicy, Materialization, MemStats, RoundReport, RuleId, UpdateRound,
 };
 pub use parser::parse_program;
 pub use persist::PersistError;
+pub use plan::{OrderMode, PlannerConfig};
 pub use server::{Server, Snapshot};

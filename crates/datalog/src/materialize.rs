@@ -54,15 +54,15 @@ use crate::ast::{Atom, Const, Pred, Program, Rule, Term, Var};
 use crate::db::{Database, Relation, Tuple};
 use crate::derivation::Provenance;
 use crate::eval::{self, EvalResult, EvalStats, ProvenanceResult, Strategy, OVERSHARD};
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::persist::{self, Dec, Enc, PersistError};
+use crate::plan::{
+    compile_rederive, compile_rule, plan_rule, Action, HeadOp, KeyOp, Out, OrderMode,
+    PlannerConfig, RederivePlan, RulePlan, Step,
+};
 use crate::pool::ThreadPool;
 use crate::storage::{shard_ranges, ColumnarRelation, IncrementalIndex, NO_ROW};
 use std::path::Path;
-
-/// Sentinel index id for unkeyed (empty-mask) steps: they scan rows
-/// directly, so no [`IncrementalIndex`] exists for them.
-const NO_INDEX: usize = usize::MAX;
 
 /// Sentinel edge id: end of a reverse-dependency chain.
 const NO_EDGE: u32 = u32::MAX;
@@ -197,87 +197,6 @@ impl MemStats {
     }
 }
 
-/// A key component of a join step: where the bound value comes from.
-#[derive(Clone, Copy, Debug)]
-enum KeyOp {
-    /// A constant from the rule text.
-    Const(Const),
-    /// A rule-local slot bound by an earlier step.
-    Slot(usize),
-}
-
-/// What to do with one *unguaranteed* argument position of a matched row.
-/// Positions covered by the index mask are skipped entirely: the probe
-/// already guaranteed them.
-#[derive(Clone, Copy, Debug)]
-enum Action {
-    /// First occurrence of a free slot in this atom: bind it.
-    Bind { pos: usize, slot: usize },
-    /// Repeated occurrence within this atom: must equal the bound value.
-    Check { pos: usize, slot: usize },
-}
-
-/// Where a head position comes from.
-#[derive(Clone, Copy, Debug)]
-enum Out {
-    /// A constant from the rule text.
-    Const(Const),
-    /// A bound slot.
-    Slot(usize),
-}
-
-/// One body atom, compiled: which relation/index to probe, how to build
-/// the probe key, and how to bind/check the remaining positions.
-#[derive(Clone, Debug)]
-struct Step {
-    rel: usize,
-    /// Index id, or [`NO_INDEX`] for unkeyed steps (empty mask): those
-    /// scan their row range directly and register no index at all.
-    idx: usize,
-    /// Whether the predicate is an IDB of the program (reads snapshots).
-    idb: bool,
-    key: Box<[KeyOp]>,
-    actions: Box<[Action]>,
-}
-
-/// A rule compiled to a flat join plan.
-#[derive(Clone, Debug)]
-struct RulePlan {
-    head_rel: usize,
-    head: Box<[Out]>,
-    steps: Box<[Step]>,
-    num_slots: usize,
-    /// Step positions whose predicate is an IDB (batch delta candidates).
-    idb_steps: Box<[usize]>,
-}
-
-/// One compiled head position of a re-derivation plan: how a candidate
-/// tuple binds (or constrains) the rule-local slots before the body runs.
-#[derive(Clone, Copy, Debug)]
-enum HeadOp {
-    /// The tuple value must equal this constant.
-    Const(Const),
-    /// First occurrence of a head variable: bind its slot.
-    First(usize),
-    /// Repeated head variable: must match the bound slot.
-    Repeat(usize),
-}
-
-/// A rule compiled for goal-directed re-derivation checks (DRed rescue
-/// phase): the head is *input*, so every head slot is bound from depth 0
-/// and the body step masks include them. Compiled lazily on the first
-/// [`Materialization::retract_facts`]; the extra `(relation, mask)`
-/// indexes it registers are extended incrementally like all others.
-#[derive(Clone, Debug)]
-struct RederivePlan {
-    /// The rule index (recorded as the rescued row's justification).
-    rule: u32,
-    head_rel: usize,
-    head: Box<[HeadOp]>,
-    steps: Box<[Step]>,
-    num_slots: usize,
-}
-
 /// Reusable scratch buffers for one evaluation (no per-tuple allocation).
 #[derive(Default)]
 struct Scratch {
@@ -293,6 +212,11 @@ struct Scratch {
     /// Maintained unconditionally (one word store per matched row); read
     /// only when provenance recording is on.
     rows: Vec<u32>,
+    /// Per-shard staged-head filter ([`PlannerConfig::staged_filter`]):
+    /// head tuples already staged by this `(rule, delta, shard)`
+    /// evaluation. Cleared at every evaluation entry; purely suppresses
+    /// duplicate staging, never affects counters or merge order.
+    staged: FxHashSet<Vec<Const>>,
 }
 
 /// Tuples derived during one iteration, buffered flat until the merge
@@ -378,6 +302,11 @@ struct Counters {
     pre: u64,
     post: u64,
     firings: u64,
+    /// Transitive-closure kernel invocations (observability only; never
+    /// part of [`EvalStats`]).
+    tc_hits: u64,
+    /// Full instantiations enumerated inside the kernel.
+    tc_rows: u64,
 }
 
 /// One parallel work item: rule `plan_i` with delta step `delta_pos`,
@@ -493,6 +422,29 @@ pub struct RoundReport {
     pub rules_dropped: usize,
 }
 
+/// Runtime planner observability (see
+/// [`Materialization::planner_report`]): how often the specialized
+/// transitive-closure kernel ran, how much work it absorbed, and how
+/// often cardinality drift forced a re-plan. Runtime-only — reset by
+/// restore, never part of [`EvalStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlannerReport {
+    /// Kernel invocations (one per `(rule, delta, shard)` evaluation of
+    /// a recognized transitive-closure plan — shard-count dependent).
+    pub tc_hits: u64,
+    /// Full body instantiations enumerated inside the kernel.
+    pub tc_rows: u64,
+    /// Cardinality-drift re-plans since construction (plans are
+    /// recompiled only at update-round boundaries; row ids never move).
+    pub replans: u64,
+    /// Distinct keys across all join indexes
+    /// ([`crate::storage::IncrementalIndex::num_keys`]).
+    pub index_keys: u64,
+    /// Indexed rows across all join indexes; `index_rows / index_keys`
+    /// is the mean chain length a probe walks.
+    pub index_rows: u64,
+}
+
 /// The slot pairing between a shared-EDB view and its base store,
 /// computed once per magic template by
 /// [`Materialization::link_external`] and replayed by every
@@ -593,6 +545,20 @@ pub struct Materialization {
     /// (their per-row edge chains would cost O(base) memory per view);
     /// deletion seeds for them come from the justification scan instead.
     ext_flag: Vec<bool>,
+    /// The planner configuration plans were compiled under (fixed at
+    /// construction; persisted).
+    planner: PlannerConfig,
+    /// Per relation: the live cardinality the current plans were
+    /// computed from — the drift baseline for adaptive re-planning
+    /// (persisted, so a restored store re-plans exactly when the live
+    /// store would have).
+    planned_card: Vec<u64>,
+    /// Transitive-closure kernel invocations (runtime-only).
+    tc_hits: u64,
+    /// Instantiations enumerated inside the kernel (runtime-only).
+    tc_rows: u64,
+    /// Cardinality-drift re-plans (runtime-only).
+    replans: u64,
 }
 
 impl Materialization {
@@ -611,6 +577,18 @@ impl Materialization {
         Self::batch(program, db, strategy, true)
     }
 
+    /// [`Materialization::from_database`] under an explicit
+    /// [`PlannerConfig`] — the A/B handle: [`PlannerConfig::legacy`]
+    /// reproduces the pre-planner engine bit-for-bit, counters included.
+    pub fn from_database_with(
+        program: &Program,
+        db: &Database,
+        strategy: Strategy,
+        planner: PlannerConfig,
+    ) -> Self {
+        Self::batch_with(program, db, strategy, true, planner)
+    }
+
     /// The batch entry point the thin `eval` wrappers use: `record`
     /// selects justification recording (off for plain `evaluate`, whose
     /// callers immediately read the result out and drop the state).
@@ -620,12 +598,28 @@ impl Materialization {
         strategy: Strategy,
         record: bool,
     ) -> Self {
-        let mut m = Self::build(program, db, strategy, record);
+        Self::batch_with(program, db, strategy, record, PlannerConfig::default())
+    }
+
+    pub(crate) fn batch_with(
+        program: &Program,
+        db: &Database,
+        strategy: Strategy,
+        record: bool,
+        planner: PlannerConfig,
+    ) -> Self {
+        let mut m = Self::build(program, db, strategy, record, planner);
         m.run_batch();
         m
     }
 
-    fn build(program: &Program, db: &Database, strategy: Strategy, record: bool) -> Self {
+    fn build(
+        program: &Program,
+        db: &Database,
+        strategy: Strategy,
+        record: bool,
+        planner: PlannerConfig,
+    ) -> Self {
         let idbs = program.idb_predicates();
 
         // Arity resolution mirrors the reference evaluator: database
@@ -682,14 +676,36 @@ impl Materialization {
             }
         }
 
-        // Compile rules; register one index per (relation, mask).
+        // Plan + compile rules; register one index per (relation, mask).
+        // Cardinalities are the live row counts after the EDB load (IDB
+        // relations are still empty) — the reference evaluator computes
+        // the same orders from the input database.
         let mut idxs: Vec<IncrementalIndex> = Vec::new();
         let mut idx_of: FxHashMap<(usize, Vec<usize>), usize> = FxHashMap::default();
-        let plans = program
-            .rules
-            .iter()
-            .map(|r| compile_rule(r, &idbs, &rel_of_pred, &mut idxs, &mut idx_of))
-            .collect();
+        let planned_card: Vec<u64> = rels.iter().map(|r| r.num_live() as u64).collect();
+        let plans = {
+            let rels = &rels;
+            let rel_of_pred_ref = &rel_of_pred;
+            let mut card =
+                |p: Pred| rel_of_pred_ref.get(&p).map_or(0, |&r| rels[r].num_live() as u64);
+            program
+                .rules
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    plan_rule(
+                        r,
+                        i,
+                        &idbs,
+                        rel_of_pred_ref,
+                        &mut idxs,
+                        &mut idx_of,
+                        planner.order,
+                        &mut card,
+                    )
+                })
+                .collect()
+        };
 
         let mut idb_flag = vec![false; rels.len()];
         for &r in &idb_rels {
@@ -724,6 +740,11 @@ impl Materialization {
             version: 0,
             edb_retracts: 0,
             ext_flag: Vec::new(),
+            planner,
+            planned_card,
+            tc_hits: 0,
+            tc_rows: 0,
+            replans: 0,
         }
     }
 
@@ -740,6 +761,22 @@ impl Materialization {
     /// The strategy updates run under.
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// The planner configuration this store's plans were compiled under.
+    pub fn planner_config(&self) -> PlannerConfig {
+        self.planner
+    }
+
+    /// Runtime planner observability: kernel hit counts and re-plans.
+    pub fn planner_report(&self) -> PlannerReport {
+        PlannerReport {
+            tc_hits: self.tc_hits,
+            tc_rows: self.tc_rows,
+            replans: self.replans,
+            index_keys: self.idxs.iter().map(|i| i.num_keys() as u64).sum(),
+            index_rows: self.idxs.iter().map(|i| i.watermark() as u64).sum(),
+        }
     }
 
     /// The IDB model as a [`Database`] (live rows only). O(model).
@@ -789,10 +826,12 @@ impl Materialization {
     /// recorded before an update stay valid afterwards because row ids
     /// never move. O(store) clone.
     pub fn provenance(&self) -> Provenance {
+        // Justifications are recorded in original rule-body order
+        // whatever order the plan runs the steps in.
         let body_rels = self
             .plans
             .iter()
-            .map(|p| p.steps.iter().map(|s| s.rel as u32).collect())
+            .map(|p| p.body_rels.iter().map(|&r| r as u32).collect())
             .collect();
         Provenance::from_engine(
             self.rels.clone(),
@@ -903,6 +942,13 @@ impl Materialization {
     /// predicate is a stored EDB relation of this materialization.
     pub fn apply(&mut self, round: &UpdateRound) -> RoundReport {
         let mut report = RoundReport::default();
+
+        // 0. Adaptive re-planning at the round boundary: if live
+        // cardinalities drifted past the threshold since the plans were
+        // computed, recompile them (future rounds only — existing rows,
+        // row ids and justifications are untouched; see
+        // [`Materialization::maybe_replan`]).
+        self.maybe_replan();
 
         // 1. Rule drops: deactivate, then seed over-deletion with every
         // live row justified by a dropped rule. Unlike EDB retract seeds
@@ -1033,6 +1079,9 @@ impl Materialization {
                 &self.ext_flag,
             );
             self.stats.tuples_derived += appended;
+            if self.planner.productive_firings {
+                self.stats.rule_firings += appended;
+            }
         }
 
         // 6. Rescue: re-derive over-deleted survivors from the remaining
@@ -1057,7 +1106,7 @@ impl Materialization {
                     if let Some(rev) = self.rev.as_mut() {
                         let hrow = (self.rels[crel as usize].num_rows() - 1) as u32;
                         for (k, &brow) in body_rows.iter().enumerate() {
-                            let brel = self.plans[rule as usize].steps[k].rel;
+                            let brel = self.plans[rule as usize].body_rels[k];
                             if self.ext_flag.get(brel).copied().unwrap_or(false) {
                                 continue;
                             }
@@ -1111,8 +1160,23 @@ impl Materialization {
             }
         }
         let idbs: Vec<Pred> = self.idb_rels.iter().map(|&r| self.pred_of_rel[r]).collect();
-        let plan = compile_rule(rule, &idbs, &self.rel_of_pred, &mut self.idxs, &mut self.idx_of);
         let slot = self.plans.len();
+        let plan = {
+            let rels = &self.rels;
+            let rel_of_pred = &self.rel_of_pred;
+            let mut card =
+                |p: Pred| rel_of_pred.get(&p).map_or(0, |&r| rels[r].num_live() as u64);
+            plan_rule(
+                rule,
+                slot,
+                &idbs,
+                rel_of_pred,
+                &mut self.idxs,
+                &mut self.idx_of,
+                self.planner.order,
+                &mut card,
+            )
+        };
         self.plans.push(plan);
         self.rules.push(rule.clone());
         self.rule_active.push(true);
@@ -1142,6 +1206,7 @@ impl Materialization {
             self.idb_rels.push(r);
         }
         self.old_hi.push(0);
+        self.planned_card.push(0);
         if !self.ext_flag.is_empty() {
             self.ext_flag.push(false);
         }
@@ -1149,6 +1214,59 @@ impl Materialization {
             prov.push(RelJust::default());
         }
         r
+    }
+
+    // -----------------------------------------------------------------
+    // Adaptive re-planning
+    // -----------------------------------------------------------------
+
+    /// Re-plans at a round boundary if live cardinalities drifted past
+    /// the threshold (2x either way, with an absolute slack of 16 rows
+    /// so tiny relations never thrash). Views never re-plan: a fresh
+    /// body order could demand a new index over an *external* relation,
+    /// which must be registered through the base-store linking protocol
+    /// — their plans are fixed at instantiation instead.
+    fn maybe_replan(&mut self) {
+        if self.planner.order != OrderMode::Planned || !self.ext_flag.is_empty() {
+            return;
+        }
+        let drift = self.rels.iter().zip(&self.planned_card).any(|(rel, &old)| {
+            let new = rel.num_live() as u64;
+            new > 2 * old + 16 || old > 2 * new + 16
+        });
+        if drift {
+            self.replan();
+        }
+    }
+
+    /// Recompiles every rule plan from the current live cardinalities,
+    /// reusing the shared `(relation, mask)` index registry (orders that
+    /// need a new index register it; [`Materialization::extend_indexes`]
+    /// fills it before the next evaluation). Rows, row ids and recorded
+    /// justifications are untouched: justifications are stored in
+    /// original rule-body order, which a plan change never alters.
+    fn replan(&mut self) {
+        let idbs: Vec<Pred> = self.idb_rels.iter().map(|&r| self.pred_of_rel[r]).collect();
+        let plans: Vec<RulePlan> = {
+            let rels = &self.rels;
+            let rel_of_pred = &self.rel_of_pred;
+            let idxs = &mut self.idxs;
+            let idx_of = &mut self.idx_of;
+            let order = self.planner.order;
+            let mut card =
+                |p: Pred| rel_of_pred.get(&p).map_or(0, |&r| rels[r].num_live() as u64);
+            self.rules
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    plan_rule(r, i, &idbs, rel_of_pred, idxs, idx_of, order, &mut card)
+                })
+                .collect()
+        };
+        self.plans = plans;
+        self.planned_card = self.rels.iter().map(|r| r.num_live() as u64).collect();
+        self.replans += 1;
+        self.extend_indexes();
     }
 
     // -----------------------------------------------------------------
@@ -1222,7 +1340,7 @@ impl Materialization {
                 }
                 let (rule, body) = prov[hrel].entry(hrow);
                 for (k, &brow) in body.iter().enumerate() {
-                    let brel = self.plans[rule as usize].steps[k].rel;
+                    let brel = self.plans[rule as usize].body_rels[k];
                     if self.ext_flag.get(brel).copied().unwrap_or(false) {
                         continue;
                     }
@@ -1331,7 +1449,7 @@ impl Materialization {
                     let (rule, body) = old.entry(hrow);
                     body_scratch.clear();
                     for (k, &brow) in body.iter().enumerate() {
-                        let brel = self.plans[rule as usize].steps[k].rel;
+                        let brel = self.plans[rule as usize].body_rels[k];
                         let nb = match &remaps[brel] {
                             Some(m) => m[brow as usize],
                             None => brow,
@@ -1472,6 +1590,29 @@ impl Materialization {
                 e.u32(p.dead_percent);
             }
         }
+        match self.planner.order {
+            OrderMode::Original => e.u8(0),
+            OrderMode::Planned => e.u8(1),
+            OrderMode::Shuffled(seed) => {
+                e.u8(2);
+                e.u64(seed);
+            }
+        }
+        e.u8(u8::from(self.planner.staged_filter));
+        e.u8(u8::from(self.planner.suffix_prune));
+        e.u8(u8::from(self.planner.tc_kernel));
+        e.u8(u8::from(self.planner.productive_firings));
+        // Per-rule body permutation (the step depth of each original
+        // body atom): restored plans must be bit-identical to the live
+        // ones, which a cardinality re-derivation could not guarantee
+        // after drift re-plans or rule adds.
+        for p in &self.plans {
+            let sob: Vec<u32> = p.step_of_body.iter().map(|&d| d as u32).collect();
+            e.u32s(&sob);
+        }
+        // The drift baseline, so a restored store re-plans exactly when
+        // the live store would have.
+        e.u64s(&self.planned_card);
         e.usize(self.rels.len());
         for (r, rel) in self.rels.iter().enumerate() {
             e.u32(self.pred_of_rel[r].0);
@@ -1589,8 +1730,44 @@ impl Materialization {
             }),
             _ => return Err(PersistError::Corrupt("unknown policy tag")),
         };
+        let planner = PlannerConfig {
+            order: match d.u8()? {
+                0 => OrderMode::Original,
+                1 => OrderMode::Planned,
+                2 => OrderMode::Shuffled(d.u64()?),
+                _ => return Err(PersistError::Corrupt("unknown order-mode tag")),
+            },
+            staged_filter: d.u8()? != 0,
+            suffix_prune: d.u8()? != 0,
+            tc_kernel: d.u8()? != 0,
+            productive_firings: d.u8()? != 0,
+        };
+        // Per-rule body permutations: inverted back into evaluation
+        // order and fed straight to `compile_rule`, so the restored
+        // plans match the persisted ones exactly regardless of what the
+        // planner would pick from today's cardinalities.
+        let mut orders: Vec<Vec<usize>> = Vec::with_capacity(nrules);
+        for rule in &rules {
+            let sob = d.u32s()?;
+            if sob.len() != rule.body.len() {
+                return Err(PersistError::Corrupt("body-order length mismatch"));
+            }
+            let mut ord = vec![usize::MAX; sob.len()];
+            for (k, &depth) in sob.iter().enumerate() {
+                let depth = depth as usize;
+                if depth >= ord.len() || ord[depth] != usize::MAX {
+                    return Err(PersistError::Corrupt("body order is not a permutation"));
+                }
+                ord[depth] = k;
+            }
+            orders.push(ord);
+        }
+        let planned_card = d.u64s()?;
 
         let nrels = d.count(1)?;
+        if planned_card.len() != nrels {
+            return Err(PersistError::Corrupt("cardinality snapshot length mismatch"));
+        }
         let mut rels: Vec<ColumnarRelation> = Vec::with_capacity(nrels);
         let mut pred_of_rel: Vec<Pred> = Vec::with_capacity(nrels);
         let mut rel_of_pred: FxHashMap<Pred, usize> = FxHashMap::default();
@@ -1717,7 +1894,8 @@ impl Materialization {
         let mut idx_of: FxHashMap<(usize, Vec<usize>), usize> = FxHashMap::default();
         let plans: Vec<RulePlan> = rules
             .iter()
-            .map(|r| compile_rule(r, &idbs, &rel_of_pred, &mut idxs, &mut idx_of))
+            .zip(&orders)
+            .map(|(r, ord)| compile_rule(r, &idbs, &rel_of_pred, &mut idxs, &mut idx_of, ord))
             .collect();
 
         // Justification shape: parallel to the rows, entries sized by
@@ -1743,12 +1921,12 @@ impl Materialization {
                     if rule >= plans.len() {
                         return Err(PersistError::Corrupt("justification names unknown rule"));
                     }
-                    let steps = &plans[rule].steps;
-                    if hi - lo != 1 + steps.len() {
+                    let body_rels = &plans[rule].body_rels;
+                    if hi - lo != 1 + body_rels.len() {
                         return Err(PersistError::Corrupt("justification entry length mismatch"));
                     }
                     for (k, &brow) in buf[lo + 1..hi].iter().enumerate() {
-                        if brow as usize >= rels[steps[k].rel].num_rows() {
+                        if brow as usize >= rels[body_rels[k]].num_rows() {
                             return Err(PersistError::Corrupt(
                                 "justification references nonexistent row",
                             ));
@@ -1784,6 +1962,11 @@ impl Materialization {
             version: 0,
             edb_retracts: 0,
             ext_flag: Vec::new(),
+            planner,
+            planned_card,
+            tc_hits: 0,
+            tc_rows: 0,
+            replans: 0,
         };
         m.extend_indexes();
         // A store that had ever over-deleted carried a reverse index;
@@ -1989,8 +2172,8 @@ impl Materialization {
     /// base-store row ids, which row-remapping compaction of either side
     /// would corrupt; the cache drops and rebuilds dead-heavy views
     /// instead).
-    pub(crate) fn new_view(program: &Program) -> Self {
-        let mut m = Self::build(program, &Database::new(), Strategy::SemiNaive, true);
+    pub(crate) fn new_view(program: &Program, planner: PlannerConfig) -> Self {
+        let mut m = Self::build(program, &Database::new(), Strategy::SemiNaive, true, planner);
         m.ensure_rederive_plans();
         m.policy = None;
         m
@@ -2098,7 +2281,7 @@ impl Materialization {
                     }
                     let (rule, body) = prov[hrel].entry(hrow);
                     let dead = body.iter().enumerate().any(|(k, &brow)| {
-                        let brel = self.plans[rule as usize].steps[k].rel;
+                        let brel = self.plans[rule as usize].body_rels[k];
                         !self.rels[brel].is_live(brow as usize)
                     });
                     if dead {
@@ -2150,7 +2333,7 @@ impl Materialization {
                         if let Some(rev) = self.rev.as_mut() {
                             let hrow = (self.rels[crel as usize].num_rows() - 1) as u32;
                             for (k, &brow) in body_rows.iter().enumerate() {
-                                let brel = self.plans[rule as usize].steps[k].rel;
+                                let brel = self.plans[rule as usize].body_rels[k];
                                 if self.ext_flag.get(brel).copied().unwrap_or(false) {
                                     continue;
                                 }
@@ -2234,6 +2417,9 @@ impl Materialization {
                 &self.ext_flag,
             );
             self.stats.tuples_derived += appended;
+            if self.planner.productive_firings {
+                self.stats.rule_firings += appended;
+            }
             if appended == 0 {
                 break;
             }
@@ -2297,6 +2483,9 @@ impl Materialization {
                 self.parallel_round(&mut pool, threads, shards, &mut spare, &items, false)
             };
             self.stats.tuples_derived += appended;
+            if self.planner.productive_firings {
+                self.stats.rule_firings += appended;
+            }
             if appended == 0 {
                 break;
             }
@@ -2370,6 +2559,9 @@ impl Materialization {
                 &self.ext_flag,
             );
             self.stats.tuples_derived += appended;
+            if self.planner.productive_firings {
+                self.stats.rule_firings += appended;
+            }
             if appended == 0 {
                 break;
             }
@@ -2390,6 +2582,9 @@ impl Materialization {
             let appended =
                 self.parallel_round(&mut pool, threads, shards, &mut spare, &items, true);
             self.stats.tuples_derived += appended;
+            if self.planner.productive_firings {
+                self.stats.rule_firings += appended;
+            }
             if appended == 0 {
                 break;
             }
@@ -2456,6 +2651,7 @@ impl Materialization {
             let idxs = &self.idxs;
             let old_hi = &self.old_hi;
             let record = self.prov.is_some();
+            let cfg = self.planner;
             let pool = pool.get_or_insert_with(|| ThreadPool::new(threads));
             pool.scope(|s| {
                 for t in tasks.iter_mut() {
@@ -2479,6 +2675,7 @@ impl Materialization {
                             Some(*range),
                             update,
                             record,
+                            cfg,
                             scratch,
                             pending,
                             counters,
@@ -2493,6 +2690,8 @@ impl Materialization {
             }
             self.stats.join_probes += t.counters.post;
             self.stats.rule_firings += t.counters.firings;
+            self.tc_hits += t.counters.tc_hits;
+            self.tc_rows += t.counters.tc_rows;
         }
         for r in 0..self.rels.len() {
             self.old_hi[r] = self.rels[r].num_rows();
@@ -2560,7 +2759,7 @@ impl Materialization {
                     let rel = &mut rels[rid as usize];
                     let ar = rel.arity();
                     let rule = pending.just[joff];
-                    let blen = plans[rule as usize].steps.len();
+                    let blen = plans[rule as usize].body_rels.len();
                     if rel.insert(&pending.data[off..off + ar]) {
                         appended += 1;
                         let body = &pending.just[joff + 1..joff + 1 + blen];
@@ -2568,7 +2767,7 @@ impl Materialization {
                         if let Some(rev) = rev.as_deref_mut() {
                             let hrow = (rel.num_rows() - 1) as u32;
                             for (k, &brow) in body.iter().enumerate() {
-                                let brel = plans[rule as usize].steps[k].rel;
+                                let brel = plans[rule as usize].body_rels[k];
                                 if ext_flag.get(brel).copied().unwrap_or(false) {
                                     continue;
                                 }
@@ -2608,12 +2807,15 @@ impl Materialization {
             None,
             update,
             self.prov.is_some(),
+            self.planner,
             scratch,
             pending,
             &mut counters,
         );
         self.stats.join_probes += counters.pre + counters.post;
         self.stats.rule_firings += counters.firings;
+        self.tc_hits += counters.tc_hits;
+        self.tc_rows += counters.tc_rows;
     }
 
     // -----------------------------------------------------------------
@@ -2719,7 +2921,7 @@ impl Materialization {
         let body_rels = self
             .plans
             .iter()
-            .map(|p| p.steps.iter().map(|s| s.rel as u32).collect())
+            .map(|p| p.body_rels.iter().map(|&r| r as u32).collect())
             .collect();
         let provenance = Provenance::from_engine(
             self.rels,
@@ -2733,188 +2935,6 @@ impl Materialization {
             stats: self.stats,
             provenance,
         }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Rule compilation
-// ---------------------------------------------------------------------
-
-/// Compiles one body atom against the slot state: the index mask (bound
-/// positions), probe key ops and bind/check actions, registering the
-/// `(relation, mask)` index it probes. `bound_slots` is updated with the
-/// slots this atom binds.
-fn compile_step(
-    atom: &Atom,
-    rel: usize,
-    slots: &mut FxHashMap<Var, usize>,
-    bound_slots: &mut Vec<bool>,
-    idb: bool,
-    idxs: &mut Vec<IncrementalIndex>,
-    idx_of: &mut FxHashMap<(usize, Vec<usize>), usize>,
-) -> Step {
-    let mut mask: Vec<usize> = Vec::new();
-    let mut key: Vec<KeyOp> = Vec::new();
-    let mut actions: Vec<Action> = Vec::new();
-    let mut seen_here: Vec<usize> = Vec::new();
-    for (i, t) in atom.args.iter().enumerate() {
-        match t {
-            Term::Const(c) => {
-                mask.push(i);
-                key.push(KeyOp::Const(*c));
-            }
-            Term::Var(v) => {
-                let next = slots.len();
-                let s = *slots.entry(*v).or_insert(next);
-                if s >= bound_slots.len() {
-                    bound_slots.resize(s + 1, false);
-                }
-                if bound_slots[s] {
-                    // Bound by an earlier atom (or the re-derivation
-                    // head): part of the index key; the probe guarantees
-                    // equality, so no action.
-                    mask.push(i);
-                    key.push(KeyOp::Slot(s));
-                } else if seen_here.contains(&s) {
-                    // Repeat within this atom: a filter, not a key
-                    // component (mirrors the reference mask exactly).
-                    actions.push(Action::Check { pos: i, slot: s });
-                } else {
-                    seen_here.push(s);
-                    actions.push(Action::Bind { pos: i, slot: s });
-                }
-            }
-        }
-    }
-    for &s in &seen_here {
-        bound_slots[s] = true;
-    }
-    // Unkeyed steps scan their snapshot range directly — an empty-mask
-    // index would never be extended or probed, so none is registered.
-    let idx = if mask.is_empty() {
-        NO_INDEX
-    } else {
-        *idx_of.entry((rel, mask.clone())).or_insert_with(|| {
-            idxs.push(IncrementalIndex::new(rel, mask));
-            idxs.len() - 1
-        })
-    };
-    Step {
-        rel,
-        idx,
-        idb,
-        key: key.into_boxed_slice(),
-        actions: actions.into_boxed_slice(),
-    }
-}
-
-/// Compiles one rule against the dense relation table, registering the
-/// `(relation, mask)` indexes it probes.
-///
-/// The slot numbering and mask (bound-position) computation mirror
-/// [`crate::reference`] exactly — the index masks determine the
-/// `join_probes` counter, which must stay bit-for-bit stable.
-fn compile_rule(
-    rule: &Rule,
-    idbs: &[Pred],
-    rel_of_pred: &FxHashMap<Pred, usize>,
-    idxs: &mut Vec<IncrementalIndex>,
-    idx_of: &mut FxHashMap<(usize, Vec<usize>), usize>,
-) -> RulePlan {
-    let mut slots: FxHashMap<Var, usize> = FxHashMap::default();
-    let mut bound_slots: Vec<bool> = Vec::new();
-    let mut steps = Vec::new();
-    let mut idb_steps = Vec::new();
-    for (ai, atom) in rule.body.iter().enumerate() {
-        let rel = rel_of_pred[&atom.pred];
-        let idb = idbs.contains(&atom.pred);
-        if idb {
-            idb_steps.push(ai);
-        }
-        steps.push(compile_step(
-            atom,
-            rel,
-            &mut slots,
-            &mut bound_slots,
-            idb,
-            idxs,
-            idx_of,
-        ));
-    }
-    let head = rule
-        .head
-        .args
-        .iter()
-        .map(|t| match t {
-            Term::Const(c) => Out::Const(*c),
-            Term::Var(v) => Out::Slot(*slots.get(v).expect("safe rule binds head slots")),
-        })
-        .collect();
-    RulePlan {
-        head_rel: rel_of_pred[&rule.head.pred],
-        head,
-        steps: steps.into_boxed_slice(),
-        num_slots: slots.len(),
-        idb_steps: idb_steps.into_boxed_slice(),
-    }
-}
-
-/// Compiles one rule for goal-directed re-derivation: head variables are
-/// slots bound from depth 0 (the candidate tuple is the input), so the
-/// body step masks include them and the join is keyed on the head.
-fn compile_rederive(
-    rule_i: usize,
-    rule: &Rule,
-    rel_of_pred: &FxHashMap<Pred, usize>,
-    idxs: &mut Vec<IncrementalIndex>,
-    idx_of: &mut FxHashMap<(usize, Vec<usize>), usize>,
-) -> RederivePlan {
-    let mut slots: FxHashMap<Var, usize> = FxHashMap::default();
-    let mut bound_slots: Vec<bool> = Vec::new();
-    let head = rule
-        .head
-        .args
-        .iter()
-        .map(|t| match t {
-            Term::Const(c) => HeadOp::Const(*c),
-            Term::Var(v) => {
-                let next = slots.len();
-                let s = *slots.entry(*v).or_insert(next);
-                if s >= bound_slots.len() {
-                    bound_slots.resize(s + 1, false);
-                }
-                if bound_slots[s] {
-                    HeadOp::Repeat(s)
-                } else {
-                    bound_slots[s] = true;
-                    HeadOp::First(s)
-                }
-            }
-        })
-        .collect();
-    let steps = rule
-        .body
-        .iter()
-        .map(|atom| {
-            // `idb` is irrelevant here (re-derivation always reads the
-            // full live store); pass false so snapshots never apply.
-            compile_step(
-                atom,
-                rel_of_pred[&atom.pred],
-                &mut slots,
-                &mut bound_slots,
-                false,
-                idxs,
-                idx_of,
-            )
-        })
-        .collect();
-    RederivePlan {
-        rule: rule_i as u32,
-        head_rel: rel_of_pred[&rule.head.pred],
-        head,
-        steps,
-        num_slots: slots.len(),
     }
 }
 
@@ -2940,6 +2960,7 @@ fn eval_rule_shard(
     shard0: Option<(usize, usize)>,
     update: bool,
     record: bool,
+    cfg: PlannerConfig,
     scratch: &mut Scratch,
     pending: &mut PendingTuples,
     counters: &mut Counters,
@@ -2947,6 +2968,9 @@ fn eval_rule_shard(
     let plan = &plans[plan_i];
     scratch.env.resize(plan.num_slots, Const(0));
     scratch.rows.resize(plan.steps.len(), 0);
+    if cfg.staged_filter {
+        scratch.staged.clear();
+    }
     let ctx = JoinCtx {
         rels,
         idxs,
@@ -2956,8 +2980,13 @@ fn eval_rule_shard(
         update,
         plan_i,
         record,
+        cfg,
     };
-    descend(plan, 0, &ctx, scratch, pending, counters);
+    if cfg.tc_kernel && plan.tc {
+        tc_kernel(plan, &ctx, scratch, pending, counters);
+    } else {
+        descend(plan, 0, &ctx, scratch, pending, counters);
+    }
 }
 
 /// Borrowed engine state for one rule-evaluation pass.
@@ -2977,6 +3006,84 @@ struct JoinCtx<'a> {
     plan_i: usize,
     /// Whether to stage justifications alongside derived tuples.
     record: bool,
+    /// The planner features live for this evaluation.
+    cfg: PlannerConfig,
+}
+
+impl JoinCtx<'_> {
+    /// Snapshot row range for one step ("last delta occurrence"
+    /// convention: steps before the delta read the full relation, the
+    /// delta step reads its delta range, steps after read `[0, old_hi)`).
+    /// Batch rounds apply it to IDB steps only; incremental rounds to
+    /// every step. A parallel shard additionally restricts the first
+    /// step to its subrange (the subranges partition exactly this range).
+    fn step_range(&self, step: &Step, depth: usize) -> (usize, usize) {
+        let rel = &self.rels[step.rel];
+        let (lo, hi) = if !(step.idb || self.update) {
+            (0, rel.num_rows())
+        } else {
+            match self.delta_pos {
+                None => (0, rel.num_rows()),
+                Some(d) if depth == d => (self.old_hi[step.rel], rel.num_rows()),
+                Some(d) if depth < d => (0, rel.num_rows()),
+                Some(_) => (0, self.old_hi[step.rel]),
+            }
+        };
+        match self.shard0 {
+            Some(r) if depth == 0 => r,
+            _ => (lo, hi),
+        }
+    }
+}
+
+/// Builds the head tuple from the bound environment into `scratch.head`.
+fn build_head(plan: &RulePlan, scratch: &mut Scratch) {
+    scratch.head.clear();
+    for op in plan.head.iter() {
+        scratch.head.push(match *op {
+            Out::Const(c) => c,
+            Out::Slot(s) => scratch.env[s],
+        });
+    }
+}
+
+/// The firing point: stages the fully-instantiated head (unless it
+/// already exists, or the per-shard staged-head filter has seen it).
+/// With provenance recording on, the matched row ids are staged in
+/// **original rule-body order** via [`RulePlan::step_of_body`], whatever
+/// order the steps ran in.
+fn stage_head(
+    plan: &RulePlan,
+    ctx: &JoinCtx<'_>,
+    scratch: &mut Scratch,
+    pending: &mut PendingTuples,
+    counters: &mut Counters,
+) {
+    if !ctx.cfg.productive_firings {
+        counters.firings += 1;
+    }
+    build_head(plan, scratch);
+    // Only buffer tuples not already in the relation (the merge dedups
+    // again; this keeps the pending buffer small).
+    if ctx.rels[plan.head_rel].contains(&scratch.head) {
+        return;
+    }
+    if ctx.cfg.staged_filter {
+        if scratch.staged.contains(&scratch.head) {
+            return;
+        }
+        scratch.staged.insert(scratch.head.clone());
+    }
+    pending.data.extend_from_slice(&scratch.head);
+    pending.rels.push(plan.head_rel as u32);
+    if ctx.record {
+        // The justification, packed: this rule, then the row matched
+        // for each body atom in rule-text order.
+        pending.just.push(ctx.plan_i as u32);
+        for &d in plan.step_of_body.iter() {
+            pending.just.push(scratch.rows[d]);
+        }
+    }
 }
 
 /// Recursive backtracking join over the plan steps. Slots are bound by
@@ -2992,54 +3099,23 @@ fn descend(
     counters: &mut Counters,
 ) {
     if depth == plan.steps.len() {
-        counters.firings += 1;
-        scratch.head.clear();
-        for op in plan.head.iter() {
-            scratch.head.push(match *op {
-                Out::Const(c) => c,
-                Out::Slot(s) => scratch.env[s],
-            });
-        }
-        // Only buffer tuples not already in the relation (the merge
-        // dedups again; this keeps the pending buffer small).
-        if !ctx.rels[plan.head_rel].contains(&scratch.head) {
-            pending.data.extend_from_slice(&scratch.head);
-            pending.rels.push(plan.head_rel as u32);
-            if ctx.record {
-                // The justification, packed: this rule, then the row
-                // matched at each join depth (body-atom order).
-                pending.just.push(ctx.plan_i as u32);
-                pending
-                    .just
-                    .extend_from_slice(&scratch.rows[..plan.steps.len()]);
-            }
-        }
+        stage_head(plan, ctx, scratch, pending, counters);
         return;
+    }
+    // Staged-head suffix pruning: once every head position is bound,
+    // a head that already exists in the (frozen) head relation can
+    // never stage anything — kill the whole remaining join suffix
+    // before probing it. The check reads only frozen rows, so probe
+    // counts stay identical at every thread and shard count.
+    if ctx.cfg.suffix_prune && depth == plan.head_ready_depth {
+        build_head(plan, scratch);
+        if ctx.rels[plan.head_rel].contains(&scratch.head) {
+            return;
+        }
     }
     let step = &plan.steps[depth];
     let rel = &ctx.rels[step.rel];
-
-    // Snapshot row range for this step ("last delta occurrence"
-    // convention: steps before the delta read the full relation, the
-    // delta step reads its delta range, steps after read [0, old_hi)).
-    // Batch rounds apply it to IDB steps only; incremental rounds to
-    // every step.
-    let (lo, hi) = if !(step.idb || ctx.update) {
-        (0, rel.num_rows())
-    } else {
-        match ctx.delta_pos {
-            None => (0, rel.num_rows()),
-            Some(d) if depth == d => (ctx.old_hi[step.rel], rel.num_rows()),
-            Some(d) if depth < d => (0, rel.num_rows()),
-            Some(_) => (0, ctx.old_hi[step.rel]),
-        }
-    };
-    // A parallel shard restricts the first step to its subrange (the
-    // subranges partition exactly the range computed above).
-    let (lo, hi) = match ctx.shard0 {
-        Some(r) if depth == 0 => r,
-        _ => (lo, hi),
-    };
+    let (lo, hi) = ctx.step_range(step, depth);
 
     // The depth-0 probe is identical in every shard (`pre`, accounted
     // once from the lead shard); deeper probes are partitioned by the
@@ -3119,6 +3195,77 @@ fn match_row(
     scratch.rows[depth] = r as u32;
     descend(plan, depth + 1, ctx, scratch, pending, counters);
     true
+}
+
+/// The specialized transitive-closure kernel: the generic recursive
+/// descent flattened into one two-level loop for recognized
+/// [`RulePlan::tc`] plans (`tc(x,z) :- tc(x,y), e(y,z)` and its
+/// right-linear/nonlinear variants, in any planner order). The action
+/// and key shapes are unpacked once, the snapshot ranges hoisted out of
+/// the loop, and the per-row recursion replaced by straight-line code.
+/// Enumeration order, staging order and every counter are identical to
+/// [`descend`] — recognition changes speed, never results. Suffix
+/// pruning never applies here: a TC head is only fully bound at full
+/// instantiation ([`RulePlan::head_ready_depth`] = 2 = the step count).
+fn tc_kernel(
+    plan: &RulePlan,
+    ctx: &JoinCtx<'_>,
+    scratch: &mut Scratch,
+    pending: &mut PendingTuples,
+    counters: &mut Counters,
+) {
+    counters.tc_hits += 1;
+    let step0 = &plan.steps[0];
+    let step1 = &plan.steps[1];
+    let rel0 = &ctx.rels[step0.rel];
+    let rel1 = &ctx.rels[step1.rel];
+    let idx1 = &ctx.idxs[step1.idx];
+    let (lo0, hi0) = ctx.step_range(step0, 0);
+    let (lo1, hi1) = ctx.step_range(step1, 1);
+    // `tc_shape` guarantees exactly these shapes.
+    let (Action::Bind { pos: apos, slot: aslot }, Action::Bind { pos: bpos, slot: bslot }) =
+        (step0.actions[0], step0.actions[1])
+    else {
+        unreachable!("tc plan: step 0 is two fresh binds")
+    };
+    let Action::Bind { pos: cpos, slot: cslot } = step1.actions[0] else {
+        unreachable!("tc plan: step 1 is one fresh bind")
+    };
+    let KeyOp::Slot(kslot) = step1.key[0] else {
+        unreachable!("tc plan: step 1 is keyed on a step-0 slot")
+    };
+
+    counters.pre += 1;
+    for r in (lo0..hi0).rev() {
+        if !rel0.is_live(r) {
+            continue;
+        }
+        scratch.env[aslot] = rel0.value(r, apos);
+        scratch.env[bslot] = rel0.value(r, bpos);
+        scratch.rows[0] = r as u32;
+        counters.post += 1;
+        scratch.key.clear();
+        scratch.key.push(scratch.env[kslot]);
+        let mut row = idx1.probe(rel1, &scratch.key);
+        // Chains are newest-first (strictly decreasing row ids): skip
+        // rows above the snapshot, stop below it.
+        while row != NO_ROW && row as usize >= hi1 {
+            row = idx1.next_row(row);
+        }
+        while row != NO_ROW {
+            let rr = row as usize;
+            if rr < lo1 {
+                break;
+            }
+            if rel1.is_live(rr) {
+                scratch.env[cslot] = rel1.value(rr, cpos);
+                scratch.rows[1] = rr as u32;
+                counters.tc_rows += 1;
+                stage_head(plan, ctx, scratch, pending, counters);
+            }
+            row = idx1.next_row(row);
+        }
+    }
 }
 
 /// Backtracking search for **one** body instantiation of a re-derivation
@@ -3217,6 +3364,84 @@ mod tests {
     /// The from-scratch executable spec: reference engine on the mirror.
     fn spec_idb(p: &Program, db: &Database) -> Vec<(Pred, Vec<Tuple>)> {
         reference::evaluate(p, db, Strategy::SemiNaive).idb.sorted_models()
+    }
+
+    /// The stats-staleness regression: adaptive re-planning must never
+    /// move existing rows — row ids are provenance currency
+    /// (justifications, snapshots, view links), so a re-plan may only
+    /// change *future* join orders. Interleaves churn that drives
+    /// `par` far past the 2x+16 drift threshold (forcing re-plans at
+    /// round boundaries) with retractions, snapshotting every
+    /// relation's flat row data before each round and asserting the
+    /// old prefix is bit-identical after — while the model and the
+    /// recorded justifications track the from-scratch oracle.
+    /// Compaction is disabled so any row movement could only come from
+    /// a re-plan bug, not a legitimate remap.
+    #[test]
+    fn replanning_is_row_id_stable_under_churn() {
+        let mut p = parse_program(SRC_A).unwrap();
+        let par = p.symbols.get_predicate("par").unwrap();
+        // Start tiny: the initial plan is built on near-empty
+        // cardinalities, so growth is guaranteed to look like drift.
+        let seed_edges = chain_edges(&mut p, 4);
+        let mut db = Database::new();
+        for e in &seed_edges {
+            db.insert(par, e.clone());
+        }
+        let mut m = Materialization::from_database(&p, &db, Strategy::SemiNaive);
+        m.set_compaction_policy(None);
+        assert_eq!(m.planner_report().replans, 0);
+
+        let mut live: Vec<Tuple> = seed_edges.clone();
+        let mut tail = *seed_edges.last().unwrap().last().unwrap();
+        for round in 0..4usize {
+            let before: Vec<(usize, Vec<Const>)> = m
+                .rels
+                .iter()
+                .map(|r| (r.num_rows(), r.data().to_vec()))
+                .collect();
+
+            // Extend the chain by 30 fresh nodes (~2.5x growth the
+            // first round — past `new > 2*old + 16`), then retract two
+            // of the freshly inserted edges, splitting the chain.
+            let fan: Vec<Tuple> = (0..30)
+                .map(|i| {
+                    let c = p.symbols.constant(&format!("r{round}n{i}"));
+                    let t = vec![tail, c];
+                    tail = c;
+                    t
+                })
+                .collect();
+            assert_eq!(m.insert_facts(par, &fan), fan.len());
+            live.extend(fan.iter().cloned());
+            let dropped = [fan[7].clone(), fan[19].clone()];
+            assert_eq!(m.retract_facts(par, &dropped), 2);
+            live.retain(|t| !dropped.contains(t));
+
+            // Row-id stability: every pre-round row is still at its id
+            // with its exact data (retraction tombstones, never moves).
+            for (rel, (n, data)) in m.rels.iter().zip(&before) {
+                assert!(rel.num_rows() >= *n, "rows must only be appended");
+                assert_eq!(
+                    &rel.data()[..data.len()],
+                    &data[..],
+                    "a re-plan moved already-derived rows"
+                );
+            }
+
+            let mut mirror = Database::new();
+            for t in &live {
+                mirror.insert(par, t.clone());
+            }
+            assert_eq!(sorted_model(&m.idb_database()), spec_idb(&p, &mirror));
+            m.provenance()
+                .check(&p)
+                .expect("justifications stay valid across re-plans");
+        }
+        assert!(
+            m.planner_report().replans > 0,
+            "churn this steep must have crossed the drift threshold"
+        );
     }
 
     #[test]

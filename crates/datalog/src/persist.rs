@@ -70,8 +70,10 @@ use std::path::Path;
 
 /// The 8-byte magic prefix of every snapshot file.
 pub(crate) const MAGIC: [u8; 8] = *b"SPROPMAT";
-/// The current (only) format version.
-pub(crate) const VERSION: u32 = 1;
+/// The current format version. Bumped to 2 when the planner
+/// configuration, per-rule body orders and the cardinality snapshot
+/// joined the payload.
+pub(crate) const VERSION: u32 = 2;
 /// Container overhead before the payload: magic + version + length.
 const HEADER_LEN: usize = 8 + 4 + 8;
 /// Trailing checksum bytes.

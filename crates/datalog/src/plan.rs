@@ -1,0 +1,743 @@
+//! Compiled join plans and the **cost-based join planner**.
+//!
+//! Extracted from `materialize.rs`: the plan vocabulary (`KeyOp`,
+//! `Action`, `Out`, `Step`, `RulePlan`, `HeadOp`,
+//! `RederivePlan`) and the compilers (`compile_rule`,
+//! `compile_step`, `compile_rederive`) used to be private to the
+//! materialization layer. They now live here, behind one planning entry
+//! point (`plan_rule`) that every consumer — batch evaluation,
+//! incremental rounds, magic-set views, rule hot-swap — compiles
+//! through.
+//!
+//! What the planner adds on top of the mechanical compilation:
+//!
+//! - **Selectivity-aware body reordering** (`body_order`): join steps
+//!   are ordered greedily, preferring atoms with the most bound
+//!   positions (constants + variables bound by earlier steps), breaking
+//!   ties toward the smaller live relation and then the original
+//!   position. Cardinalities come from the live store
+//!   ([`crate::storage::ColumnarRelation::num_live`]); the reference
+//!   engine computes the same order from the input database, so work
+//!   counters stay bit-for-bit comparable. Plans are immutable per
+//!   round: the materialization re-plans only at update-round
+//!   boundaries, when the cardinalities drift past a threshold — and a
+//!   re-plan never touches existing rows or justifications.
+//! - **Staged-head existence ordering**: `RulePlan::head_ready_depth`
+//!   marks the first join depth at which every head position is bound;
+//!   when that is before the last step, the join probes the head
+//!   relation's dedup table there and prunes the entire remaining
+//!   suffix for heads that already exist. A per-shard staged-head
+//!   filter additionally suppresses re-staging duplicates within a
+//!   round.
+//! - **Transitive-closure kernel recognition** (`RulePlan::tc`): the
+//!   binary-recursive shape `tc(x,z) :- tc(x,y), e(y,z)` (and its
+//!   right-linear / nonlinear variants) is detected structurally so the
+//!   join can run a specialized two-level loop instead of the general
+//!   recursive descent. The kernel is enumeration-order- and
+//!   counter-identical to the generic join — recognition changes speed,
+//!   never results.
+//!
+//! Justifications are recorded in **original rule-body order**
+//! whatever order the steps run in (`RulePlan::step_of_body` maps
+//! body atom → step depth), so recorded provenance stays a positional
+//! instantiation of the rule text and every existing decoder
+//! (delete–rederive, compaction remap, persistence validation,
+//! [`crate::derivation::Provenance::check`]) is order-independent.
+
+use crate::ast::{Atom, Const, Pred, Rule, Term, Var};
+use crate::hash::FxHashMap;
+use crate::storage::IncrementalIndex;
+
+/// Sentinel index id for unkeyed (empty-mask) steps: they scan rows
+/// directly, so no [`IncrementalIndex`] exists for them.
+pub(crate) const NO_INDEX: usize = usize::MAX;
+
+/// How the planner orders rule bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderMode {
+    /// Keep the textual body order (the pre-planner behavior).
+    Original,
+    /// Greedy selectivity-aware ordering (`body_order`).
+    Planned,
+    /// A deterministic pseudo-random permutation per rule, derived from
+    /// the seed. Any order is semantically valid — this mode exists so
+    /// property tests can drive the engine through adversarial orders
+    /// and still compare models and provenance exactly.
+    Shuffled(u64),
+}
+
+/// Planner configuration carried by a
+/// [`crate::materialize::Materialization`] (and mirrored by the
+/// reference evaluator): which optimizations are live. The default is
+/// everything on; [`PlannerConfig::legacy`] reproduces the pre-planner
+/// engine bit-for-bit, counters included.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannerConfig {
+    /// Join-order strategy.
+    pub order: OrderMode,
+    /// Per-shard staged-head filter: within one `(rule, delta, shard)`
+    /// evaluation, a head tuple is staged at most once. Pure
+    /// deduplication — the merge would drop the copies anyway; this
+    /// drops them before they are buffered.
+    pub staged_filter: bool,
+    /// Prune the join suffix at `RulePlan::head_ready_depth` when the
+    /// fully-bound head already exists in the (frozen) head relation.
+    pub suffix_prune: bool,
+    /// Run recognized transitive-closure rules through the specialized
+    /// kernel.
+    pub tc_kernel: bool,
+    /// Count `rule_firings` at merge time as **productive** firings
+    /// (head tuples actually added), instead of once per completed body
+    /// instantiation. With the planner killing redundant instantiations
+    /// early, completed-instantiation counts are no longer the work
+    /// measure; productive firings are shard- and order-invariant.
+    pub productive_firings: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            order: OrderMode::Planned,
+            staged_filter: true,
+            suffix_prune: true,
+            tc_kernel: true,
+            productive_firings: true,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// The pre-planner engine: textual body order, no staged filter, no
+    /// suffix pruning, no kernel, firings counted per instantiation.
+    pub fn legacy() -> Self {
+        Self {
+            order: OrderMode::Original,
+            staged_filter: false,
+            suffix_prune: false,
+            tc_kernel: false,
+            productive_firings: false,
+        }
+    }
+}
+
+/// A key component of a join step: where the bound value comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum KeyOp {
+    /// A constant from the rule text.
+    Const(Const),
+    /// A rule-local slot bound by an earlier step.
+    Slot(usize),
+}
+
+/// What to do with one *unguaranteed* argument position of a matched row.
+/// Positions covered by the index mask are skipped entirely: the probe
+/// already guaranteed them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Action {
+    /// First occurrence of a free slot in this atom: bind it.
+    Bind {
+        /// Argument position within the atom.
+        pos: usize,
+        /// The rule-local slot to bind.
+        slot: usize,
+    },
+    /// Repeated occurrence within this atom: must equal the bound value.
+    Check {
+        /// Argument position within the atom.
+        pos: usize,
+        /// The already-bound rule-local slot to compare against.
+        slot: usize,
+    },
+}
+
+/// Where a head position comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Out {
+    /// A constant from the rule text.
+    Const(Const),
+    /// A bound slot.
+    Slot(usize),
+}
+
+/// One body atom, compiled: which relation/index to probe, how to build
+/// the probe key, and how to bind/check the remaining positions.
+#[derive(Clone, Debug)]
+pub(crate) struct Step {
+    pub(crate) rel: usize,
+    /// Index id, or [`NO_INDEX`] for unkeyed steps (empty mask): those
+    /// scan their row range directly and register no index at all.
+    pub(crate) idx: usize,
+    /// Whether the predicate is an IDB of the program (reads snapshots).
+    pub(crate) idb: bool,
+    pub(crate) key: Box<[KeyOp]>,
+    pub(crate) actions: Box<[Action]>,
+}
+
+/// A rule compiled to a flat join plan, steps in **planner order**.
+#[derive(Clone, Debug)]
+pub(crate) struct RulePlan {
+    pub(crate) head_rel: usize,
+    pub(crate) head: Box<[Out]>,
+    pub(crate) steps: Box<[Step]>,
+    pub(crate) num_slots: usize,
+    /// Step positions whose predicate is an IDB (batch delta candidates).
+    pub(crate) idb_steps: Box<[usize]>,
+    /// Dense relation id of each **original** body atom — the decode
+    /// order of recorded justifications, invariant under reordering.
+    pub(crate) body_rels: Box<[usize]>,
+    /// `step_of_body[k]` = the step depth that runs original body atom
+    /// `k`. Staging permutes the per-depth matched rows through this
+    /// map so justifications are always recorded in rule-text order.
+    pub(crate) step_of_body: Box<[usize]>,
+    /// First join depth at which every head position is bound (0 =
+    /// before any step; `steps.len()` = only at full instantiation).
+    pub(crate) head_ready_depth: usize,
+    /// Whether this plan has the binary-recursive transitive-closure
+    /// shape the specialized kernel handles.
+    pub(crate) tc: bool,
+}
+
+/// One compiled head position of a re-derivation plan: how a candidate
+/// tuple binds (or constrains) the rule-local slots before the body runs.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum HeadOp {
+    /// The tuple value must equal this constant.
+    Const(Const),
+    /// First occurrence of a head variable: bind its slot.
+    First(usize),
+    /// Repeated head variable: must match the bound slot.
+    Repeat(usize),
+}
+
+/// A rule compiled for goal-directed re-derivation checks (DRed rescue
+/// phase): the head is *input*, so every head slot is bound from depth 0
+/// and the body step masks include them. Body steps stay in **original
+/// rule order** — with every head variable pre-bound the textual order
+/// is already keyed, and the rescued rows double as the justification,
+/// which must be positional. Compiled lazily on the first retraction;
+/// the extra `(relation, mask)` indexes it registers are extended
+/// incrementally like all others.
+#[derive(Clone, Debug)]
+pub(crate) struct RederivePlan {
+    /// The rule index (recorded as the rescued row's justification).
+    pub(crate) rule: u32,
+    pub(crate) head_rel: usize,
+    pub(crate) head: Box<[HeadOp]>,
+    pub(crate) steps: Box<[Step]>,
+    pub(crate) num_slots: usize,
+}
+
+// ---------------------------------------------------------------------
+// Ordering
+// ---------------------------------------------------------------------
+
+/// Greedy selectivity-aware body order: repeatedly pick the unchosen
+/// atom with the most bound argument positions (constants plus
+/// variables bound by already-chosen atoms), breaking ties toward the
+/// smaller relation cardinality and then the earlier textual position.
+///
+/// Pure and deterministic in `(rule, card)` — the engine calls it with
+/// live row counts, the reference evaluator with database sizes, and
+/// both get the same permutation because IDB relations count 0 at
+/// compile time on both sides.
+pub(crate) fn order_body(rule: &Rule, card: &mut dyn FnMut(Pred) -> u64) -> Vec<usize> {
+    let n = rule.body.len();
+    let mut chosen = vec![false; n];
+    let mut bound: Vec<Var> = Vec::new();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for (ai, atom) in rule.body.iter().enumerate() {
+            if chosen[ai] {
+                continue;
+            }
+            let b = atom
+                .args
+                .iter()
+                .filter(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                })
+                .count();
+            let c = card(atom.pred);
+            // Strict comparisons: first-seen (lowest textual position)
+            // wins ties.
+            let better = match best {
+                None => true,
+                Some((_, bb, bc)) => b > bb || (b == bb && c < bc),
+            };
+            if better {
+                best = Some((ai, b, c));
+            }
+        }
+        let (ai, _, _) = best.expect("nonempty body");
+        chosen[ai] = true;
+        for t in &rule.body[ai].args {
+            if let Term::Var(v) = t {
+                if !bound.contains(v) {
+                    bound.push(*v);
+                }
+            }
+        }
+        out.push(ai);
+    }
+    out
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// A deterministic Fisher–Yates permutation of `0..n` from
+/// `(seed, rule_idx)` — the [`OrderMode::Shuffled`] order.
+pub(crate) fn shuffled_order(n: usize, seed: u64, rule_idx: usize) -> Vec<usize> {
+    let mut s = (seed ^ (rule_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+    let mut v: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (xorshift(&mut s) % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+/// The body permutation for one rule under a planner configuration:
+/// `order[d]` is the original body-atom index run at step depth `d`.
+pub(crate) fn body_order(
+    rule: &Rule,
+    rule_idx: usize,
+    mode: OrderMode,
+    card: &mut dyn FnMut(Pred) -> u64,
+) -> Vec<usize> {
+    match mode {
+        OrderMode::Original => (0..rule.body.len()).collect(),
+        OrderMode::Planned => order_body(rule, card),
+        OrderMode::Shuffled(seed) => shuffled_order(rule.body.len(), seed, rule_idx),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------
+
+/// Compiles one body atom against the slot state: the index mask (bound
+/// positions), probe key ops and bind/check actions, registering the
+/// `(relation, mask)` index it probes. `bound_slots` is updated with the
+/// slots this atom binds.
+pub(crate) fn compile_step(
+    atom: &Atom,
+    rel: usize,
+    slots: &mut FxHashMap<Var, usize>,
+    bound_slots: &mut Vec<bool>,
+    idb: bool,
+    idxs: &mut Vec<IncrementalIndex>,
+    idx_of: &mut FxHashMap<(usize, Vec<usize>), usize>,
+) -> Step {
+    let mut mask: Vec<usize> = Vec::new();
+    let mut key: Vec<KeyOp> = Vec::new();
+    let mut actions: Vec<Action> = Vec::new();
+    let mut seen_here: Vec<usize> = Vec::new();
+    for (i, t) in atom.args.iter().enumerate() {
+        match t {
+            Term::Const(c) => {
+                mask.push(i);
+                key.push(KeyOp::Const(*c));
+            }
+            Term::Var(v) => {
+                let next = slots.len();
+                let s = *slots.entry(*v).or_insert(next);
+                if s >= bound_slots.len() {
+                    bound_slots.resize(s + 1, false);
+                }
+                if bound_slots[s] {
+                    // Bound by an earlier atom (or the re-derivation
+                    // head): part of the index key; the probe guarantees
+                    // equality, so no action.
+                    mask.push(i);
+                    key.push(KeyOp::Slot(s));
+                } else if seen_here.contains(&s) {
+                    // Repeat within this atom: a filter, not a key
+                    // component (mirrors the reference mask exactly).
+                    actions.push(Action::Check { pos: i, slot: s });
+                } else {
+                    seen_here.push(s);
+                    actions.push(Action::Bind { pos: i, slot: s });
+                }
+            }
+        }
+    }
+    for &s in &seen_here {
+        bound_slots[s] = true;
+    }
+    // Unkeyed steps scan their snapshot range directly — an empty-mask
+    // index would never be extended or probed, so none is registered.
+    let idx = if mask.is_empty() {
+        NO_INDEX
+    } else {
+        *idx_of.entry((rel, mask.clone())).or_insert_with(|| {
+            idxs.push(IncrementalIndex::new(rel, mask));
+            idxs.len() - 1
+        })
+    };
+    Step {
+        rel,
+        idx,
+        idb,
+        key: key.into_boxed_slice(),
+        actions: actions.into_boxed_slice(),
+    }
+}
+
+/// First prefix length after which every head position is bound: 0 for
+/// all-constant heads, `steps.len()` when a head slot is bound only by
+/// the last step.
+fn head_ready_depth(head: &[Out], steps: &[Step]) -> usize {
+    let need: Vec<usize> = head
+        .iter()
+        .filter_map(|o| match o {
+            Out::Slot(s) => Some(*s),
+            Out::Const(_) => None,
+        })
+        .collect();
+    let mut bound: Vec<usize> = Vec::new();
+    for (d, step) in steps.iter().enumerate() {
+        if need.iter().all(|s| bound.contains(s)) {
+            return d;
+        }
+        for a in step.actions.iter() {
+            if let Action::Bind { slot, .. } = a {
+                bound.push(*slot);
+            }
+        }
+    }
+    steps.len()
+}
+
+/// Structural recognition of the binary-recursive transitive-closure
+/// shape: an unkeyed first step binding both columns of a binary atom,
+/// a second step over a binary relation keyed on exactly one of those
+/// slots and binding the other column, and a head projecting two bound
+/// slots. Covers the linear (`tc(x,z) :- tc(x,y), e(y,z)`),
+/// right-linear and nonlinear variants in any planner order.
+fn tc_shape(head: &[Out], steps: &[Step]) -> bool {
+    if steps.len() != 2 || head.len() != 2 {
+        return false;
+    }
+    let (s0, s1) = (&steps[0], &steps[1]);
+    // First step: full scan of a binary atom, two fresh binds.
+    if s0.idx != NO_INDEX || !s0.key.is_empty() || s0.actions.len() != 2 {
+        return false;
+    }
+    let (a, b) = match (s0.actions[0], s0.actions[1]) {
+        (Action::Bind { pos: 0, slot: a }, Action::Bind { pos: 1, slot: b }) if a != b => (a, b),
+        _ => return false,
+    };
+    // Second step: keyed on exactly one column by one of those slots,
+    // binding the other column to a fresh slot.
+    if s1.idx == NO_INDEX || s1.key.len() != 1 || s1.actions.len() != 1 {
+        return false;
+    }
+    if !matches!(s1.key[0], KeyOp::Slot(s) if s == a || s == b) {
+        return false;
+    }
+    let c = match s1.actions[0] {
+        Action::Bind { pos, slot } if pos < 2 && slot != a && slot != b => slot,
+        _ => return false,
+    };
+    // Head: two bound slots (any combination of a, b, c).
+    head.iter().all(|o| matches!(o, Out::Slot(s) if *s == a || *s == b || *s == c))
+}
+
+/// Compiles one rule against the dense relation table in the given body
+/// `order`, registering the `(relation, mask)` indexes it probes.
+///
+/// The slot numbering and mask (bound-position) computation mirror
+/// [`crate::reference`] exactly — the index masks determine the
+/// `join_probes` counter, which must stay bit-for-bit comparable.
+pub(crate) fn compile_rule(
+    rule: &Rule,
+    idbs: &[Pred],
+    rel_of_pred: &FxHashMap<Pred, usize>,
+    idxs: &mut Vec<IncrementalIndex>,
+    idx_of: &mut FxHashMap<(usize, Vec<usize>), usize>,
+    order: &[usize],
+) -> RulePlan {
+    debug_assert_eq!(order.len(), rule.body.len());
+    let mut slots: FxHashMap<Var, usize> = FxHashMap::default();
+    let mut bound_slots: Vec<bool> = Vec::new();
+    let mut steps = Vec::new();
+    let mut idb_steps = Vec::new();
+    let mut step_of_body = vec![0usize; rule.body.len()];
+    for (d, &ai) in order.iter().enumerate() {
+        let atom = &rule.body[ai];
+        let rel = rel_of_pred[&atom.pred];
+        let idb = idbs.contains(&atom.pred);
+        if idb {
+            idb_steps.push(d);
+        }
+        step_of_body[ai] = d;
+        steps.push(compile_step(
+            atom,
+            rel,
+            &mut slots,
+            &mut bound_slots,
+            idb,
+            idxs,
+            idx_of,
+        ));
+    }
+    let head: Box<[Out]> = rule
+        .head
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Out::Const(*c),
+            Term::Var(v) => Out::Slot(*slots.get(v).expect("safe rule binds head slots")),
+        })
+        .collect();
+    let body_rels: Box<[usize]> = rule.body.iter().map(|a| rel_of_pred[&a.pred]).collect();
+    let hrd = head_ready_depth(&head, &steps);
+    let tc = tc_shape(&head, &steps);
+    RulePlan {
+        head_rel: rel_of_pred[&rule.head.pred],
+        head,
+        steps: steps.into_boxed_slice(),
+        num_slots: slots.len(),
+        idb_steps: idb_steps.into_boxed_slice(),
+        body_rels,
+        step_of_body: step_of_body.into_boxed_slice(),
+        head_ready_depth: hrd,
+        tc,
+    }
+}
+
+/// Plans and compiles one rule: computes the body order for the
+/// configuration (from the live cardinality function) and compiles the
+/// steps in that order. The single entry point every consumer uses.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_rule(
+    rule: &Rule,
+    rule_idx: usize,
+    idbs: &[Pred],
+    rel_of_pred: &FxHashMap<Pred, usize>,
+    idxs: &mut Vec<IncrementalIndex>,
+    idx_of: &mut FxHashMap<(usize, Vec<usize>), usize>,
+    mode: OrderMode,
+    card: &mut dyn FnMut(Pred) -> u64,
+) -> RulePlan {
+    let order = body_order(rule, rule_idx, mode, card);
+    compile_rule(rule, idbs, rel_of_pred, idxs, idx_of, &order)
+}
+
+/// Compiles one rule for goal-directed re-derivation: head variables are
+/// slots bound from depth 0 (the candidate tuple is the input), so the
+/// body step masks include them and the join is keyed on the head.
+pub(crate) fn compile_rederive(
+    rule_i: usize,
+    rule: &Rule,
+    rel_of_pred: &FxHashMap<Pred, usize>,
+    idxs: &mut Vec<IncrementalIndex>,
+    idx_of: &mut FxHashMap<(usize, Vec<usize>), usize>,
+) -> RederivePlan {
+    let mut slots: FxHashMap<Var, usize> = FxHashMap::default();
+    let mut bound_slots: Vec<bool> = Vec::new();
+    let head = rule
+        .head
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => HeadOp::Const(*c),
+            Term::Var(v) => {
+                let next = slots.len();
+                let s = *slots.entry(*v).or_insert(next);
+                if s >= bound_slots.len() {
+                    bound_slots.resize(s + 1, false);
+                }
+                if bound_slots[s] {
+                    HeadOp::Repeat(s)
+                } else {
+                    bound_slots[s] = true;
+                    HeadOp::First(s)
+                }
+            }
+        })
+        .collect();
+    let steps = rule
+        .body
+        .iter()
+        .map(|atom| {
+            // `idb` is irrelevant here (re-derivation always reads the
+            // full live store); pass false so snapshots never apply.
+            compile_step(
+                atom,
+                rel_of_pred[&atom.pred],
+                &mut slots,
+                &mut bound_slots,
+                false,
+                idxs,
+                idx_of,
+            )
+        })
+        .collect();
+    RederivePlan {
+        rule: rule_i as u32,
+        head_rel: rel_of_pred[&rule.head.pred],
+        head,
+        steps,
+        num_slots: slots.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn rules(src: &str) -> Vec<Rule> {
+        parse_program(src).unwrap().rules
+    }
+
+    /// Dense relation ids for every predicate appearing in the program.
+    fn rel_table(p: &crate::ast::Program) -> FxHashMap<Pred, usize> {
+        let mut rel_of: FxHashMap<Pred, usize> = FxHashMap::default();
+        let intern = |pr: Pred, rel_of: &mut FxHashMap<Pred, usize>| {
+            let next = rel_of.len();
+            rel_of.entry(pr).or_insert(next);
+        };
+        for r in &p.rules {
+            intern(r.head.pred, &mut rel_of);
+            for a in &r.body {
+                intern(a.pred, &mut rel_of);
+            }
+        }
+        rel_of
+    }
+
+    #[test]
+    fn planned_order_keeps_delta_first_on_tc() {
+        // anc is IDB (card 0), par is EDB (card 100): the recursive atom
+        // stays first — the standard semi-naive delta-front shape.
+        let rs = rules(
+            "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).",
+        );
+        let mut card = |p: Pred| if p.0 == rs[1].body[1].pred.0 { 100 } else { 0 };
+        assert_eq!(order_body(&rs[1], &mut card), vec![0, 1]);
+    }
+
+    #[test]
+    fn planned_order_moves_bound_atoms_forward() {
+        // Right-linear: par(X, Z), anc(Z, Y) — the IDB atom (card 0)
+        // moves first, then par is keyed on Z.
+        let rs = rules(
+            "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y).",
+        );
+        let par = rs[1].body[0].pred;
+        let mut card = |p: Pred| if p == par { 100 } else { 0 };
+        assert_eq!(order_body(&rs[1], &mut card), vec![1, 0]);
+    }
+
+    #[test]
+    fn planned_order_prefers_constants() {
+        // e(root, Y) has a bound (constant) position; reach(X) has none
+        // once both cardinalities tie.
+        let rs = rules(
+            "?- out(Y).\nout(Y) :- reach(X), e(X, Y), e(root, Y).",
+        );
+        let mut card = |_: Pred| 10u64;
+        let order = order_body(&rs[0], &mut card);
+        assert_eq!(order[0], 2, "constant-bound atom first: {order:?}");
+    }
+
+    #[test]
+    fn shuffled_order_is_a_deterministic_permutation() {
+        for n in 1..6usize {
+            for seed in [1u64, 7, 99] {
+                let a = shuffled_order(n, seed, 3);
+                let b = shuffled_order(n, seed, 3);
+                assert_eq!(a, b, "deterministic");
+                let mut s = a.clone();
+                s.sort_unstable();
+                assert_eq!(s, (0..n).collect::<Vec<_>>(), "a permutation");
+            }
+        }
+    }
+
+    #[test]
+    fn tc_shape_recognized_for_linear_and_nonlinear_variants() {
+        let sources = [
+            "?- a(c, Y).\na(X, Y) :- e(X, Y).\na(X, Y) :- a(X, Z), e(Z, Y).",
+            "?- a(c, Y).\na(X, Y) :- e(X, Y).\na(X, Y) :- e(X, Z), a(Z, Y).",
+            "?- a(c, Y).\na(X, Y) :- e(X, Y).\na(X, Y) :- a(X, Z), a(Z, Y).",
+        ];
+        for src in sources {
+            let p = parse_program(src).unwrap();
+            let rel_of = rel_table(&p);
+            let idbs = [p.rules[1].head.pred];
+            let mut idxs = Vec::new();
+            let mut idx_of = FxHashMap::default();
+            let plan = plan_rule(
+                &p.rules[1],
+                1,
+                &idbs,
+                &rel_of,
+                &mut idxs,
+                &mut idx_of,
+                OrderMode::Planned,
+                &mut |_| 0,
+            );
+            assert!(plan.tc, "{src}");
+            assert_eq!(plan.head_ready_depth, 2, "{src}");
+            // The non-recursive base rule is a single step, never TC.
+            let mut idxs2 = Vec::new();
+            let mut idx_of2 = FxHashMap::default();
+            let base = plan_rule(
+                &p.rules[0],
+                0,
+                &idbs,
+                &rel_of,
+                &mut idxs2,
+                &mut idx_of2,
+                OrderMode::Planned,
+                &mut |_| 0,
+            );
+            assert!(!base.tc, "{src}");
+        }
+    }
+
+    #[test]
+    fn justification_permutation_is_recorded() {
+        // sg(X,Y) :- par(X,U), sg(U,V), par(V,Y): the IDB atom moves
+        // first under Planned order; step_of_body inverts the move.
+        let p = parse_program(
+            "?- sg(c, Y).\nsg(X, Y) :- par(X, Y).\nsg(X, Y) :- par(X, U), sg(U, V), par(V, Y).",
+        )
+        .unwrap();
+        let rel_of = rel_table(&p);
+        let idbs = [p.rules[1].head.pred];
+        let mut idxs = Vec::new();
+        let mut idx_of = FxHashMap::default();
+        let plan = plan_rule(
+            &p.rules[1],
+            1,
+            &idbs,
+            &rel_of,
+            &mut idxs,
+            &mut idx_of,
+            OrderMode::Planned,
+            &mut |pr: Pred| if idbs.contains(&pr) { 0 } else { 50 },
+        );
+        // body_rels is in rule-text order regardless of step order.
+        let par_rel = rel_of[&p.rules[1].body[0].pred];
+        let sg_rel = rel_of[&p.rules[1].body[1].pred];
+        assert_eq!(&*plan.body_rels, &[par_rel, sg_rel, par_rel]);
+        // step_of_body is the inverse permutation of the step order.
+        let mut seen: Vec<usize> = plan.step_of_body.to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        for (k, &d) in plan.step_of_body.iter().enumerate() {
+            assert_eq!(plan.steps[d].rel, plan.body_rels[k]);
+        }
+    }
+}

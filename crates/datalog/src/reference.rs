@@ -13,21 +13,38 @@
 //! exactly the costs the storage engine removes. Do not use it for
 //! anything but cross-checking.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::ast::{Const, Pred, Program, Rule, Term, Var};
 use crate::db::{Database, Tuple};
 use crate::derivation::{DerivationTree, GroundAtom};
 use crate::eval::{apply_goal, EvalResult, EvalStats, Strategy};
+use crate::plan::{body_order, PlannerConfig};
 
-/// Evaluates `program` on `db` with the reference engine.
+/// Evaluates `program` on `db` with the reference engine under the
+/// default planner configuration (the storage engine's default).
 ///
 /// [`Strategy::SemiNaiveParallel`] is evaluated as sequential semi-naive
 /// ([`Strategy::sequential_spec`]): the parallel engine's contract is to
 /// match that specification's counters bit-for-bit, so the reference for
 /// both is the same run.
 pub fn evaluate(program: &Program, db: &Database, strategy: Strategy) -> EvalResult {
-    Evaluator::new(program, db).run(strategy.sequential_spec())
+    evaluate_cfg(program, db, strategy, PlannerConfig::default())
+}
+
+/// Evaluates under an explicit planner configuration. The reference
+/// mirrors every counter-visible planner decision — body order (from
+/// database cardinalities, which equal the engine's live counts at
+/// compile time), suffix pruning at the head-ready depth, and
+/// merge-time productive firings — so [`EvalStats`] stay bit-for-bit
+/// comparable to the storage engine under the same configuration.
+pub fn evaluate_cfg(
+    program: &Program,
+    db: &Database,
+    strategy: Strategy,
+    cfg: PlannerConfig,
+) -> EvalResult {
+    Evaluator::new(program, db, cfg).run(strategy.sequential_spec())
 }
 
 /// Evaluates and applies the goal with the reference engine.
@@ -68,13 +85,18 @@ struct CompiledAtom {
 struct CompiledRule {
     head_pred: Pred,
     head_pattern: Vec<Pat>,
+    /// Body atoms in **planner order** (the evaluation order).
     body: Vec<CompiledAtom>,
     num_slots: usize,
-    /// Body positions whose predicate is an IDB of the program.
+    /// Body positions (in planner order) whose predicate is an IDB of
+    /// the program.
     idb_positions: Vec<usize>,
+    /// First body position at which every head slot is bound — the
+    /// suffix-prune point, mirroring `RulePlan::head_ready_depth`.
+    head_ready: usize,
 }
 
-fn compile_rule(rule: &Rule, idbs: &[Pred]) -> CompiledRule {
+fn compile_rule(rule: &Rule, idbs: &[Pred], order: &[usize]) -> CompiledRule {
     let mut slots: HashMap<Var, usize> = HashMap::new();
     let slot_of = |v: Var, slots: &mut HashMap<Var, usize>| {
         let next = slots.len();
@@ -82,7 +104,8 @@ fn compile_rule(rule: &Rule, idbs: &[Pred]) -> CompiledRule {
     };
     let mut body = Vec::new();
     let mut bound_slots: Vec<bool> = Vec::new();
-    for atom in &rule.body {
+    for &ai in order {
+        let atom = &rule.body[ai];
         let mut pattern = Vec::new();
         let mut bound_positions = Vec::new();
         let mut seen_here: Vec<usize> = Vec::new();
@@ -117,7 +140,7 @@ fn compile_rule(rule: &Rule, idbs: &[Pred]) -> CompiledRule {
             bound_positions,
         });
     }
-    let head_pattern = rule
+    let head_pattern: Vec<Pat> = rule
         .head
         .args
         .iter()
@@ -126,20 +149,47 @@ fn compile_rule(rule: &Rule, idbs: &[Pred]) -> CompiledRule {
             Term::Var(v) => Pat::Slot(*slots.get(v).expect("safe rule")),
         })
         .collect();
-    let idb_positions = rule
-        .body
+    let idb_positions = order
         .iter()
         .enumerate()
-        .filter(|(_, a)| idbs.contains(&a.pred))
-        .map(|(i, _)| i)
+        .filter(|&(_, &ai)| idbs.contains(&rule.body[ai].pred))
+        .map(|(d, _)| d)
         .collect();
+    let head_ready = head_ready_depth(&head_pattern, &body, slots.len());
     CompiledRule {
         head_pred: rule.head.pred,
         head_pattern,
         body,
         num_slots: slots.len(),
         idb_positions,
+        head_ready,
     }
+}
+
+/// First body-position prefix after which every head slot is bound —
+/// the same computation as `plan::head_ready_depth`, over the pattern
+/// vocabulary: 0 for all-constant heads, `body.len()` when a head slot
+/// is bound only by the last atom.
+fn head_ready_depth(head_pattern: &[Pat], body: &[CompiledAtom], num_slots: usize) -> usize {
+    let need: Vec<usize> = head_pattern
+        .iter()
+        .filter_map(|p| match p {
+            Pat::Slot(s) => Some(*s),
+            Pat::Const(_) => None,
+        })
+        .collect();
+    let mut bound = vec![false; num_slots];
+    for (d, atom) in body.iter().enumerate() {
+        if need.iter().all(|&s| bound[s]) {
+            return d;
+        }
+        for p in &atom.pattern {
+            if let Pat::Slot(s) = p {
+                bound[*s] = true;
+            }
+        }
+    }
+    body.len()
 }
 
 /// Which snapshot a body atom reads from.
@@ -163,12 +213,29 @@ struct Evaluator<'a> {
     edb: HashMap<Pred, Vec<Tuple>>,
     arity: HashMap<Pred, usize>,
     stats: EvalStats,
+    cfg: PlannerConfig,
 }
 
 impl<'a> Evaluator<'a> {
-    fn new(program: &'a Program, db: &Database) -> Self {
+    fn new(program: &'a Program, db: &Database, cfg: PlannerConfig) -> Self {
         let idbs = program.idb_predicates();
-        let rules = program.rules.iter().map(|r| compile_rule(r, &idbs)).collect();
+        // Cardinalities at compile time: database sizes for EDB
+        // predicates, 0 for IDBs — exactly the engine's live row counts
+        // when it plans (EDB loaded, nothing derived yet), so both
+        // sides compute the same body orders.
+        let mut card = |p: Pred| {
+            if idbs.contains(&p) {
+                0
+            } else {
+                db.relation(p).map_or(0, |r| r.len() as u64)
+            }
+        };
+        let rules = program
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| compile_rule(r, &idbs, &body_order(r, i, cfg.order, &mut card)))
+            .collect();
         let mut edb: HashMap<Pred, Vec<Tuple>> = HashMap::new();
         let mut arity: HashMap<Pred, usize> = HashMap::new();
         for (p, r) in db.iter() {
@@ -187,6 +254,7 @@ impl<'a> Evaluator<'a> {
             edb,
             arity,
             stats: EvalStats::default(),
+            cfg,
         }
     }
 
@@ -208,11 +276,20 @@ impl<'a> Evaluator<'a> {
             for rule in &rules {
                 match strategy {
                     Strategy::Naive => {
-                        self.eval_rule(rule, None, &full, &old, &delta, &mut indexes, |pred, t| {
-                            if !full_set[&pred].contains(&t) {
-                                new.entry(pred).or_default().push(t);
-                            }
-                        });
+                        self.eval_rule(
+                            rule,
+                            None,
+                            &full,
+                            &old,
+                            &delta,
+                            &full_set,
+                            &mut indexes,
+                            |pred, t| {
+                                if !full_set[&pred].contains(&t) {
+                                    new.entry(pred).or_default().push(t);
+                                }
+                            },
+                        );
                     }
                     _ => {
                         if rule.idb_positions.is_empty() {
@@ -223,6 +300,7 @@ impl<'a> Evaluator<'a> {
                                     &full,
                                     &old,
                                     &delta,
+                                    &full_set,
                                     &mut indexes,
                                     |pred, t| {
                                         if !full_set[&pred].contains(&t) {
@@ -239,6 +317,7 @@ impl<'a> Evaluator<'a> {
                                     &full,
                                     &old,
                                     &delta,
+                                    &full_set,
                                     &mut indexes,
                                     |pred, t| {
                                         if !full_set[&pred].contains(&t) {
@@ -267,6 +346,12 @@ impl<'a> Evaluator<'a> {
                     }
                 }
                 self.stats.tuples_derived += added.len() as u64;
+                // Productive firings are counted at the merge — the
+                // tuples that actually entered the model — mirroring the
+                // engine's merge-time accounting.
+                if self.cfg.productive_firings {
+                    self.stats.rule_firings += added.len() as u64;
+                }
                 if !added.is_empty() {
                     any = true;
                 }
@@ -310,6 +395,7 @@ impl<'a> Evaluator<'a> {
         full: &HashMap<Pred, Vec<Tuple>>,
         old: &HashMap<Pred, Vec<Tuple>>,
         delta: &HashMap<Pred, Vec<Tuple>>,
+        full_set: &HashMap<Pred, HashSet<Tuple>>,
         indexes: &mut HashMap<(Pred, Source, Vec<usize>), Index>,
         mut emit: impl FnMut(Pred, Tuple),
     ) {
@@ -318,7 +404,9 @@ impl<'a> Evaluator<'a> {
             full,
             old,
             delta,
+            full_set,
             delta_pos,
+            cfg: self.cfg,
         };
         let mut env: Vec<Option<Const>> = vec![None; rule.num_slots];
         let mut probes = 0u64;
@@ -337,7 +425,10 @@ struct JoinCtx<'b> {
     full: &'b HashMap<Pred, Vec<Tuple>>,
     old: &'b HashMap<Pred, Vec<Tuple>>,
     delta: &'b HashMap<Pred, Vec<Tuple>>,
+    /// The frozen model, for the suffix-prune existence check.
+    full_set: &'b HashMap<Pred, HashSet<Tuple>>,
     delta_pos: Option<usize>,
+    cfg: PlannerConfig,
 }
 
 impl<'b> JoinCtx<'b> {
@@ -389,9 +480,28 @@ fn descend(
                 Pat::Slot(s) => env[*s].expect("safe rule binds head slots"),
             })
             .collect();
-        *firings += 1;
+        if !ctx.cfg.productive_firings {
+            *firings += 1;
+        }
         emit(rule.head_pred, t);
         return;
+    }
+    // Suffix pruning: the head is fully bound here; if it already
+    // exists in the frozen model, the remaining joins can only
+    // re-derive it. The check precedes this depth's probe, exactly
+    // like the engine.
+    if ctx.cfg.suffix_prune && pos == rule.head_ready {
+        let t: Tuple = rule
+            .head_pattern
+            .iter()
+            .map(|p| match p {
+                Pat::Const(c) => *c,
+                Pat::Slot(s) => env[*s].expect("head-ready depth binds head slots"),
+            })
+            .collect();
+        if ctx.full_set.get(&rule.head_pred).is_some_and(|s| s.contains(&t)) {
+            return;
+        }
     }
     let atom = &rule.body[pos];
     let src = ctx.source_of(pos, atom);

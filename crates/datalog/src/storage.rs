@@ -505,6 +505,15 @@ impl IncrementalIndex {
         self.watermark
     }
 
+    /// Number of distinct keys in the index. With
+    /// [`IncrementalIndex::watermark`], this is the planner's
+    /// selectivity surface: `watermark / num_keys` is the mean join
+    /// chain length a probe of this index walks.
+    #[inline]
+    pub fn num_keys(&self) -> usize {
+        self.keys
+    }
+
     fn key_hash(&self, rel: &ColumnarRelation, r: usize) -> u64 {
         hash_ids(self.mask.iter().map(|&p| rel.value(r, p).0))
     }

@@ -1,0 +1,149 @@
+//! Property tests for the cost-based join planner: on randomized
+//! gallery and magic-set programs, **every body order computes the same
+//! model** — the planner's selectivity-chosen order, the legacy textual
+//! order, and adversarial forced-random orders ([`OrderMode::Shuffled`])
+//! — and recorded provenance stays valid ([`Provenance::check`]) and
+//! thread-count independent under each of them.
+//!
+//! The reference evaluator is run *under the same planner config* as
+//! the engine, so the counter parity contract (`EvalStats` bit-for-bit)
+//! is exercised per order, not just for the default plan.
+
+use proptest::prelude::*;
+use selprop_datalog::ast::Program;
+use selprop_datalog::db::Database;
+use selprop_datalog::eval::{
+    evaluate_cfg, evaluate_with_provenance_cfg, Strategy as EvalStrategy,
+};
+use selprop_datalog::magic::magic_transform;
+use selprop_datalog::parser::parse_program;
+use selprop_datalog::{reference, OrderMode, PlannerConfig};
+
+/// Random edge lists over `n` nodes.
+fn arb_edges(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u8, u8)>> {
+    proptest::collection::vec((0..n as u8, 0..n as u8), 0..max_edges)
+}
+
+/// The binary recursive ancestor variants from Example 1.1 plus
+/// same-generation — the gallery the planner's shape analysis and
+/// ordering decisions must never change semantics on.
+fn program(idx: usize) -> Program {
+    let sources = [
+        "?- anc(c0, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).",
+        "?- anc(c0, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y).",
+        "?- anc(c0, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), anc(Z, Y).",
+        "?- sg(c0, Y).\nsg(X, Y) :- par(X, Y).\nsg(X, Y) :- par(X, U), sg(U, V), par(V, Y).",
+    ];
+    parse_program(sources[idx]).unwrap()
+}
+
+fn build_db(p: &mut Program, edges: &[(u8, u8)]) -> Database {
+    let par = p.symbols.get_predicate("par").unwrap();
+    let mut db = Database::new();
+    for &(a, b) in edges {
+        let ca = p.symbols.constant(&format!("c{a}"));
+        let cb = p.symbols.constant(&format!("c{b}"));
+        db.insert(par, vec![ca, cb]);
+    }
+    db
+}
+
+/// The three order strategies under test: the pre-planner engine, the
+/// full planner, and a forced-random order with every other planner
+/// feature left on (the adversarial case for the staged-head pruning
+/// and provenance permutations).
+fn configs(seed: u64) -> [PlannerConfig; 3] {
+    [
+        PlannerConfig::legacy(),
+        PlannerConfig::default(),
+        PlannerConfig {
+            order: OrderMode::Shuffled(seed),
+            ..PlannerConfig::default()
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine vs reference under each order strategy: bit-identical
+    /// counters and equal models — and the models agree **across**
+    /// order strategies.
+    #[test]
+    fn every_body_order_computes_the_same_model(
+        idx in 0usize..4,
+        edges in arb_edges(6, 14),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut p = program(idx);
+        let db = build_db(&mut p, &edges);
+        let mut models = Vec::new();
+        for cfg in configs(seed) {
+            let got = evaluate_cfg(&p, &db, EvalStrategy::SemiNaive, cfg);
+            let spec = reference::evaluate_cfg(&p, &db, EvalStrategy::SemiNaive, cfg);
+            prop_assert_eq!(got.stats, spec.stats);
+            prop_assert_eq!(got.idb.sorted_models(), spec.idb.sorted_models());
+            models.push(got.idb.sorted_models());
+        }
+        prop_assert_eq!(&models[0], &models[1]);
+        prop_assert_eq!(&models[1], &models[2]);
+    }
+
+    /// Magic-set rewritten programs (whose rules carry magic guards in
+    /// front — the order the planner most aggressively rewrites) keep
+    /// their answers under every order strategy.
+    #[test]
+    fn magic_programs_survive_every_body_order(
+        idx in 0usize..4,
+        edges in arb_edges(6, 14),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut p = program(idx);
+        let db = build_db(&mut p, &edges);
+        let magic = magic_transform(&p).unwrap();
+        let want = evaluate_cfg(&magic.program, &db, EvalStrategy::SemiNaive, PlannerConfig::legacy())
+            .idb
+            .sorted_models();
+        for cfg in configs(seed) {
+            let got = evaluate_cfg(&magic.program, &db, EvalStrategy::SemiNaive, cfg);
+            let spec = reference::evaluate_cfg(&magic.program, &db, EvalStrategy::SemiNaive, cfg);
+            prop_assert_eq!(got.stats, spec.stats);
+            prop_assert_eq!(&got.idb.sorted_models(), &want);
+            prop_assert_eq!(&spec.idb.sorted_models(), &want);
+        }
+    }
+
+    /// Provenance stays valid, thread-count independent, and
+    /// model-complete under every order strategy × threads {1, 2, 4}.
+    /// Justifications are stored in original-body order regardless of
+    /// the join order that found them — `Provenance::check` replays
+    /// them against the rule text, so a permutation bug cannot pass.
+    #[test]
+    fn provenance_is_valid_under_every_order_and_thread_count(
+        idx in 0usize..4,
+        edges in arb_edges(5, 10),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut p = program(idx);
+        let db = build_db(&mut p, &edges);
+        for cfg in configs(seed) {
+            let baseline =
+                evaluate_with_provenance_cfg(&p, &db, EvalStrategy::SemiNaive, cfg);
+            baseline.provenance.check(&p).map_err(TestCaseError::fail)?;
+            let want = baseline.provenance.idb_database().sorted_models();
+            let spec = reference::evaluate_cfg(&p, &db, EvalStrategy::SemiNaive, cfg);
+            prop_assert_eq!(&want, &spec.idb.sorted_models());
+            for threads in [2usize, 4] {
+                let par = evaluate_with_provenance_cfg(
+                    &p,
+                    &db,
+                    EvalStrategy::SemiNaiveParallel { threads },
+                    cfg,
+                );
+                prop_assert_eq!(par.stats, baseline.stats);
+                par.provenance.check(&p).map_err(TestCaseError::fail)?;
+                prop_assert_eq!(&par.provenance.idb_database().sorted_models(), &want);
+            }
+        }
+    }
+}
