@@ -145,6 +145,24 @@ fn run(rounds: usize, n: usize, corrupt_growth: bool) -> Result<(), String> {
         .check(&p)
         .map_err(|e| format!("post-churn justifications invalid: {e:?}"))?;
 
+    // The frozen posting pools are live state under the default
+    // segmented layout (the closure index is large enough to freeze)
+    // and they are *inside* the gated footprint: `row_words` counts
+    // `index_words`, which includes `seg_words`. Assert both, so the
+    // bounded-memory gate provably covers the segment storage.
+    let mem = m.mem_stats();
+    if mem.seg_words == 0 {
+        return Err(
+            "segmented layout produced no frozen posting pool words on the churned store".into(),
+        );
+    }
+    if mem.seg_words > mem.index_words {
+        return Err(format!(
+            "seg_words {} not contained in index_words {} — the 2x gate would miss segment growth",
+            mem.seg_words, mem.index_words
+        ));
+    }
+
     // Durable snapshots: the final store round-trips bit-for-bit.
     let bytes = m.to_bytes();
     let m2 = Materialization::from_bytes(&bytes)
@@ -157,10 +175,11 @@ fn run(rounds: usize, n: usize, corrupt_growth: bool) -> Result<(), String> {
     // self-test the failure path).
     let gated = if corrupt_growth { &without } else { &with };
     let ratio = gated.peak_words as f64 / fresh_words as f64;
+    let seg = mem.seg_words;
     println!(
         "churn_compact: rounds={} chain={n} strategy={strategy:?}\n\
          fresh store:        {fresh_words} words\n\
-         with compaction:    peak={} words (ratio {:.2}x), {} compactions\n\
+         with compaction:    peak={} words (ratio {:.2}x), {} compactions, seg_pool={seg} words\n\
          without compaction: peak={} words over {} rounds (quarter={} end={})",
         with.rounds,
         with.peak_words,

@@ -22,6 +22,8 @@
 //! - `--planner-only`: runs just the join-planner A/B group (combine
 //!   with `--smoke` for the CI-sized variant) and exits 2 on any drift
 //!   or gate violation, without touching `BENCH_eval.json`;
+//! - `--storage-only`: ditto for the storage-layout A/B group
+//!   (segmented postings vs chains-only);
 //! - `--corrupt-cross-check`: deliberately corrupts one reference
 //!   counter before the comparison, proving the failure path really
 //!   propagates to a nonzero exit.
@@ -33,7 +35,8 @@ use selprop_bench::{strategy_from_env, THREAD_SWEEP};
 use selprop_core::workload;
 use selprop_datalog::db::{Database, Tuple};
 use selprop_datalog::eval::{
-    answer, apply_goal, evaluate, evaluate_cfg, evaluate_with_provenance, EvalStats, Strategy,
+    answer, answer_cfg, apply_goal, evaluate, evaluate_cfg, evaluate_with_provenance, EvalStats,
+    Strategy,
 };
 use selprop_datalog::magic::magic_transform;
 use selprop_datalog::parser::parse_program;
@@ -1300,6 +1303,148 @@ fn planner_rows(smoke: bool) -> Result<Vec<DurRow>, String> {
     Ok(out)
 }
 
+/// The storage-layout group: an A/B of the segmented posting layout
+/// ([`PlannerConfig::default`], layout B) against the chains-only
+/// layout (`segmented: false`, layout A — the pre-segment engine's
+/// storage, kept selectable exactly for this baseline) on the two
+/// 10⁶-tuple headline workloads. Both sides are cross-checked against
+/// the reference evaluator under their own config; the sides are then
+/// checked against each other and against [`PlannerConfig::legacy`]
+/// for model identity, and a [`Materialization`] build per side checks
+/// row ids + justifications bit-for-bit via [`Materialization::provenance`]
+/// (provenance stores row data in row-id order, so equality covers
+/// enumeration order too). Gates (non-smoke): the counters must be
+/// *identical* between layouts (the segment fold may not change what
+/// the engine does, only where rows live), and the segmented layout
+/// must be ≥1.3x faster on wall clock. Any violation propagates as
+/// `Err` (→ process exit 2).
+fn storage_rows(smoke: bool) -> Result<Vec<DurRow>, String> {
+    const SRC_A: &str =
+        "?- anc(john, Y).\nanc(X, Y) :- par(X, Y).\nanc(X, Y) :- anc(X, Z), par(Z, Y).";
+    const SRC_E5: &str = "?- p(c, Y).\n\
+                          p(X, Y) :- b1(X, X1), b2(X1, Y).\n\
+                          p(X, Y) :- b1(X, X1), p(X1, Y1), b2(Y1, Y).";
+    let runs = if smoke { 1 } else { 3 };
+    let mut out = Vec::new();
+
+    let mut cases: Vec<(String, Program, Database)> = Vec::new();
+    {
+        let (layers, width) = if smoke { (6, 4) } else { (72, 20) };
+        let mut p = parse_program(SRC_A).unwrap();
+        let db = workload::layered_dag(&mut p, "par", "john", layers, width);
+        cases.push((format!("e1/A/layered_dag({layers},{width})"), p, db));
+    }
+    {
+        let (layers, noise) = if smoke { (8, 40) } else { (20, 1_000_000) };
+        let mut p = parse_program(SRC_E5).unwrap();
+        let db = workload::layered_b1_b2(&mut p, "c", layers, noise);
+        cases.push((format!("e5/original/{layers}x{noise}"), p, db));
+    }
+
+    for (config, p, db) in cases {
+        // The engine side follows `SELPROP_THREADS` (CI runs this group
+        // sequentially and at 4 threads); the reference side is always
+        // sequential.
+        let strat = strategy_from_env();
+        let seg_cfg = PlannerConfig::default();
+        let chain_cfg = PlannerConfig { segmented: false, ..PlannerConfig::default() };
+        let side = |tag: &str, cfg: PlannerConfig| -> Result<(f64, EvalStats, Database), String> {
+            let label = format!("storage/{config}/{tag}");
+            // Timed: the fixpoint proper (`answer_cfg` skips the
+            // O(model) `Database` conversion, which would dilute a
+            // constant-factor storage win identically on both sides).
+            let (wall_ms, (answers, stats)) = timed(runs, || {
+                let (ans, stats) = answer_cfg(&p, &db, strat, cfg);
+                (ans.len(), stats)
+            });
+            // Untimed: the model read-out and the reference cross-check.
+            let result = evaluate_cfg(&p, &db, strat, cfg);
+            if result.stats != stats {
+                return Err(format!(
+                    "{label}: counter drift between answer and model read-outs\n  got:  {stats:?}\n  want: {:?}",
+                    result.stats
+                ));
+            }
+            let spec = reference::evaluate_cfg(&p, &db, Strategy::SemiNaive, cfg);
+            if result.stats != spec.stats {
+                return Err(format!(
+                    "{label}: counter drift vs reference\n  got:  {:?}\n  want: {:?}",
+                    result.stats, spec.stats
+                ));
+            }
+            models_equal(&label, &result.idb, &spec.idb)?;
+            let want_answers = spec
+                .idb
+                .relation(p.goal.pred)
+                .map(|rel| apply_goal(&p.goal, rel).len())
+                .unwrap_or(0);
+            if answers != want_answers {
+                return Err(format!(
+                    "{label}: answer drift (got {answers}, want {want_answers})"
+                ));
+            }
+            Ok((wall_ms, stats, result.idb))
+        };
+        let (chain_wall, chain_stats, chain_model) = side("chains", chain_cfg)?;
+        let (seg_wall, seg_stats, seg_model) = side("segmented", seg_cfg)?;
+        if seg_stats != chain_stats {
+            return Err(format!(
+                "storage/{config}: counter drift between layouts\n  segmented: {seg_stats:?}\n  chains:    {chain_stats:?}"
+            ));
+        }
+        models_equal(&format!("storage/{config}/seg-vs-chains"), &seg_model, &chain_model)?;
+        let (_, legacy_result) = timed(1, || evaluate_cfg(&p, &db, strat, PlannerConfig::legacy()));
+        models_equal(&format!("storage/{config}/seg-vs-legacy"), &seg_model, &legacy_result.idb)?;
+
+        // Row-id + justification identity: provenance stores rows in
+        // row-id order with their recorded justifications, so equality
+        // here is the bit-for-bit layout oracle.
+        let ma = Materialization::from_database_with(&p, &db, Strategy::SemiNaive, seg_cfg);
+        let mb = Materialization::from_database_with(&p, &db, Strategy::SemiNaive, chain_cfg);
+        let (pa, pb) = (ma.provenance(), mb.provenance());
+        if pa != pb {
+            return Err(format!(
+                "storage/{config}: row-id/justification drift between layouts"
+            ));
+        }
+        pa.check(&p)
+            .map_err(|e| format!("storage/{config}: provenance check: {e}"))?;
+        let (sa, sb) = (ma.mem_stats(), mb.mem_stats());
+        if sb.seg_words != 0 {
+            return Err(format!(
+                "storage/{config}: chains-only layout reports {} segment words",
+                sb.seg_words
+            ));
+        }
+
+        let speedup = chain_wall / seg_wall;
+        println!(
+            "stor {config:<34} wall chains={chain_wall:>8.2}ms segmented={seg_wall:>8.2}ms ({speedup:>5.2}x) probes={:<9} seg_words={} index_words={}",
+            seg_stats.join_probes, sa.seg_words, sa.index_words,
+        );
+        out.push(DurRow {
+            config,
+            metrics: vec![
+                ("wall_ms_chains", chain_wall),
+                ("wall_ms_segmented", seg_wall),
+                ("layout_speedup", speedup),
+                ("tuples_derived", seg_stats.tuples_derived as f64),
+                ("join_probes", seg_stats.join_probes as f64),
+                ("seg_words", sa.seg_words as f64),
+                ("index_words_segmented", sa.index_words as f64),
+                ("index_words_chains", sb.index_words as f64),
+            ],
+        });
+        let gated = &out.last().expect("just pushed").config;
+        if !smoke && speedup < 1.3 {
+            return Err(format!(
+                "storage/{gated}: layout speedup {speedup:.2}x below the 1.3x gate ({chain_wall:.1}ms chains vs {seg_wall:.1}ms segmented)"
+            ));
+        }
+    }
+    Ok(out)
+}
+
 /// Detected CPU resources: logical count from `available_parallelism`
 /// and the affinity mask from `/proc/self/status` (`Cpus_allowed_list`),
 /// so the long-standing "thread rows measured on a 1-CPU box" caveat is
@@ -1330,6 +1475,7 @@ fn render_json(
     durability: &[DurRow],
     query_cache: &[DurRow],
     planner: &[DurRow],
+    storage: &[DurRow],
 ) -> String {
     let (cpus, affinity) = cpu_info();
     let mut json = format!(
@@ -1359,6 +1505,7 @@ fn render_json(
         ("durability", durability),
         ("query_cache", query_cache),
         ("planner", planner),
+        ("storage", storage),
     ] {
         let _ = write!(json, "  ],\n  \"{section}\": [\n");
         for (i, r) in group.iter().enumerate() {
@@ -1396,7 +1543,8 @@ fn record(smoke: bool) -> Result<String, String> {
     let durability = durability_rows(smoke)?;
     let query_cache = query_cache_rows(smoke)?;
     let planner = planner_rows(smoke)?;
-    let json = render_json(&rows, &durability, &query_cache, &planner);
+    let storage = storage_rows(smoke)?;
+    let json = render_json(&rows, &durability, &query_cache, &planner, &storage);
     let path = if smoke {
         // Per-process name: concurrent smoke runs must not race on one file.
         std::env::temp_dir()
@@ -1430,6 +1578,18 @@ fn main() {
         match planner_rows(smoke) {
             Ok(_) => {
                 println!("\nplanner group OK");
+                return;
+            }
+            Err(e) => {
+                eprintln!("cross-check mismatch: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--storage-only") {
+        match storage_rows(smoke) {
+            Ok(_) => {
+                println!("\nstorage group OK");
                 return;
             }
             Err(e) => {

@@ -89,6 +89,20 @@ fn smoke_run_exits_zero_and_writes_json() {
     ] {
         assert!(json.contains(row), "missing query_cache row {row} in:\n{json}");
     }
+    // The storage-layout A/B group ran (chains-only vs segmented, both
+    // reference-checked and provenance-compared) with the wall pair,
+    // the gated speedup and the segment-pool footprint all recorded.
+    for row in [
+        "\"storage\"",
+        "\"wall_ms_chains\"",
+        "\"wall_ms_segmented\"",
+        "\"layout_speedup\"",
+        "\"seg_words\"",
+        "\"index_words_chains\"",
+        "\"index_words_segmented\"",
+    ] {
+        assert!(json.contains(row), "missing storage row {row} in:\n{json}");
+    }
     // The join-planner A/B group ran (legacy vs planned, both
     // reference-checked) and the CPU/affinity annotation that qualifies
     // every wall-clock number is machine-readable.

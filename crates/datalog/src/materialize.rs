@@ -171,8 +171,14 @@ pub struct MemStats {
     pub total_rows: usize,
     /// Words of tuple data (`Σ rows × arity`).
     pub tuple_words: usize,
-    /// Words held by the join indexes (chain + key tables).
+    /// Words held by the join indexes (chain + key tables + frozen
+    /// posting pools — `seg_words` is included here, so the bounded-
+    /// memory gates cover the segment storage too).
     pub index_words: usize,
+    /// Words held by the frozen posting pools alone (a subset of
+    /// `index_words`, reported separately so the storage benches can
+    /// show the segment share).
+    pub seg_words: usize,
     /// Words of packed justification entries (offsets + buffers).
     pub just_words: usize,
     /// Words held by the reverse-dependency index (0 until the first
@@ -214,9 +220,101 @@ struct Scratch {
     rows: Vec<u32>,
     /// Per-shard staged-head filter ([`PlannerConfig::staged_filter`]):
     /// head tuples already staged by this `(rule, delta, shard)`
-    /// evaluation. Cleared at every evaluation entry; purely suppresses
+    /// evaluation. Reset at every evaluation entry; purely suppresses
     /// duplicate staging, never affects counters or merge order.
-    staged: FxHashSet<Vec<Const>>,
+    staged: StagedSet,
+    /// The pre-change staged-head filter (an owning set, one clone per
+    /// staged head), used instead of `staged` under the chains-only
+    /// storage baseline (`PlannerConfig::segmented == false`).
+    staged_legacy: FxHashSet<Vec<Const>>,
+}
+
+/// One slot of a [`StagedSet`]: live iff its generation matches the
+/// set's, carrying the staged head's memoized hash and its offset into
+/// the staging buffer (the set stores no tuple data of its own).
+#[derive(Clone, Copy, Default)]
+struct StagedSlot {
+    gen: u32,
+    hash: u64,
+    off: u32,
+}
+
+/// The staged-head filter as an allocation-free open-addressing set.
+/// Entries reference the head tuples already appended to the evaluation's
+/// [`PendingTuples::data`] buffer by offset (one `(rule, delta, shard)`
+/// evaluation stages heads of a single relation, so one arity governs
+/// every entry) and carry the staged copy's memoized row hash — so the
+/// filter re-hashes nothing and clones nothing, where the previous
+/// `HashSet<Vec<Const>>` allocated one `Vec` per staged head.
+/// Generation stamping makes the per-evaluation reset O(1).
+#[derive(Default)]
+struct StagedSet {
+    slots: Vec<StagedSlot>,
+    /// Live entries of the current generation (for the load factor).
+    len: usize,
+    /// Current generation; slots with a stale stamp are empty.
+    gen: u32,
+}
+
+impl StagedSet {
+    /// Starts a fresh evaluation: empties the set in O(1).
+    fn begin(&mut self) {
+        if self.gen == u32::MAX {
+            // Generation wraparound: physically clear so stale stamps
+            // can never alias the restarted counter.
+            self.slots.iter_mut().for_each(|s| *s = StagedSlot::default());
+            self.gen = 0;
+        }
+        self.gen += 1;
+        self.len = 0;
+    }
+
+    /// Inserts `head` (with its memoized hash) unless an equal head was
+    /// already staged this generation; returns whether it was new. The
+    /// caller appends `head` at `data.len()` right after a successful
+    /// insert — `data` is the staging buffer earlier entries point into.
+    fn insert_if_new(&mut self, head: &[Const], hash: u64, data: &[Const]) -> bool {
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let s = self.slots[i];
+            if s.gen != self.gen {
+                self.slots[i] = StagedSlot {
+                    gen: self.gen,
+                    hash,
+                    off: u32::try_from(data.len()).expect("staging buffer overflow"),
+                };
+                self.len += 1;
+                return true;
+            }
+            if s.hash == hash && &data[s.off as usize..s.off as usize + head.len()] == head {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Doubles the table, re-seating the current generation's entries by
+    /// their stored hashes (distinct by construction, so no equality
+    /// checks are needed).
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![StagedSlot::default(); cap]);
+        let mask = cap - 1;
+        for s in old {
+            if s.gen != self.gen {
+                continue;
+            }
+            let mut i = (s.hash as usize) & mask;
+            while self.slots[i].gen == self.gen {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = s;
+        }
+    }
 }
 
 /// Tuples derived during one iteration, buffered flat until the merge
@@ -231,6 +329,10 @@ struct Scratch {
 struct PendingTuples {
     data: Vec<Const>,
     rels: Vec<u32>,
+    /// The staged tuple's dedup hash ([`ColumnarRelation::hash_row`]),
+    /// memoized at staging time so the merge's insert probes without
+    /// re-hashing (one hash per tuple instead of two).
+    hash: Vec<u64>,
     /// Packed justifications, one `[rule, rows...]` entry per staged
     /// tuple (empty when recording is off).
     just: Vec<u32>,
@@ -670,6 +772,13 @@ impl Materialization {
                 continue;
             }
             if let Some(&rid) = rel_of_pred.get(&p) {
+                if planner.segmented {
+                    // The input size is known up front: size the dedup
+                    // table once instead of growing it through every
+                    // doubling (the chains-only baseline keeps the
+                    // pre-change incremental growth).
+                    rels[rid].reserve_rows(r.len());
+                }
                 for t in r.iter() {
                     rels[rid].insert(t);
                 }
@@ -706,6 +815,12 @@ impl Materialization {
                 })
                 .collect()
         };
+
+        // Freshly registered indexes hold no rows yet: the planner's
+        // storage layout applies cleanly.
+        for idx in &mut idxs {
+            idx.set_segmented(planner.segmented);
+        }
 
         let mut idb_flag = vec![false; rels.len()];
         for &r in &idb_rels {
@@ -942,6 +1057,11 @@ impl Materialization {
     /// predicate is a stored EDB relation of this materialization.
     pub fn apply(&mut self, round: &UpdateRound) -> RoundReport {
         let mut report = RoundReport::default();
+
+        // Restore fast path: a just-restored store defers the O(rows)
+        // dedup-table rebuild to here, its first write — the staging
+        // existence probes below consult those tables.
+        self.ensure_dedup();
 
         // 0. Adaptive re-planning at the round boundary: if live
         // cardinalities drifted past the threshold since the plans were
@@ -1189,6 +1309,7 @@ impl Materialization {
                 &mut self.idx_of,
             ));
         }
+        self.apply_index_layout();
     }
 
     /// Interns a relation for a predicate first seen in an added rule.
@@ -1266,6 +1387,7 @@ impl Materialization {
         self.plans = plans;
         self.planned_card = self.rels.iter().map(|r| r.num_live() as u64).collect();
         self.replans += 1;
+        self.apply_index_layout();
         self.extend_indexes();
     }
 
@@ -1504,6 +1626,7 @@ impl Materialization {
         }
         for idx in &self.idxs {
             s.index_words += idx.footprint_words();
+            s.seg_words += idx.seg_pool_words();
         }
         if let Some(prov) = &self.prov {
             for rj in prov {
@@ -1602,6 +1725,7 @@ impl Materialization {
         e.u8(u8::from(self.planner.suffix_prune));
         e.u8(u8::from(self.planner.tc_kernel));
         e.u8(u8::from(self.planner.productive_firings));
+        e.u8(u8::from(self.planner.segmented));
         // Per-rule body permutation (the step depth of each original
         // body atom): restored plans must be bit-identical to the live
         // ones, which a cardinality re-derivation could not guarantee
@@ -1741,6 +1865,7 @@ impl Materialization {
             suffix_prune: d.u8()? != 0,
             tc_kernel: d.u8()? != 0,
             productive_firings: d.u8()? != 0,
+            segmented: d.u8()? != 0,
         };
         // Per-rule body permutations: inverted back into evaluation
         // order and fed straight to `compile_rule`, so the restored
@@ -1968,6 +2093,7 @@ impl Materialization {
             tc_rows: 0,
             replans: 0,
         };
+        m.apply_index_layout();
         m.extend_indexes();
         // A store that had ever over-deleted carried a reverse index;
         // rebuild it now (live justifications only) so the restored
@@ -2188,7 +2314,9 @@ impl Materialization {
             Some(&i) => i,
             None => {
                 let i = self.idxs.len();
-                self.idxs.push(IncrementalIndex::new(rel, mask.clone()));
+                let mut idx = IncrementalIndex::new(rel, mask.clone());
+                idx.set_segmented(self.planner.segmented);
+                self.idxs.push(idx);
                 self.idx_of.insert((rel, mask), i);
                 i
             }
@@ -2715,11 +2843,39 @@ impl Materialization {
         appended
     }
 
+    /// Applies the planner's index storage layout to every registered
+    /// index. Only newly registered (still row-less) indexes can change;
+    /// for already-extended ones the call is an idempotence check —
+    /// [`IncrementalIndex::set_segmented`] rejects an actual flip. Every
+    /// path that registers indexes (construction, restore, rule adds,
+    /// re-plans, re-derivation compilation, view linking) runs this
+    /// before the new indexes are extended.
+    fn apply_index_layout(&mut self) {
+        let seg = self.planner.segmented;
+        for idx in &mut self.idxs {
+            idx.set_segmented(seg);
+        }
+    }
+
     /// Extends the per-`(relation, mask)` indexes over the rows that
     /// became visible at the last merge (incremental: only the delta
     /// rows are hashed). Unkeyed steps have no index at all
     /// ([`NO_INDEX`]): the join scans their row range directly.
+    /// Rebuilds any dedup table a restore left stale
+    /// ([`ColumnarRelation::ensure_slots`]). Called at the head of every
+    /// mutating entry point (all single mutators funnel through
+    /// [`Materialization::apply`]); one branch per relation when fresh.
+    fn ensure_dedup(&mut self) {
+        for rel in &mut self.rels {
+            rel.ensure_slots();
+        }
+    }
+
     fn extend_indexes(&mut self) {
+        debug_assert!(
+            self.idxs.iter().all(|i| i.is_segmented() == self.planner.segmented),
+            "an index registration path skipped apply_index_layout"
+        );
         for idx in &mut self.idxs {
             idx.extend(&self.rels[idx.rel()]);
         }
@@ -2740,14 +2896,39 @@ impl Materialization {
         plans: &[RulePlan],
         ext_flag: &[bool],
     ) -> u64 {
+        // Staging under the cache-conscious layout memoizes one hash per
+        // tuple (`pending.hash`); the chains-only baseline leaves the
+        // buffer empty and re-hashes at insert, as the pre-change merge
+        // did.
+        let batched = pending.hash.len() == pending.rels.len();
+        // Pre-size each target's dedup table from the staged count (an
+        // upper bound on what actually appends), so the batch never
+        // rehashes mid-merge; per-insert growth stays as the backstop.
+        // The baseline keeps the pre-change incremental growth.
+        if batched {
+            let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
+            for &rid in &pending.rels {
+                *counts.entry(rid).or_insert(0) += 1;
+            }
+            for (&rid, &n) in &counts {
+                rels[rid as usize].reserve_rows(n);
+            }
+        }
+        let insert = |rel: &mut ColumnarRelation, row: &[Const], k: usize, hash: &[u64]| {
+            if batched {
+                rel.insert_hashed(row, hash[k])
+            } else {
+                rel.insert(row)
+            }
+        };
         let mut appended = 0u64;
         let mut off = 0;
         match prov {
             None => {
-                for &rid in &pending.rels {
+                for (k, &rid) in pending.rels.iter().enumerate() {
                     let rel = &mut rels[rid as usize];
                     let ar = rel.arity();
-                    if rel.insert(&pending.data[off..off + ar]) {
+                    if insert(rel, &pending.data[off..off + ar], k, &pending.hash) {
                         appended += 1;
                     }
                     off += ar;
@@ -2755,19 +2936,19 @@ impl Materialization {
             }
             Some(prov) => {
                 let mut joff = 0;
-                for &rid in &pending.rels {
+                for (k, &rid) in pending.rels.iter().enumerate() {
                     let rel = &mut rels[rid as usize];
                     let ar = rel.arity();
                     let rule = pending.just[joff];
                     let blen = plans[rule as usize].body_rels.len();
-                    if rel.insert(&pending.data[off..off + ar]) {
+                    if insert(rel, &pending.data[off..off + ar], k, &pending.hash) {
                         appended += 1;
                         let body = &pending.just[joff + 1..joff + 1 + blen];
                         prov[rid as usize].push(rule, body);
                         if let Some(rev) = rev.as_deref_mut() {
                             let hrow = (rel.num_rows() - 1) as u32;
-                            for (k, &brow) in body.iter().enumerate() {
-                                let brel = plans[rule as usize].body_rels[k];
+                            for (kb, &brow) in body.iter().enumerate() {
+                                let brel = plans[rule as usize].body_rels[kb];
                                 if ext_flag.get(brel).copied().unwrap_or(false) {
                                     continue;
                                 }
@@ -2783,6 +2964,7 @@ impl Materialization {
         }
         pending.data.clear();
         pending.rels.clear();
+        pending.hash.clear();
         appended
     }
 
@@ -2835,6 +3017,7 @@ impl Materialization {
             })
             .collect();
         self.rederive = Some(plans);
+        self.apply_index_layout();
     }
 
     /// Checks whether `tuple` (of relation `rel`) is derivable in one
@@ -2969,7 +3152,11 @@ fn eval_rule_shard(
     scratch.env.resize(plan.num_slots, Const(0));
     scratch.rows.resize(plan.steps.len(), 0);
     if cfg.staged_filter {
-        scratch.staged.clear();
+        if cfg.segmented {
+            scratch.staged.begin();
+        } else {
+            scratch.staged_legacy.clear();
+        }
     }
     let ctx = JoinCtx {
         rels,
@@ -3063,19 +3250,37 @@ fn stage_head(
         counters.firings += 1;
     }
     build_head(plan, scratch);
-    // Only buffer tuples not already in the relation (the merge dedups
-    // again; this keeps the pending buffer small).
-    if ctx.rels[plan.head_rel].contains(&scratch.head) {
-        return;
-    }
-    if ctx.cfg.staged_filter {
-        if scratch.staged.contains(&scratch.head) {
+    if ctx.cfg.segmented {
+        // One hash serves the existence probe, the staged filter, and —
+        // via the staging buffer — the merge's insert.
+        let hash = ColumnarRelation::hash_row(&scratch.head);
+        // Only buffer tuples not already in the relation (the merge
+        // dedups again; this keeps the pending buffer small).
+        if ctx.rels[plan.head_rel].contains_hashed(&scratch.head, hash) {
             return;
         }
-        scratch.staged.insert(scratch.head.clone());
+        if ctx.cfg.staged_filter
+            && !scratch.staged.insert_if_new(&scratch.head, hash, &pending.data)
+        {
+            return;
+        }
+        pending.data.extend_from_slice(&scratch.head);
+        pending.rels.push(plan.head_rel as u32);
+        pending.hash.push(hash);
+    } else {
+        // The pre-change staging path, kept selectable as the storage
+        // A/B baseline: the existence probe, the staged filter and the
+        // merge each hash on their own, and the filter clones every
+        // staged head into an owning set.
+        if ctx.rels[plan.head_rel].contains(&scratch.head) {
+            return;
+        }
+        if ctx.cfg.staged_filter && !scratch.staged_legacy.insert(scratch.head.clone()) {
+            return;
+        }
+        pending.data.extend_from_slice(&scratch.head);
+        pending.rels.push(plan.head_rel as u32);
     }
-    pending.data.extend_from_slice(&scratch.head);
-    pending.rels.push(plan.head_rel as u32);
     if ctx.record {
         // The justification, packed: this rule, then the row matched
         // for each body atom in rule-text order.
@@ -3138,26 +3343,30 @@ fn descend(
     }
 
     let idx = &ctx.idxs[step.idx];
-    scratch.key.clear();
-    for op in step.key.iter() {
-        scratch.key.push(match *op {
+    // Single-column keys (one key op ⇔ one mask column) take the raw-
+    // value fast path: no key buffer, no slice hash.
+    let mut cur = if let &[op] = &*step.key {
+        let k = match op {
             KeyOp::Const(c) => c,
             KeyOp::Slot(s) => scratch.env[s],
-        });
-    }
-    let mut row = idx.probe(rel, &scratch.key);
-    // Chains are newest-first (strictly decreasing row ids): skip rows
-    // above the snapshot, stop below it.
-    while row != NO_ROW && row as usize >= hi {
-        row = idx.next_row(row);
-    }
-    while row != NO_ROW {
-        let r = row as usize;
-        if r < lo {
+        };
+        idx.probe1_range(rel, k, lo, hi)
+    } else {
+        scratch.key.clear();
+        for op in step.key.iter() {
+            scratch.key.push(match *op {
+                KeyOp::Const(c) => c,
+                KeyOp::Slot(s) => scratch.env[s],
+            });
+        }
+        idx.probe_range(rel, &scratch.key, lo, hi)
+    };
+    loop {
+        let row = idx.next_match(&mut cur);
+        if row == NO_ROW {
             break;
         }
-        match_row(plan, step, rel, r, depth, ctx, scratch, pending, counters);
-        row = idx.next_row(row);
+        match_row(plan, step, rel, row as usize, depth, ctx, scratch, pending, counters);
     }
 }
 
@@ -3244,26 +3453,21 @@ fn tc_kernel(
         scratch.env[bslot] = rel0.value(r, bpos);
         scratch.rows[0] = r as u32;
         counters.post += 1;
-        scratch.key.clear();
-        scratch.key.push(scratch.env[kslot]);
-        let mut row = idx1.probe(rel1, &scratch.key);
-        // Chains are newest-first (strictly decreasing row ids): skip
-        // rows above the snapshot, stop below it.
-        while row != NO_ROW && row as usize >= hi1 {
-            row = idx1.next_row(row);
-        }
-        while row != NO_ROW {
-            let rr = row as usize;
-            if rr < lo1 {
+        // `tc_shape` guarantees a single-column key: raw-value probe,
+        // no key buffer.
+        let mut cur = idx1.probe1_range(rel1, scratch.env[kslot], lo1, hi1);
+        loop {
+            let row = idx1.next_match(&mut cur);
+            if row == NO_ROW {
                 break;
             }
+            let rr = row as usize;
             if rel1.is_live(rr) {
                 scratch.env[cslot] = rel1.value(rr, cpos);
                 scratch.rows[1] = rr as u32;
                 counters.tc_rows += 1;
                 stage_head(plan, ctx, scratch, pending, counters);
             }
-            row = idx1.next_row(row);
         }
     }
 }
@@ -3323,13 +3527,17 @@ fn rederive_descend(
     }
     // The key is only needed for the probe itself; deeper levels are
     // free to reuse the buffer.
-    let mut row = idxs[step.idx].probe(rel, &scratch.key);
-    while row != NO_ROW {
+    let idx = &idxs[step.idx];
+    let mut cur = idx.probe_range(rel, &scratch.key, 0, rel.num_rows());
+    loop {
+        let row = idx.next_match(&mut cur);
+        if row == NO_ROW {
+            break;
+        }
         let r = row as usize;
         if try_row(r, scratch) && rederive_descend(steps, depth + 1, rels, idxs, scratch, probes) {
             return true;
         }
-        row = idxs[step.idx].next_row(row);
     }
     false
 }

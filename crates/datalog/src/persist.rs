@@ -56,12 +56,14 @@
 //!     store: offsets (count + `u32`s) and buffer (count + `u32`s).
 //!
 //! Deliberately **not** serialized (rebuilt on restore): the dedup
-//! tables (probe-history-dependent slot layout), the join indexes and
-//! index registry (re-hashed from the rows), compiled rule and
-//! re-derivation plans (recompiled from the rules), and the reverse
-//! dependency index (lazy). Restore therefore returns at the exact
-//! persisted fixpoint without any re-evaluation: the expensive state is
-//! the rows and justifications, which round-trip bit-for-bit.
+//! tables (probe-history-dependent slot layout; write-path state, so
+//! the rebuild is deferred to the first mutating round after restore),
+//! the join indexes and index registry (re-hashed from the rows,
+//! frozen posting segments included), compiled rule and re-derivation
+//! plans (recompiled from the rules), and the reverse dependency index
+//! (lazy). Restore therefore returns at the exact persisted fixpoint
+//! without any re-evaluation: the expensive state is the rows and
+//! justifications, which round-trip bit-for-bit.
 
 use std::fmt;
 use std::fs;
@@ -72,8 +74,10 @@ use std::path::Path;
 pub(crate) const MAGIC: [u8; 8] = *b"SPROPMAT";
 /// The current format version. Bumped to 2 when the planner
 /// configuration, per-rule body orders and the cardinality snapshot
-/// joined the payload.
-pub(crate) const VERSION: u32 = 2;
+/// joined the payload; bumped to 3 when the storage-layout flag
+/// (segmented postings vs chains-only) joined the planner bytes. The
+/// segments themselves are derived state and are rebuilt on restore.
+pub(crate) const VERSION: u32 = 3;
 /// Container overhead before the payload: magic + version + length.
 const HEADER_LEN: usize = 8 + 4 + 8;
 /// Trailing checksum bytes.

@@ -92,6 +92,13 @@ pub struct PlannerConfig {
     /// early, completed-instantiation counts are no longer the work
     /// measure; productive firings are shard- and order-invariant.
     pub productive_firings: bool,
+    /// Cache-conscious storage layer: fold cold chain portions into
+    /// frozen posting segments, key single-column index tables by the
+    /// raw constant, and run the memoized-hash batched staged merge
+    /// (`IncrementalIndex::set_segmented`). Enumeration order, row ids,
+    /// counters and justifications are identical either way; `false`
+    /// keeps the pre-change chains-only storage as the A/B baseline.
+    pub segmented: bool,
 }
 
 impl Default for PlannerConfig {
@@ -102,13 +109,15 @@ impl Default for PlannerConfig {
             suffix_prune: true,
             tc_kernel: true,
             productive_firings: true,
+            segmented: true,
         }
     }
 }
 
 impl PlannerConfig {
     /// The pre-planner engine: textual body order, no staged filter, no
-    /// suffix pruning, no kernel, firings counted per instantiation.
+    /// suffix pruning, no kernel, firings counted per instantiation,
+    /// chains-only index storage.
     pub fn legacy() -> Self {
         Self {
             order: OrderMode::Original,
@@ -116,6 +125,7 @@ impl PlannerConfig {
             suffix_prune: false,
             tc_kernel: false,
             productive_firings: false,
+            segmented: false,
         }
     }
 }

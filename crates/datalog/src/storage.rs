@@ -22,6 +22,29 @@
 //! three snapshots: a chain's row ids are strictly decreasing, so a
 //! traversal takes the `delta` rows as a prefix and the `old` rows as the
 //! remaining suffix.
+//!
+//! # Cache behaviour
+//!
+//! Two layout refinements keep the probe loop out of cache trouble
+//! without changing what it enumerates:
+//!
+//! - **Frozen posting segments** — the cold (long-since-indexed) portion
+//!   of each key's chain is periodically folded into one contiguous,
+//!   descending run of row ids in a shared pool ([`IncrementalIndex`]
+//!   freezes when the hot chains outgrow the frozen store, so total
+//!   rebuild work stays O(rows)). A probe walks the short hot chain and
+//!   then scans its segment linearly — same rows, same order, no
+//!   pointer-chasing through the cold store. Snapshot bounds clip the
+//!   segment by binary search instead of walking past it row by row.
+//! - **Single-key fast path** — an index whose mask has exactly one
+//!   column stores raw key values in its key table: probes hash one
+//!   `u32` and compare one `u32`, never re-materializing per-row key
+//!   slices. The hash is bit-identical to the general path's, so the
+//!   two key-table layouts are interchangeable.
+//!
+//! Both traversal shapes hide behind the [`Posting`] cursor, so the join
+//! machinery is layout-independent; the chains-only layout remains
+//! available (`IncrementalIndex::set_segmented`) as the A/B baseline.
 
 use crate::ast::Const;
 use crate::hash::{hash_ids, FxHashMap};
@@ -94,7 +117,7 @@ pub fn shard_ranges(lo: usize, hi: usize, shards: usize) -> Vec<(usize, usize)> 
 /// Reclamation is compaction-free: once no reader is pinned below epoch
 /// `e`, [`ColumnarRelation::reclaim_tombstones`] drops the tags `<= e` —
 /// an untagged dead row is simply dead at every pinnable epoch.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct ColumnarRelation {
     arity: usize,
     /// Row-major tuple data: row `r` occupies `data[r*arity .. (r+1)*arity]`.
@@ -104,6 +127,13 @@ pub struct ColumnarRelation {
     /// Open-addressing dedup table over row ids (capacity is a power of
     /// two; `NO_ROW` marks an empty slot, [`TOMB_SLOT`] a deleted one).
     slots: Vec<u32>,
+    /// Restore fast path: the dedup table is **write-path** state (only
+    /// insert/retract/merge probe it — reads go through the rows and
+    /// the join indexes), so [`ColumnarRelation::from_persist`] defers
+    /// its O(rows) rebuild until the first mutating touch instead of
+    /// charging it to every restart. While stale, `slots` is empty and
+    /// must not be consulted; the mutating entry points rebuild first.
+    slots_stale: bool,
     /// Tombstone bitset, allocated lazily on the first
     /// [`ColumnarRelation::tombstone`]; empty means every row is live.
     dead: Vec<u64>,
@@ -117,6 +147,27 @@ pub struct ColumnarRelation {
     tomb_at: FxHashMap<u32, u64>,
 }
 
+/// Semantic equality: compares the rows, tombstones and epoch tags, but
+/// **not** the dedup table's slot layout. The slot layout is
+/// probe-history dependent — the same reason [`crate::persist`] rebuilds
+/// it on restore instead of serializing it: pre-sizing the table for a
+/// batched merge can leave a different capacity than one-at-a-time
+/// growth without changing any observable row id, enumeration order or
+/// justification.
+impl PartialEq for ColumnarRelation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity
+            && self.data == other.data
+            && self.rows == other.rows
+            && self.dead == other.dead
+            && self.dead_rows == other.dead_rows
+            && self.epoch == other.epoch
+            && self.tomb_at == other.tomb_at
+    }
+}
+
+impl Eq for ColumnarRelation {}
+
 impl ColumnarRelation {
     /// Creates an empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
@@ -125,6 +176,7 @@ impl ColumnarRelation {
             data: Vec::new(),
             rows: 0,
             slots: Vec::new(),
+            slots_stale: false,
             dead: Vec::new(),
             dead_rows: 0,
             epoch: 0,
@@ -225,21 +277,47 @@ impl ColumnarRelation {
         hash_ids(row.iter().map(|c| c.0))
     }
 
+    /// The dedup hash of a tuple — the one [`ColumnarRelation::insert`]
+    /// probes with. Callers that test membership first and insert later
+    /// compute it **once** and pass it to the `_hashed` variants,
+    /// eliminating the find-then-insert double hash on the staged-merge
+    /// path.
+    #[inline]
+    pub(crate) fn hash_row(row: &[Const]) -> u64 {
+        Self::hash_row_slice(row)
+    }
+
     /// Membership test (O(1) expected).
     pub fn contains(&self, row: &[Const]) -> bool {
         self.find_row(row) != NO_ROW
+    }
+
+    /// [`ColumnarRelation::contains`] with a memoized
+    /// [`ColumnarRelation::hash_row`] hash.
+    #[inline]
+    pub(crate) fn contains_hashed(&self, row: &[Const], hash: u64) -> bool {
+        self.find_row_hashed(row, hash) != NO_ROW
     }
 
     /// The row id of a tuple, or [`NO_ROW`] if absent (O(1) expected).
     /// Row ids are dense and stable: the provenance subsystem uses them
     /// as node identities of the justification DAG.
     pub fn find_row(&self, row: &[Const]) -> u32 {
+        self.find_row_hashed(row, Self::hash_row_slice(row))
+    }
+
+    fn find_row_hashed(&self, row: &[Const], hash: u64) -> u32 {
         debug_assert_eq!(row.len(), self.arity);
+        debug_assert!(
+            !self.slots_stale,
+            "dedup probe on a freshly restored relation: a mutating entry \
+             point skipped Materialization::ensure_dedup"
+        );
         if self.slots.is_empty() {
             return NO_ROW;
         }
         let mask = self.slots.len() - 1;
-        let mut i = (Self::hash_row_slice(row) as usize) & mask;
+        let mut i = (hash as usize) & mask;
         loop {
             let s = self.slots[i];
             if s == NO_ROW {
@@ -252,17 +330,40 @@ impl ColumnarRelation {
         }
     }
 
+    /// Pre-sizes the dedup table for `additional` upcoming inserts, so a
+    /// batched merge never rehashes mid-flight. Growth stays geometric —
+    /// the table never shrinks, and per-insert growth remains as the
+    /// backstop for callers that skip the reservation.
+    pub(crate) fn reserve_rows(&mut self, additional: usize) {
+        self.ensure_slots();
+        let want = self.rows + additional;
+        if (want + 1) * 2 > self.slots.len() {
+            let mut cap = self.slots.len().max(8);
+            while (want + 1) * 2 > cap {
+                cap *= 2;
+            }
+            self.grow_to(cap);
+        }
+    }
+
     /// Appends a row if it is not already present **and live**; returns
     /// whether it was new. Row ids are dense and assigned in insertion
     /// order; re-inserting a tombstoned tuple appends a fresh row id
     /// (the dead row stays dead).
     pub fn insert(&mut self, row: &[Const]) -> bool {
+        self.insert_hashed(row, Self::hash_row_slice(row))
+    }
+
+    /// [`ColumnarRelation::insert`] with a memoized
+    /// [`ColumnarRelation::hash_row`] hash.
+    pub(crate) fn insert_hashed(&mut self, row: &[Const], hash: u64) -> bool {
         assert_eq!(row.len(), self.arity, "tuple arity mismatch");
+        self.ensure_slots();
         if (self.rows + 1) * 2 > self.slots.len() {
             self.grow();
         }
         let mask = self.slots.len() - 1;
-        let mut i = (Self::hash_row_slice(row) as usize) & mask;
+        let mut i = (hash as usize) & mask;
         // First reusable (tombstoned) slot on the probe path, if any.
         let mut reuse: Option<usize> = None;
         loop {
@@ -293,6 +394,7 @@ impl ColumnarRelation {
         if !self.is_live(r) {
             return false;
         }
+        self.ensure_slots();
         if self.dead.is_empty() {
             self.dead = vec![0; self.rows.div_ceil(64)];
         } else if self.dead.len() < self.rows.div_ceil(64) {
@@ -319,7 +421,11 @@ impl ColumnarRelation {
     }
 
     fn grow(&mut self) {
-        let cap = (self.slots.len() * 2).max(8);
+        self.grow_to((self.slots.len() * 2).max(8));
+    }
+
+    fn grow_to(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two());
         self.slots = vec![NO_ROW; cap];
         let mask = cap - 1;
         for r in 0..self.rows {
@@ -335,9 +441,11 @@ impl ColumnarRelation {
     }
 
     /// Rebuilds the dedup table from scratch over the live rows, sized
-    /// for the current row count (used after compaction and restore —
-    /// the probe-history-dependent slot layout is not serialized).
+    /// for the current row count (used after compaction and on the first
+    /// write after restore — the probe-history-dependent slot layout is
+    /// not serialized).
     fn rebuild_slots(&mut self) {
+        self.slots_stale = false;
         if self.rows == 0 {
             self.slots = Vec::new();
             return;
@@ -416,9 +524,13 @@ impl ColumnarRelation {
         &self.tomb_at
     }
 
-    /// Reassembles a relation from its serialized parts, rebuilding the
-    /// dedup table (slot layout is probe-history dependent and is not
-    /// persisted). `dead_rows` must equal the popcount of `dead`.
+    /// Reassembles a relation from its serialized parts. The dedup table
+    /// (slot layout is probe-history dependent and is not persisted) is
+    /// **not** rebuilt here: it is write-path state, so the rebuild is
+    /// deferred to the first mutating touch
+    /// ([`ColumnarRelation::ensure_slots`]) — a restored store that only
+    /// serves reads never pays the O(rows) rehash. `dead_rows` must
+    /// equal the popcount of `dead`.
     pub(crate) fn from_persist(
         arity: usize,
         data: Vec<Const>,
@@ -428,53 +540,133 @@ impl ColumnarRelation {
         epoch: u64,
         tomb_at: FxHashMap<u32, u64>,
     ) -> Self {
-        let mut rel = Self {
+        Self {
             arity,
             data,
             rows,
             slots: Vec::new(),
+            slots_stale: rows > 0,
             dead,
             dead_rows,
             epoch,
             tomb_at,
-        };
-        rel.rebuild_slots();
-        rel
+        }
     }
+
+    /// Rebuilds the dedup table if a restore left it stale. Cheap when
+    /// fresh (one branch); the mutating entry points of
+    /// [`crate::materialize::Materialization`] call it before any code
+    /// path can probe the table.
+    pub(crate) fn ensure_slots(&mut self) {
+        if self.slots_stale {
+            self.rebuild_slots();
+        }
+    }
+}
+
+/// Sentinel key-record id: "no key" in an index's key table.
+const NO_KEY: u32 = u32::MAX;
+
+/// Hot-chain size that triggers a freeze, and the floor under which an
+/// index never bothers building segments. Freezing when the hot chains
+/// outgrow `max(SEG_MIN_HOT, frozen)` means the frozen store at least
+/// doubles per freeze, so total freeze work is O(rows) over any insert
+/// history.
+const SEG_MIN_HOT: usize = 64;
+
+/// Per-key record of an [`IncrementalIndex`]: the hot chain head plus
+/// the key's frozen posting segment.
+#[derive(Clone, Copy, Debug)]
+struct KeyRec {
+    /// Single-column index: the raw key value. Otherwise: a
+    /// representative row id whose mask projection is the key (row data
+    /// never moves between resets, so any row with the key works).
+    key: u32,
+    /// Newest hot row of the chain; [`NO_ROW`] when fully frozen.
+    head: u32,
+    /// Frozen segment `pool[seg_off .. seg_off + seg_len]`: this key's
+    /// cold row ids, strictly descending.
+    seg_off: u32,
+    seg_len: u32,
+}
+
+/// A traversal cursor over one key's posting list, bounded to a snapshot
+/// row range `[lo, hi)`: first the hot chain (newest-first), then the
+/// frozen segment (descending, pre-clipped by binary search). Row ids
+/// come out strictly decreasing — exactly the order the chains-only
+/// layout enumerates. Obtain via [`IncrementalIndex::probe_range`],
+/// advance with [`IncrementalIndex::next_match`].
+#[derive(Clone, Copy, Debug)]
+pub struct Posting {
+    /// Current hot-chain row; [`NO_ROW`] once the chain is done.
+    chain: u32,
+    /// Snapshot lower bound — a chain row below it ends the chain walk.
+    lo: u32,
+    /// Frozen-segment cursor and end (pool positions, already clipped).
+    seg: u32,
+    seg_end: u32,
+}
+
+impl Posting {
+    const EMPTY: Posting = Posting { chain: NO_ROW, lo: 0, seg: 0, seg_end: 0 };
 }
 
 /// A persistent hash index over one [`ColumnarRelation`] and one column
 /// mask, extended incrementally as the relation grows.
 ///
-/// Equal-key rows form a chain through `next`, **newest-first** (strictly
-/// decreasing row ids). The key of a chain is never stored: the head
-/// row's projection onto the mask *is* the key.
+/// Recently indexed rows with equal key form a chain through `next`,
+/// **newest-first** (strictly decreasing row ids). Cold rows live in
+/// frozen posting segments: contiguous descending runs in one shared
+/// `pool`, scanned linearly after the chain (see the module docs). The
+/// two stores never overlap — rows `[0, frozen)` are segmented, rows
+/// `[frozen, watermark)` are chained — and a chain row id is always
+/// greater than every segment row id of its key, so the concatenated
+/// traversal preserves the global descending order.
 #[derive(Clone, Debug)]
 pub struct IncrementalIndex {
     /// The relation this index belongs to (an id into the engine's dense
     /// relation table; opaque to this module).
     rel: usize,
     mask: Box<[usize]>,
-    /// Open-addressing key table: head row id per distinct key.
+    /// Open-addressing key table: an id into `krecs` per distinct key.
     slots: Vec<u32>,
-    /// `next[r]` = next-older row with the same key, `NO_ROW` at chain end.
+    /// One record per distinct key.
+    krecs: Vec<KeyRec>,
+    /// Hot chains: `next[r - frozen]` = next-older hot row with the same
+    /// key, [`NO_ROW`] at chain end (the key's remaining rows, if any,
+    /// are in its segment).
     next: Vec<u32>,
-    /// Number of distinct keys (for the load factor).
-    keys: usize,
+    /// Frozen posting pool (see [`KeyRec::seg_off`]).
+    pool: Vec<u32>,
+    /// Rows `[0, frozen)` are segmented; `[frozen, watermark)` chained.
+    frozen: usize,
     /// Rows `[0, watermark)` are indexed.
     watermark: usize,
+    /// Layout switch: `false` keeps every row chained forever (the
+    /// pre-segment layout, kept as the A/B baseline).
+    segmented: bool,
+    /// `mask.len() == 1` **and** the cache-conscious layout is on:
+    /// key-table entries hold raw key values instead of representative
+    /// rows. Gated with `segmented` so the A/B baseline is the
+    /// pre-segment engine's storage, bit for bit.
+    single: bool,
 }
 
 impl IncrementalIndex {
     /// Creates an empty index for relation id `rel` over `mask`.
     pub fn new(rel: usize, mask: Vec<usize>) -> Self {
+        let single = mask.len() == 1;
         Self {
             rel,
             mask: mask.into_boxed_slice(),
             slots: Vec::new(),
+            krecs: Vec::new(),
             next: Vec::new(),
-            keys: 0,
+            pool: Vec::new(),
+            frozen: 0,
             watermark: 0,
+            segmented: true,
+            single,
         }
     }
 
@@ -491,6 +683,28 @@ impl IncrementalIndex {
     /// it describes must be the same on both sides.
     pub(crate) fn set_rel(&mut self, rel: usize) {
         self.rel = rel;
+    }
+
+    /// Selects the storage layout: segmented (default) or chains-only
+    /// (the A/B baseline the `record` storage group and the layout
+    /// proptests compare against). Must be called before any rows are
+    /// indexed — the layouts enumerate identically but are not
+    /// convertible in place.
+    pub(crate) fn set_segmented(&mut self, on: bool) {
+        if self.segmented != on {
+            assert_eq!(self.watermark, 0, "index layout is fixed once rows are indexed");
+            self.segmented = on;
+            // The raw-value key table is part of the cache-conscious
+            // layout; the A/B baseline keys every table by
+            // representative rows, as the pre-segment engine did.
+            self.single = self.mask.len() == 1 && on;
+        }
+    }
+
+    /// Whether this index folds cold chains into posting segments.
+    #[inline]
+    pub(crate) fn is_segmented(&self) -> bool {
+        self.segmented
     }
 
     /// The indexed column positions.
@@ -511,7 +725,15 @@ impl IncrementalIndex {
     /// chain length a probe of this index walks.
     #[inline]
     pub fn num_keys(&self) -> usize {
-        self.keys
+        self.krecs.len()
+    }
+
+    /// The hash of a single-column key value — identical to
+    /// [`hash_ids`] over the one-element projection, so the single-key
+    /// and general key tables hash compatibly.
+    #[inline]
+    fn hash1(v: u32) -> u64 {
+        hash_ids([v])
     }
 
     fn key_hash(&self, rel: &ColumnarRelation, r: usize) -> u64 {
@@ -524,97 +746,232 @@ impl IncrementalIndex {
 
     /// Indexes the rows appended to `rel` since the last call (the delta
     /// `[watermark, num_rows)`). The caller must always pass the same
-    /// relation.
+    /// relation. May freeze outgrown hot chains into segments — probes
+    /// are unaffected (same rows, same order).
     pub fn extend(&mut self, rel: &ColumnarRelation) {
         let upto = rel.num_rows();
         if upto == self.watermark {
             return;
         }
-        self.next.resize(upto, NO_ROW);
+        self.next.resize(upto - self.frozen, NO_ROW);
         for r in self.watermark..upto {
-            if (self.keys + 1) * 2 > self.slots.len() {
-                self.grow(rel, r);
+            if (self.krecs.len() + 1) * 2 > self.slots.len() {
+                self.grow(rel);
             }
             self.add_row(rel, r);
         }
         self.watermark = upto;
+        if self.segmented && self.watermark - self.frozen >= SEG_MIN_HOT.max(self.frozen) {
+            self.freeze();
+        }
     }
 
     fn add_row(&mut self, rel: &ColumnarRelation, r: usize) {
-        let mask = self.slots.len() - 1;
-        let mut i = (self.key_hash(rel, r) as usize) & mask;
+        let m = self.slots.len() - 1;
+        if self.single {
+            let v = rel.value(r, self.mask[0]).0;
+            let mut i = (Self::hash1(v) as usize) & m;
+            loop {
+                let id = self.slots[i];
+                if id == NO_KEY {
+                    self.slots[i] = self.krecs.len() as u32;
+                    self.krecs.push(KeyRec { key: v, head: r as u32, seg_off: 0, seg_len: 0 });
+                    return;
+                }
+                let krec = &mut self.krecs[id as usize];
+                if krec.key == v {
+                    // newest-first chaining keeps row ids strictly decreasing
+                    self.next[r - self.frozen] = krec.head;
+                    krec.head = r as u32;
+                    return;
+                }
+                i = (i + 1) & m;
+            }
+        }
+        let mut i = (self.key_hash(rel, r) as usize) & m;
         loop {
-            let head = self.slots[i];
-            if head == NO_ROW {
-                self.slots[i] = r as u32;
-                self.next[r] = NO_ROW;
-                self.keys += 1;
+            let id = self.slots[i];
+            if id == NO_KEY {
+                self.slots[i] = self.krecs.len() as u32;
+                self.krecs.push(KeyRec { key: r as u32, head: r as u32, seg_off: 0, seg_len: 0 });
                 return;
             }
-            if self.keys_equal(rel, head as usize, r) {
-                // newest-first chaining keeps row ids strictly decreasing
-                self.next[r] = head;
-                self.slots[i] = r as u32;
+            if self.keys_equal(rel, self.krecs[id as usize].key as usize, r) {
+                let krec = &mut self.krecs[id as usize];
+                self.next[r - self.frozen] = krec.head;
+                krec.head = r as u32;
                 return;
             }
-            i = (i + 1) & mask;
+            i = (i + 1) & m;
         }
     }
 
-    /// Rebuilds the key table at double capacity, re-adding rows
-    /// `[0, upto)` (cheap: geometric growth amortizes to O(1) per row).
-    fn grow(&mut self, rel: &ColumnarRelation, upto: usize) {
+    /// Rebuilds the key table at double capacity from the key records —
+    /// O(keys), independent of row count.
+    fn grow(&mut self, rel: &ColumnarRelation) {
         let cap = (self.slots.len() * 2).max(8);
-        self.slots = vec![NO_ROW; cap];
-        self.keys = 0;
-        for r in 0..upto {
-            self.add_row(rel, r);
+        self.slots = vec![NO_KEY; cap];
+        let m = cap - 1;
+        for (id, krec) in self.krecs.iter().enumerate() {
+            let h = if self.single {
+                Self::hash1(krec.key)
+            } else {
+                self.key_hash(rel, krec.key as usize)
+            };
+            let mut i = (h as usize) & m;
+            while self.slots[i] != NO_KEY {
+                i = (i + 1) & m;
+            }
+            self.slots[i] = id as u32;
         }
     }
 
-    /// Looks up a key (values in mask order): the head of the matching
-    /// chain, or [`NO_ROW`]. Chains are newest-first; follow with
-    /// [`Self::next_row`]. No allocation.
-    pub fn probe(&self, rel: &ColumnarRelation, key: &[Const]) -> u32 {
+    /// Folds every hot chain into its key's frozen segment. The chain's
+    /// rows (all `>= frozen`) are newer than the old segment's (all
+    /// `< frozen`), so chain-then-old-segment concatenation preserves
+    /// the strictly-descending per-key order exactly.
+    fn freeze(&mut self) {
+        let old = std::mem::take(&mut self.pool);
+        let mut pool = Vec::with_capacity(self.watermark);
+        for krec in &mut self.krecs {
+            let off = pool.len() as u32;
+            let mut r = krec.head;
+            while r != NO_ROW {
+                pool.push(r);
+                r = self.next[r as usize - self.frozen];
+            }
+            let s = krec.seg_off as usize;
+            pool.extend_from_slice(&old[s..s + krec.seg_len as usize]);
+            krec.seg_off = off;
+            krec.seg_len = pool.len() as u32 - off;
+            krec.head = NO_ROW;
+        }
+        self.pool = pool;
+        self.next.clear();
+        self.frozen = self.watermark;
+    }
+
+    /// The posting cursor of a found key record, clipped to `[lo, hi)`.
+    fn posting(&self, krec: &KeyRec, lo: usize, hi: usize) -> Posting {
+        let mut chain = krec.head;
+        while chain != NO_ROW && chain as usize >= hi {
+            chain = self.next[chain as usize - self.frozen];
+        }
+        let seg = &self.pool[krec.seg_off as usize..(krec.seg_off + krec.seg_len) as usize];
+        // Descending ids: binary-search the window bounds instead of
+        // scanning past out-of-snapshot rows. Every segment row is
+        // `< frozen`, so full-range probes (the steady state of a
+        // frozen EDB index) skip both searches outright.
+        let start = if hi >= self.frozen { 0 } else { seg.partition_point(|&r| r as usize >= hi) };
+        let end = if lo == 0 { seg.len() } else { seg.partition_point(|&r| r as usize >= lo) };
+        Posting {
+            chain,
+            lo: lo.min(self.watermark) as u32,
+            seg: krec.seg_off + start as u32,
+            seg_end: krec.seg_off + end as u32,
+        }
+    }
+
+    /// Looks up a key (values in mask order) and returns a cursor over
+    /// its rows within the snapshot range `[lo, hi)`, newest first.
+    /// Advance with [`IncrementalIndex::next_match`]. No allocation.
+    pub fn probe_range(&self, rel: &ColumnarRelation, key: &[Const], lo: usize, hi: usize) -> Posting {
         debug_assert_eq!(key.len(), self.mask.len());
+        if self.single {
+            return self.probe1_range(rel, key[0], lo, hi);
+        }
         if self.slots.is_empty() {
-            return NO_ROW;
+            return Posting::EMPTY;
         }
-        let mask = self.slots.len() - 1;
-        let mut i = (hash_ids(key.iter().map(|c| c.0)) as usize) & mask;
+        let m = self.slots.len() - 1;
+        let mut i = (hash_ids(key.iter().map(|c| c.0)) as usize) & m;
         loop {
-            let head = self.slots[i];
-            if head == NO_ROW {
-                return NO_ROW;
+            let id = self.slots[i];
+            if id == NO_KEY {
+                return Posting::EMPTY;
             }
-            let h = head as usize;
-            if self.mask.iter().zip(key).all(|(&p, &k)| rel.value(h, p) == k) {
-                return head;
+            let krec = &self.krecs[id as usize];
+            let rep = krec.key as usize;
+            if self.mask.iter().zip(key).all(|(&p, &k)| rel.value(rep, p) == k) {
+                return self.posting(krec, lo, hi);
             }
-            i = (i + 1) & mask;
+            i = (i + 1) & m;
         }
     }
 
-    /// The next-older row in `r`'s chain.
-    #[inline]
-    pub fn next_row(&self, r: u32) -> u32 {
-        self.next[r as usize]
+    /// The single-column fast path of [`IncrementalIndex::probe_range`]:
+    /// hashes and compares one raw key value, with no key slice and no
+    /// relation access. Only valid when `mask().len() == 1`; under the
+    /// chains-only A/B baseline (no raw-value key table) it falls back
+    /// to the general representative-row probe.
+    pub fn probe1_range(&self, rel: &ColumnarRelation, key: Const, lo: usize, hi: usize) -> Posting {
+        debug_assert_eq!(self.mask.len(), 1, "probe1_range requires a single-column mask");
+        if !self.single {
+            return self.probe_range(rel, &[key], lo, hi);
+        }
+        if self.slots.is_empty() {
+            return Posting::EMPTY;
+        }
+        let m = self.slots.len() - 1;
+        let mut i = (Self::hash1(key.0) as usize) & m;
+        loop {
+            let id = self.slots[i];
+            if id == NO_KEY {
+                return Posting::EMPTY;
+            }
+            let krec = &self.krecs[id as usize];
+            if krec.key == key.0 {
+                return self.posting(krec, lo, hi);
+            }
+            i = (i + 1) & m;
+        }
     }
 
-    /// Forgets every indexed row (chains, key table, watermark). The
-    /// next [`IncrementalIndex::extend`] re-indexes the relation from
-    /// row 0 — used after compaction renumbers the rows.
+    /// The next row of a posting cursor (strictly decreasing row ids),
+    /// or [`NO_ROW`] when the snapshot range is exhausted.
+    #[inline]
+    pub fn next_match(&self, p: &mut Posting) -> u32 {
+        let r = p.chain;
+        if r != NO_ROW {
+            if r >= p.lo {
+                p.chain = self.next[r as usize - self.frozen];
+                return r;
+            }
+            p.chain = NO_ROW;
+        }
+        if p.seg < p.seg_end {
+            let r = self.pool[p.seg as usize];
+            p.seg += 1;
+            return r;
+        }
+        NO_ROW
+    }
+
+    /// Forgets every indexed row (chains, segments, key table,
+    /// watermark); the layout choice survives. The next
+    /// [`IncrementalIndex::extend`] re-indexes the relation from row 0 —
+    /// used after compaction renumbers the rows.
     pub fn reset(&mut self) {
         self.slots = Vec::new();
+        self.krecs = Vec::new();
         self.next = Vec::new();
-        self.keys = 0;
+        self.pool = Vec::new();
+        self.frozen = 0;
         self.watermark = 0;
     }
 
-    /// Words held by the chain and key tables (the memory-accounting
-    /// hook for [`crate::materialize::Materialization::mem_stats`]).
+    /// Words (`u32`-sized) held by the chain, key, and segment stores
+    /// (the memory-accounting hook for
+    /// [`crate::materialize::Materialization::mem_stats`]).
     pub(crate) fn footprint_words(&self) -> usize {
-        self.next.len() + self.slots.len()
+        self.next.len() + self.slots.len() + self.pool.len() + 4 * self.krecs.len()
+    }
+
+    /// Words held by the frozen posting pool alone (reported as
+    /// `MemStats::seg_words`; also included in
+    /// [`IncrementalIndex::footprint_words`]).
+    pub(crate) fn seg_pool_words(&self) -> usize {
+        self.pool.len()
     }
 }
 
@@ -624,6 +981,31 @@ mod tests {
 
     fn c(v: u32) -> Const {
         Const(v)
+    }
+
+    /// Drains a posting cursor over `[lo, hi)` into a row-id vector.
+    fn collect_range(
+        idx: &IncrementalIndex,
+        rel: &ColumnarRelation,
+        key: &[Const],
+        lo: usize,
+        hi: usize,
+    ) -> Vec<u32> {
+        let mut p = idx.probe_range(rel, key, lo, hi);
+        let mut rows = Vec::new();
+        loop {
+            let r = idx.next_match(&mut p);
+            if r == NO_ROW {
+                break;
+            }
+            rows.push(r);
+        }
+        rows
+    }
+
+    /// Full-range posting list of a key.
+    fn collect(idx: &IncrementalIndex, rel: &ColumnarRelation, key: &[Const]) -> Vec<u32> {
+        collect_range(idx, rel, key, 0, rel.num_rows())
     }
 
     #[test]
@@ -685,14 +1067,9 @@ mod tests {
         rel.insert(&[c(7), c(3)]);
         let mut idx = IncrementalIndex::new(0, vec![0]);
         idx.extend(&rel);
-        let mut rows = Vec::new();
-        let mut r = idx.probe(&rel, &[c(7)]);
-        while r != NO_ROW {
-            rows.push(r);
-            r = idx.next_row(r);
-        }
+        let rows = collect(&idx, &rel, &[c(7)]);
         assert_eq!(rows, vec![3, 2, 0], "newest-first, strictly decreasing");
-        assert_eq!(idx.probe(&rel, &[c(9)]), NO_ROW);
+        assert_eq!(collect(&idx, &rel, &[c(9)]), Vec::<u32>::new());
     }
 
     #[test]
@@ -708,16 +1085,11 @@ mod tests {
         let mut fresh = IncrementalIndex::new(0, vec![1]);
         fresh.extend(&rel);
         for k in 0..7u32 {
-            let collect = |idx: &IncrementalIndex| {
-                let mut rows = Vec::new();
-                let mut r = idx.probe(&rel, &[c(k)]);
-                while r != NO_ROW {
-                    rows.push(r);
-                    r = idx.next_row(r);
-                }
-                rows
-            };
-            assert_eq!(collect(&incremental), collect(&fresh), "key {k}");
+            assert_eq!(
+                collect(&incremental, &rel, &[c(k)]),
+                collect(&fresh, &rel, &[c(k)]),
+                "key {k}"
+            );
         }
     }
 
@@ -932,7 +1304,7 @@ mod tests {
         for i in (0..100).step_by(7) {
             rel.tombstone(i);
         }
-        let rebuilt = ColumnarRelation::from_persist(
+        let mut rebuilt = ColumnarRelation::from_persist(
             rel.arity(),
             rel.data().to_vec(),
             rel.num_rows(),
@@ -941,6 +1313,9 @@ mod tests {
             rel.current_epoch(),
             rel.tomb_tags().clone(),
         );
+        // The dedup table comes back lazily: stale until the first
+        // mutating touch, then bit-equivalent in behavior.
+        rebuilt.ensure_slots();
         assert_eq!(rebuilt.num_rows(), rel.num_rows());
         assert_eq!(rebuilt.num_live(), rel.num_live());
         for i in 0..100u32 {
@@ -950,6 +1325,30 @@ mod tests {
             assert_eq!(rebuilt.is_live(i as usize), rel.is_live(i as usize));
             assert_eq!(rebuilt.visible_at(i as usize, 2), rel.visible_at(i as usize, 2));
         }
+    }
+
+    #[test]
+    fn stale_dedup_rebuilds_on_first_write() {
+        let mut rel = ColumnarRelation::new(2);
+        for i in 0..50u32 {
+            rel.insert(&[c(i), c(i + 1)]);
+        }
+        let mut restored = ColumnarRelation::from_persist(
+            rel.arity(),
+            rel.data().to_vec(),
+            rel.num_rows(),
+            rel.dead_words().to_vec(),
+            rel.num_dead(),
+            rel.current_epoch(),
+            rel.tomb_tags().clone(),
+        );
+        // No explicit ensure: the insert itself must rebuild first, so
+        // a duplicate of a restored row still dedups...
+        assert!(!restored.insert(&[c(3), c(4)]));
+        // ...and a novel row gets the next dense id.
+        assert!(restored.insert(&[c(99), c(100)]));
+        assert_eq!(restored.find_row(&[c(99), c(100)]), 50);
+        assert_eq!(restored.num_rows(), 51);
     }
 
     #[test]
@@ -966,16 +1365,7 @@ mod tests {
         let mut fresh = IncrementalIndex::new(0, vec![0]);
         fresh.extend(&rel);
         for k in 0..5u32 {
-            let collect = |ix: &IncrementalIndex| {
-                let mut rows = Vec::new();
-                let mut r = ix.probe(&rel, &[c(k)]);
-                while r != NO_ROW {
-                    rows.push(r);
-                    r = ix.next_row(r);
-                }
-                rows
-            };
-            assert_eq!(collect(&idx), collect(&fresh), "key {k}");
+            assert_eq!(collect(&idx, &rel, &[c(k)]), collect(&fresh, &rel, &[c(k)]), "key {k}");
         }
     }
 
@@ -987,12 +1377,142 @@ mod tests {
         }
         let mut idx = IncrementalIndex::new(0, vec![]);
         idx.extend(&rel);
-        let mut n = 0;
-        let mut r = idx.probe(&rel, &[]);
-        while r != NO_ROW {
-            n += 1;
-            r = idx.next_row(r);
+        let rows = collect(&idx, &rel, &[]);
+        assert_eq!(rows.len(), 20);
+        assert_eq!(rows, (0..20u32).rev().collect::<Vec<_>>());
+    }
+
+    /// Both layouts, every key, every snapshot window: identical
+    /// enumeration. This is the unit-level statement of the contract the
+    /// engine-level layout proptests rely on.
+    #[test]
+    fn segmented_and_chained_layouts_enumerate_identically() {
+        for mask in [vec![0usize], vec![1], vec![0, 1]] {
+            let mut rel = ColumnarRelation::new(2);
+            let mut seg = IncrementalIndex::new(0, mask.clone());
+            let mut chains = IncrementalIndex::new(0, mask.clone());
+            chains.set_segmented(false);
+            // Interleave extensions (some tiny, some spanning several
+            // freeze thresholds) so segments and hot chains coexist.
+            let mut n = 0u32;
+            for batch in [3usize, 90, 7, 400, 1, 150] {
+                for _ in 0..batch {
+                    // ~11 distinct keys on column 0, ~7 on column 1
+                    rel.insert(&[c(n % 11), c(n % 7)]);
+                    n += 1;
+                }
+                seg.extend(&rel);
+                chains.extend(&rel);
+            }
+            assert!(seg.seg_pool_words() > 0, "mask {mask:?}: segments built");
+            assert_eq!(chains.seg_pool_words(), 0, "chains-only layout has no pool");
+            let keys: Vec<Vec<Const>> = match mask.len() {
+                1 => (0..12u32).map(|k| vec![c(k)]).collect(),
+                _ => (0..12u32).flat_map(|a| (0..8u32).map(move |b| vec![c(a), c(b)])).collect(),
+            };
+            let rows = rel.num_rows();
+            for key in &keys {
+                for (lo, hi) in [(0, rows), (0, 97), (97, rows), (200, 450), (rows, rows)] {
+                    assert_eq!(
+                        collect_range(&seg, &rel, key, lo, hi),
+                        collect_range(&chains, &rel, key, lo, hi),
+                        "mask {mask:?} key {key:?} range [{lo}, {hi})"
+                    );
+                }
+            }
         }
-        assert_eq!(n, 20);
+    }
+
+    /// The freeze policy keeps amortized work linear: the frozen store
+    /// at least doubles per freeze, and everything frozen stays probed.
+    #[test]
+    fn freeze_policy_doubles_and_preserves_postings() {
+        let mut rel = ColumnarRelation::new(2);
+        let mut idx = IncrementalIndex::new(0, vec![0]);
+        let mut frozen_sizes = Vec::new();
+        let mut last_pool = 0usize;
+        for i in 0..5000u32 {
+            // distinct tuples (insert dedups), low-cardinality key column
+            rel.insert(&[c(i % 3), c(i)]);
+            idx.extend(&rel);
+            if idx.seg_pool_words() != last_pool {
+                frozen_sizes.push(idx.seg_pool_words());
+                last_pool = idx.seg_pool_words();
+            }
+        }
+        assert!(frozen_sizes.len() >= 2, "multiple freezes over 5000 rows");
+        for w in frozen_sizes.windows(2) {
+            assert!(w[1] >= 2 * w[0], "frozen store at least doubles: {frozen_sizes:?}");
+        }
+        for k in 0..3u32 {
+            let rows = collect(&idx, &rel, &[c(k)]);
+            let want: Vec<u32> = (0..5000u32).rev().filter(|r| r % 3 == k).collect();
+            assert_eq!(rows, want, "key {k}");
+        }
+    }
+
+    #[test]
+    fn single_key_fast_path_matches_general_probe() {
+        let mut rel = ColumnarRelation::new(3);
+        for i in 0..500u32 {
+            rel.insert(&[c(i % 13), c(i), c(i % 5)]);
+        }
+        let mut idx = IncrementalIndex::new(0, vec![2]);
+        idx.extend(&rel);
+        for k in 0..6u32 {
+            // probe_range delegates to probe1_range for single masks;
+            // both entry points must agree.
+            assert_eq!(
+                collect(&idx, &rel, &[c(k)]),
+                {
+                    let mut p = idx.probe1_range(&rel, c(k), 0, rel.num_rows());
+                    let mut rows = Vec::new();
+                    loop {
+                        let r = idx.next_match(&mut p);
+                        if r == NO_ROW {
+                            break;
+                        }
+                        rows.push(r);
+                    }
+                    rows
+                },
+                "key {k}"
+            );
+        }
+        assert_eq!(idx.num_keys(), 5);
+        assert!(collect(&idx, &rel, &[c(99)]).is_empty());
+    }
+
+    #[test]
+    fn layout_switch_is_rejected_once_rows_are_indexed() {
+        let mut rel = ColumnarRelation::new(1);
+        rel.insert(&[c(1)]);
+        let mut idx = IncrementalIndex::new(0, vec![0]);
+        idx.set_segmented(false);
+        idx.set_segmented(false); // idempotent before and after rows
+        idx.extend(&rel);
+        idx.set_segmented(false); // same value: still fine
+        let flip = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            idx.set_segmented(true);
+        }));
+        assert!(flip.is_err(), "layout flip after indexing must panic");
+    }
+
+    #[test]
+    fn footprint_counts_segment_pool() {
+        let mut rel = ColumnarRelation::new(2);
+        for i in 0..300u32 {
+            rel.insert(&[c(i % 4), c(i)]);
+        }
+        let mut idx = IncrementalIndex::new(0, vec![0]);
+        idx.extend(&rel);
+        assert!(idx.seg_pool_words() > 0);
+        assert!(idx.footprint_words() >= idx.seg_pool_words());
+        idx.reset();
+        assert_eq!(idx.seg_pool_words(), 0);
+        assert_eq!(idx.footprint_words(), 0);
+        // Layout survives reset; re-extending re-freezes.
+        idx.extend(&rel);
+        assert!(idx.seg_pool_words() > 0);
     }
 }
